@@ -1,0 +1,78 @@
+// Efficient state management (Section V-B): per-log and per-heartbeat cost
+// as a function of the number of simultaneously open events. The heartbeat
+// sweep enumerates every open state (the paper's getParentStateMap walk), so
+// its cost is linear in open events — this bench quantifies the constant.
+#include <benchmark/benchmark.h>
+
+#include "automata/detector.h"
+#include "common/rng.h"
+
+namespace loglens {
+namespace {
+
+SequenceModel wide_model() {
+  SequenceModel m;
+  m.id_fields = {{1, "F"}, {2, "F"}, {3, "F"}};
+  Automaton a;
+  a.id = 1;
+  a.begin_patterns = {1};
+  a.end_patterns = {3};
+  a.states[1] = {1, 1, 1};
+  a.states[2] = {2, 1, 4};
+  a.states[3] = {3, 1, 1};
+  a.min_duration_ms = 0;
+  a.max_duration_ms = 1'000'000'000;  // keep everything open
+  m.automata.push_back(a);
+  return m;
+}
+
+ParsedLog elog(int pattern, const std::string& id, int64_t ts) {
+  ParsedLog log;
+  log.pattern_id = pattern;
+  log.timestamp_ms = ts;
+  log.fields.emplace_back("F", Json(id));
+  log.raw = "line";
+  return log;
+}
+
+void BM_OnLogWithOpenStates(benchmark::State& state) {
+  const auto open = static_cast<size_t>(state.range(0));
+  SequenceDetector det(wide_model());
+  for (size_t i = 0; i < open; ++i) {
+    det.on_log(elog(1, "ev" + std::to_string(i), 1000 + (int64_t)i), "s");
+  }
+  Rng rng(3);
+  for (auto _ : state) {
+    std::string id = "ev" + std::to_string(rng.below(open));
+    benchmark::DoNotOptimize(det.on_log(elog(2, id, 5000), "s"));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OnLogWithOpenStates)
+    ->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HeartbeatSweep(benchmark::State& state) {
+  const auto open = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SequenceDetector det(wide_model());
+    for (size_t i = 0; i < open; ++i) {
+      det.on_log(elog(1, "ev" + std::to_string(i), 1000), "s");
+    }
+    state.ResumeTiming();
+    // Sweep that expires nothing (the common steady-state case)...
+    benchmark::DoNotOptimize(det.on_heartbeat(2000));
+    // ...and one that expires everything.
+    benchmark::DoNotOptimize(det.on_heartbeat(INT64_MAX / 2));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(open));
+}
+BENCHMARK(BM_HeartbeatSweep)
+    ->Arg(1000)->Arg(10000)->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace loglens
+
+BENCHMARK_MAIN();

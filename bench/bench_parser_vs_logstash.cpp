@@ -1,0 +1,142 @@
+// Table IV: LogLens vs Logstash parsing runtime on D3-D6, plus the
+// pattern-count sweep behind the abstract's "up to 41x faster" claim.
+//
+// Reproduction notes (see DESIGN.md / EXPERIMENTS.md):
+//  - Datasets are synthetic equivalents with the paper's template counts
+//    (301 / 3234 / 243 / 2012); log volumes scale with LOGLENS_SCALE.
+//  - The baseline is given a wall-clock budget (LOGLENS_BASELINE_BUDGET_S,
+//    default 20 s); exceeding it prints "NA", mirroring the paper's Logstash
+//    never finishing D4/D6 within 48 hours.
+//  - Expected shape: LogLens is faster everywhere, the gap widens with the
+//    pattern count, and the baseline falls off a cliff at thousands of
+//    patterns.
+#include <cinttypes>
+
+#include "baseline/logstash_parser.h"
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+#include "datagen/template_gen.h"
+#include "parser/log_parser.h"
+
+namespace loglens {
+namespace {
+
+using bench::Stopwatch;
+
+struct Row {
+  std::string dataset;
+  size_t patterns;
+  size_t logs;
+  double loglens_s;
+  double logstash_s;  // < 0 => timed out
+};
+
+Row run_dataset(const char* name, double scale, double baseline_budget_s) {
+  Dataset ds = make_dataset(name, scale);
+  auto pre = std::move(Preprocessor::create({}).value());
+  auto train = bench::tokenize_all(pre, ds.training);
+  auto patterns =
+      bench::discover_patterns(pre, train, recommended_discovery(name));
+  auto test = bench::tokenize_all(pre, ds.testing);
+
+  Row row;
+  row.dataset = name;
+  row.patterns = patterns.size();
+  row.logs = test.size();
+
+  {
+    LogParser parser(patterns, pre.classifier());
+    Stopwatch sw;
+    size_t unparsed = 0;
+    for (const auto& log : test) {
+      if (!parser.parse(log).log.has_value()) ++unparsed;
+    }
+    row.loglens_s = sw.seconds();
+    if (unparsed != 0) {
+      std::printf("  [warn] %s: %zu unparsed logs in sanity run\n", name,
+                  unparsed);
+    }
+  }
+
+  {
+    LogstashParser parser(patterns);
+    Stopwatch sw;
+    row.logstash_s = -1;
+    size_t done = 0;
+    for (const auto& log : test) {
+      parser.parse(log);
+      ++done;
+      if ((done & 0x3F) == 0 && sw.seconds() > baseline_budget_s) {
+        row.logstash_s = -1;  // timeout: "did not generate any output"
+        return row;
+      }
+    }
+    row.logstash_s = sw.seconds();
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace loglens
+
+int main() {
+  using namespace loglens;
+  double scale = bench::scale_or(0.01);
+  double budget = bench::env_double("LOGLENS_BASELINE_BUDGET_S", 20.0);
+
+  bench::print_header("Table IV: LogLens vs Logstash");
+  std::printf("scale=%g baseline_budget=%gs (paper: 792k-1M logs, 48h cutoff)\n",
+              scale, budget);
+  std::printf("%-8s %-9s %-9s %-12s %-12s %s\n", "Dataset", "Patterns",
+              "Logs", "LogLens", "Logstash", "Improvement");
+  for (const char* name : {"D3", "D4", "D5", "D6"}) {
+    Row row = run_dataset(name, scale, budget);
+    char logstash[32];
+    char improvement[32];
+    if (row.logstash_s < 0) {
+      std::snprintf(logstash, sizeof(logstash), "NA (>%.0fs)", budget);
+      std::snprintf(improvement, sizeof(improvement), "NA");
+    } else {
+      std::snprintf(logstash, sizeof(logstash), "%.3f s", row.logstash_s);
+      std::snprintf(improvement, sizeof(improvement), "%.1fx",
+                    row.logstash_s / row.loglens_s);
+    }
+    std::printf("%-8s %-9zu %-9zu %-12s %-12s %s\n", row.dataset.c_str(),
+                row.patterns, row.logs,
+                (std::to_string(row.loglens_s).substr(0, 5) + " s").c_str(),
+                logstash, improvement);
+  }
+
+  // Sweep: speedup as a function of pattern count (the "up to 41x" shape).
+  bench::print_header("Speedup vs pattern count (D3 flavor)");
+  std::printf("%-10s %-12s %-12s %s\n", "Patterns", "LogLens", "Logstash",
+              "Speedup");
+  for (size_t templates : {25, 50, 100, 200, 301}) {
+    TemplateCorpusSpec spec;
+    spec.flavor = "storage";
+    spec.num_templates = templates;
+    spec.train_logs = std::max<size_t>(templates * 3, 3000);
+    spec.test_logs = spec.train_logs;
+    spec.seed = 5;
+    Dataset ds = generate_template_corpus(spec, "sweep");
+    auto pre = std::move(Preprocessor::create({}).value());
+    auto train = bench::tokenize_all(pre, ds.training);
+    auto patterns =
+        bench::discover_patterns(pre, train, recommended_discovery("D3"));
+    auto test = bench::tokenize_all(pre, ds.testing);
+
+    LogParser fast(patterns, pre.classifier());
+    Stopwatch sw1;
+    for (const auto& log : test) fast.parse(log);
+    double t1 = sw1.seconds();
+
+    LogstashParser slow(patterns);
+    Stopwatch sw2;
+    for (const auto& log : test) slow.parse(log);
+    double t2 = sw2.seconds();
+
+    std::printf("%-10zu %-12.4f %-12.4f %.1fx\n", patterns.size(), t1, t2,
+                t2 / t1);
+  }
+  return 0;
+}

@@ -1,0 +1,100 @@
+// End-to-end service throughput: logs/second through the full pipeline
+// (log manager -> parser stage -> detector stage -> anomaly sink), the
+// deployment-scale quantity behind the paper's "handling millions of logs".
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+#include "service/service.h"
+
+namespace loglens {
+namespace {
+
+struct Fixture {
+  Dataset dataset;
+  ServiceOptions options;
+};
+
+const Fixture& fixture() {
+  static const Fixture* kFixture = [] {
+    auto* f = new Fixture();
+    f->dataset = make_d1(0.1);
+    f->options.build.discovery = recommended_discovery("D1");
+    return f;
+  }();
+  return *kFixture;
+}
+
+void run_pipeline(benchmark::State& state, size_t partitions,
+                  size_t workers) {
+  const Fixture& f = fixture();
+  for (auto _ : state) {
+    state.PauseTiming();
+    ServiceOptions opts = f.options;
+    opts.parser_partitions = partitions;
+    opts.detector_partitions = partitions;
+    opts.workers = workers;
+    LogLensService service(opts);
+    service.train(f.dataset.training);
+    Agent agent = service.make_agent("bench");
+    state.ResumeTiming();
+
+    agent.replay(f.dataset.testing);
+    service.drain();
+    benchmark::DoNotOptimize(service.anomalies().count());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.dataset.testing.size()));
+}
+
+void BM_PipelineSinglePartition(benchmark::State& state) {
+  run_pipeline(state, 1, 1);
+}
+BENCHMARK(BM_PipelineSinglePartition)->Unit(benchmark::kMillisecond);
+
+void BM_PipelineFourPartitions(benchmark::State& state) {
+  run_pipeline(state, 4, 4);
+}
+BENCHMARK(BM_PipelineFourPartitions)->Unit(benchmark::kMillisecond);
+
+// Parser stage alone (no brokers, no detector): the library-level ceiling.
+void BM_ParserStageOnly(benchmark::State& state) {
+  const Fixture& f = fixture();
+  auto pre = std::move(Preprocessor::create({}).value());
+  auto train = bench::tokenize_all(pre, f.dataset.training);
+  DiscoveryOptions opts = recommended_discovery("D1");
+  auto patterns = bench::discover_patterns(pre, train, opts);
+  auto test = bench::tokenize_all(pre, f.dataset.testing);
+  for (auto _ : state) {
+    LogParser parser(patterns, pre.classifier());
+    size_t parsed = 0;
+    for (const auto& log : test) {
+      parsed += parser.parse(log).log.has_value() ? 1 : 0;
+    }
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(test.size()));
+}
+BENCHMARK(BM_ParserStageOnly)->Unit(benchmark::kMillisecond);
+
+// Preprocessing alone (tokenize + timestamp recognition).
+void BM_PreprocessOnly(benchmark::State& state) {
+  const Fixture& f = fixture();
+  for (auto _ : state) {
+    auto pre = std::move(Preprocessor::create({}).value());
+    size_t tokens = 0;
+    for (const auto& line : f.dataset.testing) {
+      tokens += pre.process(line).tokens.size();
+    }
+    benchmark::DoNotOptimize(tokens);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f.dataset.testing.size()));
+}
+BENCHMARK(BM_PreprocessOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace loglens
+
+BENCHMARK_MAIN();

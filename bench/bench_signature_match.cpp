@@ -1,0 +1,74 @@
+// Algorithm 1 microbenchmark: the dynamic-programming wildcard signature
+// matcher, swept over signature lengths, with and without wildcards.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "parser/signature.h"
+
+namespace loglens {
+namespace {
+
+std::vector<Datatype> random_signature(Rng& rng, size_t len,
+                                       bool with_wildcards) {
+  static constexpr Datatype kBase[] = {Datatype::kWord, Datatype::kNumber,
+                                       Datatype::kIp, Datatype::kNotSpace,
+                                       Datatype::kDateTime};
+  std::vector<Datatype> out;
+  out.reserve(len);
+  for (size_t i = 0; i < len; ++i) {
+    if (with_wildcards && rng.chance(0.2)) {
+      out.push_back(Datatype::kAnyData);
+    } else {
+      out.push_back(kBase[rng.below(5)]);
+    }
+  }
+  return out;
+}
+
+void BM_SignatureMatchExact(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  auto log = random_signature(rng, len, false);
+  auto pat = log;  // guaranteed match: worst case for the exact path
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signature_match(log, pat));
+  }
+}
+BENCHMARK(BM_SignatureMatchExact)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SignatureMatchWildcard(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  auto log = random_signature(rng, len, false);
+  auto pat = random_signature(rng, len, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signature_match(log, pat));
+  }
+}
+BENCHMARK(BM_SignatureMatchWildcard)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SignatureMatchAllWild(benchmark::State& state) {
+  // Pattern of pure wildcards: the densest DP table.
+  const size_t len = static_cast<size_t>(state.range(0));
+  Rng rng(7);
+  auto log = random_signature(rng, len, false);
+  std::vector<Datatype> pat(len, Datatype::kAnyData);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signature_match(log, pat));
+  }
+}
+BENCHMARK(BM_SignatureMatchAllWild)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_SignatureKey(benchmark::State& state) {
+  Rng rng(7);
+  auto sig = random_signature(rng, static_cast<size_t>(state.range(0)), false);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(signature_key(sig));
+  }
+}
+BENCHMARK(BM_SignatureKey)->Arg(8)->Arg(32);
+
+}  // namespace
+}  // namespace loglens
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Section VII-B case study: discovering SS7 spoofing attacks.
+// Paper: 2.7M logs over 3 hours; training on the first 2 hours; 994
+// anomalies found in the final hour, in tight temporal clusters; each is a
+// truncated InvokePurgeMs -> InvokeSendAuthenticationInfo dialogue that
+// never reaches InvokeUpdateLocation. Manual analysis took 2 days; LogLens
+// took ~5 minutes (576x saving).
+#include <cstdio>
+
+#include "bench/exp_util.h"
+#include "service/dashboard.h"
+
+int main() {
+  using namespace loglens;
+  double scale = bench::scale_or(0.02);
+
+  bench::print_header("Case study B: SS7 spoofing attacks");
+  Dataset ss7 = make_ss7(scale);
+  std::printf("scale=%g -> %zu training logs, %zu testing logs, "
+              "%zu injected spoofing dialogues (paper: 994)\n",
+              scale, ss7.training.size(), ss7.testing.size(),
+              ss7.anomalous_event_ids.size());
+
+  ServiceOptions opts;
+  opts.build.discovery = recommended_discovery("SS7");
+  LogLensService service(opts);
+  bench::Stopwatch sw;
+  BuildResult build = service.train(ss7.training);
+  bench::RunResult run = bench::run_detection(service, ss7, true);
+  double total_s = sw.seconds();
+
+  size_t missing_end =
+      service.anomalies().count_by_type(AnomalyType::kMissingEndState);
+  double r = bench::recall(run.anomalous_ids, ss7.anomalous_event_ids);
+
+  std::printf("\npatterns: %zu, automata: %zu, id field discovered: %s\n",
+              build.model.patterns.size(),
+              build.model.sequence.automata.size(),
+              build.model.sequence.id_fields.empty() ? "NO" : "yes (imsi)");
+  std::printf("anomalous dialogues flagged : %zu (missing-end records: %zu)\n",
+              run.anomalous_ids.size(), missing_end);
+  std::printf("recall on spoofed dialogues : %.1f%%\n", r * 100);
+  std::printf("end-to-end analysis time    : %.1f s "
+              "(paper: ~5 min vs 2 days manual)\n", total_s);
+
+  // The paper's Figure 6: anomalies form temporal clusters. Render the
+  // anomaly timeline over the test hour.
+  const int64_t t1 = 1462788000000 + 2 * 3600'000;
+  Dashboard dashboard(service.anomalies(), service.model_store(),
+                      service.log_store());
+  std::printf("\n%s", dashboard
+                  .render_timeline(t1, t1 + 3600'000, 5 * 60'000)
+                  .c_str());
+
+  bool ok = r == 1.0 && !build.model.sequence.id_fields.empty();
+  std::printf("\npaper shape (all spoofing dialogues found via missing "
+              "UpdateLocation, clustered in time) -> %s\n",
+              ok ? "REPRODUCED" : "NOT reproduced");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// Shared runner for the accuracy-style experiments (Figure 4, Figure 5,
+// Table V, SS7 case study): trains a LogLensService on a dataset's training
+// stream, replays the testing stream through the full pipeline, optionally
+// drives the heartbeat controller, and tallies anomalies by event id.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "datagen/datasets.h"
+#include "service/service.h"
+
+namespace loglens::bench {
+
+struct RunResult {
+  std::set<std::string> anomalous_ids;   // distinct event ids flagged
+  size_t anomaly_records = 0;            // raw anomaly count
+  size_t open_events_left = 0;
+  BuildResult build;
+};
+
+inline RunResult run_detection(LogLensService& service, const Dataset& ds,
+                               bool heartbeats) {
+  RunResult result;
+  Agent agent = service.make_agent(ds.name);
+  agent.replay(ds.testing);
+  service.drain();
+  if (heartbeats) {
+    // Advance log time far past every learned max duration, as the paper's
+    // heartbeat controller would after the stream goes quiet.
+    service.heartbeat_advance(24L * 3600 * 1000);
+    service.drain();
+  }
+  for (const auto& a : service.anomalies().all()) {
+    ++result.anomaly_records;
+    if (!a.event_id.empty()) result.anomalous_ids.insert(a.event_id);
+  }
+  result.open_events_left = service.open_events();
+  return result;
+}
+
+inline double recall(const std::set<std::string>& detected,
+                     const std::set<std::string>& truth) {
+  if (truth.empty()) return 1.0;
+  size_t hit = 0;
+  for (const auto& id : truth) {
+    if (detected.contains(id)) ++hit;
+  }
+  return static_cast<double>(hit) / static_cast<double>(truth.size());
+}
+
+inline size_t false_positives(const std::set<std::string>& detected,
+                              const std::set<std::string>& truth) {
+  size_t fp = 0;
+  for (const auto& id : detected) {
+    if (!truth.contains(id)) ++fp;
+  }
+  return fp;
+}
+
+}  // namespace loglens::bench

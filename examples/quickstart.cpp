@@ -1,0 +1,62 @@
+// Quickstart: the LogLens core loop in ~60 lines.
+//
+//   1. Give LogLens a handful of "correct" logs.
+//   2. It discovers GROK patterns (no regexes written by you).
+//   3. It parses a live stream with those patterns; anything that does not
+//      match any pattern is a stateless anomaly.
+//
+// Build & run:  ./build/examples/quickstart
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "logmine/discoverer.h"
+#include "parser/log_parser.h"
+#include "tokenize/preprocessor.h"
+
+int main() {
+  using namespace loglens;
+
+  // --- 1. Training logs: what "normal" looks like -------------------------
+  std::vector<std::string> training = {
+      "2016/02/23 09:00:31 10.0.0.1 login user1",
+      "2016/02/23 09:00:32 10.0.0.7 login user2",
+      "2016/02/23 09:00:35 10.0.0.2 login alice9",
+      "2016/02/23 09:01:02 Connect DB 127.0.0.1 user abc123",
+      "2016/02/23 09:01:09 Connect DB 10.1.1.5 user svc_batch",
+      "2016/02/23 09:01:44 Connect DB 10.1.1.9 user reporter",
+  };
+
+  // --- 2. Discover patterns ----------------------------------------------
+  Preprocessor pre = std::move(Preprocessor::create({}).value());
+  std::vector<TokenizedLog> tokenized;
+  for (const auto& line : training) tokenized.push_back(pre.process(line));
+
+  DiscoveryOptions options;
+  options.max_dist = 0.45;  // short demo logs; see DESIGN.md for tuning
+  PatternDiscoverer discoverer(options, pre.classifier());
+  std::vector<GrokPattern> patterns = discoverer.discover(tokenized);
+
+  std::printf("discovered %zu patterns:\n", patterns.size());
+  for (const auto& p : patterns) {
+    std::printf("  P%d: %s\n", p.id(), p.to_string().c_str());
+  }
+
+  // --- 3. Parse a live stream ---------------------------------------------
+  LogParser parser(patterns, pre.classifier());
+  std::vector<std::string> stream = {
+      "2016/02/23 10:14:03 10.0.0.9 login bob",
+      "2016/02/23 10:14:21 Connect DB 192.168.0.4 user etl",
+      "kernel: BUG: unable to handle page fault at 0xdeadbeef",
+  };
+  std::printf("\nparsing live stream:\n");
+  for (const auto& line : stream) {
+    ParseOutcome outcome = parser.parse(pre.process(line));
+    if (outcome.log.has_value()) {
+      std::printf("  parsed   %s\n", outcome.log->to_json().dump().c_str());
+    } else {
+      std::printf("  ANOMALY  unparsed log: %s\n", line.c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,327 @@
+#include "automata/detector.h"
+
+#include <algorithm>
+#include <set>
+
+namespace loglens {
+
+SequenceDetector::SequenceDetector(SequenceModel model,
+                                   DetectorOptions options)
+    : model_(std::move(model)), options_(options) {}
+
+bool SequenceDetector::pattern_known(int pattern_id) const {
+  for (const auto& a : model_.automata) {
+    if (a.states.contains(pattern_id)) return true;
+  }
+  return false;
+}
+
+const Automaton* SequenceDetector::candidate_for(
+    const OpenEvent& event) const {
+  std::set<int> observed;
+  for (const auto& [pid, _] : event.logs) observed.insert(pid);
+  const Automaton* best = nullptr;
+  for (const auto& a : model_.automata) {
+    bool contains_all = std::all_of(
+        observed.begin(), observed.end(),
+        [&a](int pid) { return a.states.contains(pid); });
+    if (!contains_all) continue;
+    if (best == nullptr || a.states.size() < best->states.size() ||
+        (a.states.size() == best->states.size() && a.id < best->id)) {
+      best = &a;
+    }
+  }
+  return best;
+}
+
+std::vector<Anomaly> SequenceDetector::validate(const std::string& event_id,
+                                                const OpenEvent& event,
+                                                bool at_end,
+                                                int64_t close_time) {
+  std::vector<Anomaly> out;
+  if (event.logs.empty()) return out;
+
+  // Attribution: the containing automaton, or failing that the automaton
+  // sharing the most patterns. No overlap at all => the event's patterns
+  // were removed from the model; silently drop (Table V semantics).
+  const Automaton* automaton = candidate_for(event);
+  if (automaton == nullptr) {
+    std::set<int> observed;
+    for (const auto& [pid, _] : event.logs) observed.insert(pid);
+    size_t best_overlap = 0;
+    for (const auto& a : model_.automata) {
+      size_t overlap = 0;
+      for (int pid : observed) {
+        if (a.states.contains(pid)) ++overlap;
+      }
+      if (overlap > best_overlap) {
+        best_overlap = overlap;
+        automaton = &a;
+      }
+    }
+    if (automaton == nullptr || best_overlap == 0) return out;
+  }
+
+  // Anomalies are stamped with the event's own log time: the close time
+  // when the end state arrived, or the last observed log when the event
+  // expired (a heartbeat's extrapolated clock says when we *noticed*, not
+  // when the event went wrong).
+  const int64_t anomaly_time =
+      at_end || event.last_ts < 0 ? close_time : event.last_ts;
+  auto emit = [&](AnomalyType type, std::string severity, std::string reason,
+                  Json details = Json(JsonObject{})) {
+    Anomaly a;
+    a.type = type;
+    a.severity = std::move(severity);
+    a.reason = std::move(reason);
+    a.timestamp_ms = anomaly_time;
+    a.source = event.source;
+    a.event_id = event_id;
+    a.automaton_id = automaton->id;
+    a.logs = event.raws;
+    a.details = std::move(details);
+    out.push_back(std::move(a));
+  };
+
+  const int first_pattern = event.logs.front().first;
+  const int last_pattern = event.logs.back().first;
+  const bool begin_ok = automaton->begin_patterns.contains(first_pattern);
+  const bool end_ok = at_end && automaton->end_patterns.contains(last_pattern);
+
+  if (!begin_ok) {
+    emit(AnomalyType::kMissingBeginState, "high",
+         "event starts with pattern " + std::to_string(first_pattern) +
+             ", which is not a begin state of automaton " +
+             std::to_string(automaton->id),
+         Json(JsonObject{{"first_pattern",
+                          Json(static_cast<int64_t>(first_pattern))}}));
+  }
+  if (!end_ok) {
+    emit(AnomalyType::kMissingEndState, "high",
+         at_end ? "event ends with pattern " + std::to_string(last_pattern) +
+                      ", which is not an end state"
+                : "event expired without reaching an end state of automaton " +
+                      std::to_string(automaton->id),
+         Json(JsonObject{
+             {"last_pattern", Json(static_cast<int64_t>(last_pattern))},
+             {"expired", Json(!at_end)}}));
+  }
+
+  std::map<int, int> occurrences;
+  for (const auto& [pid, _] : event.logs) ++occurrences[pid];
+
+  for (const auto& [pid, rule] : automaton->states) {
+    auto it = occurrences.find(pid);
+    int count = it == occurrences.end() ? 0 : it->second;
+    if (count == 0) {
+      if (rule.min_occurrences >= 1 &&
+          !automaton->end_patterns.contains(pid) &&
+          !automaton->begin_patterns.contains(pid)) {
+        emit(AnomalyType::kMissingIntermediateState, "high",
+             "state for pattern " + std::to_string(pid) +
+                 " never occurred (min occurrence " +
+                 std::to_string(rule.min_occurrences) + ")",
+             Json(JsonObject{{"pattern_id", Json(static_cast<int64_t>(pid))}}));
+      }
+      // A missing begin/end pattern is already covered by type 1 above.
+      continue;
+    }
+    if (count < rule.min_occurrences || count > rule.max_occurrences) {
+      emit(AnomalyType::kOccurrenceViolation, "medium",
+           "pattern " + std::to_string(pid) + " occurred " +
+               std::to_string(count) + " times, outside [" +
+               std::to_string(rule.min_occurrences) + ", " +
+               std::to_string(rule.max_occurrences) + "]",
+           Json(JsonObject{{"pattern_id", Json(static_cast<int64_t>(pid))},
+                           {"count", Json(static_cast<int64_t>(count))}}));
+    }
+  }
+
+  if (begin_ok && end_ok && event.first_ts >= 0 && event.last_ts >= 0) {
+    int64_t duration = event.last_ts - event.first_ts;
+    if (duration < automaton->min_duration_ms ||
+        duration > automaton->max_duration_ms) {
+      emit(AnomalyType::kDurationViolation, "medium",
+           "event duration " + std::to_string(duration) + " ms outside [" +
+               std::to_string(automaton->min_duration_ms) + ", " +
+               std::to_string(automaton->max_duration_ms) + "] ms",
+           Json(JsonObject{{"duration_ms", Json(duration)}}));
+    }
+  }
+
+  if (options_.check_transitions && !automaton->transitions.empty()) {
+    std::set<std::pair<int, int>> reported;
+    for (size_t i = 1; i < event.logs.size(); ++i) {
+      std::pair<int, int> edge{event.logs[i - 1].first, event.logs[i].first};
+      if (!automaton->transitions.contains(edge) &&
+          reported.insert(edge).second) {
+        emit(AnomalyType::kUnknownTransition, "low",
+             "transition " + std::to_string(edge.first) + " -> " +
+                 std::to_string(edge.second) + " never seen in training",
+             Json(JsonObject{{"from", Json(static_cast<int64_t>(edge.first))},
+                             {"to", Json(static_cast<int64_t>(edge.second))}}));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Anomaly> SequenceDetector::on_log(const ParsedLog& log,
+                                              std::string_view source) {
+  ++stats_.logs_seen;
+  auto field_it = model_.id_fields.find(log.pattern_id);
+  if (field_it == model_.id_fields.end()) return {};
+  if (!pattern_known(log.pattern_id)) return {};
+
+  const Json* id_value = nullptr;
+  for (const auto& [k, v] : log.fields) {
+    if (k == field_it->second) {
+      id_value = &v;
+      break;
+    }
+  }
+  if (id_value == nullptr || !id_value->is_string() ||
+      id_value->as_string().empty()) {
+    return {};
+  }
+  const std::string& event_id = id_value->as_string();
+
+  ++stats_.logs_tracked;
+  OpenEvent& event = open_[event_id];
+  if (event.logs.empty()) {
+    event.source = std::string(source);
+  }
+  std::pair<int, int64_t> entry{log.pattern_id, log.timestamp_ms};
+  if (options_.sort_by_log_time && log.timestamp_ms >= 0) {
+    auto pos = std::upper_bound(
+        event.logs.begin(), event.logs.end(), entry,
+        [](const auto& a, const auto& b) { return a.second < b.second; });
+    event.logs.insert(pos, entry);
+  } else {
+    event.logs.push_back(entry);
+  }
+  if (log.timestamp_ms >= 0) {
+    if (event.first_ts < 0 || log.timestamp_ms < event.first_ts) {
+      event.first_ts = log.timestamp_ms;
+    }
+    if (log.timestamp_ms > event.last_ts) event.last_ts = log.timestamp_ms;
+  }
+  if (event.raws.size() < options_.max_logs_per_event) {
+    event.raws.push_back(log.raw);
+  }
+
+  const Automaton* candidate = candidate_for(event);
+  if (candidate != nullptr &&
+      candidate->end_patterns.contains(log.pattern_id)) {
+    ++stats_.events_closed;
+    auto node = open_.extract(event_id);
+    return validate(node.key(), node.mapped(), /*at_end=*/true,
+                    log.timestamp_ms);
+  }
+
+  // Memory bound: evict the stalest open event.
+  if (open_.size() > options_.max_open_events) {
+    auto oldest = open_.begin();
+    for (auto it = open_.begin(); it != open_.end(); ++it) {
+      if (it->second.last_ts < oldest->second.last_ts) oldest = it;
+    }
+    open_.erase(oldest);
+    ++stats_.evicted;
+  }
+  return {};
+}
+
+std::vector<Anomaly> SequenceDetector::on_heartbeat(int64_t log_time_ms) {
+  ++stats_.heartbeats;
+  std::vector<Anomaly> out;
+  for (auto it = open_.begin(); it != open_.end();) {
+    const OpenEvent& event = it->second;
+    const Automaton* candidate = candidate_for(event);
+    int64_t deadline;
+    if (candidate != nullptr) {
+      deadline = event.first_ts + candidate->max_duration_ms;
+    } else {
+      deadline = event.last_ts + options_.default_timeout_ms;
+    }
+    if (event.first_ts >= 0 && log_time_ms > deadline) {
+      ++stats_.events_expired;
+      auto anomalies =
+          validate(it->first, event, /*at_end=*/false, log_time_ms);
+      out.insert(out.end(), anomalies.begin(), anomalies.end());
+      it = open_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
+void SequenceDetector::update_model(SequenceModel model) {
+  model_ = std::move(model);
+}
+
+Json SequenceDetector::snapshot_state() const {
+  JsonArray events;
+  for (const auto& [id, event] : open_) {
+    JsonObject e;
+    e.emplace_back("id", Json(id));
+    e.emplace_back("source", Json(event.source));
+    e.emplace_back("first_ts", Json(event.first_ts));
+    e.emplace_back("last_ts", Json(event.last_ts));
+    JsonArray logs;
+    for (const auto& [pid, ts] : event.logs) {
+      JsonArray pair;
+      pair.emplace_back(static_cast<int64_t>(pid));
+      pair.emplace_back(ts);
+      logs.emplace_back(Json(std::move(pair)));
+    }
+    e.emplace_back("logs", Json(std::move(logs)));
+    JsonArray raws;
+    for (const auto& r : event.raws) raws.emplace_back(r);
+    e.emplace_back("raws", Json(std::move(raws)));
+    events.emplace_back(Json(std::move(e)));
+  }
+  JsonObject obj;
+  obj.emplace_back("open_events", Json(std::move(events)));
+  return Json(std::move(obj));
+}
+
+Status SequenceDetector::restore_state(const Json& j) {
+  if (!j.is_object()) return Status::Error("state snapshot not an object");
+  const Json* events = j.find("open_events");
+  if (events == nullptr || !events->is_array()) {
+    return Status::Error("state snapshot missing open_events");
+  }
+  std::map<std::string, OpenEvent> restored;
+  for (const auto& e : events->as_array()) {
+    if (!e.is_object()) return Status::Error("open event not an object");
+    std::string id(e.get_string("id"));
+    if (id.empty()) return Status::Error("open event missing id");
+    OpenEvent event;
+    event.source = std::string(e.get_string("source"));
+    event.first_ts = e.get_int("first_ts", -1);
+    event.last_ts = e.get_int("last_ts", -1);
+    if (const Json* logs = e.find("logs");
+        logs != nullptr && logs->is_array()) {
+      for (const auto& pair : logs->as_array()) {
+        if (!pair.is_array() || pair.as_array().size() != 2) {
+          return Status::Error("open event log entry malformed");
+        }
+        event.logs.emplace_back(
+            static_cast<int>(pair.as_array()[0].as_int()),
+            pair.as_array()[1].as_int());
+      }
+    }
+    if (const Json* raws = e.find("raws");
+        raws != nullptr && raws->is_array()) {
+      for (const auto& r : raws->as_array()) {
+        if (r.is_string()) event.raws.push_back(r.as_string());
+      }
+    }
+    restored[std::move(id)] = std::move(event);
+  }
+  open_ = std::move(restored);
+  return Status::Ok();
+}
+
+}  // namespace loglens

@@ -1,0 +1,107 @@
+// Online log-sequence anomaly detection (Section IV-B) with open-state
+// management and heartbeat-driven expiry (Section V-B).
+//
+// The detector is keyed state: every event ID content owns an open event
+// accumulating (pattern, timestamp) entries. An event closes either when a
+// log matching its automaton's end state arrives (validated immediately) or
+// when a heartbeat shows the event has exceeded its learned max duration
+// (expired — reported as a missing-end anomaly, which is exactly the class
+// of anomaly that is *undetectable without heartbeats*, Figure 5).
+//
+// All timing uses log time: timestamps embedded in logs and in heartbeat
+// messages. The detector never reads the wall clock.
+//
+// `update_model` swaps the rule set while *preserving open state* — the
+// dynamic model update of Section V-A / Table V. Events whose patterns no
+// longer belong to any automaton silently stop producing anomalies.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/model.h"
+#include "storage/anomaly.h"
+
+namespace loglens {
+
+struct DetectorOptions {
+  // Expiry deadline for events that match no automaton yet.
+  int64_t default_timeout_ms = 60'000;
+  // Extension: flag consecutive state pairs never seen in training.
+  bool check_transitions = false;
+  // Robustness: order an event's logs by their embedded timestamps rather
+  // than by arrival, so network-reordered logs do not fake missing-begin /
+  // transition anomalies. (Logs arriving after their event's end state still
+  // open a fresh event — end-state arrival closes eagerly, as in the paper.)
+  bool sort_by_log_time = true;
+  // Raw log lines kept per open event for anomaly reports.
+  size_t max_logs_per_event = 32;
+  // Memory bound on simultaneously open events (oldest evicted silently).
+  size_t max_open_events = 1'000'000;
+};
+
+struct DetectorStats {
+  uint64_t logs_seen = 0;
+  uint64_t logs_tracked = 0;     // logs that joined an open event
+  uint64_t events_closed = 0;    // closed by end-state arrival
+  uint64_t events_expired = 0;   // closed by heartbeat expiry
+  uint64_t heartbeats = 0;
+  uint64_t evicted = 0;
+};
+
+class SequenceDetector {
+ public:
+  explicit SequenceDetector(SequenceModel model, DetectorOptions options = {});
+
+  // Feeds one parsed log; returns anomalies triggered by it (possibly none).
+  std::vector<Anomaly> on_log(const ParsedLog& log,
+                              std::string_view source = "");
+
+  // Feeds a heartbeat carrying the current log time; expires overdue open
+  // events and returns their anomalies.
+  std::vector<Anomaly> on_heartbeat(int64_t log_time_ms);
+
+  // Swaps the model without touching open state (Section V-A).
+  void update_model(SequenceModel model);
+
+  // Checkpointing (extension): serialize/restore the open-event state, so a
+  // terminated service can resume without losing in-flight events — the
+  // failure mode Section V-A warns about ("all the state data is lost").
+  Json snapshot_state() const;
+  Status restore_state(const Json& j);
+
+  const SequenceModel& model() const { return model_; }
+  size_t open_events() const { return open_.size(); }
+  const DetectorStats& stats() const { return stats_; }
+
+ private:
+  struct OpenEvent {
+    std::vector<std::pair<int, int64_t>> logs;  // (pattern id, timestamp)
+    std::vector<std::string> raws;
+    int64_t first_ts = -1;
+    int64_t last_ts = -1;
+    std::string source;
+  };
+
+  // The automaton whose state set contains every observed pattern; smallest
+  // state set wins, then lowest id. Null when none qualifies.
+  const Automaton* candidate_for(const OpenEvent& event) const;
+
+  // Closes the event and emits rule-violation anomalies. `at_end` is true
+  // when closing was triggered by an end-state log (vs expiry/flush).
+  std::vector<Anomaly> validate(const std::string& event_id,
+                                const OpenEvent& event, bool at_end,
+                                int64_t close_time);
+
+  bool pattern_known(int pattern_id) const;
+
+  SequenceModel model_;
+  DetectorOptions options_;
+  std::map<std::string, OpenEvent> open_;
+  DetectorStats stats_;
+};
+
+}  // namespace loglens

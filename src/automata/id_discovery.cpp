@@ -1,0 +1,128 @@
+#include "automata/id_discovery.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+namespace loglens {
+
+namespace {
+
+using PatternField = std::pair<int, std::string>;  // (pattern id, field name)
+
+struct Candidate {
+  std::vector<PatternField> pairs;  // sorted, unique
+  size_t distinct_contents = 0;
+  size_t max_logs_one_content = 0;
+  size_t total_logs = 0;
+  std::set<int> patterns;
+};
+
+}  // namespace
+
+IdFieldMap discover_id_fields(const std::vector<ParsedLog>& training,
+                              const IdDiscoveryOptions& options) {
+  // Step 1: reverse index, content -> occurrences.
+  struct Posting {
+    std::set<PatternField> pairs;
+    size_t log_count = 0;
+  };
+  std::unordered_map<std::string, Posting> reverse;
+  std::set<int> all_patterns;
+  for (const auto& log : training) {
+    all_patterns.insert(log.pattern_id);
+    for (const auto& [field, value] : log.fields) {
+      if (!value.is_string() || value.as_string().empty()) continue;
+      auto& posting = reverse[value.as_string()];
+      posting.pairs.insert({log.pattern_id, field});
+      ++posting.log_count;
+    }
+  }
+
+  // Step 2: deduplicate per-content lists into candidates, tracking quality.
+  std::map<std::vector<PatternField>, Candidate> candidates;
+  for (const auto& [content, posting] : reverse) {
+    std::vector<PatternField> key(posting.pairs.begin(), posting.pairs.end());
+    auto& cand = candidates[key];
+    if (cand.pairs.empty()) {
+      cand.pairs = key;
+      for (const auto& [pid, _] : key) cand.patterns.insert(pid);
+    }
+    ++cand.distinct_contents;
+    cand.total_logs += posting.log_count;
+    cand.max_logs_one_content =
+        std::max(cand.max_logs_one_content, posting.log_count);
+  }
+
+  // Quality filter. A candidate must link several patterns via several
+  // distinct, low-frequency contents, and must name exactly one field per
+  // pattern (an ambiguous pattern->field mapping is not an ID).
+  std::vector<const Candidate*> usable;
+  for (const auto& [_, cand] : candidates) {
+    if (cand.patterns.size() < options.min_patterns) continue;
+    if (cand.distinct_contents < options.min_distinct_contents) continue;
+    if (cand.max_logs_one_content > options.max_logs_per_content) continue;
+    if (cand.pairs.size() != cand.patterns.size()) continue;
+    usable.push_back(&cand);
+  }
+
+  // Step 3: the paper's rule — any list covering all patterns wins — then
+  // greedy set cover for heterogeneous event mixes.
+  IdFieldMap result;
+  std::set<int> covered;
+  auto adopt = [&](const Candidate& cand) {
+    for (const auto& [pid, field] : cand.pairs) {
+      if (!result.contains(pid)) {
+        result[pid] = field;
+        covered.insert(pid);
+      }
+    }
+  };
+
+  // Among the candidates covering every pattern, the one backed by the most
+  // distinct contents is the real ID (coincidental value collisions across
+  // unrelated numeric fields can also cover everything, but only via a
+  // handful of contents).
+  const Candidate* full = nullptr;
+  for (const Candidate* cand : usable) {
+    if (cand->patterns.size() != all_patterns.size()) continue;
+    if (full == nullptr || cand->distinct_contents > full->distinct_contents ||
+        (cand->distinct_contents == full->distinct_contents &&
+         cand->pairs < full->pairs)) {
+      full = cand;
+    }
+  }
+  if (full != nullptr) {
+    adopt(*full);
+    return result;
+  }
+
+  // Greedy cover, strongest evidence first: a genuine per-event-type ID is
+  // supported by one distinct content per event (many), while accidental
+  // value collisions that happen to span several patterns are supported by
+  // a handful — so distinct_contents outranks coverage gain.
+  while (covered.size() < all_patterns.size()) {
+    const Candidate* best = nullptr;
+    size_t best_gain = 0;
+    for (const Candidate* cand : usable) {
+      size_t gain = 0;
+      for (int pid : cand->patterns) {
+        if (!covered.contains(pid)) ++gain;
+      }
+      if (gain == 0) continue;
+      if (best == nullptr ||
+          cand->distinct_contents > best->distinct_contents ||
+          (cand->distinct_contents == best->distinct_contents &&
+           (gain > best_gain ||
+            (gain == best_gain && cand->pairs < best->pairs)))) {
+        best = cand;
+        best_gain = gain;
+      }
+    }
+    if (best == nullptr) break;
+    adopt(*best);
+  }
+  return result;
+}
+
+}  // namespace loglens

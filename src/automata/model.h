@@ -1,0 +1,82 @@
+// Event automata model (Section IV-A2, Figure 3).
+//
+// An automaton captures the normal shape of one event type: which pattern
+// opens the event (begin state), which closes it (end state), how often each
+// intermediate state may repeat (min/max occurrence), how long the whole
+// event may take (min/max duration), and — as an optional extension — which
+// consecutive state transitions were observed in training.
+//
+// Learning groups training logs by their discovered event ID content; each
+// group is one event instance. Instances with the same set of distinct
+// patterns merge into one automaton, and the profiled statistics become the
+// detection rules ("the minimum and maximum of those statistics ... used as
+// rules for detecting anomalies").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "automata/id_discovery.h"
+#include "common/status.h"
+#include "json/json.h"
+#include "parser/log_parser.h"
+
+namespace loglens {
+
+struct StateRule {
+  int pattern_id = 0;
+  int min_occurrences = 1;
+  int max_occurrences = 1;
+
+  friend bool operator==(const StateRule&, const StateRule&) = default;
+};
+
+struct Automaton {
+  int id = 0;
+  std::set<int> begin_patterns;  // observed first-log patterns
+  std::set<int> end_patterns;    // observed last-log patterns
+  std::map<int, StateRule> states;
+  int64_t min_duration_ms = 0;
+  int64_t max_duration_ms = 0;
+  std::set<std::pair<int, int>> transitions;  // observed consecutive pairs
+  size_t training_instances = 0;
+
+  // The automaton identity: the sorted set of pattern ids of its states.
+  std::vector<int> pattern_set() const;
+
+  // Human-readable rendering (the model-inspection view the paper's model
+  // manager gives users; the textual analogue of Figure 3).
+  std::string describe() const;
+
+  Json to_json() const;
+  static StatusOr<Automaton> from_json(const Json& j);
+
+  friend bool operator==(const Automaton&, const Automaton&) = default;
+};
+
+struct SequenceModel {
+  IdFieldMap id_fields;  // pattern id -> field carrying the event ID
+  std::vector<Automaton> automata;
+
+  Json to_json() const;
+  static StatusOr<SequenceModel> from_json(const Json& j);
+
+  friend bool operator==(const SequenceModel&, const SequenceModel&) = default;
+};
+
+struct LearnerOptions {
+  IdDiscoveryOptions id_discovery;
+  bool learn_transitions = true;
+};
+
+// Learns the sequence model from parsed training logs (assumed to represent
+// normal behaviour). Logs are consumed in stream order; within an event, the
+// unified log timestamps define duration.
+SequenceModel learn_sequence_model(const std::vector<ParsedLog>& training,
+                                   const LearnerOptions& options = {});
+
+}  // namespace loglens

@@ -1,0 +1,59 @@
+// Logstash-style GROK parser — the baseline of Table IV.
+//
+// Logstash parses a log by compiling every GROK pattern to a regular
+// expression and trying them one after another until one matches. There is
+// no signature index and no candidate grouping, so the per-log cost grows
+// linearly with the number of patterns — which is exactly why the paper's
+// Table IV shows it collapsing on the 3234- and 2012-pattern datasets.
+//
+// Our baseline reproduces that algorithmic shape on top of regexlite. Both
+// engines consume the same preprocessed token stream (rejoined with single
+// spaces, timestamps unified), so the comparison isolates the matching
+// strategy rather than tokenization differences; see DESIGN.md.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grok/pattern.h"
+#include "parser/log_parser.h"
+#include "regexlite/regex.h"
+
+namespace loglens {
+
+struct LogstashStats {
+  uint64_t logs = 0;
+  uint64_t unparsed = 0;
+  uint64_t regex_attempts = 0;
+};
+
+class LogstashParser {
+ public:
+  explicit LogstashParser(const std::vector<GrokPattern>& model);
+
+  // Linear scan: first pattern whose compiled regex full-matches wins.
+  ParseOutcome parse(const TokenizedLog& log);
+
+  // The regex source compiled for one pattern (exposed for tests).
+  static std::string pattern_to_regex(const GrokPattern& pattern);
+
+  const LogstashStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+  size_t pattern_count() const { return compiled_.size(); }
+
+  // Resident bytes of the compiled regex set (memory experiment).
+  size_t resident_bytes() const;
+
+ private:
+  struct Compiled {
+    int pattern_id = 0;
+    Regex regex;
+    std::vector<std::string> field_names;  // capture-group order
+  };
+
+  std::vector<Compiled> compiled_;
+  LogstashStats stats_;
+};
+
+}  // namespace loglens

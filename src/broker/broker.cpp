@@ -1,0 +1,183 @@
+#include "broker/broker.h"
+
+#include <chrono>
+
+namespace loglens {
+
+Status Broker::create_topic(const std::string& topic, size_t partitions) {
+  if (partitions == 0) return Status::Error("topic needs >= 1 partition");
+  std::lock_guard lock(mu_);
+  auto it = topics_.find(topic);
+  if (it != topics_.end()) {
+    if (it->second.partitions.size() != partitions) {
+      return Status::Error("topic '" + topic +
+                           "' exists with a different partition count");
+    }
+    return Status::Ok();
+  }
+  topics_[topic].partitions.resize(partitions);
+  return Status::Ok();
+}
+
+Status Broker::produce(const std::string& topic, Message message,
+                       std::optional<size_t> partition) {
+  std::lock_guard lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    it = topics_.emplace(topic, TopicData{}).first;
+    it->second.partitions.resize(1);
+  }
+  auto& parts = it->second.partitions;
+  size_t p;
+  if (partition.has_value()) {
+    if (*partition >= parts.size()) {
+      return Status::Error("partition out of range");
+    }
+    p = *partition;
+  } else {
+    p = message.key.empty() ? 0 : fnv1a(message.key) % parts.size();
+  }
+  parts[p].push_back(std::move(message));
+  cv_.notify_all();
+  return Status::Ok();
+}
+
+std::vector<Message> Broker::fetch(const std::string& topic, size_t partition,
+                                   uint64_t offset, size_t max) const {
+  std::lock_guard lock(mu_);
+  std::vector<Message> out;
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.partitions.size()) {
+    return out;
+  }
+  const auto& log = it->second.partitions[partition];
+  for (uint64_t i = offset; i < log.size() && out.size() < max; ++i) {
+    out.push_back(log[i]);
+  }
+  return out;
+}
+
+std::vector<Message> Broker::fetch_blocking(const std::string& topic,
+                                            size_t partition, uint64_t offset,
+                                            size_t max,
+                                            int64_t timeout_ms) const {
+  std::unique_lock lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  cv_.wait_until(lock, deadline, [&] {
+    auto it = topics_.find(topic);
+    return it != topics_.end() && partition < it->second.partitions.size() &&
+           it->second.partitions[partition].size() > offset;
+  });
+  std::vector<Message> out;
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.partitions.size()) {
+    return out;
+  }
+  const auto& log = it->second.partitions[partition];
+  for (uint64_t i = offset; i < log.size() && out.size() < max; ++i) {
+    out.push_back(log[i]);
+  }
+  return out;
+}
+
+size_t Broker::partition_count(const std::string& topic) const {
+  std::lock_guard lock(mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? 0 : it->second.partitions.size();
+}
+
+uint64_t Broker::end_offset(const std::string& topic, size_t partition) const {
+  std::lock_guard lock(mu_);
+  auto it = topics_.find(topic);
+  if (it == topics_.end() || partition >= it->second.partitions.size()) {
+    return 0;
+  }
+  return it->second.partitions[partition].size();
+}
+
+std::vector<std::string> Broker::topics() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(topics_.size());
+  for (const auto& [name, _] : topics_) out.push_back(name);
+  return out;
+}
+
+ConsumerGroup::ConsumerGroup(Broker& broker, std::string group,
+                             std::string topic)
+    : broker_(broker), group_(std::move(group)), topic_(std::move(topic)) {}
+
+size_t ConsumerGroup::join() {
+  std::lock_guard lock(mu_);
+  return member_count_++;
+}
+
+std::vector<size_t> ConsumerGroup::assignment(size_t member) const {
+  std::lock_guard lock(mu_);
+  std::vector<size_t> out;
+  size_t partitions = broker_.partition_count(topic_);
+  if (member_count_ == 0) return out;
+  for (size_t p = member % member_count_; p < partitions;
+       p += member_count_) {
+    out.push_back(p);
+  }
+  return out;
+}
+
+std::vector<Message> ConsumerGroup::poll(size_t member, size_t max) {
+  std::vector<size_t> mine = assignment(member);
+  std::vector<Message> out;
+  std::lock_guard lock(mu_);
+  for (size_t p : mine) {
+    if (out.size() >= max) break;
+    uint64_t& offset = offsets_[p];
+    auto batch = broker_.fetch(topic_, p, offset, max - out.size());
+    offset += batch.size();
+    for (auto& m : batch) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+size_t ConsumerGroup::members() const {
+  std::lock_guard lock(mu_);
+  return member_count_;
+}
+
+Consumer::Consumer(Broker& broker, std::string topic)
+    : broker_(broker), topic_(std::move(topic)) {
+  offsets_.resize(std::max<size_t>(1, broker_.partition_count(topic_)), 0);
+}
+
+std::vector<Message> Consumer::poll(size_t max) {
+  if (offsets_.size() < broker_.partition_count(topic_)) {
+    offsets_.resize(broker_.partition_count(topic_), 0);
+  }
+  std::vector<Message> out;
+  for (size_t p = 0; p < offsets_.size() && out.size() < max; ++p) {
+    auto batch =
+        broker_.fetch(topic_, p, offsets_[p], max - out.size());
+    offsets_[p] += batch.size();
+    consumed_ += batch.size();
+    for (auto& m : batch) out.push_back(std::move(m));
+  }
+  return out;
+}
+
+std::vector<Message> Consumer::poll_blocking(size_t max, int64_t timeout_ms) {
+  auto out = poll(max);
+  if (!out.empty()) return out;
+  // Block on partition 0's growth as a wakeup signal, then re-poll all.
+  (void)broker_.fetch_blocking(topic_, 0, offsets_.empty() ? 0 : offsets_[0],
+                               1, timeout_ms);
+  return poll(max);
+}
+
+bool Consumer::caught_up() const {
+  for (size_t p = 0; p < offsets_.size(); ++p) {
+    if (offsets_[p] < broker_.end_offset(topic_, p)) return false;
+  }
+  return true;
+}
+
+}  // namespace loglens

@@ -1,0 +1,118 @@
+// In-process message broker — the Kafka substitute.
+//
+// LogLens uses Kafka "for shipping logs and communicating among different
+// components" (Section II-B): agents publish raw logs, the log manager and
+// parser consume them, and control messages (model instructions, heartbeats)
+// ride a tagged channel. This broker reproduces the delivery semantics those
+// components rely on: named topics, a fixed partition count per topic,
+// strictly ordered append-only partitions, offset-based consumption, and
+// blocking polls with timeouts. Everything is in-process and thread-safe.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "broker/message.h"
+#include "common/hash.h"
+#include "common/status.h"
+
+namespace loglens {
+
+class Broker {
+ public:
+  Broker() = default;
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  // Creates `topic` with `partitions` partitions; idempotent when the
+  // partition count matches, an error otherwise.
+  Status create_topic(const std::string& topic, size_t partitions = 1);
+
+  // Appends to the partition chosen by hash(key) (or to `partition` when
+  // explicitly given). Creating on demand with 1 partition keeps simple
+  // pipelines simple.
+  Status produce(const std::string& topic, Message message,
+                 std::optional<size_t> partition = std::nullopt);
+
+  // Copies up to `max` messages from [offset, ...) of a partition. Returns
+  // fewer (possibly zero) when the partition is short.
+  std::vector<Message> fetch(const std::string& topic, size_t partition,
+                             uint64_t offset, size_t max) const;
+
+  // Blocks until at least one message is available past `offset` or
+  // `timeout_ms` elapses.
+  std::vector<Message> fetch_blocking(const std::string& topic,
+                                      size_t partition, uint64_t offset,
+                                      size_t max, int64_t timeout_ms) const;
+
+  size_t partition_count(const std::string& topic) const;
+  uint64_t end_offset(const std::string& topic, size_t partition) const;
+  std::vector<std::string> topics() const;
+
+ private:
+  struct TopicData {
+    std::vector<std::vector<Message>> partitions;
+  };
+
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  std::map<std::string, TopicData> topics_;
+};
+
+// Coordinated consumption: members of one group share a topic's partitions
+// (each partition is owned by exactly one member, Kafka-style), so a
+// multi-process stage can split a topic's load without double-reading.
+// Offsets live on the broker, keyed by (group, topic, partition).
+class ConsumerGroup {
+ public:
+  ConsumerGroup(Broker& broker, std::string group, std::string topic);
+
+  // Joins the group; returns a member id used for polling.
+  size_t join();
+
+  // Polls the partitions assigned to `member` (round-robin assignment over
+  // the current membership), advancing the shared offsets.
+  std::vector<Message> poll(size_t member, size_t max);
+
+  size_t members() const;
+  // Partitions currently assigned to `member`.
+  std::vector<size_t> assignment(size_t member) const;
+
+ private:
+  Broker& broker_;
+  std::string group_;
+  std::string topic_;
+  mutable std::mutex mu_;
+  size_t member_count_ = 0;
+  std::map<size_t, uint64_t> offsets_;  // partition -> next offset
+};
+
+// A stateful reader tracking its own offsets across all partitions of one
+// topic (a single-member consumer group).
+class Consumer {
+ public:
+  Consumer(Broker& broker, std::string topic);
+
+  // Round-robins over partitions, advancing offsets; returns up to `max`
+  // messages (empty when caught up).
+  std::vector<Message> poll(size_t max);
+  std::vector<Message> poll_blocking(size_t max, int64_t timeout_ms);
+
+  // Total messages consumed so far.
+  uint64_t consumed() const { return consumed_; }
+  // True when every partition is fully consumed *right now*.
+  bool caught_up() const;
+
+ private:
+  Broker& broker_;
+  std::string topic_;
+  std::vector<uint64_t> offsets_;
+  uint64_t consumed_ = 0;
+};
+
+}  // namespace loglens

@@ -1,0 +1,25 @@
+// Message record shared by the broker and the streaming engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace loglens {
+
+// Control-channel tags (the paper routes heartbeats on the same data channel
+// "with a specific tag to indicate that it is a heartbeat message").
+inline constexpr const char* kTagData = "";
+inline constexpr const char* kTagHeartbeat = "heartbeat";
+inline constexpr const char* kTagControl = "control";
+
+struct Message {
+  std::string key;        // partitioning key (e.g. event id or source)
+  std::string value;      // payload (raw log line or serialized instruction)
+  int64_t timestamp_ms = -1;  // log time, not wall time
+  std::string tag;        // kTagData / kTagHeartbeat / kTagControl
+  std::string source;     // originating log source
+
+  friend bool operator==(const Message&, const Message&) = default;
+};
+
+}  // namespace loglens

@@ -1,0 +1,25 @@
+// FNV-1a hashing for signature strings and hash-combine for composite keys.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace loglens {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr uint64_t fnv1a(std::string_view data, uint64_t seed = kFnvOffset) {
+  uint64_t h = seed;
+  for (char c : data) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr uint64_t hash_combine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+}
+
+}  // namespace loglens

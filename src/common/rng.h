@@ -1,0 +1,88 @@
+// Deterministic, seedable random number generator (splitmix64 + xoshiro256**)
+// used by every synthetic data generator so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loglens {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding, as recommended by the xoshiro authors.
+    uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double uniform() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  bool chance(double p) { return uniform() < p; }
+
+  template <typename T>
+  const T& pick(const std::vector<T>& items) {
+    return items[below(items.size())];
+  }
+
+  // Random lowercase hex string of length n (for synthetic ids/uuids). The
+  // first character is always a letter and the second always a digit, so a
+  // bare hex token never classifies as NUMBER or WORD — generated corpora
+  // stay datatype-stable (it is NOTSPACE, like real mixed ids).
+  std::string hex(size_t n) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string out(n, '0');
+    for (auto& c : out) c = kDigits[below(16)];
+    if (n > 0) out[0] = static_cast<char>('a' + below(6));
+    if (n > 1) out[1] = static_cast<char>('0' + below(10));
+    return out;
+  }
+
+  // Random alphanumeric identifier of length n starting with a letter.
+  std::string ident(size_t n) {
+    static constexpr std::string_view kAlpha =
+        "abcdefghijklmnopqrstuvwxyz";
+    static constexpr std::string_view kAlnum =
+        "abcdefghijklmnopqrstuvwxyz0123456789";
+    std::string out;
+    out.reserve(n);
+    out.push_back(kAlpha[below(kAlpha.size())]);
+    while (out.size() < n) out.push_back(kAlnum[below(kAlnum.size())]);
+    return out;
+  }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4]{};
+};
+
+}  // namespace loglens

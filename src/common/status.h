@@ -1,0 +1,65 @@
+// Lightweight error propagation used at module boundaries.
+//
+// Library code reports recoverable failures (malformed pattern text, bad
+// user configuration, parse errors in stored models) through StatusOr rather
+// than exceptions, so callers in the streaming hot path never pay for
+// unwinding machinery. Programming errors still assert.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace loglens {
+
+class Status {
+ public:
+  Status() = default;  // OK
+  static Status Ok() { return Status(); }
+  static Status Error(std::string message) {
+    Status s;
+    s.message_ = std::move(message);
+    return s;
+  }
+
+  bool ok() const { return !message_.has_value(); }
+  const std::string& message() const {
+    static const std::string kOk = "OK";
+    return message_ ? *message_ : kOk;
+  }
+
+ private:
+  std::optional<std::string> message_;
+};
+
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : value_(std::move(value)) {}          // NOLINT: implicit by design
+  StatusOr(Status status) : value_(std::move(status)) {}   // NOLINT
+  static StatusOr Error(std::string message) {
+    return StatusOr(Status::Error(std::move(message)));
+  }
+
+  bool ok() const { return std::holds_alternative<T>(value_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& { return std::get<T>(value_); }
+  T& value() & { return std::get<T>(value_); }
+  T&& value() && { return std::get<T>(std::move(value_)); }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  Status status() const {
+    if (ok()) return Status::Ok();
+    return std::get<Status>(value_);
+  }
+
+ private:
+  std::variant<T, Status> value_;
+};
+
+}  // namespace loglens

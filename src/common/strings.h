@@ -1,0 +1,48 @@
+// String utilities shared across LogLens modules.
+//
+// All functions are pure and allocate only when they must return owned data;
+// splitting returns string_views into the caller's buffer, so the input must
+// outlive the result.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace loglens {
+
+// Splits `text` on any character contained in `delims`, dropping empty
+// pieces. Views point into `text`.
+std::vector<std::string_view> split_any(std::string_view text,
+                                        std::string_view delims);
+
+// Splits `text` on the exact separator string, keeping empty pieces.
+std::vector<std::string_view> split_exact(std::string_view text,
+                                          std::string_view sep);
+
+// Joins `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string join(const std::vector<std::string_view>& parts,
+                 std::string_view sep);
+
+// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+// ASCII case conversion (locale-independent).
+std::string to_lower(std::string_view text);
+char ascii_lower(char c);
+
+bool iequals(std::string_view a, std::string_view b);
+
+// True if every character of `text` satisfies the ASCII digit test.
+bool all_digits(std::string_view text);
+
+// Parses a non-negative integer; returns -1 on failure/overflow. Useful for
+// small fields (month, day, hour) where -1 is never valid.
+int parse_small_int(std::string_view text);
+
+// Replaces every occurrence of `from` with `to`.
+std::string replace_all(std::string_view text, std::string_view from,
+                        std::string_view to);
+
+}  // namespace loglens

@@ -1,0 +1,36 @@
+// Synthetic dataset containers.
+//
+// The paper's datasets (Table III) are proprietary or environment-specific;
+// per DESIGN.md each is substituted with a seeded synthetic generator that
+// reproduces the *shape* the experiment depends on: pattern-set size for the
+// parser experiments (D3–D6), ground-truth anomalous sequences for the
+// accuracy/heartbeat/model-update experiments (D1, D2), spoofing bursts for
+// the SS7 case study, and deeply-nested SQL for the custom-app case study.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace loglens {
+
+struct Dataset {
+  std::string name;
+  std::vector<std::string> training;
+  std::vector<std::string> testing;
+
+  // Ground truth for sequence-anomaly datasets: event ids whose sequences
+  // were deliberately corrupted, and the subset whose corruption was a
+  // dropped end state (detectable only via heartbeats/expiry).
+  std::set<std::string> anomalous_event_ids;
+  std::set<std::string> missing_end_event_ids;
+
+  // Event-type index (1-based, = generated automaton group) per anomalous
+  // id; used by the Table V model-deletion experiment.
+  std::vector<std::pair<std::string, int>> anomaly_event_types;
+
+  size_t injected_anomalies() const { return anomalous_event_ids.size(); }
+};
+
+}  // namespace loglens

@@ -1,0 +1,287 @@
+#include "datagen/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "datagen/event_gen.h"
+#include "datagen/render.h"
+#include "datagen/template_gen.h"
+
+namespace loglens {
+
+namespace {
+
+size_t scaled(size_t count, double scale, size_t floor_value = 1) {
+  auto v = static_cast<size_t>(std::llround(static_cast<double>(count) * scale));
+  return std::max(v, floor_value);
+}
+
+// Anomaly plans for D1: 13 in event type 1 (including the single
+// missing-end that only heartbeats can catch), 8 in event type 2. Deleting
+// automaton 2 must leave 13 anomalies (Table V).
+std::vector<InjectPlan> d1_injections() {
+  std::vector<InjectPlan> plans;
+  auto add = [&plans](InjectKind kind, size_t type, int count) {
+    for (int i = 0; i < count; ++i) plans.push_back({kind, type});
+  };
+  add(InjectKind::kMissingEnd, 0, 1);
+  add(InjectKind::kMissingBegin, 0, 3);
+  add(InjectKind::kMissingMiddle, 0, 4);
+  add(InjectKind::kExtraOccurrences, 0, 3);
+  add(InjectKind::kSlowDuration, 0, 2);  // 13 in type 1
+  add(InjectKind::kMissingBegin, 1, 2);
+  add(InjectKind::kMissingMiddle, 1, 3);
+  add(InjectKind::kExtraOccurrences, 1, 2);
+  add(InjectKind::kSlowDuration, 1, 1);  // 8 in type 2
+  return plans;
+}
+
+// D2: 13 anomalies over three event types (5/4/4); one missing-end in each
+// type (3 total — the Figure 5 without-heartbeat gap); deleting automaton 3
+// leaves 9 (Table V).
+std::vector<InjectPlan> d2_injections() {
+  std::vector<InjectPlan> plans;
+  auto add = [&plans](InjectKind kind, size_t type, int count) {
+    for (int i = 0; i < count; ++i) plans.push_back({kind, type});
+  };
+  add(InjectKind::kMissingEnd, 0, 1);
+  add(InjectKind::kMissingMiddle, 0, 2);
+  add(InjectKind::kExtraOccurrences, 0, 1);
+  add(InjectKind::kSlowDuration, 0, 1);  // 5 in type 1
+  add(InjectKind::kMissingEnd, 1, 1);
+  add(InjectKind::kMissingBegin, 1, 2);
+  add(InjectKind::kMissingMiddle, 1, 1);  // 4 in type 2
+  add(InjectKind::kMissingEnd, 2, 1);
+  add(InjectKind::kMissingMiddle, 2, 2);
+  add(InjectKind::kExtraOccurrences, 2, 1);  // 4 in type 3
+  return plans;
+}
+
+}  // namespace
+
+Dataset make_d1(double scale, uint64_t seed) {
+  EventStreamSpec spec;
+  spec.seed = seed;
+  spec.timestamp_format = "canonical";
+  // Type 1: a four-action request workflow (avg ~5.5 logs/event).
+  // Actions carry distinct parameter lists (distinct token counts), as real
+  // workflow logs do; this also keeps clustering deterministic (see
+  // DESIGN.md on within- vs between-template distance margins).
+  spec.types.push_back(EventTypeSpec{
+      "request",
+      {"{TS} {HOST} RequestStart job {ID} from {IP}",
+       "{TS} {HOST} SchedulerAssign job {ID} queue q{N} weight {N}",
+       "{TS} {HOST} WorkerExec job {ID} step {N} cpu {N} mem {N}",
+       "{TS} {HOST} RequestDone job {ID} status {N} total {N} rc {N} bill {N}"},
+      /*repeat_min=*/1, /*repeat_max=*/2, 200, 200});
+  // Type 2: a three-action storage transaction.
+  spec.types.push_back(EventTypeSpec{
+      "txn",
+      {"{TS} {HOST} TxnBegin txn {ID} table t{N} iso {N}",
+       "{TS} {HOST} TxnApply txn {ID} rows {N} bytes {N} delta {N}",
+       "{TS} {HOST} TxnCommit txn {ID} bytes {N} lsn {N} sync {N} took {N}"},
+      1, 2, 250, 250});
+  // ~4.7 logs/event across the mix; 3400 events/phase gives ~16k logs.
+  spec.train_events = scaled(3400, scale, 60);
+  spec.test_events = scaled(3400, scale, 60);
+  spec.spread_ms = 600'000;
+  spec.injections = d1_injections();
+  return generate_event_stream(spec, "D1");
+}
+
+Dataset make_d2(double scale, uint64_t seed) {
+  EventStreamSpec spec;
+  spec.seed = seed;
+  spec.timestamp_format = "iso";
+  spec.types.push_back(EventTypeSpec{
+      "provision",
+      {"{TS} {HOST} VmCreate vm {ID} image img{N}",
+       "{TS} {HOST} VmSchedule vm {ID} zone z{N} rack {N}",
+       "{TS} {HOST} VmNetwork vm {ID} port {N} mac {HEX} mtu {N}",
+       "{TS} {HOST} VmActive vm {ID} uptime {N} vcpus {N} ram {N} disk {N}"},
+      1, 2, 150, 150});
+  spec.types.push_back(EventTypeSpec{
+      "auth",
+      {"{TS} {HOST} AuthRequest session {ID} client {IP} proto {N}",
+       "{TS} {HOST} AuthChallenge session {ID} nonce {HEX} round {N} cipher {N}",
+       "{TS} {HOST} AuthGranted session {ID} ttl {N} scope {N} token {HEX} renew {N}"},
+      1, 2, 180, 180});
+  spec.types.push_back(EventTypeSpec{
+      "backup",
+      {"{TS} {HOST} BackupStart set {ID} target {IP}",
+       "{TS} {HOST} BackupChunk set {ID} seq {N} bytes {N}",
+       "{TS} {HOST} BackupVerify set {ID} crc {HEX} chunks {N} skew {N}",
+       "{TS} {HOST} BackupEnd set {ID} total {N} files {N} secs {N} rate {N}"},
+      1, 3, 120, 120});
+  spec.train_events = scaled(3900, scale, 90);
+  spec.test_events = scaled(3900, scale, 90);
+  spec.spread_ms = 600'000;
+  spec.injections = d2_injections();
+  return generate_event_stream(spec, "D2");
+}
+
+namespace {
+
+Dataset make_corpus(const char* name, const char* flavor, size_t templates,
+                    size_t logs, double scale, uint64_t seed) {
+  TemplateCorpusSpec spec;
+  spec.flavor = flavor;
+  spec.num_templates = templates;
+  spec.train_logs = std::max(scaled(logs, scale), templates * 3);
+  spec.test_logs = spec.train_logs;
+  spec.seed = seed;
+  return generate_template_corpus(spec, name);
+}
+
+}  // namespace
+
+Dataset make_d3(double scale, uint64_t seed) {
+  return make_corpus("D3", "storage", 301, 792176, scale, seed);
+}
+Dataset make_d4(double scale, uint64_t seed) {
+  return make_corpus("D4", "openstack", 3234, 400000, scale, seed);
+}
+Dataset make_d5(double scale, uint64_t seed) {
+  return make_corpus("D5", "pcap", 243, 246500, scale, seed);
+}
+Dataset make_d6(double scale, uint64_t seed) {
+  return make_corpus("D6", "network", 2012, 1000000, scale, seed);
+}
+
+Dataset make_ss7(double scale, uint64_t seed) {
+  // 2.7M logs over 3 hours; 3 logs per MAP dialogue => ~900k dialogues,
+  // 2/3 training. Spoofing attacks: bursts of dialogues that stop after
+  // InvokeSendAuthenticationInfo (no InvokeUpdateLocation), 994 in total,
+  // concentrated in four temporal clusters of the final hour.
+  Dataset ds;
+  ds.name = "SS7";
+  Rng rng(seed);
+
+  const size_t train_dialogues = scaled(600000, scale, 200);
+  const size_t test_dialogues = scaled(300000, scale, 120);
+  const size_t attacks = std::min(scaled(994, scale, 8),
+                                  test_dialogues / 2);
+  const int64_t t0 = 1462788000000;  // 2016/05/09 10:00:00.000
+  const int64_t train_window = 2 * 3600'000;
+  const int64_t test_window = 1 * 3600'000;
+
+  // Each MAP operation carries its own parameter list, so the three log
+  // shapes have distinct token counts (7/9/11) and can never cluster
+  // together even under coincidental timestamp/STP matches.
+  const char* kPurge = "{TS} stp-{HOST} InvokePurgeMs imsi {ID} gt {N}";
+  const char* kAuth =
+      "{TS} stp-{HOST} InvokeSendAuthenticationInfo imsi {ID} vlr {N} "
+      "rand {HEX}";
+  const char* kUpdate =
+      "{TS} stp-{HOST} InvokeUpdateLocation imsi {ID} msc {N} lac {N} "
+      "tmsi {HEX}";
+
+  struct Line {
+    int64_t ts;
+    uint64_t order;
+    std::string text;
+  };
+  uint64_t order = 0;
+
+  auto emit_dialogue = [&](std::vector<Line>& out, int64_t start,
+                           bool spoofed) {
+    std::string imsi =
+        "404685" + std::to_string(100000000 + rng.below(899999999));
+    std::string stp = std::to_string(rng.below(8));
+    int64_t ts = start;
+    for (const char* tmpl : {kPurge, kAuth, kUpdate}) {
+      if (spoofed && tmpl == kUpdate) break;
+      datagen::RenderVars vars;
+      vars.ts = ts;
+      vars.id = imsi;
+      vars.host = stp;
+      out.push_back({ts, order++, datagen::render_template(tmpl, vars, rng)});
+      ts += rng.range(1, 45) * 20;
+    }
+    if (spoofed) {
+      ds.anomalous_event_ids.insert(imsi);
+      ds.missing_end_event_ids.insert(imsi);
+      ds.anomaly_event_types.emplace_back(imsi, 1);
+    }
+  };
+
+  std::vector<Line> train_lines;
+  train_lines.reserve(train_dialogues * 3);
+  for (size_t i = 0; i < train_dialogues; ++i) {
+    emit_dialogue(train_lines, t0 + static_cast<int64_t>(rng.below(
+                                        static_cast<uint64_t>(train_window))),
+                  false);
+  }
+
+  std::vector<Line> test_lines;
+  test_lines.reserve(test_dialogues * 3 + attacks * 2);
+  const int64_t t1 = t0 + train_window;
+  for (size_t i = 0; i < test_dialogues; ++i) {
+    emit_dialogue(test_lines, t1 + static_cast<int64_t>(rng.below(
+                                       static_cast<uint64_t>(test_window))),
+                  false);
+  }
+  // Four attack clusters, each a tight burst.
+  const int64_t cluster_centers[4] = {t1 + 10 * 60'000, t1 + 24 * 60'000,
+                                      t1 + 41 * 60'000, t1 + 52 * 60'000};
+  for (size_t i = 0; i < attacks; ++i) {
+    int64_t center = cluster_centers[i % 4];
+    int64_t jitter = rng.range(-90'000, 90'000);
+    emit_dialogue(test_lines, center + jitter, true);
+  }
+
+  auto finish = [](std::vector<Line>& lines, std::vector<std::string>& out) {
+    std::stable_sort(lines.begin(), lines.end(),
+                     [](const Line& a, const Line& b) {
+                       return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+                     });
+    out.reserve(lines.size());
+    for (auto& l : lines) out.push_back(std::move(l.text));
+  };
+  finish(train_lines, ds.training);
+  finish(test_lines, ds.testing);
+  return ds;
+}
+
+Dataset make_sql(double scale, uint64_t seed) {
+  TemplateCorpusSpec spec;
+  spec.flavor = "sql";
+  spec.num_templates = 367;
+  spec.train_logs = std::max(scaled(80000, scale), spec.num_templates * 3);
+  spec.test_logs = spec.train_logs;
+  spec.seed = seed;
+  return generate_template_corpus(spec, "SQL");
+}
+
+Dataset make_dataset(std::string_view name, double scale) {
+  if (name == "D1") return make_d1(scale);
+  if (name == "D2") return make_d2(scale);
+  if (name == "D3") return make_d3(scale);
+  if (name == "D4") return make_d4(scale);
+  if (name == "D5") return make_d5(scale);
+  if (name == "D6") return make_d6(scale);
+  if (name == "SS7") return make_ss7(scale);
+  return make_sql(scale);
+}
+
+DiscoveryOptions recommended_discovery(std::string_view dataset_name) {
+  DiscoveryOptions opts;
+  if (dataset_name == "SQL") {
+    // Long SQL lines share vocabulary; a tighter threshold keeps the 367
+    // length-distinct shapes separate.
+    opts.max_dist = 0.25;
+  } else if (dataset_name == "D1" || dataset_name == "D2" ||
+             dataset_name == "SS7") {
+    // Event-trace templates: within-template distance up to ~0.29 (four
+    // variable positions out of seven), between-template >= 0.36.
+    opts.max_dist = 0.3;
+  } else {
+    // Template corpora: within-template distance <= 0.25, between-template
+    // >= 0.278 even under a coincidental host collision.
+    opts.max_dist = 0.27;
+  }
+  return opts;
+}
+
+}  // namespace loglens

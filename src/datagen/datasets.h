@@ -1,0 +1,40 @@
+// Named dataset builders matching the paper's Table III plus the two
+// Section VII case studies.
+//
+//   D1  trace log        16k/16k logs, 2 event types, 21 injected anomalies
+//   D2  synthetic        18k/18k logs, 3 event types, 13 injected anomalies
+//   D3  storage server   792,176 logs, 301 templates
+//   D4  OpenStack        400,000 logs, 3234 templates
+//   D5  PCAP             246,500 logs, 243 templates
+//   D6  network          1,000,000 logs, 2012 templates
+//   SS7 case study       2.7M logs / 3 h, spoofing bursts (994 anomalies)
+//   SQL case study       custom app logs, 367 template shapes
+//
+// `scale` multiplies log/event counts (template counts stay paper-exact) so
+// benchmarks can run at laptop scale; scale=1.0 reproduces paper volumes.
+#pragma once
+
+#include <string_view>
+
+#include "datagen/dataset.h"
+#include "logmine/discoverer.h"
+
+namespace loglens {
+
+Dataset make_d1(double scale = 1.0, uint64_t seed = 11);
+Dataset make_d2(double scale = 1.0, uint64_t seed = 22);
+Dataset make_d3(double scale = 1.0, uint64_t seed = 33);
+Dataset make_d4(double scale = 1.0, uint64_t seed = 44);
+Dataset make_d5(double scale = 1.0, uint64_t seed = 55);
+Dataset make_d6(double scale = 1.0, uint64_t seed = 66);
+Dataset make_ss7(double scale = 1.0, uint64_t seed = 77);
+Dataset make_sql(double scale = 1.0, uint64_t seed = 88);
+
+// By name: "D1".."D6", "SS7", "SQL".
+Dataset make_dataset(std::string_view name, double scale = 1.0);
+
+// Clustering thresholds tuned per dataset family (see DESIGN.md: within- vs
+// between-template distances determine the usable window).
+DiscoveryOptions recommended_discovery(std::string_view dataset_name);
+
+}  // namespace loglens

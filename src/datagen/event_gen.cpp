@@ -1,0 +1,158 @@
+#include "datagen/event_gen.h"
+
+#include <algorithm>
+
+#include "datagen/render.h"
+
+namespace loglens {
+
+namespace {
+
+struct Line {
+  int64_t ts;
+  uint64_t order;  // stable tie-break
+  std::string text;
+};
+
+}  // namespace
+
+Dataset generate_event_stream(const EventStreamSpec& spec,
+                              const std::string& dataset_name) {
+  Dataset ds;
+  ds.name = dataset_name;
+  Rng rng(spec.seed);
+
+  const size_t num_types = spec.types.size();
+
+  // Decide which test events get which injection: event i has type
+  // i % num_types; injections for type t are spread evenly over that type's
+  // test events.
+  std::vector<std::vector<InjectKind>> plans_by_type(num_types);
+  for (const auto& plan : spec.injections) {
+    plans_by_type[plan.event_type % num_types].push_back(plan.kind);
+  }
+  // type -> ordinal-of-type -> injection kind.
+  std::vector<std::vector<std::pair<size_t, InjectKind>>> schedule(num_types);
+  for (size_t t = 0; t < num_types; ++t) {
+    size_t events_of_type =
+        spec.test_events / num_types + (t < spec.test_events % num_types);
+    const auto& plans = plans_by_type[t];
+    for (size_t j = 0; j < plans.size(); ++j) {
+      size_t target =
+          plans.size() == 0
+              ? 0
+              : (j * events_of_type) / plans.size() + (events_of_type > 0 ? 0 : 0);
+      if (events_of_type > 0) target = std::min(target, events_of_type - 1);
+      schedule[t].emplace_back(target, plans[j]);
+    }
+  }
+
+  uint64_t order = 0;
+  auto generate_phase = [&](bool testing, size_t num_events,
+                            int64_t phase_start,
+                            std::vector<std::string>& out_lines) {
+    std::vector<Line> lines;
+    std::vector<size_t> ordinal(num_types, 0);
+    const int64_t window =
+        std::max<int64_t>(spec.spread_ms,
+                          static_cast<int64_t>(num_events) * 20);
+    for (size_t e = 0; e < num_events; ++e) {
+      size_t t = e % num_types;
+      const EventTypeSpec& type = spec.types[t];
+      size_t ord = ordinal[t]++;
+
+      InjectKind inject = InjectKind::kMissingBegin;
+      bool injected = false;
+      if (testing) {
+        for (const auto& [target, kind] : schedule[t]) {
+          if (target == ord) {
+            inject = kind;
+            injected = true;
+            break;
+          }
+        }
+      }
+
+      std::string id = "ev-" + rng.hex(10);
+      std::string host = "host-" + std::to_string(rng.below(24));
+      int64_t ts = phase_start + static_cast<int64_t>(rng.below(
+                                     static_cast<uint64_t>(window)));
+
+      // Build the action list for this event instance.
+      struct Step {
+        size_t action;
+        bool drop = false;
+      };
+      std::vector<size_t> actions;
+      actions.push_back(0);  // begin
+      for (size_t a = 1; a + 1 < type.actions.size(); ++a) {
+        int repeats =
+            static_cast<int>(rng.range(type.repeat_min, type.repeat_max));
+        for (int k = 0; k < repeats; ++k) actions.push_back(a);
+      }
+      actions.push_back(type.actions.size() - 1);  // end
+
+      int64_t step_scale = 1;
+      if (injected) {
+        switch (inject) {
+          case InjectKind::kMissingBegin:
+            actions.erase(actions.begin());
+            break;
+          case InjectKind::kMissingEnd:
+            actions.pop_back();
+            break;
+          case InjectKind::kMissingMiddle: {
+            // Remove every occurrence of the first middle action.
+            size_t victim = 1;
+            std::erase(actions, victim);
+            break;
+          }
+          case InjectKind::kExtraOccurrences: {
+            size_t victim = 1;
+            for (int k = 0; k < type.repeat_max + 3; ++k) {
+              actions.insert(actions.begin() + 1, victim);
+            }
+            break;
+          }
+          case InjectKind::kSlowDuration:
+            step_scale = 12;
+            break;
+        }
+        ds.anomalous_event_ids.insert(id);
+        ds.anomaly_event_types.emplace_back(id, static_cast<int>(t) + 1);
+        if (inject == InjectKind::kMissingEnd) {
+          ds.missing_end_event_ids.insert(id);
+        }
+      }
+
+      for (size_t s = 0; s < actions.size(); ++s) {
+        const std::string& tmpl = type.actions[actions[s]];
+        datagen::RenderVars vars;
+        vars.ts = ts;
+        vars.ts_style = spec.timestamp_format;
+        vars.id = id;
+        vars.host = host;
+        lines.push_back({ts, order++, datagen::render_template(tmpl, vars, rng)});
+        ts += step_scale * rng.range(type.step_ms_min, type.step_ms_max);
+      }
+    }
+    std::stable_sort(lines.begin(), lines.end(), [](const Line& a,
+                                                    const Line& b) {
+      return a.ts != b.ts ? a.ts < b.ts : a.order < b.order;
+    });
+    out_lines.reserve(lines.size());
+    for (auto& l : lines) out_lines.push_back(std::move(l.text));
+  };
+
+  generate_phase(false, spec.train_events, spec.start_time_ms, ds.training);
+  // The test phase starts after the training window.
+  int64_t test_start =
+      spec.start_time_ms +
+      std::max<int64_t>(spec.spread_ms,
+                        static_cast<int64_t>(spec.train_events) * 20) +
+      3'600'000;
+  generate_phase(true, spec.test_events, test_start, ds.testing);
+  return ds;
+}
+
+}  // namespace loglens

@@ -1,0 +1,67 @@
+// Event-trace stream generator: interleaved multi-log events with injectable
+// sequence anomalies. Drives D1 (trace log), D2 (synthetic), and the SS7
+// case study.
+//
+// An event type is a fixed action sequence (begin, middles, end); each
+// action renders one log line from a template. Generated events overlap in
+// time, so their logs interleave in the emitted stream exactly the way the
+// stateful detector must handle. Anomaly injection corrupts chosen test
+// events in one of five ways matching Table II: drop the begin log, drop the
+// end log, drop a middle log, repeat a middle log beyond the trained
+// maximum, or stretch the event duration beyond the trained maximum.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/dataset.h"
+
+namespace loglens {
+
+// Template placeholders: {TS} timestamp, {ID} event id, {HOST} host name,
+// {N} random number, {HEX} random hex id, {IP} random address.
+struct EventTypeSpec {
+  std::string name;
+  std::vector<std::string> actions;  // >= 2: first is begin, last is end
+  // Middle actions repeat uniformly in [repeat_min, repeat_max] times.
+  int repeat_min = 1;
+  int repeat_max = 1;
+  // Gap between consecutive logs of the event, in milliseconds.
+  int64_t step_ms_min = 50;
+  int64_t step_ms_max = 500;
+};
+
+enum class InjectKind {
+  kMissingBegin,
+  kMissingEnd,
+  kMissingMiddle,
+  kExtraOccurrences,  // repeat a middle action repeat_max + 3 times
+  kSlowDuration,      // stretch steps ~10x past the trained maximum
+};
+
+struct InjectPlan {
+  InjectKind kind;
+  size_t event_type;  // index into EventStreamSpec::types
+};
+
+struct EventStreamSpec {
+  std::vector<EventTypeSpec> types;
+  size_t train_events = 1000;
+  size_t test_events = 1000;
+  std::vector<InjectPlan> injections;  // applied to distinct test events
+  uint64_t seed = 1;
+  int64_t start_time_ms = 1456218000000;  // 2016/02/23 09:00:00.000
+  // Events start at random offsets within a window this many ms wide per
+  // phase; larger values mean more interleaving.
+  int64_t spread_ms = 60'000;
+  std::string timestamp_format = "canonical";  // or "iso", "syslog"
+};
+
+// Generates the training and testing streams (time-sorted) plus ground
+// truth. Training is always anomaly-free.
+Dataset generate_event_stream(const EventStreamSpec& spec,
+                              const std::string& dataset_name);
+
+}  // namespace loglens

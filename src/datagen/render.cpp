@@ -1,0 +1,58 @@
+#include "datagen/render.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+#include "common/time.h"
+
+namespace loglens::datagen {
+
+std::string format_ts(int64_t ms, const std::string& style) {
+  if (style == "iso") {
+    CivilTime t = from_epoch_millis(ms);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03d",
+                  t.year, t.month, t.day, t.hour, t.minute, t.second,
+                  t.millis);
+    return buf;
+  }
+  if (style == "syslog") {
+    static constexpr const char* kMon[] = {"Jan", "Feb", "Mar", "Apr", "May",
+                                           "Jun", "Jul", "Aug", "Sep", "Oct",
+                                           "Nov", "Dec"};
+    CivilTime t = from_epoch_millis(ms);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%s %d %02d:%02d:%02d", kMon[t.month - 1],
+                  t.day, t.hour, t.minute, t.second);
+    return buf;
+  }
+  return format_canonical(ms);
+}
+
+std::string render_template(const std::string& tmpl, const RenderVars& vars,
+                            Rng& rng) {
+  std::string out = tmpl;
+  out = replace_all(out, "{TS}", format_ts(vars.ts, vars.ts_style));
+  out = replace_all(out, "{ID}", vars.id);
+  out = replace_all(out, "{HOST}", vars.host);
+  auto replace_each = [&out](std::string_view needle, auto&& make) {
+    size_t pos;
+    while ((pos = out.find(needle)) != std::string::npos) {
+      out = out.substr(0, pos) + make() + out.substr(pos + needle.size());
+    }
+  };
+  replace_each("{UUID}", [&rng] {
+    return rng.hex(8) + "-" + rng.hex(4) + "-" + rng.hex(4) + "-" +
+           rng.hex(4) + "-" + rng.hex(12);
+  });
+  replace_each("{HEX}", [&rng] { return rng.hex(8); });
+  replace_each("{N}", [&rng] { return std::to_string(rng.below(1000000)); });
+  replace_each("{IP}", [&rng] {
+    return "10." + std::to_string(rng.below(256)) + "." +
+           std::to_string(rng.below(256)) + "." +
+           std::to_string(rng.below(254) + 1);
+  });
+  return out;
+}
+
+}  // namespace loglens::datagen

@@ -1,0 +1,27 @@
+// Shared log-template rendering for the synthetic generators.
+//
+// Placeholders: {TS} timestamp (style: "canonical", "iso", "syslog"),
+// {ID} / {HOST} caller-supplied strings, {N} random number, {HEX} random
+// 8-hex id, {UUID} random uuid-shaped id, {IP} random address.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.h"
+
+namespace loglens::datagen {
+
+std::string format_ts(int64_t ms, const std::string& style);
+
+struct RenderVars {
+  int64_t ts = 0;
+  std::string ts_style = "canonical";
+  std::string id;
+  std::string host;
+};
+
+std::string render_template(const std::string& tmpl, const RenderVars& vars,
+                            Rng& rng);
+
+}  // namespace loglens::datagen

@@ -1,0 +1,221 @@
+#include "datagen/template_gen.h"
+
+#include <array>
+
+#include "datagen/render.h"
+
+namespace loglens {
+
+namespace {
+
+struct Vocab {
+  std::vector<std::string> svcs;
+  std::vector<std::string> ops;
+  std::vector<std::string> objs;
+  std::string ts_style;
+  std::string code_prefix;
+};
+
+Vocab vocab_for(const std::string& flavor) {
+  if (flavor == "openstack") {
+    return Vocab{
+        {"nova", "neutron", "cinder", "glance", "keystone", "swift", "heat",
+         "ceilometer", "ironic", "trove", "magnum", "zaqar"},
+        {"create", "delete", "attach", "detach", "boot", "suspend", "resume",
+         "migrate", "rebuild", "snapshot", "resize", "pause", "unpause",
+         "shelve", "unshelve", "evacuate", "lock", "unlock"},
+        {"instance", "volume", "port", "network", "image", "flavor",
+         "keypair", "router", "subnet", "token", "server", "stack", "alarm",
+         "backup", "quota", "secgroup"},
+        "iso", "REQ"};
+  }
+  if (flavor == "pcap") {
+    return Vocab{
+        {"TCP", "UDP", "ICMP", "ARP", "DNS", "HTTP", "TLS", "DHCP", "NTP"},
+        {"SYN", "ACK", "FIN", "RST", "PUSH", "QUERY", "REPLY", "OFFER",
+         "REQUEST"},
+        {"segment", "datagram", "frame", "packet", "fragment", "stream"},
+        "syslog", "PKT"};
+  }
+  if (flavor == "network") {
+    return Vocab{
+        {"eth0", "eth1", "bond0", "vlan10", "vlan20", "mgmt0", "lo0", "gre1",
+         "tun0", "br0", "swp1", "swp2"},
+        {"linkup", "linkdown", "flap", "negotiate", "drop", "forward",
+         "learn", "age", "flood", "mirror", "shape", "police", "queue",
+         "trap"},
+        {"bgp", "ospf", "stp", "lacp", "lldp", "arp", "macsec", "acl", "qos",
+         "vrrp", "igmp", "mld"},
+        "canonical", "NET"};
+  }
+  // storage (default)
+  return Vocab{
+      {"raid", "smart", "nfs", "iscsi", "scrub", "cache", "volume",
+       "snapshot"},
+      {"read", "write", "flush", "rebuild", "verify", "mount", "unmount",
+       "sync", "trim", "alloc", "free", "migrate"},
+      {"block", "stripe", "inode", "extent", "lun", "chunk", "segment",
+       "journal", "bitmap", "superblock"},
+      "canonical", "STG"};
+}
+
+// SQL templates (Table VI shape). Each query shape is a base predicate plus
+// a template-specific tail of AND-clause fragments and query hints, sized so
+// template i has a *unique token length*. Table VI's real lines range from
+// one short SELECT to enormous nested WHERE clauses; unique lengths mirror
+// that heterogeneity and make level-0 clustering recover exactly one
+// pattern per query shape (clusters are bucketed by token count).
+std::vector<std::string> make_sql_templates(size_t n) {
+  static constexpr std::array<const char*, 20> kTables = {
+      "tblFormControl", "tblContent",   "tblFormData",  "tblFormInstance",
+      "tblPerm",        "tblMembership", "tblAudit",     "tblSession",
+      "tblWorkflow",    "tblDocument",  "tblRevision",  "tblAttachment",
+      "tblUser",        "tblGroup",     "tblTemplate",  "tblIndex",
+      "tblQueue",       "tblLock",      "tblArchive",   "tblMeta"};
+  static constexpr std::array<const char*, 4> kOps = {"SELECT", "UPDATE",
+                                                      "DELETE", "COUNT"};
+  static constexpr std::array<const char*, 5> kFuncs = {
+      "GetFormControl", "GetObjects", "GetPermissions", "RunQuery",
+      "SyncIndex"};
+  // {fragment text, token count}
+  static constexpr std::array<std::pair<const char*, size_t>, 9> kFragments = {{
+      {" AND nType!={N}", 2},
+      {" AND oID IN (SELECT oID FROM tblFormData WHERE oFCID='{UUID}')", 9},
+      {" AND fRead={N}", 2},
+      {" AND (tblFormData.sValue=N'{UUID}')", 2},
+      {" AND oGrantID IN (SELECT oParent FROM tblMembership WHERE "
+       "oChild='{UUID}')",
+       9},
+      {" AND (nSubType!={N} AND nSubType!={N})", 4},
+      {" AND oID IN (SELECT oFORMINSTID FROM tblFormInstance WHERE "
+       "oFORMID='{UUID}')",
+       9},
+      {" AND (tblFormData.tValue IS NOT NULL)", 5},
+      {" AND nVersion!={N}", 2},
+  }};
+  static constexpr std::array<const char*, 3> kHints = {
+      " WITH(NOLOCK)", " OPTION(RECOMPILE)", " FORCESEEK"};
+
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const char* table = kTables[i % kTables.size()];
+    const char* op = kOps[(i / kTables.size()) % kOps.size()];
+    const char* func = kFuncs[(i / 80) % kFuncs.size()];
+    // Base: 9 tokens.
+    std::string line = "{TS} (0): " + std::string(func) + "():" +
+                       std::to_string(i) + " SQL " + op + " TABLE: " + table +
+                       " WHERE: " + table + ".oPID='{UUID}'";
+    // Tail: exactly i extra tokens — every template has a distinct length.
+    size_t remaining = i;
+    size_t frag = i;  // rotate the starting fragment per template
+    while (remaining > 0) {
+      const auto& [text, tokens] = kFragments[frag++ % kFragments.size()];
+      if (tokens <= remaining) {
+        line += text;
+        remaining -= tokens;
+      } else {
+        line += kHints[remaining % kHints.size()];
+        remaining -= 1;
+      }
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::string> make_templates(const TemplateCorpusSpec& spec) {
+  if (spec.flavor == "sql") return make_sql_templates(spec.num_templates);
+
+  Vocab v = vocab_for(spec.flavor);
+  std::vector<std::string> out;
+  out.reserve(spec.num_templates);
+  const size_t a = v.svcs.size();
+  const size_t b = v.ops.size();
+  const size_t c = v.objs.size();
+  for (size_t i = 0; i < spec.num_templates; ++i) {
+    const std::string& svc = v.svcs[i % a];
+    const std::string& op = v.ops[(i / a) % b];
+    const std::string& obj = v.objs[(i / (a * b)) % c];
+    // Separation guarantees (DESIGN.md): the code and tid literals are
+    // unique per template; the emitting host is *fixed per template* (a
+    // service instance lives on one node), so no random position can
+    // coincide between two templates' logs; and the i%29 trailing option
+    // tokens give same-length template pairs (i == j mod 29) a tail of
+    // differing literals. Net effect: any two same-length templates differ
+    // in at least three literal tokens, deterministically — and the token
+    // counts spread log signatures over ~100 index buckets, as genuinely
+    // heterogeneous logs do.
+    std::string host = "node-" + std::to_string(i * 19 % 256);
+    std::string code = "code=" + v.code_prefix + "-" + std::to_string(1000 + i);
+    std::string tid = "tid=" + std::to_string(i * 13 + 7);
+    std::string line;
+    switch (i % 4) {
+      case 0:
+        line = "{TS} " + host + " " + svc + " " + op + " " + obj + " " +
+               code + " " + tid + " id={HEX} latency={N}";
+        break;
+      case 1:
+        line = "{TS} " + host + " " + svc + " " + op + " " + obj + " " +
+               code + " " + tid + " from {IP} bytes={N}";
+        break;
+      case 2:
+        line = "{TS} " + host + " " + svc + " " + op + " " + obj + " " +
+               code + " " + tid + " id={HEX} from {IP} bytes={N} retries={N}";
+        break;
+      default:
+        line = "{TS} " + host + " " + svc + " " + op + " " + code + " " +
+               tid + " " + obj + " queued depth={N}";
+        break;
+    }
+    for (size_t k = 0; k < i % 29; ++k) {
+      line += " opt" + std::to_string(k) + "=" +
+              std::to_string((i * 31 + k * 37) % 997);
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+Dataset generate_template_corpus(const TemplateCorpusSpec& spec,
+                                 const std::string& dataset_name) {
+  Dataset ds;
+  ds.name = dataset_name;
+  Rng rng(spec.seed);
+  std::vector<std::string> templates = make_templates(spec);
+  const std::string ts_style =
+      spec.flavor == "sql" ? "canonical" : vocab_for(spec.flavor).ts_style;
+
+  auto emit = [&](size_t count, std::vector<std::string>& out, int64_t t0) {
+    out.reserve(count);
+    int64_t ts = t0;
+    for (size_t j = 0; j < count; ++j) {
+      // Every template appears at least three times early, so each cluster
+      // has enough instances to generalize its variable positions (a
+      // singleton cluster would freeze random values as literals); after
+      // that, skewed random selection.
+      size_t t;
+      if (j < std::min(count, templates.size() * 3)) {
+        t = j % templates.size();
+      } else {
+        double u = rng.uniform();
+        t = static_cast<size_t>(u * u * static_cast<double>(templates.size()));
+        if (t >= templates.size()) t = templates.size() - 1;
+      }
+      datagen::RenderVars vars;
+      vars.ts = ts;
+      vars.ts_style = ts_style;
+      out.push_back(datagen::render_template(templates[t], vars, rng));
+      ts += spec.step_ms;
+    }
+  };
+
+  emit(spec.train_logs, ds.training, spec.start_time_ms);
+  emit(spec.test_logs, ds.testing,
+       spec.start_time_ms + static_cast<int64_t>(spec.train_logs) * spec.step_ms);
+  return ds;
+}
+
+}  // namespace loglens

@@ -1,0 +1,122 @@
+#include "detectors/field_range.h"
+
+#include <charconv>
+#include <cmath>
+
+namespace loglens {
+
+namespace {
+
+// Numeric parse for field values; values with units or ids stay non-numeric.
+bool parse_number(std::string_view text, double& out) {
+  if (text.empty()) return false;
+  auto [p, ec] = std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc() && p == text.data() + text.size();
+}
+
+}  // namespace
+
+FieldRangeModel::FieldRangeModel(FieldRangeOptions options)
+    : options_(options) {}
+
+void FieldRangeModel::learn(const ParsedLog& log) {
+  for (const auto& [name, value] : log.fields) {
+    double v;
+    if (!value.is_string() || !parse_number(value.as_string(), v)) continue;
+    auto [it, fresh] = ranges_.try_emplace({log.pattern_id, name});
+    Range& r = it->second;
+    if (fresh) {
+      r.min = r.max = v;
+    } else {
+      r.min = std::min(r.min, v);
+      r.max = std::max(r.max, v);
+    }
+    ++r.samples;
+  }
+}
+
+std::vector<Anomaly> FieldRangeModel::check(const ParsedLog& log,
+                                            std::string_view source) const {
+  std::vector<Anomaly> out;
+  for (const auto& [name, value] : log.fields) {
+    double v;
+    if (!value.is_string() || !parse_number(value.as_string(), v)) continue;
+    auto it = ranges_.find({log.pattern_id, name});
+    if (it == ranges_.end() || it->second.samples < options_.min_samples) {
+      continue;
+    }
+    const Range& r = it->second;
+    double span = r.max - r.min;
+    double pad = span > 0 ? span * options_.margin
+                          : std::abs(r.max) * options_.margin;
+    if (v >= r.min - pad && v <= r.max + pad) continue;
+    Anomaly a;
+    a.type = AnomalyType::kValueOutOfRange;
+    a.severity = "medium";
+    a.reason = "field " + name + " = " + value.as_string() +
+               " outside learned range [" + std::to_string(r.min) + ", " +
+               std::to_string(r.max) + "] (pattern " +
+               std::to_string(log.pattern_id) + ")";
+    a.timestamp_ms = log.timestamp_ms;
+    a.source = std::string(source);
+    a.logs = {log.raw};
+    a.details = Json(JsonObject{
+        {"pattern_id", Json(static_cast<int64_t>(log.pattern_id))},
+        {"field", Json(name)},
+        {"value", Json(v)}});
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+bool FieldRangeModel::widen(int pattern_id, const std::string& field,
+                            double value) {
+  auto it = ranges_.find({pattern_id, field});
+  if (it == ranges_.end()) return false;
+  it->second.min = std::min(it->second.min, value);
+  it->second.max = std::max(it->second.max, value);
+  ++it->second.samples;
+  return true;
+}
+
+Json FieldRangeModel::to_json() const {
+  JsonArray arr;
+  for (const auto& [key, range] : ranges_) {
+    JsonObject obj;
+    obj.emplace_back("pattern_id", Json(static_cast<int64_t>(key.first)));
+    obj.emplace_back("field", Json(key.second));
+    obj.emplace_back("min", Json(range.min));
+    obj.emplace_back("max", Json(range.max));
+    obj.emplace_back("samples", Json(static_cast<int64_t>(range.samples)));
+    arr.emplace_back(Json(std::move(obj)));
+  }
+  return Json(std::move(arr));
+}
+
+StatusOr<FieldRangeModel> FieldRangeModel::from_json(const Json& j,
+                                                     FieldRangeOptions options) {
+  if (!j.is_array()) {
+    return StatusOr<FieldRangeModel>::Error("range model not an array");
+  }
+  FieldRangeModel m(options);
+  for (const auto& entry : j.as_array()) {
+    if (!entry.is_object()) {
+      return StatusOr<FieldRangeModel>::Error("range entry not an object");
+    }
+    Range r;
+    const Json* min = entry.find("min");
+    const Json* max = entry.find("max");
+    if (min == nullptr || max == nullptr || !min->is_number() ||
+        !max->is_number()) {
+      return StatusOr<FieldRangeModel>::Error("range entry missing bounds");
+    }
+    r.min = min->as_double();
+    r.max = max->as_double();
+    r.samples = static_cast<uint64_t>(entry.get_int("samples"));
+    m.ranges_[{static_cast<int>(entry.get_int("pattern_id")),
+               std::string(entry.get_string("field"))}] = r;
+  }
+  return m;
+}
+
+}  // namespace loglens

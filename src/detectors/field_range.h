@@ -1,0 +1,70 @@
+// Field-range stateless detection.
+//
+// The paper motivates structured parsing with "easy extraction of ... the
+// value of key performance indicators" (Section I). This detector closes the
+// loop: it profiles the numeric range of every (pattern, field) pair over
+// the training corpus and flags production values that leave the learned
+// range (with a configurable safety margin). Like the automata rules, the
+// learned bounds are the tightest ones consistent with normal behaviour.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "parser/log_parser.h"
+#include "storage/anomaly.h"
+
+namespace loglens {
+
+struct FieldRangeOptions {
+  // Learned ranges are widened by this fraction of their span on each side
+  // (a zero-span range is widened by |value| * margin), so boundary jitter
+  // does not alarm.
+  double margin = 0.1;
+  // Fields with fewer training samples than this never produce anomalies.
+  size_t min_samples = 10;
+};
+
+class FieldRangeModel {
+ public:
+  FieldRangeModel() = default;
+  explicit FieldRangeModel(FieldRangeOptions options);
+
+  // Training: record every numeric field value of a parsed log.
+  void learn(const ParsedLog& log);
+
+  // Detection: anomalies for numeric fields outside their widened range.
+  std::vector<Anomaly> check(const ParsedLog& log,
+                             std::string_view source) const;
+
+  // Feedback: widen a tracked field's range to include `value` (no-op on
+  // untracked fields). Returns true when a range was widened.
+  bool widen(int pattern_id, const std::string& field, double value);
+
+  size_t tracked_fields() const { return ranges_.size(); }
+
+  Json to_json() const;
+  static StatusOr<FieldRangeModel> from_json(const Json& j,
+                                             FieldRangeOptions options = {});
+
+  friend bool operator==(const FieldRangeModel& a, const FieldRangeModel& b) {
+    return a.ranges_ == b.ranges_;
+  }
+
+ private:
+  struct Range {
+    double min = 0;
+    double max = 0;
+    uint64_t samples = 0;
+
+    friend bool operator==(const Range&, const Range&) = default;
+  };
+
+  // (pattern id, field name) -> observed range.
+  std::map<std::pair<int, std::string>, Range> ranges_;
+  FieldRangeOptions options_{};
+};
+
+}  // namespace loglens

@@ -1,0 +1,78 @@
+#include "detectors/keyword.h"
+
+#include "common/strings.h"
+
+namespace loglens {
+
+KeywordDetector::KeywordDetector(KeywordDetectorOptions options)
+    : options_(std::move(options)) {
+  if (options_.case_insensitive) {
+    for (auto& k : options_.keywords) k = to_lower(k);
+  }
+}
+
+std::string KeywordDetector::normalize(std::string_view token) const {
+  return options_.case_insensitive ? to_lower(token) : std::string(token);
+}
+
+std::string_view KeywordDetector::keyword_in(std::string_view token) const {
+  for (const auto& k : options_.keywords) {
+    if (token.find(k) != std::string_view::npos) return k;
+  }
+  return {};
+}
+
+void KeywordDetector::observe_normal(std::string_view raw) {
+  for (std::string_view tok : split_any(raw, " \t")) {
+    std::string norm = normalize(tok);
+    if (!keyword_in(norm).empty()) {
+      allowlist_.insert(std::move(norm));
+    }
+  }
+}
+
+std::optional<Anomaly> KeywordDetector::check(std::string_view raw,
+                                              std::string_view source,
+                                              int64_t timestamp_ms) const {
+  for (std::string_view tok : split_any(raw, " \t")) {
+    std::string norm = normalize(tok);
+    std::string_view keyword = keyword_in(norm);
+    if (keyword.empty() || allowlist_.contains(norm)) continue;
+    Anomaly a;
+    a.type = AnomalyType::kKeywordAlert;
+    a.severity = "medium";
+    a.reason = "token '" + std::string(tok) + "' contains severity keyword '" +
+               std::string(keyword) + "' never seen in normal runs";
+    a.timestamp_ms = timestamp_ms;
+    a.source = std::string(source);
+    a.logs = {std::string(raw)};
+    a.details = Json(JsonObject{{"token", Json(norm)}});
+    return a;
+  }
+  return std::nullopt;
+}
+
+Json KeywordDetector::to_json() const {
+  JsonArray allow;
+  for (const auto& t : allowlist_) allow.emplace_back(t);
+  JsonObject obj;
+  obj.emplace_back("allowlist", Json(std::move(allow)));
+  return Json(std::move(obj));
+}
+
+StatusOr<KeywordDetector> KeywordDetector::from_json(
+    const Json& j, KeywordDetectorOptions options) {
+  if (!j.is_object()) {
+    return StatusOr<KeywordDetector>::Error("keyword model not an object");
+  }
+  KeywordDetector d(std::move(options));
+  if (const Json* allow = j.find("allowlist");
+      allow != nullptr && allow->is_array()) {
+    for (const auto& t : allow->as_array()) {
+      if (t.is_string()) d.allowlist_.insert(t.as_string());
+    }
+  }
+  return d;
+}
+
+}  // namespace loglens

@@ -1,0 +1,84 @@
+#include "grok/datatype.h"
+
+namespace loglens {
+
+std::string_view datatype_name(Datatype t) {
+  switch (t) {
+    case Datatype::kWord: return "WORD";
+    case Datatype::kNumber: return "NUMBER";
+    case Datatype::kIp: return "IP";
+    case Datatype::kNotSpace: return "NOTSPACE";
+    case Datatype::kDateTime: return "DATETIME";
+    case Datatype::kAnyData: return "ANYDATA";
+  }
+  return "NOTSPACE";
+}
+
+bool datatype_from_name(std::string_view name, Datatype& out) {
+  if (name == "WORD") out = Datatype::kWord;
+  else if (name == "NUMBER") out = Datatype::kNumber;
+  else if (name == "IP") out = Datatype::kIp;
+  else if (name == "NOTSPACE") out = Datatype::kNotSpace;
+  else if (name == "DATETIME") out = Datatype::kDateTime;
+  else if (name == "ANYDATA") out = Datatype::kAnyData;
+  else return false;
+  return true;
+}
+
+bool is_covered(Datatype a, Datatype b) {
+  if (a == b) return true;
+  if (b == Datatype::kAnyData) return true;
+  if (b == Datatype::kNotSpace) {
+    return a == Datatype::kWord || a == Datatype::kNumber ||
+           a == Datatype::kIp;
+  }
+  return false;
+}
+
+int generality(Datatype t) {
+  switch (t) {
+    case Datatype::kWord:
+    case Datatype::kNumber:
+    case Datatype::kIp:
+    case Datatype::kDateTime:
+      return 1;
+    case Datatype::kNotSpace:
+      return 2;
+    case Datatype::kAnyData:
+      return 3;
+  }
+  return 3;
+}
+
+DatatypeClassifier::DatatypeClassifier()
+    : word_(Regex::compile_or_die("[a-zA-Z]+")),
+      number_(Regex::compile_or_die("-?[0-9]+(\\.[0-9]+)?")),
+      ip_(Regex::compile_or_die(
+          "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}")) {}
+
+Datatype DatatypeClassifier::classify(std::string_view token) const {
+  if (word_.full_match(token)) return Datatype::kWord;
+  if (number_.full_match(token)) return Datatype::kNumber;
+  if (ip_.full_match(token)) return Datatype::kIp;
+  return Datatype::kNotSpace;
+}
+
+bool DatatypeClassifier::matches(std::string_view token, Datatype type) const {
+  switch (type) {
+    case Datatype::kWord: return word_.full_match(token);
+    case Datatype::kNumber: return number_.full_match(token);
+    case Datatype::kIp: return ip_.full_match(token);
+    case Datatype::kNotSpace:
+      return !token.empty() &&
+             token.find_first_of(" \t\r\n") == std::string_view::npos;
+    case Datatype::kDateTime:
+      // Canonical form only; recognition of raw formats happens in the
+      // timestamp module before classification.
+      return token.size() == 23 && token[4] == '/' && token[7] == '/';
+    case Datatype::kAnyData:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace loglens

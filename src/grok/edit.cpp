@@ -1,0 +1,146 @@
+#include "grok/edit.h"
+
+#include <cctype>
+#include <set>
+#include <string>
+
+namespace loglens::pattern_edit {
+
+namespace {
+
+GrokToken* find_field(GrokPattern& pattern, std::string_view name) {
+  for (auto& t : pattern.tokens()) {
+    if (t.is_field && t.field.name == name) return &t;
+  }
+  return nullptr;
+}
+
+// Sanitizes a candidate semantic name: strips one trailing '=' or ':' and any
+// non-identifier characters; empty result means "not usable".
+std::string sanitize_name(std::string_view raw) {
+  if (!raw.empty() && (raw.back() == '=' || raw.back() == ':')) {
+    raw.remove_suffix(1);
+  }
+  std::string out;
+  for (char c : raw) {
+    if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+      out.push_back(c);
+    }
+  }
+  if (out.empty() || std::isdigit(static_cast<unsigned char>(out.front()))) {
+    return {};
+  }
+  return out;
+}
+
+}  // namespace
+
+Status rename_field(GrokPattern& pattern, std::string_view old_name,
+                    std::string_view new_name) {
+  if (new_name.empty()) return Status::Error("new field name is empty");
+  if (find_field(pattern, new_name) != nullptr) {
+    return Status::Error("field name already in use: " + std::string(new_name));
+  }
+  GrokToken* t = find_field(pattern, old_name);
+  if (t == nullptr) {
+    return Status::Error("no such field: " + std::string(old_name));
+  }
+  t->field.name = std::string(new_name);
+  return Status::Ok();
+}
+
+Status specialize(GrokPattern& pattern, std::string_view field_name,
+                  std::string_view value) {
+  GrokToken* t = find_field(pattern, field_name);
+  if (t == nullptr) {
+    return Status::Error("no such field: " + std::string(field_name));
+  }
+  if (value.empty() || value.find_first_of(" \t") != std::string_view::npos) {
+    return Status::Error("literal value must be a single non-empty token");
+  }
+  *t = GrokToken::make_literal(std::string(value));
+  return Status::Ok();
+}
+
+Status generalize(GrokPattern& pattern, size_t token_index, Datatype type,
+                  std::string_view name) {
+  if (token_index >= pattern.size()) {
+    return Status::Error("token index out of range");
+  }
+  GrokToken& t = pattern.tokens()[token_index];
+  if (t.is_field) {
+    return Status::Error("token is already a field; use rename/specialize");
+  }
+  if (!name.empty() && find_field(pattern, name) != nullptr) {
+    return Status::Error("field name already in use: " + std::string(name));
+  }
+  t = GrokToken::make_field(type, std::string(name));
+  return Status::Ok();
+}
+
+Status widen_to_anydata(GrokPattern& pattern, size_t first, size_t last,
+                        std::string_view name) {
+  if (first > last || last >= pattern.size()) {
+    return Status::Error("invalid token range");
+  }
+  auto& tokens = pattern.tokens();
+  tokens.erase(tokens.begin() + static_cast<ptrdiff_t>(first),
+               tokens.begin() + static_cast<ptrdiff_t>(last) + 1);
+  tokens.insert(tokens.begin() + static_cast<ptrdiff_t>(first),
+                GrokToken::make_field(Datatype::kAnyData, std::string(name)));
+  return Status::Ok();
+}
+
+bool is_generic_name(std::string_view name) {
+  if (name.size() < 4 || name[0] != 'P') return false;
+  size_t i = 1;
+  size_t digits = 0;
+  while (i < name.size() && std::isdigit(static_cast<unsigned char>(name[i]))) {
+    ++i;
+    ++digits;
+  }
+  if (digits == 0 || i >= name.size() || name[i] != 'F') return false;
+  ++i;
+  digits = 0;
+  while (i < name.size() && std::isdigit(static_cast<unsigned char>(name[i]))) {
+    ++i;
+    ++digits;
+  }
+  return digits > 0 && i == name.size();
+}
+
+int apply_heuristic_names(GrokPattern& pattern) {
+  auto& tokens = pattern.tokens();
+  std::set<std::string> used;
+  for (const auto& t : tokens) {
+    if (t.is_field && !t.field.name.empty()) used.insert(t.field.name);
+  }
+  int renamed = 0;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    GrokToken& t = tokens[i];
+    if (!t.is_field) continue;
+    if (!t.field.name.empty() && !is_generic_name(t.field.name)) continue;
+
+    std::string candidate;
+    // "Key = value" / "Key : value" (three tokens).
+    if (i >= 2 && !tokens[i - 1].is_field &&
+        (tokens[i - 1].literal == "=" || tokens[i - 1].literal == ":") &&
+        !tokens[i - 2].is_field) {
+      candidate = sanitize_name(tokens[i - 2].literal);
+    }
+    // "Key= value" / "Key: value" (two tokens).
+    if (candidate.empty() && i >= 1 && !tokens[i - 1].is_field &&
+        (tokens[i - 1].literal.ends_with('=') ||
+         tokens[i - 1].literal.ends_with(':'))) {
+      candidate = sanitize_name(tokens[i - 1].literal);
+    }
+    if (candidate.empty() || used.contains(candidate)) continue;
+    used.erase(t.field.name);
+    t.field.name = candidate;
+    used.insert(candidate);
+    ++renamed;
+  }
+  return renamed;
+}
+
+}  // namespace loglens::pattern_edit

@@ -1,0 +1,50 @@
+// Domain-knowledge pattern editing (Section III-A4).
+//
+// Discovery is unsupervised, so generated patterns carry generic field names
+// (P1F1, P1F2, ...) and may be more general or more specific than the user
+// wants. These operations let users (or the model manager acting for them)
+// adjust patterns without regenerating them:
+//   - rename a generic field to a semantic name,
+//   - specialize a field to a fixed literal value,
+//   - generalize a literal token into a variable field,
+//   - widen a token range into a single ANYDATA (wildcard) field,
+// plus the heuristic renamer the paper uses to avoid manual renaming for
+// common "Key = value" / "Key: value" shapes.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "grok/pattern.h"
+
+namespace loglens::pattern_edit {
+
+// Renames the field currently called `old_name` to `new_name`.
+Status rename_field(GrokPattern& pattern, std::string_view old_name,
+                    std::string_view new_name);
+
+// Replaces the field `field_name` with the fixed literal `value`
+// (e.g. %{IP:P1F2} -> 127.0.0.1).
+Status specialize(GrokPattern& pattern, std::string_view field_name,
+                  std::string_view value);
+
+// Converts the literal at `token_index` into a variable field
+// (e.g. user1 -> %{NOTSPACE:userName}).
+Status generalize(GrokPattern& pattern, size_t token_index, Datatype type,
+                  std::string_view name);
+
+// Replaces tokens [first, last] (inclusive) with a single ANYDATA field so
+// multiple tokens parse into one field.
+Status widen_to_anydata(GrokPattern& pattern, size_t first, size_t last,
+                        std::string_view name);
+
+// True for machine-assigned names of the form P<digits>F<digits>.
+bool is_generic_name(std::string_view name);
+
+// Applies the "PDU = %{NUMBER:P1F1}" -> "PDU = %{NUMBER:PDU}" heuristic: a
+// field preceded by "Key =", "Key :", "Key=", or "Key:" takes the key as its
+// name (sanitized to [A-Za-z_][A-Za-z0-9_]*, de-duplicated within the
+// pattern). Returns the number of fields renamed.
+int apply_heuristic_names(GrokPattern& pattern);
+
+}  // namespace loglens::pattern_edit

@@ -1,0 +1,150 @@
+#include "grok/pattern.h"
+
+#include "common/strings.h"
+
+namespace loglens {
+
+std::string GrokPattern::to_string() const {
+  std::vector<std::string> parts;
+  parts.reserve(tokens_.size());
+  for (const auto& t : tokens_) {
+    if (t.is_field) {
+      std::string s = "%{";
+      s += datatype_name(t.field.type);
+      if (!t.field.name.empty()) {
+        s += ':';
+        s += t.field.name;
+      }
+      s += '}';
+      parts.push_back(std::move(s));
+    } else {
+      parts.push_back(t.literal);
+    }
+  }
+  return join(parts, " ");
+}
+
+StatusOr<GrokPattern> GrokPattern::parse(std::string_view text) {
+  std::vector<GrokToken> tokens;
+  for (std::string_view piece : split_any(text, " \t")) {
+    if (piece.starts_with("%{")) {
+      if (!piece.ends_with('}')) {
+        return StatusOr<GrokPattern>::Error("unterminated %{...} in: " +
+                                            std::string(piece));
+      }
+      std::string_view body = piece.substr(2, piece.size() - 3);
+      std::string_view type_name = body;
+      std::string_view field_name;
+      if (size_t colon = body.find(':'); colon != std::string_view::npos) {
+        type_name = body.substr(0, colon);
+        field_name = body.substr(colon + 1);
+      }
+      Datatype type;
+      if (!datatype_from_name(type_name, type)) {
+        return StatusOr<GrokPattern>::Error("unknown datatype: " +
+                                            std::string(type_name));
+      }
+      tokens.push_back(GrokToken::make_field(type, std::string(field_name)));
+    } else {
+      tokens.push_back(GrokToken::make_literal(std::string(piece)));
+    }
+  }
+  if (tokens.empty()) {
+    return StatusOr<GrokPattern>::Error("empty pattern");
+  }
+  return GrokPattern(std::move(tokens));
+}
+
+std::string GrokPattern::signature(const DatatypeClassifier& classifier) const {
+  std::vector<std::string_view> parts;
+  parts.reserve(tokens_.size());
+  for (const auto& t : tokens_) {
+    if (t.is_field) {
+      parts.push_back(datatype_name(t.field.type));
+    } else {
+      parts.push_back(datatype_name(classifier.classify(t.literal)));
+    }
+  }
+  return join(parts, " ");
+}
+
+bool GrokPattern::has_wildcard() const {
+  for (const auto& t : tokens_) {
+    if (t.is_field && t.field.type == Datatype::kAnyData) return true;
+  }
+  return false;
+}
+
+int GrokPattern::generality_score() const {
+  int score = 0;
+  for (const auto& t : tokens_) {
+    if (t.is_field) score += generality(t.field.type);
+  }
+  return score;
+}
+
+void GrokPattern::assign_field_ids(int pattern_id) {
+  id_ = pattern_id;
+  int seq = 1;
+  for (auto& t : tokens_) {
+    if (t.is_field && t.field.name.empty()) {
+      t.field.name = "P" + std::to_string(pattern_id) + "F" + std::to_string(seq);
+    }
+    if (t.is_field) ++seq;
+  }
+}
+
+bool GrokPattern::match_rec(const std::vector<Token>& tokens,
+                            const DatatypeClassifier& classifier, size_t ti,
+                            size_t pi, JsonObject* out) const {
+  if (pi == tokens_.size()) return ti == tokens.size();
+  const GrokToken& pt = tokens_[pi];
+  if (!pt.is_field) {
+    if (ti < tokens.size() && tokens[ti].text == pt.literal) {
+      return match_rec(tokens, classifier, ti + 1, pi + 1, out);
+    }
+    return false;
+  }
+  if (pt.field.type == Datatype::kAnyData) {
+    // Wildcard: consume zero or more tokens, shortest first so trailing
+    // literals anchor the match deterministically.
+    for (size_t take = 0; ti + take <= tokens.size(); ++take) {
+      size_t mark = out != nullptr ? out->size() : 0;
+      if (out != nullptr) {
+        std::vector<std::string_view> span;
+        span.reserve(take);
+        for (size_t k = 0; k < take; ++k) span.push_back(tokens[ti + k].text);
+        out->emplace_back(pt.field.name, Json(join(span, " ")));
+      }
+      if (match_rec(tokens, classifier, ti + take, pi + 1, out)) return true;
+      if (out != nullptr) out->resize(mark);
+    }
+    return false;
+  }
+  if (ti >= tokens.size()) return false;
+  const Token& tok = tokens[ti];
+  bool ok = pt.field.type == Datatype::kDateTime
+                ? tok.type == Datatype::kDateTime
+                : tok.type != Datatype::kDateTime &&
+                      classifier.matches(tok.text, pt.field.type);
+  if (!ok) return false;
+  size_t mark = out != nullptr ? out->size() : 0;
+  if (out != nullptr) out->emplace_back(pt.field.name, Json(tok.text));
+  if (match_rec(tokens, classifier, ti + 1, pi + 1, out)) return true;
+  if (out != nullptr) out->resize(mark);
+  return false;
+}
+
+bool GrokPattern::match(const std::vector<Token>& tokens,
+                        const DatatypeClassifier& classifier,
+                        JsonObject* out) const {
+  if (out != nullptr) out->clear();
+  return match_rec(tokens, classifier, 0, 0, out);
+}
+
+bool GrokPattern::match(const std::vector<Token>& tokens,
+                        const DatatypeClassifier& classifier) const {
+  return match_rec(tokens, classifier, 0, 0, nullptr);
+}
+
+}  // namespace loglens

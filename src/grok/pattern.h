@@ -1,0 +1,103 @@
+// GROK pattern model (Section III).
+//
+// A pattern is a whitespace-separated sequence of tokens; each token is
+// either a fixed literal ("user1", "DB") or a typed variable field written
+// %{TYPE:Name}. Patterns are discovered by clustering (logmine/), edited by
+// users (grok/edit.h), indexed by signature (parser/), and matched against
+// tokenized logs to produce JSON records.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "grok/datatype.h"
+#include "grok/token.h"
+#include "json/json.h"
+
+namespace loglens {
+
+struct GrokField {
+  Datatype type = Datatype::kNotSpace;
+  std::string name;  // "P1F2" generic id or a user-supplied semantic name
+
+  friend bool operator==(const GrokField&, const GrokField&) = default;
+};
+
+struct GrokToken {
+  // Exactly one of the two alternatives is active.
+  bool is_field = false;
+  std::string literal;  // when !is_field
+  GrokField field;      // when is_field
+
+  static GrokToken make_literal(std::string text) {
+    GrokToken t;
+    t.literal = std::move(text);
+    return t;
+  }
+  static GrokToken make_field(Datatype type, std::string name = {}) {
+    GrokToken t;
+    t.is_field = true;
+    t.field = {type, std::move(name)};
+    return t;
+  }
+
+  friend bool operator==(const GrokToken&, const GrokToken&) = default;
+};
+
+class GrokPattern {
+ public:
+  GrokPattern() = default;
+  explicit GrokPattern(std::vector<GrokToken> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  // Renders as "%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}".
+  std::string to_string() const;
+
+  // Parses the textual form back into a pattern. Accepts %{TYPE} without a
+  // name. Fails on unknown datatypes or malformed %{...} syntax.
+  static StatusOr<GrokPattern> parse(std::string_view text);
+
+  // Pattern-signature (Section III-B): every field contributes its datatype
+  // name; every literal contributes the datatype of its present value.
+  std::string signature(const DatatypeClassifier& classifier) const;
+
+  // Attempts to parse `tokens`; on success fills `out` with field-name ->
+  // value pairs in pattern order and returns true. ANYDATA fields may span
+  // zero or more tokens (joined with single spaces in the output).
+  bool match(const std::vector<Token>& tokens, const DatatypeClassifier& classifier,
+             JsonObject* out) const;
+  bool match(const std::vector<Token>& tokens,
+             const DatatypeClassifier& classifier) const;
+
+  // Assigns generic field ids P<pattern_id>F<k> to fields that have no name
+  // yet (discovery order, k starting at 1), and records the pattern id.
+  void assign_field_ids(int pattern_id);
+
+  int id() const { return id_; }
+  void set_id(int id) { id_ = id; }
+
+  const std::vector<GrokToken>& tokens() const { return tokens_; }
+  std::vector<GrokToken>& tokens() { return tokens_; }
+  size_t size() const { return tokens_.size(); }
+  bool has_wildcard() const;
+
+  // Sum of field generality ranks; the candidate-group sort key ("ascending
+  // order of datatype's generality and length", Section III-B step 2).
+  int generality_score() const;
+
+  friend bool operator==(const GrokPattern&, const GrokPattern&) = default;
+
+ private:
+  bool match_rec(const std::vector<Token>& tokens,
+                 const DatatypeClassifier& classifier, size_t ti, size_t pi,
+                 JsonObject* out) const;
+
+  std::vector<GrokToken> tokens_;
+  int id_ = 0;
+};
+
+}  // namespace loglens

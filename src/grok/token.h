@@ -1,0 +1,29 @@
+// The token representation shared by the tokenizer, pattern discovery, and
+// the parser.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "grok/datatype.h"
+
+namespace loglens {
+
+struct Token {
+  std::string text;   // normalized text; canonical form for DATETIME tokens
+  Datatype type = Datatype::kNotSpace;
+
+  friend bool operator==(const Token&, const Token&) = default;
+};
+
+// A raw log after preprocessing (Section III-A1/A2): delimiter splitting,
+// sub-token split rules, timestamp recognition + unification, and datatype
+// classification.
+struct TokenizedLog {
+  std::vector<Token> tokens;
+  int64_t timestamp_ms = -1;  // first recognized timestamp, -1 if none
+  std::string raw;            // original log line
+};
+
+}  // namespace loglens

@@ -1,0 +1,118 @@
+#include "parser/log_parser.h"
+
+#include <algorithm>
+
+#include "common/time.h"
+
+namespace loglens {
+
+Json ParsedLog::to_json() const {
+  JsonObject obj;
+  obj.emplace_back("_pattern_id", Json(static_cast<int64_t>(pattern_id)));
+  if (timestamp_ms >= 0) {
+    obj.emplace_back("_timestamp", Json(format_canonical(timestamp_ms)));
+  }
+  for (const auto& [k, v] : fields) obj.emplace_back(k, v);
+  return Json(std::move(obj));
+}
+
+LogParser::LogParser(std::vector<GrokPattern> model,
+                     const DatatypeClassifier& classifier,
+                     IndexMode index_mode)
+    : classifier_(classifier), index_mode_(index_mode) {
+  patterns_.reserve(model.size());
+  for (auto& p : model) {
+    IndexedPattern ip;
+    ip.signature = pattern_signature(p, classifier_);
+    ip.generality = p.generality_score();
+    ip.pattern = std::move(p);
+    patterns_.push_back(std::move(ip));
+  }
+}
+
+const std::vector<uint32_t>& LogParser::candidate_group(
+    const std::vector<Datatype>& sig) {
+  std::string key = signature_key(sig);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++stats_.index_hits;
+    return it->second;
+  }
+  ++stats_.groups_built;
+  std::vector<uint32_t> group;
+  for (uint32_t pi = 0; pi < patterns_.size(); ++pi) {
+    ++stats_.signature_comparisons;
+    if (signature_match(sig, patterns_[pi].signature)) {
+      group.push_back(pi);
+    }
+  }
+  // "Patterns are sorted in the ascending order of datatype's generality and
+  // length": most specific first; shorter patterns break ties.
+  std::sort(group.begin(), group.end(), [this](uint32_t a, uint32_t b) {
+    const auto& pa = patterns_[a];
+    const auto& pb = patterns_[b];
+    if (pa.generality != pb.generality) return pa.generality < pb.generality;
+    if (pa.pattern.size() != pb.pattern.size()) {
+      return pa.pattern.size() < pb.pattern.size();
+    }
+    return a < b;
+  });
+  return index_.emplace(std::move(key), std::move(group)).first->second;
+}
+
+ParseOutcome LogParser::parse(const TokenizedLog& log) {
+  ++stats_.logs;
+  std::vector<Datatype> sig = log_signature(log);
+
+  ParsedLog parsed;
+  const GrokPattern* matched = nullptr;
+
+  if (index_mode_ == IndexMode::kEnabled) {
+    for (uint32_t pi : candidate_group(sig)) {
+      ++stats_.match_attempts;
+      JsonObject fields;
+      if (patterns_[pi].pattern.match(log.tokens, classifier_, &fields)) {
+        matched = &patterns_[pi].pattern;
+        parsed.fields = std::move(fields);
+        break;
+      }
+    }
+  } else {
+    // Naive baseline behaviour: try every pattern in model order.
+    for (auto& ip : patterns_) {
+      ++stats_.match_attempts;
+      JsonObject fields;
+      if (ip.pattern.match(log.tokens, classifier_, &fields)) {
+        matched = &ip.pattern;
+        parsed.fields = std::move(fields);
+        break;
+      }
+    }
+  }
+
+  if (matched == nullptr) {
+    ++stats_.unparsed;
+    return {};
+  }
+  parsed.pattern_id = matched->id();
+  parsed.timestamp_ms = log.timestamp_ms;
+  parsed.raw = log.raw;
+  return ParseOutcome{std::move(parsed)};
+}
+
+size_t LogParser::resident_bytes() const {
+  size_t total = sizeof(*this);
+  for (const auto& ip : patterns_) {
+    total += sizeof(ip) + ip.signature.capacity() * sizeof(Datatype);
+    for (const auto& t : ip.pattern.tokens()) {
+      total += sizeof(t) + t.literal.capacity() + t.field.name.capacity();
+    }
+  }
+  for (const auto& [k, v] : index_) {
+    total += sizeof(std::pair<std::string, std::vector<uint32_t>>) +
+             k.capacity() + v.capacity() * sizeof(uint32_t);
+  }
+  return total;
+}
+
+}  // namespace loglens

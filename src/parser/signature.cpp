@@ -1,0 +1,81 @@
+#include "parser/signature.h"
+
+#include "common/strings.h"
+
+namespace loglens {
+
+std::vector<Datatype> log_signature(const TokenizedLog& log) {
+  std::vector<Datatype> sig;
+  sig.reserve(log.tokens.size());
+  for (const auto& t : log.tokens) sig.push_back(t.type);
+  return sig;
+}
+
+std::vector<Datatype> pattern_signature(const GrokPattern& pattern,
+                                        const DatatypeClassifier& classifier) {
+  std::vector<Datatype> sig;
+  sig.reserve(pattern.size());
+  for (const auto& t : pattern.tokens()) {
+    sig.push_back(t.is_field ? t.field.type : classifier.classify(t.literal));
+  }
+  return sig;
+}
+
+std::string signature_key(std::span<const Datatype> signature) {
+  std::vector<std::string_view> names;
+  names.reserve(signature.size());
+  for (Datatype d : signature) names.push_back(datatype_name(d));
+  return join(names, " ");
+}
+
+bool signature_match(std::span<const Datatype> log_sig,
+                     std::span<const Datatype> pattern_sig) {
+  const size_t r = log_sig.size();
+  const size_t s = pattern_sig.size();
+  // Fast path: without a wildcard the pattern must align one-to-one, so the
+  // quadratic DP degenerates to an elementwise coverage check.
+  bool has_wildcard = false;
+  for (Datatype d : pattern_sig) {
+    if (d == Datatype::kAnyData) {
+      has_wildcard = true;
+      break;
+    }
+  }
+  if (!has_wildcard) {
+    if (r != s) return false;
+    for (size_t i = 0; i < r; ++i) {
+      if (log_sig[i] != pattern_sig[i] &&
+          !is_covered(log_sig[i], pattern_sig[i])) {
+        return false;
+      }
+    }
+    return true;
+  }
+  // Rolling two-row DP over the (r+1) x (s+1) table.
+  std::vector<char> prev(s + 1, 0);
+  std::vector<char> curr(s + 1, 0);
+  prev[0] = 1;
+  for (size_t j = 1; j <= s; ++j) {
+    prev[j] = static_cast<char>(prev[j - 1] != 0 &&
+                                pattern_sig[j - 1] == Datatype::kAnyData);
+  }
+  for (size_t i = 1; i <= r; ++i) {
+    curr[0] = 0;
+    for (size_t j = 1; j <= s; ++j) {
+      const Datatype li = log_sig[i - 1];
+      const Datatype pj = pattern_sig[j - 1];
+      char v = 0;
+      if (pj == Datatype::kAnyData) {
+        // Wildcard: swallow the log token (up) or match empty (left).
+        v = static_cast<char>(prev[j] != 0 || curr[j - 1] != 0);
+      } else if (li == pj || is_covered(li, pj)) {
+        v = prev[j - 1];
+      }
+      curr[j] = v;
+    }
+    std::swap(prev, curr);
+  }
+  return prev[s] != 0;
+}
+
+}  // namespace loglens

@@ -1,0 +1,43 @@
+// Log-signatures, pattern-signatures, and the Algorithm 1 matcher
+// (Section III-B).
+//
+// A signature is the sequence of datatype names underlying a log or pattern:
+// the log "2016/02/23 09:00:31.000 127.0.0.1 login user1" has signature
+// "DATETIME IP WORD NOTSPACE". Signatures are the index key that reduces
+// parsing from O(m) pattern comparisons per log to amortized O(1).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "grok/datatype.h"
+#include "grok/pattern.h"
+#include "grok/token.h"
+
+namespace loglens {
+
+// Datatype sequence of a tokenized log.
+std::vector<Datatype> log_signature(const TokenizedLog& log);
+
+// Datatype sequence of a pattern: fields contribute their declared type,
+// literals the classified type of their value.
+std::vector<Datatype> pattern_signature(const GrokPattern& pattern,
+                                        const DatatypeClassifier& classifier);
+
+// Renders a signature as the space-joined string used as the index key.
+std::string signature_key(std::span<const Datatype> signature);
+
+// Algorithm 1: can `pattern_sig` parse `log_sig`? Cell (i,j) is true when
+// the first i log datatypes are parsed by the first j pattern datatypes:
+//   equal datatypes or isCovered(log, pattern)  -> diagonal,
+//   pattern ANYDATA wildcard                    -> up (consume a log token)
+//                                                  or left (consume nothing).
+// Note: the paper's pseudocode loops i,j from 1, leaving row 0 all-false;
+// that would reject a leading wildcard matching zero tokens (e.g. pattern
+// "ANYDATA WORD" vs log "WORD"). We seed row 0 through wildcards, which is
+// the intended semantics of ".*".
+bool signature_match(std::span<const Datatype> log_sig,
+                     std::span<const Datatype> pattern_sig);
+
+}  // namespace loglens

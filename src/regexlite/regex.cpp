@@ -1,0 +1,702 @@
+#include "regexlite/regex.h"
+
+#include <cassert>
+#include <cstdlib>
+#include <memory>
+
+namespace loglens {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------------
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+struct Node {
+  enum class Kind { kChar, kAny, kClass, kConcat, kAlt, kRepeat, kGroup, kBegin, kEnd };
+  Kind kind;
+  char ch = 0;                   // kChar
+  uint32_t class_index = 0;      // kClass
+  std::vector<NodePtr> children; // kConcat, kAlt
+  NodePtr child;                 // kRepeat, kGroup
+  int min = 0, max = 0;          // kRepeat; max == -1 means unbounded
+  bool greedy = true;            // kRepeat
+  int capture = -1;              // kGroup; -1 for non-capturing copies
+};
+
+NodePtr make_node(Node::Kind kind) {
+  auto n = std::make_unique<Node>();
+  n->kind = kind;
+  return n;
+}
+
+// Deep copy used when expanding bounded quantifiers; capture indices are
+// preserved so repeated groups keep writing the same slots (last iteration
+// wins, matching mainstream engine semantics).
+NodePtr clone(const Node& n) {
+  auto c = std::make_unique<Node>();
+  c->kind = n.kind;
+  c->ch = n.ch;
+  c->class_index = n.class_index;
+  c->min = n.min;
+  c->max = n.max;
+  c->greedy = n.greedy;
+  c->capture = n.capture;
+  if (n.child) c->child = clone(*n.child);
+  for (const auto& ch : n.children) c->children.push_back(clone(*ch));
+  return c;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Compiler: pattern text -> AST -> bytecode
+// ---------------------------------------------------------------------------
+
+class RegexCompiler {
+ public:
+  RegexCompiler(std::string_view pattern, Regex& out)
+      : pattern_(pattern), out_(out) {}
+
+  Status compile() {
+    auto ast = parse_alt();
+    if (!error_.empty()) return Status::Error(error_);
+    if (pos_ != pattern_.size()) {
+      return Status::Error("unexpected ')' at offset " + std::to_string(pos_));
+    }
+    out_.group_count_ = static_cast<size_t>(next_capture_);
+    // Slot 0/1 hold the whole-match bounds.
+    emit(*ast);
+    out_.prog_.push_back({Regex::Op::kMatch, 0, 0, 0});
+    return Status::Ok();
+  }
+
+ private:
+  // --- parsing ---
+
+  bool eof() const { return pos_ >= pattern_.size(); }
+  char peek() const { return pattern_[pos_]; }
+  char take() { return pattern_[pos_++]; }
+
+  void fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+  }
+
+  NodePtr parse_alt() {
+    auto first = parse_concat();
+    if (eof() || peek() != '|') return first;
+    auto alt = make_node(Node::Kind::kAlt);
+    alt->children.push_back(std::move(first));
+    while (!eof() && peek() == '|') {
+      take();
+      alt->children.push_back(parse_concat());
+    }
+    return alt;
+  }
+
+  NodePtr parse_concat() {
+    auto cat = make_node(Node::Kind::kConcat);
+    while (!eof() && peek() != '|' && peek() != ')') {
+      auto atom = parse_repeat();
+      if (!atom) break;
+      cat->children.push_back(std::move(atom));
+    }
+    return cat;
+  }
+
+  NodePtr parse_repeat() {
+    auto atom = parse_atom();
+    if (!atom) return atom;
+    while (!eof()) {
+      char c = peek();
+      int min = 0, max = 0;
+      if (c == '*') {
+        take();
+        min = 0;
+        max = -1;
+      } else if (c == '+') {
+        take();
+        min = 1;
+        max = -1;
+      } else if (c == '?') {
+        take();
+        min = 0;
+        max = 1;
+      } else if (c == '{') {
+        size_t save = pos_;
+        if (!parse_bounds(min, max)) {
+          pos_ = save;
+          break;  // not a quantifier: '{' is a literal, handled by parse_atom
+        }
+      } else {
+        break;
+      }
+      auto rep = make_node(Node::Kind::kRepeat);
+      rep->min = min;
+      rep->max = max;
+      rep->greedy = true;
+      if (!eof() && peek() == '?') {
+        take();
+        rep->greedy = false;
+      }
+      rep->child = std::move(atom);
+      atom = std::move(rep);
+    }
+    return atom;
+  }
+
+  // Parses "{m}", "{m,}", or "{m,n}" starting at '{'. Returns false (without
+  // reporting an error) if the braces do not form a valid quantifier.
+  bool parse_bounds(int& min, int& max) {
+    size_t p = pos_ + 1;  // past '{'
+    int m = 0;
+    size_t digits = 0;
+    while (p < pattern_.size() && pattern_[p] >= '0' && pattern_[p] <= '9') {
+      m = m * 10 + (pattern_[p] - '0');
+      if (m > 1000) return false;  // cap expansion size
+      ++p;
+      ++digits;
+    }
+    if (digits == 0) return false;
+    if (p < pattern_.size() && pattern_[p] == '}') {
+      min = max = m;
+      pos_ = p + 1;
+      return true;
+    }
+    if (p >= pattern_.size() || pattern_[p] != ',') return false;
+    ++p;
+    if (p < pattern_.size() && pattern_[p] == '}') {
+      min = m;
+      max = -1;
+      pos_ = p + 1;
+      return true;
+    }
+    int n = 0;
+    digits = 0;
+    while (p < pattern_.size() && pattern_[p] >= '0' && pattern_[p] <= '9') {
+      n = n * 10 + (pattern_[p] - '0');
+      if (n > 1000) return false;
+      ++p;
+      ++digits;
+    }
+    if (digits == 0 || p >= pattern_.size() || pattern_[p] != '}' || n < m) {
+      return false;
+    }
+    min = m;
+    max = n;
+    pos_ = p + 1;
+    return true;
+  }
+
+  NodePtr parse_atom() {
+    if (eof()) return make_node(Node::Kind::kConcat);
+    char c = take();
+    switch (c) {
+      case '(': {
+        auto group = make_node(Node::Kind::kGroup);
+        // Support the common non-capturing form (?:...).
+        if (pos_ + 1 < pattern_.size() && peek() == '?' &&
+            pattern_[pos_ + 1] == ':') {
+          pos_ += 2;
+        } else {
+          group->capture = next_capture_++;
+        }
+        group->child = parse_alt();
+        if (eof() || peek() != ')') {
+          fail("missing ')'");
+          return group;
+        }
+        take();
+        return group;
+      }
+      case '[':
+        return parse_class();
+      case '.':
+        return make_node(Node::Kind::kAny);
+      case '^':
+        return make_node(Node::Kind::kBegin);
+      case '$':
+        return make_node(Node::Kind::kEnd);
+      case '\\':
+        return parse_escape();
+      case '*':
+      case '+':
+      case '?':
+        fail("quantifier with nothing to repeat");
+        return make_node(Node::Kind::kConcat);
+      default: {
+        auto lit = make_node(Node::Kind::kChar);
+        lit->ch = c;
+        return lit;
+      }
+    }
+  }
+
+  uint32_t intern_class(const std::bitset<256>& cls) {
+    out_.classes_.push_back(cls);
+    return static_cast<uint32_t>(out_.classes_.size() - 1);
+  }
+
+  static void add_predef(std::bitset<256>& cls, char kind) {
+    auto add_range = [&cls](unsigned char lo, unsigned char hi) {
+      for (unsigned c = lo; c <= hi; ++c) cls.set(c);
+    };
+    switch (kind) {
+      case 'd': add_range('0', '9'); break;
+      case 'w':
+        add_range('a', 'z');
+        add_range('A', 'Z');
+        add_range('0', '9');
+        cls.set('_');
+        break;
+      case 's':
+        for (char ws : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+          cls.set(static_cast<unsigned char>(ws));
+        }
+        break;
+      default: break;
+    }
+  }
+
+  NodePtr class_node(const std::bitset<256>& cls) {
+    auto n = make_node(Node::Kind::kClass);
+    n->class_index = intern_class(cls);
+    return n;
+  }
+
+  NodePtr parse_escape() {
+    if (eof()) {
+      fail("dangling backslash");
+      return make_node(Node::Kind::kConcat);
+    }
+    char c = take();
+    std::bitset<256> cls;
+    switch (c) {
+      case 'd': case 'w': case 's':
+        add_predef(cls, c);
+        return class_node(cls);
+      case 'D': case 'W': case 'S':
+        // Negated class: everything not in the lowercase counterpart.
+        add_predef(cls, static_cast<char>(c - 'A' + 'a'));
+        cls.flip();
+        return class_node(cls);
+      case 'n': { auto n = make_node(Node::Kind::kChar); n->ch = '\n'; return n; }
+      case 't': { auto n = make_node(Node::Kind::kChar); n->ch = '\t'; return n; }
+      case 'r': { auto n = make_node(Node::Kind::kChar); n->ch = '\r'; return n; }
+      default: {
+        // Escaped punctuation matches itself.
+        auto n = make_node(Node::Kind::kChar);
+        n->ch = c;
+        return n;
+      }
+    }
+  }
+
+  NodePtr parse_class() {
+    std::bitset<256> cls;
+    bool negate = false;
+    if (!eof() && peek() == '^') {
+      take();
+      negate = true;
+    }
+    bool first = true;
+    while (true) {
+      if (eof()) {
+        fail("missing ']'");
+        break;
+      }
+      char c = take();
+      if (c == ']' && !first) break;
+      first = false;
+      if (c == '\\') {
+        if (eof()) {
+          fail("dangling backslash in class");
+          break;
+        }
+        char e = take();
+        switch (e) {
+          case 'd': case 'w': case 's': add_predef(cls, e); continue;
+          case 'n': cls.set('\n'); continue;
+          case 't': cls.set('\t'); continue;
+          case 'r': cls.set('\r'); continue;
+          default: c = e; break;
+        }
+      }
+      // Range?
+      if (!eof() && peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        take();  // '-'
+        char hi = take();
+        if (hi == '\\' && !eof()) hi = take();
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          fail("invalid range in class");
+          break;
+        }
+        for (unsigned v = static_cast<unsigned char>(c);
+             v <= static_cast<unsigned char>(hi); ++v) {
+          cls.set(v);
+        }
+      } else {
+        cls.set(static_cast<unsigned char>(c));
+      }
+    }
+    if (negate) cls.flip();
+    return class_node(cls);
+  }
+
+  // --- code emission ---
+
+  using Op = Regex::Op;
+
+  uint32_t here() const { return static_cast<uint32_t>(out_.prog_.size()); }
+
+  void emit(const Node& n) {
+    switch (n.kind) {
+      case Node::Kind::kChar:
+        out_.prog_.push_back({Op::kChar, n.ch, 0, 0});
+        break;
+      case Node::Kind::kAny:
+        out_.prog_.push_back({Op::kAny, 0, 0, 0});
+        break;
+      case Node::Kind::kClass:
+        out_.prog_.push_back({Op::kClass, 0, n.class_index, 0});
+        break;
+      case Node::Kind::kBegin:
+        out_.prog_.push_back({Op::kBegin, 0, 0, 0});
+        break;
+      case Node::Kind::kEnd:
+        out_.prog_.push_back({Op::kEnd, 0, 0, 0});
+        break;
+      case Node::Kind::kConcat:
+        for (const auto& c : n.children) emit(*c);
+        break;
+      case Node::Kind::kGroup:
+        if (n.capture >= 0) {
+          out_.prog_.push_back(
+              {Op::kSave, 0, static_cast<uint32_t>(2 * n.capture + 2), 0});
+          emit(*n.child);
+          out_.prog_.push_back(
+              {Op::kSave, 0, static_cast<uint32_t>(2 * n.capture + 3), 0});
+        } else {
+          emit(*n.child);
+        }
+        break;
+      case Node::Kind::kAlt: {
+        // split a | split b | ... | last
+        std::vector<uint32_t> jumps;
+        for (size_t i = 0; i + 1 < n.children.size(); ++i) {
+          uint32_t split = here();
+          out_.prog_.push_back({Op::kSplit, 0, 0, 0});
+          out_.prog_[split].x = here();
+          emit(*n.children[i]);
+          jumps.push_back(here());
+          out_.prog_.push_back({Op::kJmp, 0, 0, 0});
+          out_.prog_[split].y = here();
+        }
+        emit(*n.children.back());
+        for (uint32_t j : jumps) out_.prog_[j].x = here();
+        break;
+      }
+      case Node::Kind::kRepeat:
+        emit_repeat(n);
+        break;
+    }
+  }
+
+  void emit_repeat(const Node& n) {
+    const Node& body = *n.child;
+    // Mandatory copies.
+    for (int i = 0; i < n.min; ++i) emit(body);
+    if (n.max == -1) {
+      // Kleene loop over one more body, guarded against empty iterations.
+      uint32_t slot = static_cast<uint32_t>(out_.loop_count_++);
+      uint32_t l1 = here();
+      out_.prog_.push_back({Op::kSplit, 0, 0, 0});
+      uint32_t l2 = here();
+      out_.prog_.push_back({Op::kMark, 0, slot, 0});
+      emit(body);
+      out_.prog_.push_back({Op::kCheckProgress, 0, slot, 0});
+      out_.prog_.push_back({Op::kJmp, 0, l1, 0});
+      uint32_t l3 = here();
+      if (n.greedy) {
+        out_.prog_[l1].x = l2;
+        out_.prog_[l1].y = l3;
+      } else {
+        out_.prog_[l1].x = l3;
+        out_.prog_[l1].y = l2;
+      }
+    } else {
+      // (max - min) nested optionals; each split can bail out to the end.
+      std::vector<uint32_t> splits;
+      for (int i = n.min; i < n.max; ++i) {
+        splits.push_back(here());
+        out_.prog_.push_back({Op::kSplit, 0, 0, 0});
+        uint32_t start = here();
+        emit(body);
+        if (n.greedy) {
+          out_.prog_[splits.back()].x = start;
+        } else {
+          out_.prog_[splits.back()].y = start;
+        }
+      }
+      uint32_t end = here();
+      for (uint32_t s : splits) {
+        if (n.greedy) {
+          out_.prog_[s].y = end;
+        } else {
+          out_.prog_[s].x = end;
+        }
+      }
+    }
+  }
+
+  std::string_view pattern_;
+  Regex& out_;
+  size_t pos_ = 0;
+  int next_capture_ = 0;
+  std::string error_;
+};
+
+// ---------------------------------------------------------------------------
+// Regex
+// ---------------------------------------------------------------------------
+
+StatusOr<Regex> Regex::compile(std::string_view pattern) {
+  Regex re;
+  re.pattern_ = std::string(pattern);
+  RegexCompiler compiler(pattern, re);
+  Status s = compiler.compile();
+  if (!s.ok()) return StatusOr<Regex>(s);
+  return re;
+}
+
+Regex Regex::compile_or_die(std::string_view pattern) {
+  auto re = compile(pattern);
+  if (!re.ok()) {
+    std::abort();
+  }
+  return std::move(re.value());
+}
+
+// Execution: an iterative backtracking VM. Backtrack points (from kSplit)
+// go on an explicit heap stack, and kSave/kMark slot writes go on an undo
+// log that is rolled back when a backtrack point is popped — so memory use
+// is bounded by the live choice points, never by input length (a recursive
+// matcher overflows the thread stack on ~100 KB tokens).
+bool Regex::run(std::string_view text, size_t start, bool anchored_end,
+                RegexMatch& m) const {
+  std::vector<size_t> slots(2 * (group_count_ + 1), RegexMatch::kUnset);
+  std::vector<size_t> marks(loop_count_, RegexMatch::kUnset);
+
+  struct Undo {
+    bool is_mark;
+    uint32_t index;
+    size_t old_value;
+  };
+  struct Choice {
+    uint32_t pc;
+    size_t sp;
+    size_t undo_size;
+  };
+  std::vector<Undo> undo;
+  std::vector<Choice> stack;
+
+  uint32_t pc = 0;
+  size_t sp = start;
+  size_t match_end = 0;
+  uint64_t steps = 0;
+  bool matched = false;
+
+  auto backtrack = [&]() -> bool {
+    if (stack.empty()) return false;
+    Choice c = stack.back();
+    stack.pop_back();
+    while (undo.size() > c.undo_size) {
+      const Undo& u = undo.back();
+      (u.is_mark ? marks : slots)[u.index] = u.old_value;
+      undo.pop_back();
+    }
+    pc = c.pc;
+    sp = c.sp;
+    return true;
+  };
+
+  while (true) {
+    if (++steps > step_budget_) return false;
+    const Inst& in = prog_[pc];
+    bool fail = false;
+    switch (in.op) {
+      case Op::kChar:
+        if (sp < text.size() && text[sp] == in.ch) {
+          ++pc;
+          ++sp;
+        } else {
+          fail = true;
+        }
+        break;
+      case Op::kAny:
+        if (sp < text.size() && text[sp] != '\n') {
+          ++pc;
+          ++sp;
+        } else {
+          fail = true;
+        }
+        break;
+      case Op::kClass:
+        if (sp < text.size() &&
+            classes_[in.x].test(static_cast<unsigned char>(text[sp]))) {
+          ++pc;
+          ++sp;
+        } else {
+          fail = true;
+        }
+        break;
+      case Op::kBegin:
+        if (sp != 0) {
+          fail = true;
+        } else {
+          ++pc;
+        }
+        break;
+      case Op::kEnd:
+        if (sp != text.size()) {
+          fail = true;
+        } else {
+          ++pc;
+        }
+        break;
+      case Op::kJmp:
+        pc = in.x;
+        break;
+      case Op::kSplit:
+        stack.push_back({in.y, sp, undo.size()});
+        pc = in.x;
+        break;
+      case Op::kSave:
+        undo.push_back({false, in.x, slots[in.x]});
+        slots[in.x] = sp;
+        ++pc;
+        break;
+      case Op::kMark:
+        undo.push_back({true, in.x, marks[in.x]});
+        marks[in.x] = sp;
+        ++pc;
+        break;
+      case Op::kCheckProgress:
+        if (sp == marks[in.x]) {
+          fail = true;  // empty loop iteration
+        } else {
+          ++pc;
+        }
+        break;
+      case Op::kMatch:
+        if (anchored_end && sp != text.size()) {
+          fail = true;
+        } else {
+          match_end = sp;
+          matched = true;
+        }
+        break;
+    }
+    if (matched) break;
+    if (fail && !backtrack()) return false;
+  }
+
+  m.begin = start;
+  m.end = match_end;
+  m.groups.clear();
+  m.groups.reserve(group_count_);
+  for (size_t g = 0; g < group_count_; ++g) {
+    m.groups.emplace_back(slots[2 * g + 2], slots[2 * g + 3]);
+  }
+  return true;
+}
+
+bool Regex::full_match(std::string_view text, RegexMatch& m) const {
+  return run(text, 0, /*anchored_end=*/true, m);
+}
+
+bool Regex::full_match(std::string_view text) const {
+  RegexMatch m;
+  return full_match(text, m);
+}
+
+bool Regex::search(std::string_view text, RegexMatch& m) const {
+  for (size_t start = 0; start <= text.size(); ++start) {
+    if (run(text, start, /*anchored_end=*/false, m)) return true;
+    // A pattern anchored with '^' can only ever match at 0; the kBegin
+    // instruction makes later starts fail fast, so no special case needed.
+  }
+  return false;
+}
+
+bool Regex::search(std::string_view text) const {
+  RegexMatch m;
+  return search(text, m);
+}
+
+std::string Regex::replace_all(std::string_view text,
+                               std::string_view replacement) const {
+  std::string out;
+  size_t pos = 0;
+  RegexMatch m;
+  while (pos <= text.size()) {
+    std::string_view rest = text.substr(pos);
+    RegexMatch local;
+    bool found = false;
+    for (size_t start = 0; start <= rest.size(); ++start) {
+      if (run(rest, start, false, local)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    out.append(rest.substr(0, local.begin));
+    // Expand the replacement template.
+    for (size_t i = 0; i < replacement.size(); ++i) {
+      char c = replacement[i];
+      if (c == '$' && i + 1 < replacement.size()) {
+        char d = replacement[i + 1];
+        if (d == '$') {
+          out.push_back('$');
+          ++i;
+          continue;
+        }
+        if (d >= '0' && d <= '9') {
+          size_t g = static_cast<size_t>(d - '0');
+          if (g == 0) {
+            out.append(rest.substr(local.begin, local.end - local.begin));
+          } else if (g - 1 < local.groups.size() &&
+                     local.groups[g - 1].first != RegexMatch::kUnset) {
+            out.append(rest.substr(local.groups[g - 1].first,
+                                   local.groups[g - 1].second -
+                                       local.groups[g - 1].first));
+          }
+          ++i;
+          continue;
+        }
+      }
+      out.push_back(c);
+    }
+    size_t advance = local.end > local.begin ? local.end : local.begin + 1;
+    if (local.end == local.begin && local.begin < rest.size()) {
+      out.push_back(rest[local.begin]);  // avoid infinite loop on empty match
+    }
+    pos += advance;
+    if (local.end == local.begin && local.begin == rest.size()) break;
+  }
+  out.append(text.substr(pos));
+  return out;
+}
+
+size_t Regex::compiled_bytes() const {
+  return pattern_.size() + prog_.size() * sizeof(Inst) +
+         classes_.size() * sizeof(std::bitset<256>);
+}
+
+}  // namespace loglens

@@ -1,0 +1,109 @@
+// regexlite: a small backtracking regular-expression engine.
+//
+// LogLens needs regular expressions in three places: the datatype definitions
+// of Table I (WORD, NUMBER, IP, ...), user-supplied tokenizer split rules
+// (Section III-A1), and the Logstash-style baseline parser which compiles
+// whole GROK patterns to regexes and scans them linearly. Depending on a
+// full-featured engine would hide exactly the cost structure the paper
+// measures, so we implement the required subset from scratch:
+//
+//   literals, '.', character classes [a-z0-9_] / [^...], escapes
+//   (\d \D \w \W \s \S plus punctuation), grouping '(...)' with capture,
+//   alternation '|', anchors '^' '$', quantifiers * + ? {m} {m,} {m,n}
+//   with lazy variants (*?, +?, ??, {m,n}?).
+//
+// Patterns compile to a bytecode program executed by a recursive
+// backtracking VM (Pike-style instruction set, backtracking execution). A
+// step budget bounds pathological backtracking; exceeding it reports
+// no-match, which is the safe direction for anomaly detection (an unparsed
+// log is surfaced to the user rather than silently swallowed).
+#pragma once
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace loglens {
+
+struct RegexMatch {
+  size_t begin = 0;  // byte offset of the whole match
+  size_t end = 0;
+  // groups[i] is the i-th capture group (1-based in replacement syntax);
+  // npos/npos when the group did not participate.
+  static constexpr size_t kUnset = static_cast<size_t>(-1);
+  std::vector<std::pair<size_t, size_t>> groups;
+
+  std::string_view group_text(std::string_view subject, size_t index) const {
+    if (index >= groups.size() || groups[index].first == kUnset) return {};
+    return subject.substr(groups[index].first,
+                          groups[index].second - groups[index].first);
+  }
+};
+
+class Regex {
+ public:
+  Regex() = default;
+
+  // Compiles `pattern`; reports syntax errors with offsets.
+  static StatusOr<Regex> compile(std::string_view pattern);
+
+  // Convenience: compiles or aborts. For string literals known to be valid.
+  static Regex compile_or_die(std::string_view pattern);
+
+  // Whole-string match (as if anchored on both ends).
+  bool full_match(std::string_view text) const;
+  bool full_match(std::string_view text, RegexMatch& m) const;
+
+  // Leftmost match anywhere in `text`.
+  bool search(std::string_view text, RegexMatch& m) const;
+  bool search(std::string_view text) const;
+
+  // Replaces every non-overlapping match with `replacement`, where $1..$9
+  // refer to capture groups and $0 to the whole match ($$ emits '$').
+  std::string replace_all(std::string_view text,
+                          std::string_view replacement) const;
+
+  const std::string& pattern() const { return pattern_; }
+  size_t group_count() const { return group_count_; }
+
+  // Rough memory footprint of the compiled program, used by the baseline
+  // parser memory experiment.
+  size_t compiled_bytes() const;
+
+  // Maximum VM steps per match attempt (default 4M). Exposed for tests.
+  void set_step_budget(uint64_t budget) { step_budget_ = budget; }
+
+ private:
+  enum class Op : uint8_t {
+    kChar, kAny, kClass, kSplit, kJmp, kSave, kMatch, kBegin, kEnd,
+    // Empty-loop guards: kMark snapshots the cursor entering a Kleene
+    // iteration; kCheckProgress fails the path when the body consumed
+    // nothing (the exit branch of the loop's Split covers that case).
+    kMark, kCheckProgress,
+  };
+
+  struct Inst {
+    Op op;
+    char ch = 0;        // kChar
+    uint32_t x = 0;     // kSplit/kJmp target, kClass index, kSave slot
+    uint32_t y = 0;     // kSplit second target
+  };
+
+  bool run(std::string_view text, size_t start, bool anchored_end,
+           RegexMatch& m) const;
+
+  std::string pattern_;
+  std::vector<Inst> prog_;
+  std::vector<std::bitset<256>> classes_;
+  size_t group_count_ = 0;
+  size_t loop_count_ = 0;
+  uint64_t step_budget_ = 4u << 20;
+
+  friend class RegexCompiler;
+};
+
+}  // namespace loglens

@@ -1,0 +1,86 @@
+#include "service/dashboard.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/time.h"
+
+namespace loglens {
+
+std::string Dashboard::render() const {
+  std::ostringstream out;
+  auto all = anomalies_.all();
+  out << "=== LogLens Dashboard ===\n";
+  out << "archived logs: " << logs_.size() << "\n";
+  out << "models:";
+  for (const auto& name : models_.names()) {
+    auto entry = models_.latest(name);
+    out << " " << name << "(v" << (entry ? entry->version : 0) << ")";
+  }
+  out << "\nanomalies: " << all.size() << "\n";
+
+  std::map<std::string, size_t> by_type;
+  std::map<std::string, size_t> by_source;
+  std::map<std::string, size_t> by_severity;
+  for (const auto& a : all) {
+    ++by_type[std::string(anomaly_type_name(a.type))];
+    ++by_source[a.source.empty() ? "<unknown>" : a.source];
+    ++by_severity[a.severity];
+  }
+  out << "  by type:\n";
+  for (const auto& [k, v] : by_type) out << "    " << k << ": " << v << "\n";
+  out << "  by source:\n";
+  for (const auto& [k, v] : by_source) out << "    " << k << ": " << v << "\n";
+  out << "  by severity:\n";
+  for (const auto& [k, v] : by_severity) {
+    out << "    " << k << ": " << v << "\n";
+  }
+  return out.str();
+}
+
+std::string Dashboard::render_timeline(int64_t from_ms, int64_t to_ms,
+                                       int64_t bucket_ms) const {
+  std::ostringstream out;
+  if (bucket_ms <= 0 || to_ms <= from_ms) return out.str();
+  size_t buckets = static_cast<size_t>((to_ms - from_ms) / bucket_ms) + 1;
+  std::vector<size_t> counts(buckets, 0);
+  for (const auto& a : anomalies_.all()) {
+    if (a.timestamp_ms < from_ms || a.timestamp_ms > to_ms) continue;
+    ++counts[static_cast<size_t>((a.timestamp_ms - from_ms) / bucket_ms)];
+  }
+  size_t peak = *std::max_element(counts.begin(), counts.end());
+  if (peak == 0) peak = 1;
+  out << "anomaly timeline (" << format_canonical(from_ms) << " .. "
+      << format_canonical(to_ms) << ", " << bucket_ms / 1000 << "s buckets)\n";
+  for (size_t b = 0; b < buckets; ++b) {
+    size_t bar = counts[b] * 50 / peak;
+    out << format_canonical(from_ms + static_cast<int64_t>(b) * bucket_ms)
+        << " | " << std::string(bar, '#') << " " << counts[b] << "\n";
+  }
+  return out.str();
+}
+
+std::string Dashboard::render_recent(size_t limit) const {
+  std::ostringstream out;
+  auto all = anomalies_.all();
+  size_t start = all.size() > limit ? all.size() - limit : 0;
+  for (size_t i = start; i < all.size(); ++i) {
+    const Anomaly& a = all[i];
+    out << "[" << a.severity << "] " << anomaly_type_name(a.type);
+    if (a.timestamp_ms >= 0) out << " @ " << format_canonical(a.timestamp_ms);
+    if (!a.event_id.empty()) out << " event=" << a.event_id;
+    if (!a.source.empty()) out << " source=" << a.source;
+    out << "\n    " << a.reason << "\n";
+    for (const auto& l : a.logs) {
+      out << "      > " << l << "\n";
+      if (&l - a.logs.data() >= 2) {  // cap the echo at three lines
+        out << "      ...\n";
+        break;
+      }
+    }
+  }
+  return out.str();
+}
+
+}  // namespace loglens

@@ -1,0 +1,39 @@
+// Visualization Dashboard (Figure 1), terminal edition.
+//
+// Combines information from the log store, model store, and anomaly store
+// into human-readable summaries: anomaly counts by type/source/severity, a
+// per-minute anomaly timeline (the textual analogue of the paper's Figure 6
+// cluster plot), recent anomaly detail, and the model inventory. Ad-hoc
+// queries pass through to the anomaly store.
+#pragma once
+
+#include <string>
+
+#include "storage/stores.h"
+
+namespace loglens {
+
+class Dashboard {
+ public:
+  Dashboard(const AnomalyStore& anomalies, const ModelStore& models,
+            const LogStore& logs)
+      : anomalies_(anomalies), models_(models), logs_(logs) {}
+
+  // Multi-line textual summary of system status.
+  std::string render() const;
+
+  // Anomaly-count-per-bucket timeline over [from_ms, to_ms]; the text bar
+  // chart that surfaces temporal anomaly clusters.
+  std::string render_timeline(int64_t from_ms, int64_t to_ms,
+                              int64_t bucket_ms) const;
+
+  // Detail listing of the most recent `limit` anomalies.
+  std::string render_recent(size_t limit) const;
+
+ private:
+  const AnomalyStore& anomalies_;
+  const ModelStore& models_;
+  const LogStore& logs_;
+};
+
+}  // namespace loglens

@@ -1,0 +1,82 @@
+#include "service/heartbeat.h"
+
+#include <algorithm>
+
+namespace loglens {
+
+HeartbeatController::HeartbeatController(Broker& broker,
+                                         HeartbeatOptions options)
+    : broker_(broker),
+      options_(std::move(options)),
+      consumer_(broker, options_.watch_topic) {}
+
+void HeartbeatController::observe_new_logs() {
+  constexpr double kAlpha = 0.2;  // EMA weight for gap estimation
+  for (auto batch = consumer_.poll(4096); !batch.empty();
+       batch = consumer_.poll(4096)) {
+    for (const auto& m : batch) {
+      if (m.tag != kTagData || m.source.empty() || m.timestamp_ms < 0) {
+        continue;
+      }
+      SourceClock& clock = sources_[m.source];
+      if (clock.last_ts >= 0 && m.timestamp_ms > clock.last_ts) {
+        double gap = static_cast<double>(m.timestamp_ms - clock.last_ts);
+        clock.avg_gap_ms = clock.avg_gap_ms == 0
+                               ? gap
+                               : (1 - kAlpha) * clock.avg_gap_ms + kAlpha * gap;
+      }
+      clock.last_ts = std::max(clock.last_ts, m.timestamp_ms);
+      clock.predicted_ts = std::max(clock.predicted_ts, clock.last_ts);
+      ++clock.logs_since_tick;
+      ++clock.logs_total;
+    }
+  }
+}
+
+size_t HeartbeatController::emit_all() {
+  size_t emitted = 0;
+  for (auto& [source, clock] : sources_) {
+    if (clock.predicted_ts < 0) continue;
+    Message hb;
+    hb.key = source;
+    hb.value = "";
+    hb.timestamp_ms = clock.predicted_ts;
+    hb.tag = kTagHeartbeat;
+    hb.source = source;
+    broker_.produce(options_.emit_topic, std::move(hb));
+    ++emitted;
+  }
+  return emitted;
+}
+
+size_t HeartbeatController::tick() {
+  observe_new_logs();
+  constexpr double kAlpha = 0.3;
+  for (auto& [_, clock] : sources_) {
+    clock.avg_logs_per_tick =
+        clock.avg_logs_per_tick == 0
+            ? static_cast<double>(clock.logs_since_tick)
+            : (1 - kAlpha) * clock.avg_logs_per_tick +
+                  kAlpha * static_cast<double>(clock.logs_since_tick);
+    if (clock.logs_since_tick == 0 && clock.last_ts >= 0) {
+      // Quiet source: extrapolate by rate (expected logs/tick x mean gap),
+      // bounded below so expiry is eventually reached.
+      auto advance = static_cast<int64_t>(clock.avg_logs_per_tick *
+                                          clock.avg_gap_ms);
+      clock.predicted_ts += std::max(advance, options_.min_advance_ms);
+    }
+    clock.logs_since_tick = 0;
+  }
+  return emit_all();
+}
+
+size_t HeartbeatController::tick_advance(int64_t ms) {
+  observe_new_logs();
+  for (auto& [_, clock] : sources_) {
+    if (clock.predicted_ts >= 0) clock.predicted_ts += ms;
+    clock.logs_since_tick = 0;
+  }
+  return emit_all();
+}
+
+}  // namespace loglens

@@ -1,0 +1,29 @@
+#include "service/log_manager.h"
+
+namespace loglens {
+
+LogManager::LogManager(Broker& broker, LogManagerOptions options)
+    : broker_(broker),
+      options_(std::move(options)),
+      consumer_(broker, options_.input_topic) {}
+
+size_t LogManager::pump() {
+  auto batch = consumer_.poll(options_.max_forward_per_pump);
+  for (auto& m : batch) {
+    if (!m.source.empty()) sources_.insert(m.source);
+    if (options_.archive) {
+      store_.add(m.source, m.value, m.timestamp_ms);
+    }
+    broker_.produce(options_.output_topic, std::move(m));
+  }
+  forwarded_ += batch.size();
+  return batch.size();
+}
+
+size_t LogManager::drain() {
+  size_t total = 0;
+  for (size_t n = pump(); n > 0; n = pump()) total += n;
+  return total;
+}
+
+}  // namespace loglens

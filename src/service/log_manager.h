@@ -1,0 +1,48 @@
+// Log Manager (Figure 1): receives logs from agents, controls the incoming
+// rate, identifies log sources, archives raw logs to the log store, and
+// forwards them to the parser's input topic.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "broker/broker.h"
+#include "storage/stores.h"
+
+namespace loglens {
+
+struct LogManagerOptions {
+  std::string input_topic = "ingest";
+  std::string output_topic = "logs";
+  // Rate control: at most this many logs are forwarded per pump() call;
+  // excess stays buffered in the broker until the next pump.
+  size_t max_forward_per_pump = 65536;
+  bool archive = true;  // store raw logs in the log store
+};
+
+class LogManager {
+ public:
+  LogManager(Broker& broker, LogManagerOptions options = {});
+
+  // Moves up to the rate limit of buffered logs from ingest to the parser
+  // topic. Returns the number forwarded.
+  size_t pump();
+
+  // Drains the ingest topic completely (repeated pumps).
+  size_t drain();
+
+  const std::set<std::string>& sources() const { return sources_; }
+  LogStore& log_store() { return store_; }
+  uint64_t forwarded() const { return forwarded_; }
+
+ private:
+  Broker& broker_;
+  LogManagerOptions options_;
+  Consumer consumer_;
+  LogStore store_;
+  std::set<std::string> sources_;
+  uint64_t forwarded_ = 0;
+};
+
+}  // namespace loglens

@@ -1,0 +1,67 @@
+#include "service/model.h"
+
+namespace loglens {
+
+Json patterns_to_json(const std::vector<GrokPattern>& patterns) {
+  JsonArray arr;
+  arr.reserve(patterns.size());
+  for (const auto& p : patterns) {
+    JsonObject obj;
+    obj.emplace_back("id", Json(static_cast<int64_t>(p.id())));
+    obj.emplace_back("grok", Json(p.to_string()));
+    arr.emplace_back(Json(std::move(obj)));
+  }
+  return Json(std::move(arr));
+}
+
+StatusOr<std::vector<GrokPattern>> patterns_from_json(const Json& j) {
+  if (!j.is_array()) {
+    return StatusOr<std::vector<GrokPattern>>::Error("patterns not an array");
+  }
+  std::vector<GrokPattern> out;
+  out.reserve(j.as_array().size());
+  for (const auto& pj : j.as_array()) {
+    auto p = GrokPattern::parse(pj.get_string("grok"));
+    if (!p.ok()) return StatusOr<std::vector<GrokPattern>>(p.status());
+    p.value().set_id(static_cast<int>(pj.get_int("id")));
+    out.push_back(std::move(p.value()));
+  }
+  return out;
+}
+
+Json CompositeModel::to_json() const {
+  JsonObject obj;
+  obj.emplace_back("patterns", patterns_to_json(patterns));
+  obj.emplace_back("sequence", sequence.to_json());
+  obj.emplace_back("field_ranges", field_ranges.to_json());
+  obj.emplace_back("keywords", keyword_model);
+  return Json(std::move(obj));
+}
+
+StatusOr<CompositeModel> CompositeModel::from_json(const Json& j) {
+  if (!j.is_object()) {
+    return StatusOr<CompositeModel>::Error("model not an object");
+  }
+  CompositeModel m;
+  const Json* pj = j.find("patterns");
+  if (pj == nullptr) return StatusOr<CompositeModel>::Error("missing patterns");
+  auto patterns = patterns_from_json(*pj);
+  if (!patterns.ok()) return StatusOr<CompositeModel>(patterns.status());
+  m.patterns = std::move(patterns.value());
+  if (const Json* sj = j.find("sequence"); sj != nullptr) {
+    auto seq = SequenceModel::from_json(*sj);
+    if (!seq.ok()) return StatusOr<CompositeModel>(seq.status());
+    m.sequence = std::move(seq.value());
+  }
+  if (const Json* rj = j.find("field_ranges"); rj != nullptr) {
+    auto ranges = FieldRangeModel::from_json(*rj);
+    if (!ranges.ok()) return StatusOr<CompositeModel>(ranges.status());
+    m.field_ranges = std::move(ranges.value());
+  }
+  if (const Json* kj = j.find("keywords"); kj != nullptr) {
+    m.keyword_model = *kj;
+  }
+  return m;
+}
+
+}  // namespace loglens

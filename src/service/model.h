@@ -1,0 +1,39 @@
+// The composite LogLens model: everything the streaming stages need, bundled
+// as one broadcastable, JSON-serializable blob.
+//
+// The model builder produces this from training logs; the model store keeps
+// versions of it; the model controller rebroadcasts it into the running
+// pipeline. It carries the discovered GROK pattern set (stateless parser
+// model) and the sequence model (ID fields + automata).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "automata/model.h"
+#include "common/status.h"
+#include "detectors/field_range.h"
+#include "grok/pattern.h"
+#include "json/json.h"
+
+namespace loglens {
+
+struct CompositeModel {
+  std::vector<GrokPattern> patterns;
+  SequenceModel sequence;
+  // Optional extension detectors (empty when the builder did not learn
+  // them): KPI range profiles and the keyword allowlist.
+  FieldRangeModel field_ranges;
+  Json keyword_model = Json(JsonObject{});
+
+  Json to_json() const;
+  static StatusOr<CompositeModel> from_json(const Json& j);
+
+  friend bool operator==(const CompositeModel&, const CompositeModel&) = default;
+};
+
+// Pattern-set (de)serialization, reused by model editing tools.
+Json patterns_to_json(const std::vector<GrokPattern>& patterns);
+StatusOr<std::vector<GrokPattern>> patterns_from_json(const Json& j);
+
+}  // namespace loglens

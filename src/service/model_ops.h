@@ -1,0 +1,115 @@
+// Model Builder, Model Manager, and Model Controller (Figure 1).
+//
+// Builder: turns a corpus of "correct" training logs into the composite
+// model — discovers GROK patterns (LogMine), parses the corpus with them,
+// discovers event ID fields, and learns the automata.
+//
+// Manager: versioned model lifecycle on top of the model store — store,
+// rebuild, and *edit* (the Section III-A4 / Table V human-in-the-loop hook:
+// load, mutate, store as a new version, notify the controller).
+//
+// Controller: translates add/update/delete instructions into rebroadcasts
+// applied to the running engines between micro-batches — the zero-downtime
+// model update of Section V-A.
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "detectors/keyword.h"
+#include "logmine/discoverer.h"
+#include "service/model.h"
+#include "service/tasks.h"
+#include "storage/stores.h"
+#include "streaming/engine.h"
+#include "tokenize/preprocessor.h"
+
+namespace loglens {
+
+struct BuildOptions {
+  DiscoveryOptions discovery;
+  PreprocessorOptions preprocessor;
+  LearnerOptions learner;
+  // Extension detectors (opt-in): learn KPI ranges per (pattern, field) and
+  // the severity-keyword allowlist from the training corpus.
+  bool learn_field_ranges = false;
+  bool learn_keywords = false;
+  FieldRangeOptions field_ranges;
+  KeywordDetectorOptions keywords;
+};
+
+struct BuildResult {
+  CompositeModel model;
+  size_t training_logs = 0;
+  size_t unparsed_training_logs = 0;  // sanity: should be 0
+  double discovery_seconds = 0;       // pattern discovery wall time
+  double total_seconds = 0;
+};
+
+class ModelBuilder {
+ public:
+  explicit ModelBuilder(BuildOptions options = {});
+
+  BuildResult build(const std::vector<std::string>& training_lines) const;
+
+ private:
+  BuildOptions options_;
+};
+
+struct ModelInstruction {
+  enum class Op { kAdd, kUpdate, kDelete };
+  Op op = Op::kUpdate;
+  std::string model_name;
+};
+
+class ModelController {
+ public:
+  // Every (engine, broadcast) pair receives each applied model.
+  struct Target {
+    StreamEngine* engine;
+    std::shared_ptr<ModelBroadcast> broadcast;
+  };
+
+  ModelController(ModelStore& store, std::vector<Target> targets);
+
+  // Reads the named model from the store and schedules the rebroadcast; the
+  // engines pick it up before their next micro-batch.
+  Status apply(const ModelInstruction& instruction);
+
+  uint64_t instructions_applied() const { return applied_; }
+
+ private:
+  ModelStore& store_;
+  std::vector<Target> targets_;
+  uint64_t applied_ = 0;
+};
+
+class ModelManager {
+ public:
+  ModelManager(ModelStore& store, ModelController& controller);
+
+  // Stores a model version and pushes an update instruction.
+  int deploy(const std::string& name, const CompositeModel& model);
+
+  // Human/automated edit: load latest, mutate, store, push update.
+  Status edit(const std::string& name,
+              const std::function<void(CompositeModel&)>& mutate);
+
+  // Periodic relearning hook (the "rebuild using the last seven days of
+  // logs" flow): rebuild from archived logs of a source and deploy.
+  StatusOr<BuildResult> rebuild(const std::string& name, LogStore& logs,
+                                const std::string& source,
+                                const ModelBuilder& builder);
+
+  StatusOr<CompositeModel> get(const std::string& name) const;
+  void remove(const std::string& name);
+
+ private:
+  ModelStore& store_;
+  ModelController& controller_;
+};
+
+}  // namespace loglens

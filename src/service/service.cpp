@@ -1,0 +1,235 @@
+#include "service/service.h"
+
+#include <fstream>
+
+#include "common/hash.h"
+
+namespace loglens {
+
+LogLensService::LogLensService(ServiceOptions options)
+    : options_(std::move(options)),
+      log_manager_(broker_, LogManagerOptions{"ingest", "logs"}),
+      heartbeat_(broker_, HeartbeatOptions{"parsed", "parsed"}),
+      anomaly_sink_(broker_, "anomalies") {
+  broker_.create_topic("ingest", 1);
+  broker_.create_topic("logs", 1);
+  broker_.create_topic("parsed", 1);
+  broker_.create_topic("anomalies", 1);
+
+  parser_broadcast_ = std::make_shared<ModelBroadcast>(
+      1, CompositeModel{}, options_.parser_partitions);
+  detector_broadcast_ = std::make_shared<ModelBroadcast>(
+      2, CompositeModel{}, options_.detector_partitions);
+
+  EngineOptions parser_opts;
+  parser_opts.partitions = options_.parser_partitions;
+  parser_opts.workers = options_.workers;
+  // Stateless stage: partition by source so one source's timestamp-format
+  // cache stays hot on one partition.
+  parser_opts.partitioner = [](const Message& m, size_t n) {
+    return m.source.empty() ? 0 : static_cast<size_t>(fnv1a(m.source) % n);
+  };
+  parser_engine_ = std::make_unique<StreamEngine>(
+      parser_opts, [this](size_t p) -> std::unique_ptr<PartitionTask> {
+        return std::make_unique<ParserTask>(parser_broadcast_, p,
+                                            options_.parser);
+      });
+
+  EngineOptions detector_opts;
+  detector_opts.partitions = options_.detector_partitions;
+  detector_opts.workers = options_.workers;
+  // Stateful stage: default key-hash partitioner; the parser stage keys
+  // parsed logs by event id, so an event's logs share a partition.
+  detector_engine_ = std::make_unique<StreamEngine>(
+      detector_opts, [this](size_t p) -> std::unique_ptr<PartitionTask> {
+        return std::make_unique<DetectorTask>(detector_broadcast_, p,
+                                              options_.detector);
+      });
+
+  parser_runner_ = std::make_unique<JobRunner>(
+      broker_, *parser_engine_, JobOptions{"logs", "parsed", 2048, 20});
+  detector_runner_ = std::make_unique<JobRunner>(
+      broker_, *detector_engine_, JobOptions{"parsed", "anomalies", 2048, 20});
+
+  model_controller_ = std::make_unique<ModelController>(
+      model_store_,
+      std::vector<ModelController::Target>{
+          {parser_engine_.get(), parser_broadcast_},
+          {detector_engine_.get(), detector_broadcast_}});
+  model_manager_ =
+      std::make_unique<ModelManager>(model_store_, *model_controller_);
+}
+
+LogLensService::~LogLensService() { stop(); }
+
+BuildResult LogLensService::train(
+    const std::vector<std::string>& training_lines) {
+  ModelBuilder builder(options_.build);
+  BuildResult result = builder.build(training_lines);
+  model_manager_->deploy(options_.model_name, result.model);
+  if (!running_) drain();  // let the rebroadcast land immediately
+  return result;
+}
+
+Agent LogLensService::make_agent(const std::string& source) {
+  return Agent(broker_, AgentOptions{source, "ingest"});
+}
+
+void LogLensService::start() {
+  if (running_) return;
+  running_ = true;
+  parser_runner_->start();
+  detector_runner_->start();
+}
+
+void LogLensService::stop() {
+  if (!running_) return;
+  parser_runner_->stop();
+  detector_runner_->stop();
+  running_ = false;
+  drain();
+}
+
+void LogLensService::sink_drain() {
+  for (auto batch = anomaly_sink_.poll(4096); !batch.empty();
+       batch = anomaly_sink_.poll(4096)) {
+    for (const auto& m : batch) {
+      auto a = anomaly_from_message(m);
+      if (a.ok()) anomaly_store_.add(a.value());
+    }
+  }
+}
+
+void LogLensService::drain() {
+  // One pass can enqueue work for the next stage, so loop to a fixed point.
+  for (int round = 0; round < 8; ++round) {
+    size_t moved = log_manager_.drain();
+    if (!running_) {
+      parser_runner_->drain();
+      detector_runner_->drain();
+    }
+    sink_drain();
+    if (moved == 0 && round > 0) break;
+  }
+}
+
+Status LogLensService::checkpoint(const std::string& path) {
+  JsonObject obj;
+  obj.emplace_back("model_name", Json(options_.model_name));
+  auto entry = model_store_.latest(options_.model_name);
+  obj.emplace_back("model", entry ? entry->blob : Json(nullptr));
+  JsonArray events;
+  for (size_t p = 0; p < detector_engine_->partitions(); ++p) {
+    auto* task = dynamic_cast<DetectorTask*>(&detector_engine_->task(p));
+    if (task == nullptr) continue;
+    Json snap = task->snapshot_state();
+    if (const Json* open = snap.find("open_events");
+        open != nullptr && open->is_array()) {
+      for (const auto& e : open->as_array()) events.push_back(e);
+    }
+  }
+  obj.emplace_back("open_events", Json(std::move(events)));
+  std::ofstream out(path);
+  if (!out) return Status::Error("cannot write checkpoint: " + path);
+  out << Json(std::move(obj)).dump() << "\n";
+  return out ? Status::Ok() : Status::Error("checkpoint write failed");
+}
+
+Status LogLensService::restore(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::Error("cannot open checkpoint: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto j = Json::parse(text);
+  if (!j.ok()) return j.status();
+  const Json* model_blob = j->find("model");
+  if (model_blob == nullptr || !model_blob->is_object()) {
+    return Status::Error("checkpoint missing model");
+  }
+  auto model = CompositeModel::from_json(*model_blob);
+  if (!model.ok()) return model.status();
+  model_manager_->deploy(options_.model_name, model.value());
+  if (!running_) drain();  // land the rebroadcast
+
+  // Re-shard the open events over this service's detector partitions using
+  // the same key hash the engine's partitioner applies to event ids.
+  const size_t n = detector_engine_->partitions();
+  std::vector<JsonArray> shards(n);
+  if (const Json* events = j->find("open_events");
+      events != nullptr && events->is_array()) {
+    for (const auto& e : events->as_array()) {
+      std::string_view id = e.get_string("id");
+      size_t p = id.empty() ? 0 : static_cast<size_t>(fnv1a(id) % n);
+      shards[p].push_back(e);
+    }
+  }
+  for (size_t p = 0; p < n; ++p) {
+    auto* task = dynamic_cast<DetectorTask*>(&detector_engine_->task(p));
+    if (task == nullptr) continue;
+    JsonObject slice;
+    slice.emplace_back("open_events", Json(std::move(shards[p])));
+    Status s = task->restore_state(Json(std::move(slice)), model.value());
+    if (!s.ok()) return s;
+  }
+  return Status::Ok();
+}
+
+StatusOr<LogLensService::ReplayResult> LogLensService::replay_archive(
+    const std::string& source, int64_t from_ms, int64_t to_ms) {
+  auto model = model_manager_->get(options_.model_name);
+  if (!model.ok()) return StatusOr<ReplayResult>(model.status());
+  std::vector<std::string> lines = log_manager_.log_store().fetch(source);
+  if (lines.empty()) {
+    return StatusOr<ReplayResult>::Error("no archived logs for source: " +
+                                         source);
+  }
+
+  auto pre = Preprocessor::create(options_.parser.preprocessor);
+  if (!pre.ok()) pre = Preprocessor::create({});
+  LogParser parser(model->patterns, pre->classifier());
+  SequenceDetector detector(model->sequence, options_.detector);
+
+  ReplayResult result;
+  int64_t max_ts = -1;
+  for (const auto& line : lines) {
+    TokenizedLog tokenized = pre->process(line);
+    if (tokenized.timestamp_ms >= 0 &&
+        (tokenized.timestamp_ms < from_ms || tokenized.timestamp_ms > to_ms)) {
+      continue;
+    }
+    ++result.logs;
+    max_ts = std::max(max_ts, tokenized.timestamp_ms);
+    auto outcome = parser.parse(tokenized);
+    if (!outcome.log.has_value()) {
+      ++result.unparsed;
+      Anomaly a;
+      a.type = AnomalyType::kUnparsedLog;
+      a.reason = "no pattern parses this archived log";
+      a.timestamp_ms = tokenized.timestamp_ms;
+      a.source = source;
+      a.logs = {line};
+      result.anomalies.push_back(std::move(a));
+      continue;
+    }
+    auto found = detector.on_log(*outcome.log, source);
+    result.anomalies.insert(result.anomalies.end(), found.begin(),
+                            found.end());
+  }
+  if (max_ts >= 0) {
+    auto expired = detector.on_heartbeat(max_ts + 365LL * 24 * 3600 * 1000);
+    result.anomalies.insert(result.anomalies.end(), expired.begin(),
+                            expired.end());
+  }
+  return result;
+}
+
+size_t LogLensService::open_events() {
+  size_t total = 0;
+  for (size_t p = 0; p < detector_engine_->partitions(); ++p) {
+    auto* task = dynamic_cast<DetectorTask*>(&detector_engine_->task(p));
+    if (task != nullptr) total += task->open_events();
+  }
+  return total;
+}
+
+}  // namespace loglens

@@ -1,0 +1,122 @@
+// LogLensService: the fully wired system of Figure 1.
+//
+//   agents -> [ingest] -> LogManager -> [logs] -> parser engine ->
+//   [parsed] -> detector engine -> [anomalies] -> anomaly store
+//
+// plus the model side (builder -> store -> manager -> controller ->
+// rebroadcast into both engines) and the heartbeat controller feeding
+// predicted log time into [parsed].
+//
+// Two modes:
+//   - start()/stop(): background JobRunners — the deployed service.
+//   - drain(): synchronous end-to-end processing of everything queued —
+//     what the experiments use for determinism.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "broker/broker.h"
+#include "service/agent.h"
+#include "service/heartbeat.h"
+#include "service/log_manager.h"
+#include "service/model_ops.h"
+#include "service/tasks.h"
+#include "storage/stores.h"
+#include "streaming/engine.h"
+#include "streaming/job.h"
+
+namespace loglens {
+
+struct ServiceOptions {
+  size_t parser_partitions = 2;
+  size_t detector_partitions = 2;
+  size_t workers = 2;
+  ParserTaskOptions parser;
+  DetectorOptions detector;
+  std::string model_name = "default";
+  BuildOptions build;
+};
+
+class LogLensService {
+ public:
+  explicit LogLensService(ServiceOptions options = {});
+  ~LogLensService();
+
+  // Builds the model from training lines, stores it, and deploys it to the
+  // pipeline.
+  BuildResult train(const std::vector<std::string>& training_lines);
+
+  // Creates an agent shipping into this service.
+  Agent make_agent(const std::string& source);
+
+  // Asynchronous service mode.
+  void start();
+  void stop();
+
+  // Synchronous mode: process everything currently queued, end to end.
+  void drain();
+
+  // Heartbeat controller ticks (also see HeartbeatController docs). Call
+  // drain() afterwards (or rely on the background runners) so the detector
+  // consumes the emitted heartbeats.
+  size_t heartbeat_tick() { return heartbeat_.tick(); }
+  size_t heartbeat_advance(int64_t ms) { return heartbeat_.tick_advance(ms); }
+
+  Broker& broker() { return broker_; }
+  ModelManager& models() { return *model_manager_; }
+  AnomalyStore& anomalies() { return anomaly_store_; }
+  LogStore& log_store() { return log_manager_.log_store(); }
+  LogManager& log_manager() { return log_manager_; }
+  ModelStore& model_store() { return model_store_; }
+
+  size_t open_events();
+  const std::string& model_name() const { return options_.model_name; }
+
+  // Checkpointing (extension): persist the deployed model and every
+  // detector partition's open-event state to a JSON file, and restore it
+  // into a (fresh) service — possibly with a different partition count; open
+  // events are re-sharded by their event id. Call on a quiesced service
+  // (stopped or drained).
+  Status checkpoint(const std::string& path);
+  Status restore(const std::string& path);
+
+  // Post-facto analysis (Figure 1's Log Storage role: "stored logs can be
+  // used ... for future log replaying to perform further analysis"): re-runs
+  // detection over a source's archived logs — with the *currently deployed*
+  // model — without touching the live pipeline's state or anomaly store.
+  // Optional [from_ms, to_ms] bounds filter on the logs' embedded
+  // timestamps (logs without one always pass). The replay ends with a far-
+  // future heartbeat so open events are fully resolved.
+  struct ReplayResult {
+    size_t logs = 0;
+    size_t unparsed = 0;
+    std::vector<Anomaly> anomalies;
+  };
+  StatusOr<ReplayResult> replay_archive(const std::string& source,
+                                        int64_t from_ms = INT64_MIN,
+                                        int64_t to_ms = INT64_MAX);
+
+ private:
+  void sink_drain();
+
+  ServiceOptions options_;
+  Broker broker_;
+  LogManager log_manager_;
+  std::shared_ptr<ModelBroadcast> parser_broadcast_;
+  std::shared_ptr<ModelBroadcast> detector_broadcast_;
+  std::unique_ptr<StreamEngine> parser_engine_;
+  std::unique_ptr<StreamEngine> detector_engine_;
+  std::unique_ptr<JobRunner> parser_runner_;
+  std::unique_ptr<JobRunner> detector_runner_;
+  HeartbeatController heartbeat_;
+  ModelStore model_store_;
+  std::unique_ptr<ModelController> model_controller_;
+  std::unique_ptr<ModelManager> model_manager_;
+  AnomalyStore anomaly_store_;
+  Consumer anomaly_sink_;
+  bool running_ = false;
+};
+
+}  // namespace loglens

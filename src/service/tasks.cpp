@@ -1,0 +1,138 @@
+#include "service/tasks.h"
+
+namespace loglens {
+
+namespace {
+
+Preprocessor make_preprocessor(PreprocessorOptions options) {
+  auto pre = Preprocessor::create(std::move(options));
+  if (pre.ok()) return std::move(pre.value());
+  // Invalid user split rules: degrade to defaults rather than dropping logs.
+  return std::move(Preprocessor::create({}).value());
+}
+
+}  // namespace
+
+ParserTask::ParserTask(std::shared_ptr<ModelBroadcast> model, size_t partition,
+                       ParserTaskOptions options)
+    : model_(std::move(model)),
+      partition_(partition),
+      options_(std::move(options)),
+      preprocessor_(make_preprocessor(options_.preprocessor)) {}
+
+void ParserTask::refresh_model(size_t partition) {
+  auto fresh = model_->value(partition);
+  if (fresh == current_ && parser_ != nullptr) return;
+  current_ = std::move(fresh);
+  parser_ = std::make_unique<LogParser>(current_->patterns,
+                                        preprocessor_.classifier());
+  id_fields_ = current_->sequence.id_fields;
+  keywords_.reset();
+  if (options_.check_keywords && current_->keyword_model.is_object() &&
+      !current_->keyword_model.as_object().empty()) {
+    auto detector =
+        KeywordDetector::from_json(current_->keyword_model, options_.keywords);
+    if (detector.ok()) {
+      keywords_ =
+          std::make_unique<KeywordDetector>(std::move(detector.value()));
+    }
+  }
+}
+
+void ParserTask::process(const Message& message, TaskContext& ctx) {
+  if (message.tag == kTagHeartbeat) {
+    // Pass heartbeats downstream exactly once (partition 0); the detector
+    // engine's partitioner re-duplicates them across its own partitions.
+    if (partition_ == 0) ctx.emit(message);
+    return;
+  }
+  if (message.tag == kTagControl) return;
+
+  refresh_model(partition_);
+  TokenizedLog tokenized = preprocessor_.process(message.value);
+
+  // Extension: stateless keyword detection on the raw line.
+  if (keywords_ != nullptr) {
+    if (auto alert = keywords_->check(message.value, message.source,
+                                      tokenized.timestamp_ms)) {
+      ctx.emit(anomaly_to_message(*alert));
+    }
+  }
+
+  ParseOutcome outcome = parser_->parse(tokenized);
+  if (!outcome.log.has_value()) {
+    Anomaly a;
+    a.type = AnomalyType::kUnparsedLog;
+    a.severity = "medium";
+    a.reason = "no discovered pattern parses this log";
+    a.timestamp_ms = tokenized.timestamp_ms;
+    a.source = message.source;
+    a.logs = {message.value};
+    ctx.emit(anomaly_to_message(a));
+    return;
+  }
+
+  ParsedLog& parsed = *outcome.log;
+
+  // Extension: KPI range checks on the parsed fields.
+  if (options_.check_field_ranges &&
+      current_->field_ranges.tracked_fields() > 0) {
+    for (const auto& a :
+         current_->field_ranges.check(parsed, message.source)) {
+      ctx.emit(anomaly_to_message(a));
+    }
+  }
+
+  // Keyed partitioning for the stateful stage: use the event id when this
+  // pattern has one, so an event's logs land on one detector partition.
+  std::string key = message.source;
+  if (auto it = id_fields_.find(parsed.pattern_id); it != id_fields_.end()) {
+    for (const auto& [k, v] : parsed.fields) {
+      if (k == it->second && v.is_string() && !v.as_string().empty()) {
+        key = v.as_string();
+        break;
+      }
+    }
+  }
+  ctx.emit(parsed_to_message(parsed, std::move(key), message.source));
+}
+
+DetectorTask::DetectorTask(std::shared_ptr<ModelBroadcast> model,
+                           size_t partition, DetectorOptions options)
+    : model_(std::move(model)), partition_(partition), options_(options) {}
+
+void DetectorTask::refresh_model(size_t partition) {
+  auto fresh = model_->value(partition);
+  if (fresh == current_ && detector_ != nullptr) return;
+  current_ = std::move(fresh);
+  if (detector_ == nullptr) {
+    detector_ =
+        std::make_unique<SequenceDetector>(current_->sequence, options_);
+  } else {
+    // Dynamic model update: swap rules, keep open states (Section V-A).
+    detector_->update_model(current_->sequence);
+  }
+}
+
+void DetectorTask::process(const Message& message, TaskContext& ctx) {
+  if (message.tag == kTagAnomaly) {
+    ctx.emit(message);  // stateless anomalies pass through to the sink
+    return;
+  }
+  if (message.tag == kTagControl) return;
+  refresh_model(partition_);
+
+  std::vector<Anomaly> anomalies;
+  if (message.tag == kTagHeartbeat) {
+    anomalies = detector_->on_heartbeat(message.timestamp_ms);
+  } else {
+    auto parsed = parsed_from_message(message);
+    if (!parsed.ok()) return;  // malformed payloads are dropped
+    anomalies = detector_->on_log(parsed.value(), message.source);
+  }
+  for (const auto& a : anomalies) {
+    ctx.emit(anomaly_to_message(a));
+  }
+}
+
+}  // namespace loglens

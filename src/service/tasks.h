@@ -1,0 +1,94 @@
+// The two streaming stages as partition tasks: the stateless parser stage
+// and the stateful sequence-detector stage.
+//
+// Each task reads the composite model through a rebroadcastable Broadcast
+// variable. A task detects a model update by pointer identity of the pulled
+// value: the parser stage rebuilds its (stateless) LogParser; the detector
+// stage calls SequenceDetector::update_model, which swaps rules while
+// preserving every open state — the zero-downtime behaviour of Section V-A.
+#pragma once
+
+#include <memory>
+
+#include "automata/detector.h"
+#include "detectors/field_range.h"
+#include "detectors/keyword.h"
+#include "parser/log_parser.h"
+#include "service/model.h"
+#include "service/wire.h"
+#include "streaming/engine.h"
+#include "tokenize/preprocessor.h"
+
+namespace loglens {
+
+using ModelBroadcast = Broadcast<CompositeModel>;
+
+struct ParserTaskOptions {
+  PreprocessorOptions preprocessor;
+  // Run the extension detectors when the model carries them.
+  bool check_field_ranges = true;
+  bool check_keywords = true;
+  KeywordDetectorOptions keywords;
+};
+
+class ParserTask : public PartitionTask {
+ public:
+  ParserTask(std::shared_ptr<ModelBroadcast> model, size_t partition,
+             ParserTaskOptions options = {});
+
+  void process(const Message& message, TaskContext& ctx) override;
+
+  const ParserStats* parser_stats() const {
+    return parser_ ? &parser_->stats() : nullptr;
+  }
+
+ private:
+  void refresh_model(size_t partition);
+
+  std::shared_ptr<ModelBroadcast> model_;
+  size_t partition_;
+  ParserTaskOptions options_;
+  Preprocessor preprocessor_;
+  std::shared_ptr<const CompositeModel> current_;
+  std::unique_ptr<LogParser> parser_;
+  IdFieldMap id_fields_;
+  std::unique_ptr<KeywordDetector> keywords_;
+};
+
+class DetectorTask : public PartitionTask {
+ public:
+  DetectorTask(std::shared_ptr<ModelBroadcast> model, size_t partition,
+               DetectorOptions options = {});
+
+  void process(const Message& message, TaskContext& ctx) override;
+
+  size_t open_events() const {
+    return detector_ ? detector_->open_events() : 0;
+  }
+  // Checkpointing hooks (called between batches by the service).
+  Json snapshot_state() const {
+    return detector_ ? detector_->snapshot_state()
+                     : Json(JsonObject{{"open_events", Json(JsonArray{})}});
+  }
+  Status restore_state(const Json& j, const CompositeModel& model) {
+    if (detector_ == nullptr) {
+      detector_ = std::make_unique<SequenceDetector>(model.sequence, options_);
+      current_.reset();  // next refresh re-pulls and update_model()s
+    }
+    return detector_->restore_state(j);
+  }
+  const DetectorStats* detector_stats() const {
+    return detector_ ? &detector_->stats() : nullptr;
+  }
+
+ private:
+  void refresh_model(size_t partition);
+
+  std::shared_ptr<ModelBroadcast> model_;
+  size_t partition_;
+  DetectorOptions options_;
+  std::shared_ptr<const CompositeModel> current_;
+  std::unique_ptr<SequenceDetector> detector_;
+};
+
+}  // namespace loglens

@@ -1,0 +1,55 @@
+#include "service/wire.h"
+
+namespace loglens {
+
+Message parsed_to_message(const ParsedLog& log, std::string key,
+                          std::string source) {
+  JsonObject obj;
+  obj.emplace_back("pattern_id", Json(static_cast<int64_t>(log.pattern_id)));
+  obj.emplace_back("ts", Json(log.timestamp_ms));
+  obj.emplace_back("raw", Json(log.raw));
+  JsonObject fields;
+  for (const auto& [k, v] : log.fields) fields.emplace_back(k, v);
+  obj.emplace_back("fields", Json(std::move(fields)));
+
+  Message m;
+  m.key = std::move(key);
+  m.value = Json(std::move(obj)).dump();
+  m.timestamp_ms = log.timestamp_ms;
+  m.tag = kTagData;
+  m.source = std::move(source);
+  return m;
+}
+
+StatusOr<ParsedLog> parsed_from_message(const Message& m) {
+  auto j = Json::parse(m.value);
+  if (!j.ok()) return StatusOr<ParsedLog>(j.status());
+  const Json& obj = j.value();
+  ParsedLog log;
+  log.pattern_id = static_cast<int>(obj.get_int("pattern_id"));
+  log.timestamp_ms = obj.get_int("ts", -1);
+  log.raw = std::string(obj.get_string("raw"));
+  if (const Json* fields = obj.find("fields");
+      fields != nullptr && fields->is_object()) {
+    log.fields = fields->as_object();
+  }
+  return log;
+}
+
+Message anomaly_to_message(const Anomaly& anomaly) {
+  Message m;
+  m.key = anomaly.event_id.empty() ? anomaly.source : anomaly.event_id;
+  m.value = anomaly.to_json().dump();
+  m.timestamp_ms = anomaly.timestamp_ms;
+  m.tag = kTagAnomaly;
+  m.source = anomaly.source;
+  return m;
+}
+
+StatusOr<Anomaly> anomaly_from_message(const Message& m) {
+  auto j = Json::parse(m.value);
+  if (!j.ok()) return StatusOr<Anomaly>(j.status());
+  return Anomaly::from_json(j.value());
+}
+
+}  // namespace loglens

@@ -1,0 +1,28 @@
+// Wire encoding between pipeline stages.
+//
+// The parser stage publishes parsed logs (and stateless anomalies) to the
+// "parsed" topic; the detector stage publishes anomalies to the "anomalies"
+// topic. Payloads are single-line JSON.
+#pragma once
+
+#include <string>
+
+#include "broker/message.h"
+#include "common/status.h"
+#include "parser/log_parser.h"
+#include "storage/anomaly.h"
+
+namespace loglens {
+
+inline constexpr const char* kTagAnomaly = "anomaly";
+
+// ParsedLog <-> Message. `key` is the event-id content when known (for keyed
+// partitioning in the detector stage), otherwise the source.
+Message parsed_to_message(const ParsedLog& log, std::string key,
+                          std::string source);
+StatusOr<ParsedLog> parsed_from_message(const Message& m);
+
+Message anomaly_to_message(const Anomaly& anomaly);
+StatusOr<Anomaly> anomaly_from_message(const Message& m);
+
+}  // namespace loglens

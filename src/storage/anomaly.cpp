@@ -1,0 +1,82 @@
+#include "storage/anomaly.h"
+
+#include "common/time.h"
+
+namespace loglens {
+
+std::string_view anomaly_type_name(AnomalyType t) {
+  switch (t) {
+    case AnomalyType::kUnparsedLog: return "UNPARSED_LOG";
+    case AnomalyType::kMissingBeginState: return "MISSING_BEGIN_STATE";
+    case AnomalyType::kMissingEndState: return "MISSING_END_STATE";
+    case AnomalyType::kMissingIntermediateState:
+      return "MISSING_INTERMEDIATE_STATE";
+    case AnomalyType::kOccurrenceViolation: return "OCCURRENCE_VIOLATION";
+    case AnomalyType::kDurationViolation: return "DURATION_VIOLATION";
+    case AnomalyType::kUnknownTransition: return "UNKNOWN_TRANSITION";
+    case AnomalyType::kKeywordAlert: return "KEYWORD_ALERT";
+    case AnomalyType::kValueOutOfRange: return "VALUE_OUT_OF_RANGE";
+  }
+  return "UNPARSED_LOG";
+}
+
+bool anomaly_type_from_name(std::string_view name, AnomalyType& out) {
+  for (AnomalyType t :
+       {AnomalyType::kUnparsedLog, AnomalyType::kMissingBeginState,
+        AnomalyType::kMissingEndState, AnomalyType::kMissingIntermediateState,
+        AnomalyType::kOccurrenceViolation, AnomalyType::kDurationViolation,
+        AnomalyType::kUnknownTransition, AnomalyType::kKeywordAlert,
+        AnomalyType::kValueOutOfRange}) {
+    if (anomaly_type_name(t) == name) {
+      out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+Json Anomaly::to_json() const {
+  JsonObject obj;
+  obj.emplace_back("type", Json(anomaly_type_name(type)));
+  obj.emplace_back("severity", Json(severity));
+  obj.emplace_back("reason", Json(reason));
+  obj.emplace_back("timestamp_ms", Json(timestamp_ms));
+  if (timestamp_ms >= 0) {
+    obj.emplace_back("timestamp", Json(format_canonical(timestamp_ms)));
+  }
+  obj.emplace_back("source", Json(source));
+  obj.emplace_back("event_id", Json(event_id));
+  obj.emplace_back("automaton_id", Json(static_cast<int64_t>(automaton_id)));
+  JsonArray arr;
+  arr.reserve(logs.size());
+  for (const auto& l : logs) arr.emplace_back(l);
+  obj.emplace_back("logs", Json(std::move(arr)));
+  obj.emplace_back("details", details);
+  return Json(std::move(obj));
+}
+
+StatusOr<Anomaly> Anomaly::from_json(const Json& j) {
+  if (!j.is_object()) return StatusOr<Anomaly>::Error("anomaly is not an object");
+  Anomaly a;
+  if (!anomaly_type_from_name(j.get_string("type"), a.type)) {
+    return StatusOr<Anomaly>::Error("unknown anomaly type: " +
+                                    std::string(j.get_string("type")));
+  }
+  a.severity = std::string(j.get_string("severity", "medium"));
+  a.reason = std::string(j.get_string("reason"));
+  a.timestamp_ms = j.get_int("timestamp_ms", -1);
+  a.source = std::string(j.get_string("source"));
+  a.event_id = std::string(j.get_string("event_id"));
+  a.automaton_id = static_cast<int>(j.get_int("automaton_id", -1));
+  if (const Json* logs = j.find("logs"); logs != nullptr && logs->is_array()) {
+    for (const auto& l : logs->as_array()) {
+      if (l.is_string()) a.logs.push_back(l.as_string());
+    }
+  }
+  if (const Json* details = j.find("details"); details != nullptr) {
+    a.details = *details;
+  }
+  return a;
+}
+
+}  // namespace loglens

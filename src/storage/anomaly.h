@@ -1,0 +1,54 @@
+// Anomaly records (paper Table II plus the stateless unparsed-log anomaly).
+//
+// "Each anomaly has a type, severity, reason, timestamp, associated logs,
+// etc." (Section II, Anomaly Storage). These records are produced by the
+// stateless parser (kUnparsedLog) and the stateful sequence detector (the
+// four Table II types), stored in the anomaly store, and surfaced by the
+// dashboard.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json/json.h"
+
+namespace loglens {
+
+enum class AnomalyType {
+  kUnparsedLog,               // stateless: no pattern parses the log
+  kMissingBeginState,         // Table II type 1
+  kMissingEndState,           // Table II type 1
+  kMissingIntermediateState,  // Table II type 2
+  kOccurrenceViolation,       // Table II type 3
+  kDurationViolation,         // Table II type 4
+  kUnknownTransition,         // extension: unseen consecutive state pair
+  kKeywordAlert,              // extension: severity keyword (stateless)
+  kValueOutOfRange,           // extension: KPI outside learned range
+};
+
+std::string_view anomaly_type_name(AnomalyType t);
+bool anomaly_type_from_name(std::string_view name, AnomalyType& out);
+
+struct Anomaly {
+  AnomalyType type = AnomalyType::kUnparsedLog;
+  std::string severity = "medium";  // low / medium / high
+  std::string reason;
+  int64_t timestamp_ms = -1;   // log time at which the anomaly was detected
+  std::string source;          // log source name
+  std::string event_id;        // ID-field content (stateful anomalies)
+  int automaton_id = -1;       // which automaton's rule fired (-1: stateless)
+  std::vector<std::string> logs;  // associated raw log lines
+  // Structured facts behind the anomaly (violated bounds, observed values),
+  // machine-readable so feedback tooling can turn "this is normal" into a
+  // concrete model edit (service/feedback.h).
+  Json details = Json(JsonObject{});
+
+  Json to_json() const;
+  static StatusOr<Anomaly> from_json(const Json& j);
+
+  friend bool operator==(const Anomaly&, const Anomaly&) = default;
+};
+
+}  // namespace loglens

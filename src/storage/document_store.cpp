@@ -1,0 +1,126 @@
+#include "storage/document_store.h"
+
+#include <algorithm>
+#include <fstream>
+
+namespace loglens {
+
+uint64_t DocumentStore::insert(Json doc) {
+  std::lock_guard lock(mu_);
+  uint64_t id = docs_.size();
+  if (doc.is_object()) {
+    for (const auto& [k, v] : doc.as_object()) {
+      if (v.is_string()) {
+        term_index_[k][v.as_string()].push_back(id);
+      }
+    }
+  }
+  docs_.push_back(std::move(doc));
+  return id;
+}
+
+std::optional<Json> DocumentStore::get(uint64_t id) const {
+  std::lock_guard lock(mu_);
+  if (id >= docs_.size()) return std::nullopt;
+  return docs_[id];
+}
+
+bool DocumentStore::matches_locked(const Json& doc, const Query& q) const {
+  for (const auto& c : q.clauses) {
+    const Json* v = doc.find(c.field);
+    if (v == nullptr) return false;
+    if (c.kind == QueryClause::Kind::kTerm) {
+      if (!v->is_string() || v->as_string() != c.term) return false;
+    } else {
+      if (!v->is_number()) return false;
+      int64_t n = v->as_int();
+      if (n < c.min || n > c.max) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Json> DocumentStore::query(const Query& q) const {
+  std::lock_guard lock(mu_);
+  std::vector<Json> out;
+
+  // If a term clause exists, drive the scan from the smallest posting list.
+  const std::vector<uint64_t>* postings = nullptr;
+  for (const auto& c : q.clauses) {
+    if (c.kind != QueryClause::Kind::kTerm) continue;
+    auto fit = term_index_.find(c.field);
+    if (fit == term_index_.end()) return out;
+    auto vit = fit->second.find(c.term);
+    if (vit == fit->second.end()) return out;
+    if (postings == nullptr || vit->second.size() < postings->size()) {
+      postings = &vit->second;
+    }
+  }
+
+  auto consider = [&](uint64_t id) {
+    if (out.size() >= q.limit) return false;
+    if (matches_locked(docs_[id], q)) out.push_back(docs_[id]);
+    return out.size() < q.limit;
+  };
+
+  if (postings != nullptr) {
+    for (uint64_t id : *postings) {
+      if (!consider(id)) break;
+    }
+  } else {
+    for (uint64_t id = 0; id < docs_.size(); ++id) {
+      if (!consider(id)) break;
+    }
+  }
+  return out;
+}
+
+size_t DocumentStore::count(const Query& q) const {
+  Query unlimited = q;
+  unlimited.limit = SIZE_MAX;
+  return query(unlimited).size();
+}
+
+size_t DocumentStore::size() const {
+  std::lock_guard lock(mu_);
+  return docs_.size();
+}
+
+void DocumentStore::clear() {
+  std::lock_guard lock(mu_);
+  docs_.clear();
+  term_index_.clear();
+}
+
+Status DocumentStore::save_jsonl(const std::string& path) const {
+  std::lock_guard lock(mu_);
+  std::ofstream out(path);
+  if (!out) return Status::Error("cannot open for writing: " + path);
+  std::string line;
+  for (const auto& d : docs_) {
+    line.clear();
+    d.dump_to(line);
+    out << line << '\n';
+  }
+  return out ? Status::Ok() : Status::Error("write failed: " + path);
+}
+
+Status DocumentStore::load_jsonl(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::Error("cannot open: " + path);
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    auto doc = Json::parse(line);
+    if (!doc.ok()) {
+      return Status::Error(path + ":" + std::to_string(line_no) + ": " +
+                           doc.status().message());
+    }
+    insert(std::move(doc.value()));
+  }
+  return Status::Ok();
+}
+
+}  // namespace loglens

@@ -1,0 +1,86 @@
+// In-memory, JSONL-persisted document store — the Elasticsearch substitute.
+//
+// The paper uses Elasticsearch for three roles: archiving raw logs by
+// source, storing learned models, and storing anomalies for human review,
+// all queried by simple term/time predicates. This store covers exactly
+// that: JSON documents with auto-assigned ids, an inverted term index over
+// top-level string fields, range scans over integer fields, and JSONL
+// save/load for durability. Thread-safe.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "json/json.h"
+
+namespace loglens {
+
+struct QueryClause {
+  enum class Kind { kTerm, kRange };
+  Kind kind = Kind::kTerm;
+  std::string field;
+  std::string term;        // kTerm: exact string equality
+  int64_t min = INT64_MIN; // kRange: inclusive bounds on an integer field
+  int64_t max = INT64_MAX;
+
+  static QueryClause Term(std::string field, std::string value) {
+    QueryClause c;
+    c.kind = Kind::kTerm;
+    c.field = std::move(field);
+    c.term = std::move(value);
+    return c;
+  }
+  static QueryClause Range(std::string field, int64_t min, int64_t max) {
+    QueryClause c;
+    c.kind = Kind::kRange;
+    c.field = std::move(field);
+    c.min = min;
+    c.max = max;
+    return c;
+  }
+};
+
+struct Query {
+  std::vector<QueryClause> clauses;  // conjunctive
+  size_t limit = SIZE_MAX;
+};
+
+class DocumentStore {
+ public:
+  DocumentStore() = default;
+  DocumentStore(const DocumentStore&) = delete;
+  DocumentStore& operator=(const DocumentStore&) = delete;
+
+  // Inserts a document (must be a JSON object) and returns its id.
+  uint64_t insert(Json doc);
+
+  std::optional<Json> get(uint64_t id) const;
+
+  // Returns copies of documents satisfying every clause, in insertion order.
+  std::vector<Json> query(const Query& q) const;
+  size_t count(const Query& q) const;
+
+  size_t size() const;
+  void clear();
+
+  // One JSON object per line.
+  Status save_jsonl(const std::string& path) const;
+  Status load_jsonl(const std::string& path);
+
+ private:
+  bool matches_locked(const Json& doc, const Query& q) const;
+
+  mutable std::mutex mu_;
+  std::vector<Json> docs_;
+  // field -> value -> doc ids; maintained for top-level string fields.
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, std::vector<uint64_t>>>
+      term_index_;
+};
+
+}  // namespace loglens

@@ -1,0 +1,121 @@
+#include "storage/stores.h"
+
+#include <algorithm>
+
+namespace loglens {
+
+void LogStore::add(std::string_view source, std::string_view raw,
+                   int64_t ts_ms) {
+  JsonObject obj;
+  obj.emplace_back("source", Json(source));
+  obj.emplace_back("raw", Json(raw));
+  obj.emplace_back("ts", Json(ts_ms));
+  store_.insert(Json(std::move(obj)));
+}
+
+std::vector<std::string> LogStore::fetch(std::string_view source,
+                                         int64_t from_ms, int64_t to_ms,
+                                         size_t limit) const {
+  Query q;
+  q.clauses.push_back(QueryClause::Term("source", std::string(source)));
+  if (from_ms != INT64_MIN || to_ms != INT64_MAX) {
+    q.clauses.push_back(QueryClause::Range("ts", from_ms, to_ms));
+  }
+  q.limit = limit;
+  std::vector<std::string> out;
+  for (const auto& doc : store_.query(q)) {
+    out.emplace_back(doc.get_string("raw"));
+  }
+  return out;
+}
+
+int ModelStore::put(std::string_view name, Json blob) {
+  std::lock_guard lock(mu_);
+  int version = 0;
+  for (const auto& e : entries_) {
+    if (e.name == name) version = std::max(version, e.version);
+  }
+  entries_.push_back(Entry{std::string(name), version + 1, std::move(blob)});
+  // Re-adding a model revives it after deletion.
+  std::erase(deleted_, std::string(name));
+  return version + 1;
+}
+
+std::optional<ModelStore::Entry> ModelStore::latest(
+    std::string_view name) const {
+  std::lock_guard lock(mu_);
+  if (std::find(deleted_.begin(), deleted_.end(), name) != deleted_.end()) {
+    return std::nullopt;
+  }
+  const Entry* best = nullptr;
+  for (const auto& e : entries_) {
+    if (e.name == name && (best == nullptr || e.version > best->version)) {
+      best = &e;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::optional<ModelStore::Entry> ModelStore::version(std::string_view name,
+                                                     int version) const {
+  std::lock_guard lock(mu_);
+  for (const auto& e : entries_) {
+    if (e.name == name && e.version == version) return e;
+  }
+  return std::nullopt;
+}
+
+void ModelStore::remove(std::string_view name) {
+  std::lock_guard lock(mu_);
+  if (std::find(deleted_.begin(), deleted_.end(), name) == deleted_.end()) {
+    deleted_.emplace_back(name);
+  }
+}
+
+std::vector<std::string> ModelStore::names() const {
+  std::lock_guard lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    if (std::find(out.begin(), out.end(), e.name) != out.end()) continue;
+    if (std::find(deleted_.begin(), deleted_.end(), e.name) != deleted_.end()) {
+      continue;
+    }
+    out.push_back(e.name);
+  }
+  return out;
+}
+
+void AnomalyStore::add(const Anomaly& anomaly) {
+  store_.insert(anomaly.to_json());
+}
+
+std::vector<Anomaly> AnomalyStore::all() const {
+  std::vector<Anomaly> out;
+  for (const auto& doc : store_.query(Query{})) {
+    auto a = Anomaly::from_json(doc);
+    if (a.ok()) out.push_back(std::move(a.value()));
+  }
+  return out;
+}
+
+std::vector<Anomaly> AnomalyStore::by_type(AnomalyType type) const {
+  Query q;
+  q.clauses.push_back(
+      QueryClause::Term("type", std::string(anomaly_type_name(type))));
+  std::vector<Anomaly> out;
+  for (const auto& doc : store_.query(q)) {
+    auto a = Anomaly::from_json(doc);
+    if (a.ok()) out.push_back(std::move(a.value()));
+  }
+  return out;
+}
+
+size_t AnomalyStore::count_by_type(AnomalyType type) const {
+  Query q;
+  q.clauses.push_back(
+      QueryClause::Term("type", std::string(anomaly_type_name(type))));
+  return store_.count(q);
+}
+
+}  // namespace loglens

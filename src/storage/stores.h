@@ -1,0 +1,84 @@
+// Role-specific facades over DocumentStore: the paper's Log Storage, Model
+// Storage, and Anomaly Storage components (Figure 1).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "storage/anomaly.h"
+#include "storage/document_store.h"
+
+namespace loglens {
+
+// Archives raw logs by source (Log Storage). Stored logs feed the model
+// builder's periodic relearning and post-facto troubleshooting queries.
+class LogStore {
+ public:
+  void add(std::string_view source, std::string_view raw, int64_t ts_ms);
+
+  // Raw lines from one source, optionally restricted to [from_ms, to_ms].
+  std::vector<std::string> fetch(std::string_view source,
+                                 int64_t from_ms = INT64_MIN,
+                                 int64_t to_ms = INT64_MAX,
+                                 size_t limit = SIZE_MAX) const;
+  size_t size() const { return store_.size(); }
+
+  Status save_jsonl(const std::string& path) const {
+    return store_.save_jsonl(path);
+  }
+  Status load_jsonl(const std::string& path) { return store_.load_jsonl(path); }
+
+ private:
+  DocumentStore store_;
+};
+
+// Versioned named models (Model Storage). A model blob is an arbitrary JSON
+// document (pattern model, sequence model, or a composite).
+class ModelStore {
+ public:
+  struct Entry {
+    std::string name;
+    int version = 0;
+    Json blob;
+  };
+
+  // Stores a new version of `name`; returns the version number (1-based).
+  int put(std::string_view name, Json blob);
+
+  // Latest version, or nullopt if the model does not exist / was deleted.
+  std::optional<Entry> latest(std::string_view name) const;
+  std::optional<Entry> version(std::string_view name, int version) const;
+
+  // Marks the model deleted (latest() stops returning it).
+  void remove(std::string_view name);
+
+  std::vector<std::string> names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;
+  std::vector<std::string> deleted_;
+};
+
+// Anomalies awaiting human validation (Anomaly Storage).
+class AnomalyStore {
+ public:
+  void add(const Anomaly& anomaly);
+
+  std::vector<Anomaly> all() const;
+  std::vector<Anomaly> by_type(AnomalyType type) const;
+  size_t count() const { return store_.size(); }
+  size_t count_by_type(AnomalyType type) const;
+
+  Status save_jsonl(const std::string& path) const {
+    return store_.save_jsonl(path);
+  }
+
+ private:
+  DocumentStore store_;
+};
+
+}  // namespace loglens

@@ -1,0 +1,101 @@
+// Rebroadcastable broadcast variables (Section V-A).
+//
+// Spark broadcast variables are immutable: updating a model normally means
+// restarting the job, losing all keyed state. LogLens instead *rebroadcasts*:
+// the driver swaps the value and invalidates every worker's locally cached
+// copy, so the next getValue() on a worker misses its cache and pulls the
+// fresh value from the driver — while the job (and its state) keeps running.
+//
+// We reproduce the same protocol: a Broadcast<T> holds a driver-side value
+// with a version counter and one cache slot per partition. `value(p)` is the
+// worker-side getValue(): it serves the cached copy when the version still
+// matches and performs a "pull" (counted in stats) otherwise. `update()` is
+// the driver-side rebroadcast; the StreamEngine applies it between
+// micro-batches under the control lock, so a batch never observes two model
+// versions. The broadcast's identity (`id()`) is stable across updates,
+// mirroring the paper's "maintain the same ID for the updated BV".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace loglens {
+
+class BroadcastBase {
+ public:
+  virtual ~BroadcastBase() = default;
+  uint64_t id() const { return id_; }
+
+ protected:
+  explicit BroadcastBase(uint64_t id) : id_(id) {}
+
+ private:
+  uint64_t id_;
+};
+
+template <typename T>
+class Broadcast : public BroadcastBase {
+ public:
+  Broadcast(uint64_t id, T value, size_t num_partitions)
+      : BroadcastBase(id),
+        driver_value_(std::make_shared<const T>(std::move(value))),
+        caches_(num_partitions) {}
+
+  // Worker-side getValue() for one partition. Returns the partition's cached
+  // copy on version match; otherwise pulls from the driver and re-caches.
+  std::shared_ptr<const T> value(size_t partition) {
+    Cache& c = caches_[partition];
+    const uint64_t current = version_.load(std::memory_order_acquire);
+    {
+      std::lock_guard lock(c.mu);
+      if (c.cached != nullptr && c.version == current) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return c.cached;
+      }
+    }
+    std::shared_ptr<const T> fresh;
+    uint64_t fresh_version;
+    {
+      std::lock_guard lock(driver_mu_);
+      fresh = driver_value_;
+      fresh_version = version_.load(std::memory_order_acquire);
+    }
+    pulls_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(c.mu);
+    c.cached = fresh;
+    c.version = fresh_version;
+    return fresh;
+  }
+
+  // Driver-side rebroadcast: swap the value and bump the version, which
+  // logically invalidates every partition cache. Call via
+  // StreamEngine::enqueue_control so it lands between micro-batches.
+  void update(T value) {
+    std::lock_guard lock(driver_mu_);
+    driver_value_ = std::make_shared<const T>(std::move(value));
+    version_.fetch_add(1, std::memory_order_release);
+  }
+
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+  uint64_t pulls() const { return pulls_.load(std::memory_order_relaxed); }
+  uint64_t cache_hits() const { return hits_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Cache {
+    std::mutex mu;
+    std::shared_ptr<const T> cached;
+    uint64_t version = 0;
+  };
+
+  std::mutex driver_mu_;
+  std::shared_ptr<const T> driver_value_;
+  std::atomic<uint64_t> version_{0};
+  std::vector<Cache> caches_;
+  std::atomic<uint64_t> pulls_{0};
+  std::atomic<uint64_t> hits_{0};
+};
+
+}  // namespace loglens

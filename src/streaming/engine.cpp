@@ -1,0 +1,86 @@
+#include "streaming/engine.h"
+
+#include <chrono>
+
+#include "common/hash.h"
+
+namespace loglens {
+
+StreamEngine::StreamEngine(EngineOptions options, const TaskFactory& factory)
+    : options_(std::move(options)),
+      pool_(options_.workers) {
+  if (options_.partitions == 0) options_.partitions = 1;
+  if (!options_.partitioner) {
+    options_.partitioner = [](const Message& m, size_t n) {
+      return m.key.empty() ? 0 : static_cast<size_t>(fnv1a(m.key) % n);
+    };
+  }
+  tasks_.reserve(options_.partitions);
+  for (size_t p = 0; p < options_.partitions; ++p) {
+    tasks_.push_back(factory(p));
+  }
+}
+
+void StreamEngine::enqueue_control(std::function<void()> op) {
+  std::lock_guard lock(control_mu_);
+  pending_controls_.push_back(std::move(op));
+}
+
+BatchResult StreamEngine::run_batch(std::vector<Message> input) {
+  std::lock_guard run_lock(run_mu_);
+  BatchResult result;
+  result.batch_number = ++batch_number_;
+  result.input_records = input.size();
+
+  // Control operations land between micro-batches, serialized.
+  {
+    std::lock_guard lock(control_mu_);
+    for (auto& op : pending_controls_) {
+      op();
+      ++result.control_ops_applied;
+    }
+    pending_controls_.clear();
+  }
+
+  // Route. Heartbeats are duplicated to every partition (custom
+  // partitioner); everything else follows the configured partitioner.
+  const size_t n = options_.partitions;
+  std::vector<std::vector<Message>> per_partition(n);
+  for (auto& m : input) {
+    if (m.tag == kTagHeartbeat) {
+      for (size_t p = 0; p < n; ++p) per_partition[p].push_back(m);
+    } else {
+      size_t p = options_.partitioner(m, n) % n;
+      per_partition[p].push_back(std::move(m));
+    }
+  }
+
+  // Parallel section with end-of-batch barrier.
+  std::vector<TaskContext> contexts;
+  contexts.reserve(n);
+  for (size_t p = 0; p < n; ++p) {
+    contexts.emplace_back(p, result.batch_number);
+  }
+  auto start = std::chrono::steady_clock::now();
+  for (size_t p = 0; p < n; ++p) {
+    pool_.submit([this, p, &per_partition, &contexts] {
+      TaskContext& ctx = contexts[p];
+      tasks_[p]->on_batch_start(ctx);
+      for (const Message& m : per_partition[p]) {
+        tasks_[p]->process(m, ctx);
+      }
+      tasks_[p]->on_batch_end(ctx);
+    });
+  }
+  pool_.wait_idle();
+  auto end = std::chrono::steady_clock::now();
+  result.elapsed_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+
+  for (auto& ctx : contexts) {
+    for (auto& m : ctx.outputs()) result.outputs.push_back(std::move(m));
+  }
+  return result;
+}
+
+}  // namespace loglens

@@ -1,0 +1,117 @@
+// Micro-batch streaming engine — the Spark Streaming substitute.
+//
+// The engine executes micro-batches over a fixed set of partitions. Each
+// partition owns a long-lived PartitionTask (created once, never recreated),
+// which is where keyed state lives — so, as in the paper's requirements,
+// state survives for the lifetime of the job and "model updates" never
+// restart anything. Per batch:
+//
+//   1. pending control operations (rebroadcasts, model instructions) are
+//      applied under a serialized lock *between* micro-batches (Section V-A);
+//   2. input messages are routed by the partitioner — except messages tagged
+//      kTagHeartbeat, which the custom partitioner duplicates to *every*
+//      partition (Section V-B) so each partition can sweep its open states;
+//   3. partitions run in parallel on the worker pool with a barrier at the
+//      end of the batch; task outputs are collected in partition order.
+//
+// Synchronous `run_batch` keeps experiments deterministic; `JobRunner` (in
+// job.h) adds the broker-driven background-loop deployment mode.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "broker/message.h"
+#include "streaming/broadcast.h"
+#include "streaming/thread_pool.h"
+
+namespace loglens {
+
+class TaskContext {
+ public:
+  TaskContext(size_t partition, uint64_t batch_number)
+      : partition_(partition), batch_number_(batch_number) {}
+
+  size_t partition() const { return partition_; }
+  uint64_t batch_number() const { return batch_number_; }
+
+  // Emits an output record for this batch.
+  void emit(Message m) { outputs_.push_back(std::move(m)); }
+
+  std::vector<Message>& outputs() { return outputs_; }
+
+ private:
+  size_t partition_;
+  uint64_t batch_number_;
+  std::vector<Message> outputs_;
+};
+
+// One partition's processing logic. Implementations own their state (keyed
+// maps, detectors, ...) and may keep it across batches.
+class PartitionTask {
+ public:
+  virtual ~PartitionTask() = default;
+  virtual void on_batch_start(TaskContext& /*ctx*/) {}
+  virtual void process(const Message& message, TaskContext& ctx) = 0;
+  virtual void on_batch_end(TaskContext& /*ctx*/) {}
+};
+
+using TaskFactory = std::function<std::unique_ptr<PartitionTask>(size_t)>;
+using Partitioner = std::function<size_t(const Message&, size_t)>;
+
+struct EngineOptions {
+  size_t partitions = 4;
+  size_t workers = 2;
+  // Default: hash of the message key (empty key -> partition 0).
+  Partitioner partitioner;
+};
+
+struct BatchResult {
+  uint64_t batch_number = 0;
+  size_t input_records = 0;
+  size_t control_ops_applied = 0;
+  std::vector<Message> outputs;  // concatenated in partition order
+  double elapsed_ms = 0;         // wall time of the parallel section
+};
+
+class StreamEngine {
+ public:
+  StreamEngine(EngineOptions options, const TaskFactory& factory);
+
+  // Runs one micro-batch synchronously.
+  BatchResult run_batch(std::vector<Message> input);
+
+  // Queues a control operation to run (serialized) before the next batch.
+  void enqueue_control(std::function<void()> op);
+
+  // Creates a broadcast variable sized for this engine's partitions.
+  template <typename T>
+  std::shared_ptr<Broadcast<T>> create_broadcast(T value) {
+    return std::make_shared<Broadcast<T>>(next_broadcast_id_++,
+                                          std::move(value), options_.partitions);
+  }
+
+  size_t partitions() const { return options_.partitions; }
+  uint64_t batches_run() const { return batch_number_; }
+
+  // Direct access for tests and the dashboard (e.g. open-state counters).
+  PartitionTask& task(size_t partition) { return *tasks_[partition]; }
+
+ private:
+  EngineOptions options_;
+  ThreadPool pool_;
+  std::vector<std::unique_ptr<PartitionTask>> tasks_;
+
+  std::mutex control_mu_;
+  std::vector<std::function<void()>> pending_controls_;
+
+  std::mutex run_mu_;  // serializes run_batch callers
+  uint64_t batch_number_ = 0;
+  std::atomic<uint64_t> next_broadcast_id_{1};
+};
+
+}  // namespace loglens

@@ -1,0 +1,55 @@
+#include "streaming/job.h"
+
+namespace loglens {
+
+JobRunner::JobRunner(Broker& broker, StreamEngine& engine, JobOptions options)
+    : broker_(broker),
+      engine_(engine),
+      options_(std::move(options)),
+      consumer_(broker, options_.input_topic) {}
+
+JobRunner::~JobRunner() { stop(); }
+
+void JobRunner::start() {
+  if (running_.exchange(true)) return;
+  driver_ = std::thread([this] { loop(); });
+}
+
+void JobRunner::stop() {
+  if (!running_.exchange(false)) return;
+  if (driver_.joinable()) driver_.join();
+}
+
+void JobRunner::process_batch(std::vector<Message> batch) {
+  records_in_.fetch_add(batch.size());
+  BatchResult result = engine_.run_batch(std::move(batch));
+  batches_.fetch_add(1);
+  if (!options_.output_topic.empty()) {
+    for (auto& m : result.outputs) {
+      broker_.produce(options_.output_topic, std::move(m));
+    }
+  }
+}
+
+void JobRunner::loop() {
+  while (running_.load()) {
+    auto batch =
+        consumer_.poll_blocking(options_.batch_size, options_.poll_timeout_ms);
+    if (batch.empty()) continue;
+    process_batch(std::move(batch));
+  }
+  // Final drain so stop() never strands buffered input.
+  for (auto batch = consumer_.poll(options_.batch_size); !batch.empty();
+       batch = consumer_.poll(options_.batch_size)) {
+    process_batch(std::move(batch));
+  }
+}
+
+void JobRunner::drain() {
+  for (auto batch = consumer_.poll(options_.batch_size); !batch.empty();
+       batch = consumer_.poll(options_.batch_size)) {
+    process_batch(std::move(batch));
+  }
+}
+
+}  // namespace loglens

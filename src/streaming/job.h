@@ -1,0 +1,61 @@
+// Broker-driven streaming job: the deployment loop that turns the
+// synchronous StreamEngine into a long-running service.
+//
+// A JobRunner owns a consumer on the input topic; its driver thread polls a
+// micro-batch, hands it to the engine, and publishes the outputs to the
+// output topic. `stop()` finishes the in-flight batch and drains what is
+// already buffered — the zero-downtime property comes from never needing to
+// call stop() for a model update (those ride enqueue_control instead).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "broker/broker.h"
+#include "streaming/engine.h"
+
+namespace loglens {
+
+struct JobOptions {
+  std::string input_topic;
+  std::string output_topic;  // empty: outputs are dropped
+  size_t batch_size = 1024;
+  int64_t poll_timeout_ms = 20;
+};
+
+class JobRunner {
+ public:
+  JobRunner(Broker& broker, StreamEngine& engine, JobOptions options);
+  ~JobRunner();
+
+  JobRunner(const JobRunner&) = delete;
+  JobRunner& operator=(const JobRunner&) = delete;
+
+  void start();
+  void stop();
+
+  // Synchronously processes everything currently in the input topic.
+  // Usable whether or not the background thread is running (it competes for
+  // the same consumer only when stopped; call on a stopped runner in tests).
+  void drain();
+
+  uint64_t batches() const { return batches_.load(); }
+  uint64_t records_in() const { return records_in_.load(); }
+
+ private:
+  void loop();
+  void process_batch(std::vector<Message> batch);
+
+  Broker& broker_;
+  StreamEngine& engine_;
+  JobOptions options_;
+  Consumer consumer_;
+  std::thread driver_;
+  std::atomic<bool> running_{false};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> records_in_{0};
+};
+
+}  // namespace loglens

@@ -1,0 +1,97 @@
+// Keyed partition state — the engine-level analogue of Spark's
+// mapWithState plus the paper's getParentStateMap() extension.
+//
+// Section V-B: "the key based mapping of states only allows similar keys to
+// access or modify the state ... LogLens extends the Spark API to expose the
+// reference of the state in a partition to the program logic", so a
+// heartbeat can enumerate *all* open states and expire the overdue ones.
+//
+// StateMap<V> is that facility as a reusable component: a per-partition
+// keyed store with the usual get/put access path, plus full enumeration and
+// a sweep helper for heartbeat-driven expiry. KeyedStateTask<V> packages the
+// common shape of a stateful stage: route data records to a per-key handler
+// and heartbeats to a sweep over the whole map. (The sequence detector
+// predates this facility and manages its own map with identical semantics;
+// new stateful stages should build on this one.)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "streaming/engine.h"
+
+namespace loglens {
+
+template <typename V>
+class StateMap {
+ public:
+  // Returns the state for `key`, default-constructing it on first access.
+  V& get_or_create(const std::string& key) { return states_[key]; }
+
+  // Returns nullptr when the key has no state.
+  V* find(const std::string& key) {
+    auto it = states_.find(key);
+    return it == states_.end() ? nullptr : &it->second;
+  }
+
+  void erase(const std::string& key) { states_.erase(key); }
+  size_t size() const { return states_.size(); }
+  bool empty() const { return states_.empty(); }
+
+  // The getParentStateMap() capability: enumerate every (key, state) pair.
+  void for_each(const std::function<void(const std::string&, V&)>& fn) {
+    for (auto& [key, value] : states_) fn(key, value);
+  }
+
+  // Sweep: remove every entry the predicate marks expired, invoking
+  // `on_expire` first. Returns the number removed.
+  size_t sweep(const std::function<bool(const std::string&, V&)>& expired,
+               const std::function<void(const std::string&, V&)>& on_expire) {
+    size_t removed = 0;
+    for (auto it = states_.begin(); it != states_.end();) {
+      if (expired(it->first, it->second)) {
+        if (on_expire) on_expire(it->first, it->second);
+        it = states_.erase(it);
+        ++removed;
+      } else {
+        ++it;
+      }
+    }
+    return removed;
+  }
+
+ private:
+  std::map<std::string, V> states_;
+};
+
+// A partition task with keyed state: data records go to on_record with the
+// key's state; heartbeats go to on_heartbeat with the whole map (fan-out to
+// every partition is handled by the engine's partitioner).
+template <typename V>
+class KeyedStateTask : public PartitionTask {
+ public:
+  void process(const Message& message, TaskContext& ctx) final {
+    if (message.tag == kTagHeartbeat) {
+      on_heartbeat(message.timestamp_ms, states_, ctx);
+      return;
+    }
+    if (message.tag == kTagControl) return;
+    on_record(message, states_.get_or_create(message.key), ctx);
+  }
+
+  StateMap<V>& states() { return states_; }
+
+ protected:
+  virtual void on_record(const Message& message, V& state,
+                         TaskContext& ctx) = 0;
+  virtual void on_heartbeat(int64_t /*log_time_ms*/, StateMap<V>& /*states*/,
+                            TaskContext& /*ctx*/) {}
+
+ private:
+  StateMap<V> states_;
+};
+
+}  // namespace loglens

@@ -1,0 +1,43 @@
+// Fixed-size worker pool used by the streaming engine to execute the
+// partitions of a micro-batch in parallel.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace loglens {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; tasks may run on any worker thread.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished.
+  void wait_idle();
+
+  size_t size() const { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace loglens

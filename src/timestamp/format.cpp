@@ -1,0 +1,337 @@
+#include "timestamp/format.h"
+
+#include <array>
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace loglens {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kMonths = {
+    "january", "february", "march",     "april",   "may",      "june",
+    "july",    "august",   "september", "october", "november", "december"};
+
+constexpr std::array<std::string_view, 7> kWeekdays = {
+    "monday", "tuesday", "wednesday", "thursday",
+    "friday", "saturday", "sunday"};
+
+// Case-insensitive name lookup. `exact3` means the token piece is exactly the
+// 3-letter abbreviation; otherwise the full name must match.
+int name_index(std::string_view piece, bool exact3,
+               const std::string_view* names, size_t count) {
+  std::string lower = to_lower(piece);
+  for (size_t i = 0; i < count; ++i) {
+    if (exact3) {
+      if (lower.size() == 3 && names[i].substr(0, 3) == lower) {
+        return static_cast<int>(i);
+      }
+    } else if (lower == names[i]) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+}  // namespace
+
+StatusOr<TimestampFormat> TimestampFormat::compile(std::string_view format) {
+  TimestampFormat out;
+  out.text_ = std::string(format);
+  for (std::string_view chunk : split_any(format, " ")) {
+    std::vector<Element> elems;
+    size_t i = 0;
+    while (i < chunk.size()) {
+      char c = chunk[i];
+      size_t run = 1;
+      while (i + run < chunk.size() && chunk[i + run] == c) ++run;
+      Element e{Element::Kind::kLiteral, c, 1, 2};
+      bool is_field = true;
+      switch (c) {
+        case 'y':
+          if (run == 4) e.kind = Element::Kind::kYear4;
+          else if (run == 2) e.kind = Element::Kind::kYear2;
+          else return StatusOr<TimestampFormat>::Error(
+                   "unsupported year width in format: " + std::string(format));
+          out.has_year_ = true;
+          break;
+        case 'M':
+          if (run <= 2) {
+            e.kind = Element::Kind::kMonthNum;
+            e.width_min = static_cast<int>(run);
+            e.width_max = 2;
+          } else if (run == 3) {
+            e.kind = Element::Kind::kMonthName3;
+          } else {
+            e.kind = Element::Kind::kMonthNameFull;
+          }
+          out.has_date_ = true;
+          break;
+        case 'd':
+          e.kind = Element::Kind::kDay;
+          e.width_min = static_cast<int>(run);
+          e.width_max = 2;
+          out.has_date_ = true;
+          break;
+        case 'H':
+          e.kind = Element::Kind::kHour24;
+          e.width_min = static_cast<int>(run);
+          e.width_max = 2;
+          break;
+        case 'h':
+          e.kind = Element::Kind::kHour12;
+          e.width_min = static_cast<int>(run);
+          e.width_max = 2;
+          break;
+        case 'm':
+          e.kind = Element::Kind::kMinute;
+          e.width_min = static_cast<int>(run);
+          e.width_max = 2;
+          break;
+        case 's':
+          e.kind = Element::Kind::kSecond;
+          e.width_min = static_cast<int>(run);
+          e.width_max = 2;
+          break;
+        case 'S':
+          e.kind = Element::Kind::kMillis;
+          e.width_min = static_cast<int>(run);
+          e.width_max = 3;
+          break;
+        case 'E':
+          e.kind = run >= 4 ? Element::Kind::kWeekdayFull
+                            : Element::Kind::kWeekday3;
+          break;
+        case 'a':
+          e.kind = Element::Kind::kAmPm;
+          break;
+        default:
+          is_field = false;
+          // Emit each literal character separately.
+          for (size_t k = 0; k < run; ++k) {
+            elems.push_back({Element::Kind::kLiteral, c, 1, 1});
+          }
+          break;
+      }
+      if (is_field) elems.push_back(e);
+      i += run;
+    }
+    if (!elems.empty()) out.token_elements_.push_back(std::move(elems));
+  }
+  if (out.token_elements_.empty()) {
+    return StatusOr<TimestampFormat>::Error("empty timestamp format");
+  }
+
+  // Precompute the first-token prefilter data.
+  const auto& first = out.token_elements_.front();
+  size_t min_len = 0;
+  size_t max_len = 0;
+  for (const auto& e : first) {
+    switch (e.kind) {
+      case Element::Kind::kLiteral:
+        min_len += 1;
+        max_len += 1;
+        break;
+      case Element::Kind::kYear4:
+        min_len += 4;
+        max_len += 4;
+        break;
+      case Element::Kind::kYear2:
+        min_len += 2;
+        max_len += 2;
+        break;
+      case Element::Kind::kMonthName3:
+      case Element::Kind::kWeekday3:
+        min_len += 3;
+        max_len += 3;
+        break;
+      case Element::Kind::kMonthNameFull:
+        min_len += 3;
+        max_len += 9;
+        break;
+      case Element::Kind::kWeekdayFull:
+        min_len += 6;
+        max_len += 9;
+        break;
+      case Element::Kind::kAmPm:
+        min_len += 2;
+        max_len += 2;
+        break;
+      default:
+        min_len += static_cast<size_t>(e.width_min);
+        max_len += static_cast<size_t>(e.width_max);
+        break;
+    }
+  }
+  out.first_min_len_ = min_len;
+  out.first_max_len_ = max_len;
+  const auto& fe = first.front();
+  out.first_is_digit_ =
+      fe.kind != Element::Kind::kMonthName3 &&
+      fe.kind != Element::Kind::kMonthNameFull &&
+      fe.kind != Element::Kind::kWeekday3 &&
+      fe.kind != Element::Kind::kWeekdayFull &&
+      fe.kind != Element::Kind::kAmPm &&
+      !(fe.kind == Element::Kind::kLiteral &&
+        !std::isdigit(static_cast<unsigned char>(fe.literal)));
+  return out;
+}
+
+bool TimestampFormat::first_token_plausible(std::string_view token) const {
+  if (token.size() < first_min_len_ || token.size() > first_max_len_) {
+    return false;
+  }
+  if (token.empty()) return false;
+  bool starts_digit = std::isdigit(static_cast<unsigned char>(token[0])) != 0;
+  return starts_digit == first_is_digit_;
+}
+
+bool TimestampFormat::match_token(std::string_view token,
+                                  const std::vector<Element>& elems, size_t ei,
+                                  size_t pos, CivilTime& t, int& hour12,
+                                  int& ampm) const {
+  if (ei == elems.size()) return pos == token.size();
+  const Element& e = elems[ei];
+
+  auto try_number = [&](int lo, int hi, int& slot) {
+    // Greedy: widest digit run first, then backtrack.
+    for (int w = e.width_max; w >= e.width_min; --w) {
+      if (pos + static_cast<size_t>(w) > token.size()) continue;
+      std::string_view piece = token.substr(pos, static_cast<size_t>(w));
+      int v = parse_small_int(piece);
+      if (v < lo || v > hi) continue;
+      int saved = slot;
+      slot = v;
+      if (match_token(token, elems, ei + 1, pos + static_cast<size_t>(w), t,
+                      hour12, ampm)) {
+        return true;
+      }
+      slot = saved;
+    }
+    return false;
+  };
+
+  switch (e.kind) {
+    case Element::Kind::kLiteral:
+      return pos < token.size() && token[pos] == e.literal &&
+             match_token(token, elems, ei + 1, pos + 1, t, hour12, ampm);
+    case Element::Kind::kYear4: {
+      if (pos + 4 > token.size()) return false;
+      int v = parse_small_int(token.substr(pos, 4));
+      if (v < 1900 || v > 2199) return false;
+      int saved = t.year;
+      t.year = v;
+      if (match_token(token, elems, ei + 1, pos + 4, t, hour12, ampm)) {
+        return true;
+      }
+      t.year = saved;
+      return false;
+    }
+    case Element::Kind::kYear2: {
+      if (pos + 2 > token.size()) return false;
+      int v = parse_small_int(token.substr(pos, 2));
+      if (v < 0) return false;
+      int saved = t.year;
+      t.year = 2000 + v;
+      if (match_token(token, elems, ei + 1, pos + 2, t, hour12, ampm)) {
+        return true;
+      }
+      t.year = saved;
+      return false;
+    }
+    case Element::Kind::kMonthNum:
+      return try_number(1, 12, t.month);
+    case Element::Kind::kDay:
+      return try_number(1, 31, t.day);
+    case Element::Kind::kHour24:
+      return try_number(0, 23, t.hour);
+    case Element::Kind::kHour12:
+      return try_number(1, 12, hour12);
+    case Element::Kind::kMinute:
+      return try_number(0, 59, t.minute);
+    case Element::Kind::kSecond:
+      return try_number(0, 59, t.second);
+    case Element::Kind::kMillis:
+      return try_number(0, 999, t.millis);
+    case Element::Kind::kMonthName3:
+    case Element::Kind::kMonthNameFull: {
+      bool exact3 = e.kind == Element::Kind::kMonthName3;
+      // Try name lengths longest-first for full names; 3 for abbreviations.
+      size_t max_take = exact3 ? 3 : 9;
+      size_t min_take = 3;
+      for (size_t take = max_take; take >= min_take; --take) {
+        if (pos + take > token.size()) continue;
+        int idx = name_index(token.substr(pos, take), exact3, kMonths.data(),
+                             kMonths.size());
+        if (idx < 0) continue;
+        int saved = t.month;
+        t.month = idx + 1;
+        if (match_token(token, elems, ei + 1, pos + take, t, hour12, ampm)) {
+          return true;
+        }
+        t.month = saved;
+        if (exact3) break;
+      }
+      return false;
+    }
+    case Element::Kind::kWeekday3:
+    case Element::Kind::kWeekdayFull: {
+      bool exact3 = e.kind == Element::Kind::kWeekday3;
+      size_t max_take = exact3 ? 3 : 9;
+      for (size_t take = max_take; take >= 3; --take) {
+        if (pos + take > token.size()) continue;
+        if (name_index(token.substr(pos, take), exact3, kWeekdays.data(),
+                       kWeekdays.size()) < 0) {
+          continue;
+        }
+        if (match_token(token, elems, ei + 1, pos + take, t, hour12, ampm)) {
+          return true;
+        }
+        if (exact3) break;
+      }
+      return false;
+    }
+    case Element::Kind::kAmPm: {
+      if (pos + 2 > token.size()) return false;
+      std::string lower = to_lower(token.substr(pos, 2));
+      int v;
+      if (lower == "am") v = 0;
+      else if (lower == "pm") v = 1;
+      else return false;
+      int saved = ampm;
+      ampm = v;
+      if (match_token(token, elems, ei + 1, pos + 2, t, hour12, ampm)) {
+        return true;
+      }
+      ampm = saved;
+      return false;
+    }
+  }
+  return false;
+}
+
+std::optional<CivilTime> TimestampFormat::match(
+    const std::vector<std::string_view>& tokens, size_t start) const {
+  if (start + token_elements_.size() > tokens.size()) return std::nullopt;
+  CivilTime t;
+  t.year = 2000;
+  t.month = 1;
+  t.day = 1;
+  int hour12 = -1;
+  int ampm = -1;
+  for (size_t k = 0; k < token_elements_.size(); ++k) {
+    if (!match_token(tokens[start + k], token_elements_[k], 0, 0, t, hour12,
+                     ampm)) {
+      return std::nullopt;
+    }
+  }
+  if (hour12 >= 0) {
+    if (ampm < 0) return std::nullopt;  // 12-hour clock requires AM/PM
+    t.hour = (hour12 % 12) + (ampm == 1 ? 12 : 0);
+  }
+  if (!is_valid_civil(t)) return std::nullopt;
+  return t;
+}
+
+}  // namespace loglens

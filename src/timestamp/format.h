@@ -1,0 +1,76 @@
+// SimpleDateFormat-subset timestamp formats (Section III-A2).
+//
+// The paper specifies timestamp formats in Java SimpleDateFormat notation
+// ("yyyy/MM/dd HH:mm:ss.SSS"). A format compiles into per-token element
+// sequences: formats may contain spaces, in which case they span multiple
+// whitespace-separated tokens of the log ("Feb 23, 2016 09:00:31" is four
+// tokens). Matching is structural — digit-width ranges, month/weekday name
+// tables, literal separators — followed by calendar validation.
+//
+// Supported specifiers: yyyy yy MM M MMM MMMM dd d HH H hh h mm ss SSS
+// EEE EEEE a. Any other character is a literal. Formats without a date
+// default to 2000/01/01; without a year, to year 2000 (documented in
+// DESIGN.md; the sequence detector only uses time *differences*, so the
+// default never affects results).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+
+namespace loglens {
+
+class TimestampFormat {
+ public:
+  // Compiles `format`; fails on unsupported specifier runs (e.g. "yyy").
+  static StatusOr<TimestampFormat> compile(std::string_view format);
+
+  // Number of whitespace-separated tokens this format spans.
+  size_t token_span() const { return token_elements_.size(); }
+
+  // Attempts to match tokens[0 .. span-1]; on success returns the civil time.
+  std::optional<CivilTime> match(
+      const std::vector<std::string_view>& tokens, size_t start) const;
+
+  const std::string& text() const { return text_; }
+
+  // Cheap prefilter on the first token: character class of the first byte
+  // and token length bounds. Used before running the full structural match.
+  bool first_token_plausible(std::string_view token) const;
+
+ private:
+  struct Element {
+    enum class Kind {
+      kLiteral,    // single character
+      kYear4, kYear2,
+      kMonthNum,   // width_min..width_max digits
+      kMonthName3, kMonthNameFull,
+      kDay, kHour24, kHour12, kMinute, kSecond, kMillis,
+      kWeekday3, kWeekdayFull,
+      kAmPm,
+    };
+    Kind kind;
+    char literal = 0;
+    int width_min = 1;
+    int width_max = 2;
+  };
+
+  bool match_token(std::string_view token, const std::vector<Element>& elems,
+                   size_t ei, size_t pos, CivilTime& t, int& hour12,
+                   int& ampm) const;
+
+  std::string text_;
+  std::vector<std::vector<Element>> token_elements_;
+  bool first_is_digit_ = false;   // first element of first token is numeric
+  size_t first_min_len_ = 0;
+  size_t first_max_len_ = 0;
+  bool has_year_ = false;
+  bool has_date_ = false;
+};
+
+}  // namespace loglens

@@ -1,0 +1,188 @@
+#include "timestamp/recognizer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "common/strings.h"
+
+namespace loglens {
+
+namespace {
+
+std::vector<std::string> build_predefined() {
+  std::vector<std::string> out;
+
+  // Group A (48): numeric dates in four orders x three separators, with four
+  // time shapes. First-listed order wins ties, so the canonical
+  // "yyyy/MM/dd ..." is preferred over the ambiguous "yyyy/dd/MM ...".
+  const char* date_orders[] = {"yyyy{0}MM{0}dd", "MM{0}dd{0}yyyy",
+                               "dd{0}MM{0}yyyy", "yyyy{0}dd{0}MM"};
+  const char* seps = "/-.";
+  const char* times_a[] = {"HH:mm:ss", "HH:mm:ss.SSS", "HH:mm:ss,SSS",
+                           "HH:mm"};
+  for (const char* order : date_orders) {
+    for (size_t s = 0; s < 3; ++s) {
+      std::string date = replace_all(order, "{0}", std::string(1, seps[s]));
+      for (const char* t : times_a) {
+        out.push_back(date + " " + t);
+      }
+    }
+  }
+
+  // Group B (12): month-name dates.
+  const char* name_dates[] = {"MMM d, yyyy", "MMM d yyyy", "d MMM yyyy",
+                              "yyyy MMM d"};
+  const char* times_b[] = {"HH:mm:ss", "HH:mm:ss.SSS", "HH:mm"};
+  for (const char* d : name_dates) {
+    for (const char* t : times_b) {
+      out.push_back(std::string(d) + " " + t);
+    }
+  }
+
+  // Group C (12): dateless month/day forms (paper example: "MM/dd HH:mm:ss",
+  // "dd/MM HH:mm:ss:SSS").
+  const char* short_dates[] = {"MM/dd", "dd/MM", "MM-dd", "dd-MM"};
+  const char* times_c[] = {"HH:mm:ss", "HH:mm:ss.SSS", "HH:mm:ss:SSS"};
+  for (const char* d : short_dates) {
+    for (const char* t : times_c) {
+      out.push_back(std::string(d) + " " + t);
+    }
+  }
+
+  // Group D (4): syslog-style month-name without year.
+  for (const char* d : {"MMM d", "MMM dd"}) {
+    for (const char* t : {"HH:mm:ss", "HH:mm:ss.SSS"}) {
+      out.push_back(std::string(d) + " " + t);
+    }
+  }
+
+  // Group E (2): single-token ISO 8601.
+  out.push_back("yyyy-MM-ddTHH:mm:ss");
+  out.push_back("yyyy-MM-ddTHH:mm:ss.SSS");
+
+  // Group F (3): ctime / RFC-822 style with weekday.
+  out.push_back("EEE MMM d HH:mm:ss yyyy");
+  out.push_back("EEE MMM dd HH:mm:ss yyyy");
+  out.push_back("EEE d MMM yyyy HH:mm:ss");
+
+  // Group G (4): 12-hour clocks.
+  out.push_back("MM/dd/yyyy hh:mm:ss a");
+  out.push_back("dd/MM/yyyy hh:mm:ss a");
+  out.push_back("MM/dd/yyyy hh:mm a");
+  out.push_back("MMM d, yyyy hh:mm:ss a");
+
+  // Group H (3): time-only.
+  out.push_back("HH:mm:ss");
+  out.push_back("HH:mm:ss.SSS");
+  out.push_back("HH:mm:ss,SSS");
+
+  // Group I (1): Apache common-log-format timestamp.
+  out.push_back("dd/MMM/yyyy:HH:mm:ss");
+
+  return out;  // 48 + 12 + 12 + 4 + 2 + 3 + 4 + 3 + 1 = 89
+}
+
+}  // namespace
+
+const std::vector<std::string>& TimestampRecognizer::predefined_formats() {
+  static const std::vector<std::string> kFormats = build_predefined();
+  return kFormats;
+}
+
+TimestampRecognizer::TimestampRecognizer(RecognizerOptions options,
+                                         std::vector<std::string> user_formats)
+    : options_(options) {
+  // Per the paper: user-specified formats replace the predefined list; the
+  // predefined list is the fallback when the user provides none.
+  const std::vector<std::string>& sources =
+      user_formats.empty() ? predefined_formats() : user_formats;
+  formats_.reserve(sources.size());
+  for (const auto& f : sources) {
+    auto compiled = TimestampFormat::compile(f);
+    if (!compiled.ok()) std::abort();  // predefined formats must compile
+    formats_.push_back(std::move(compiled.value()));
+  }
+}
+
+Status TimestampRecognizer::add_format(std::string_view format) {
+  auto compiled = TimestampFormat::compile(format);
+  if (!compiled.ok()) return compiled.status();
+  formats_.push_back(std::move(compiled.value()));
+  return Status::Ok();
+}
+
+bool TimestampRecognizer::keyword_filter_pass(std::string_view token) const {
+  if (token.empty()) return false;
+  // Tokens starting with a digit can open any numeric format.
+  if (std::isdigit(static_cast<unsigned char>(token[0])) != 0) return true;
+  // Otherwise the token must begin with a month or weekday keyword.
+  if (token.size() < 3) return false;
+  char a = ascii_lower(token[0]);
+  char b = ascii_lower(token[1]);
+  char c = ascii_lower(token[2]);
+  static constexpr const char* kKeywords[] = {
+      "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep",
+      "oct", "nov", "dec", "mon", "tue", "wed", "thu", "fri", "sat", "sun"};
+  for (const char* k : kKeywords) {
+    if (a == k[0] && b == k[1] && c == k[2]) return true;
+  }
+  return false;
+}
+
+std::optional<TimestampMatch> TimestampRecognizer::try_format(
+    const std::vector<std::string_view>& tokens, size_t index, size_t fi) {
+  ++stats_.formats_tried;
+  auto civil = formats_[fi].match(tokens, index);
+  if (!civil) return std::nullopt;
+  return TimestampMatch{formats_[fi].token_span(), to_epoch_millis(*civil),
+                        fi};
+}
+
+std::optional<TimestampMatch> TimestampRecognizer::match_at(
+    const std::vector<std::string_view>& tokens, size_t index) {
+  ++stats_.calls;
+  std::string_view first = tokens[index];
+  if (options_.use_filter && !keyword_filter_pass(first)) {
+    ++stats_.filtered_out;
+    return std::nullopt;
+  }
+
+  // Cache pass: formats that matched recently, most recent first.
+  if (options_.use_cache) {
+    for (size_t ci = 0; ci < cache_.size(); ++ci) {
+      size_t fi = cache_[ci];
+      if (options_.use_filter && !formats_[fi].first_token_plausible(first)) {
+        continue;
+      }
+      if (auto m = try_format(tokens, index, fi)) {
+        ++stats_.cache_hits;
+        // Move to front.
+        cache_.erase(cache_.begin() + static_cast<ptrdiff_t>(ci));
+        cache_.insert(cache_.begin(), fi);
+        return m;
+      }
+    }
+  }
+
+  // Linear scan over non-cached formats.
+  for (size_t fi = 0; fi < formats_.size(); ++fi) {
+    if (options_.use_cache &&
+        std::find(cache_.begin(), cache_.end(), fi) != cache_.end()) {
+      continue;
+    }
+    if (options_.use_filter && !formats_[fi].first_token_plausible(first)) {
+      continue;
+    }
+    if (auto m = try_format(tokens, index, fi)) {
+      if (options_.use_cache) {
+        cache_.insert(cache_.begin(), fi);
+        if (cache_.size() > 16) cache_.pop_back();
+      }
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace loglens

@@ -1,0 +1,79 @@
+#include "tokenize/preprocessor.h"
+
+#include "common/strings.h"
+#include "common/time.h"
+
+namespace loglens {
+
+StatusOr<Preprocessor> Preprocessor::create(PreprocessorOptions options) {
+  std::vector<CompiledRule> rules;
+  rules.reserve(options.split_rules.size());
+  for (const auto& spec : options.split_rules) {
+    auto re = Regex::compile(spec.match);
+    if (!re.ok()) {
+      return StatusOr<Preprocessor>::Error("bad split rule '" + spec.match +
+                                           "': " + re.status().message());
+    }
+    rules.push_back({std::move(re.value()), spec.rewrite});
+  }
+  return Preprocessor(std::move(options), std::move(rules));
+}
+
+Preprocessor::Preprocessor(PreprocessorOptions options,
+                           std::vector<CompiledRule> rules)
+    : options_(std::move(options)),
+      rules_(std::move(rules)),
+      recognizer_(options_.timestamp, options_.timestamp_formats) {}
+
+TokenizedLog Preprocessor::process(std::string_view raw) {
+  TokenizedLog out;
+  out.raw = std::string(raw);
+
+  // 1. Delimiter split. 2. Split rules (one pass; a rule's output pieces are
+  // not re-fed through the rules, matching the paper's single rewrite step).
+  std::vector<std::string> pieces;
+  for (std::string_view tok : split_any(raw, options_.delimiters)) {
+    const CompiledRule* hit = nullptr;
+    for (const auto& rule : rules_) {
+      if (rule.match.full_match(tok)) {
+        hit = &rule;
+        break;
+      }
+    }
+    if (hit == nullptr) {
+      pieces.emplace_back(tok);
+      continue;
+    }
+    std::string rewritten = hit->match.replace_all(tok, hit->rewrite);
+    for (std::string_view sub : split_any(rewritten, " ")) {
+      pieces.emplace_back(sub);
+    }
+  }
+
+  // 3+4. Timestamp recognition, then datatype classification.
+  std::vector<std::string_view> views;
+  views.reserve(pieces.size());
+  for (const auto& p : pieces) views.push_back(p);
+
+  out.tokens.reserve(pieces.size());
+  size_t i = 0;
+  while (i < views.size()) {
+    if (auto m = recognizer_.match_at(views, i)) {
+      Token t;
+      t.text = format_canonical(m->epoch_ms);
+      t.type = Datatype::kDateTime;
+      out.tokens.push_back(std::move(t));
+      if (out.timestamp_ms < 0) out.timestamp_ms = m->epoch_ms;
+      i += m->span;
+      continue;
+    }
+    Token t;
+    t.text = pieces[i];
+    t.type = classifier_.classify(views[i]);
+    out.tokens.push_back(std::move(t));
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace loglens

@@ -1,0 +1,68 @@
+// Log preprocessing (Section III-A1 + III-A2): delimiter splitting, user
+// split rules, timestamp recognition/unification, datatype classification.
+//
+// The preprocessor turns a raw log line into a TokenizedLog:
+//   1. split on the delimiter set (default: whitespace; user-overridable),
+//   2. apply user RegEx split rules that break one token into sub-tokens
+//      (paper example: "123KB" -> "123" "KB"),
+//   3. recognize timestamps — possibly spanning several tokens ("Feb 23,
+//      2016 09:00:31" is four) — and unify them into the canonical
+//      "yyyy/MM/dd HH:mm:ss.SSS" DATETIME token,
+//   4. classify every remaining token's datatype per Table I.
+//
+// The preprocessor is stateful only through the timestamp recognizer's
+// matched-format cache, so one instance per log source preserves the paper's
+// "logs from the same source use the same formats" locality.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "grok/token.h"
+#include "regexlite/regex.h"
+#include "timestamp/recognizer.h"
+
+namespace loglens {
+
+// A user rule splitting one token into several. `match` is applied to the
+// whole token; on match, `rewrite` (with $1..$9 group references) produces a
+// space-separated replacement. The paper's "[0-9]+KB" => "[0-9]+ KB" rule is
+// expressed as {"([0-9]+)(KB)", "$1 $2"}.
+struct SplitRuleSpec {
+  std::string match;
+  std::string rewrite;
+};
+
+struct PreprocessorOptions {
+  std::string delimiters = " \t\r\n";        // user-overridable
+  std::vector<SplitRuleSpec> split_rules;
+  RecognizerOptions timestamp;
+  std::vector<std::string> timestamp_formats;  // replaces predefined if set
+};
+
+class Preprocessor {
+ public:
+  static StatusOr<Preprocessor> create(PreprocessorOptions options = {});
+
+  TokenizedLog process(std::string_view raw);
+
+  TimestampRecognizer& recognizer() { return recognizer_; }
+  const DatatypeClassifier& classifier() const { return classifier_; }
+
+ private:
+  struct CompiledRule {
+    Regex match;
+    std::string rewrite;
+  };
+
+  Preprocessor(PreprocessorOptions options, std::vector<CompiledRule> rules);
+
+  PreprocessorOptions options_;
+  std::vector<CompiledRule> rules_;
+  TimestampRecognizer recognizer_;
+  DatatypeClassifier classifier_;
+};
+
+}  // namespace loglens

@@ -1,0 +1,113 @@
+#include "storage/anomaly.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "storage/stores.h"
+
+namespace loglens {
+namespace {
+
+Anomaly sample() {
+  Anomaly a;
+  a.type = AnomalyType::kMissingEndState;
+  a.severity = "high";
+  a.reason = "event expired without end";
+  a.timestamp_ms = 1456218031000;
+  a.source = "D1";
+  a.event_id = "ev-abc";
+  a.automaton_id = 2;
+  a.logs = {"line one", "line two"};
+  return a;
+}
+
+TEST(AnomalyTypeNames, RoundTripAll) {
+  for (AnomalyType t :
+       {AnomalyType::kUnparsedLog, AnomalyType::kMissingBeginState,
+        AnomalyType::kMissingEndState, AnomalyType::kMissingIntermediateState,
+        AnomalyType::kOccurrenceViolation, AnomalyType::kDurationViolation,
+        AnomalyType::kUnknownTransition}) {
+    AnomalyType back;
+    ASSERT_TRUE(anomaly_type_from_name(anomaly_type_name(t), back));
+    EXPECT_EQ(back, t);
+  }
+  AnomalyType out;
+  EXPECT_FALSE(anomaly_type_from_name("NOPE", out));
+}
+
+TEST(AnomalySerde, JsonRoundTrip) {
+  Anomaly a = sample();
+  auto back = Anomaly::from_json(a.to_json());
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back.value(), a);
+}
+
+TEST(AnomalySerde, TextRoundTrip) {
+  Anomaly a = sample();
+  auto j = Json::parse(a.to_json().dump());
+  ASSERT_TRUE(j.ok());
+  auto back = Anomaly::from_json(j.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), a);
+}
+
+TEST(AnomalySerde, HumanReadableTimestampIncluded) {
+  Json j = sample().to_json();
+  EXPECT_EQ(j.get_string("timestamp"), "2016/02/23 09:00:31.000");
+  // Negative timestamps (unknown) omit the rendered form.
+  Anomaly a = sample();
+  a.timestamp_ms = -1;
+  EXPECT_EQ(a.to_json().find("timestamp"), nullptr);
+}
+
+TEST(AnomalySerde, RejectsGarbage) {
+  EXPECT_FALSE(Anomaly::from_json(Json("str")).ok());
+  Json bad{JsonObject{{"type", Json("NOT_A_TYPE")}}};
+  EXPECT_FALSE(Anomaly::from_json(bad).ok());
+}
+
+TEST(AnomalySerde, DetailsRoundTrip) {
+  Anomaly a = sample();
+  a.details = Json(JsonObject{{"pattern_id", Json(4)},
+                              {"count", Json(9)},
+                              {"nested", Json(JsonArray{Json(1), Json("x")})}});
+  auto text = a.to_json().dump();
+  auto parsed = Json::parse(text);
+  ASSERT_TRUE(parsed.ok());
+  auto back = Anomaly::from_json(parsed.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), a);
+  EXPECT_EQ(back->details.get_int("count"), 9);
+  // Anomalies serialized before the details field existed still load.
+  Json legacy = sample().to_json();
+  legacy.as_object().erase(
+      std::remove_if(legacy.as_object().begin(), legacy.as_object().end(),
+                     [](const auto& kv) { return kv.first == "details"; }),
+      legacy.as_object().end());
+  auto old = Anomaly::from_json(legacy);
+  ASSERT_TRUE(old.ok());
+  EXPECT_TRUE(old->details.is_object());
+}
+
+TEST(AnomalyStoreTest, AddAndQueryByType) {
+  AnomalyStore store;
+  store.add(sample());
+  Anomaly other = sample();
+  other.type = AnomalyType::kUnparsedLog;
+  store.add(other);
+  store.add(other);
+  EXPECT_EQ(store.count(), 3u);
+  EXPECT_EQ(store.count_by_type(AnomalyType::kUnparsedLog), 2u);
+  EXPECT_EQ(store.count_by_type(AnomalyType::kMissingEndState), 1u);
+  EXPECT_EQ(store.count_by_type(AnomalyType::kDurationViolation), 0u);
+  auto all = store.all();
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].type, AnomalyType::kMissingEndState);
+  auto by = store.by_type(AnomalyType::kUnparsedLog);
+  ASSERT_EQ(by.size(), 2u);
+  EXPECT_EQ(by[0].type, AnomalyType::kUnparsedLog);
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,163 @@
+#include "automata/model.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+ParsedLog elog(int pattern, const std::string& id, int64_t ts,
+               const char* id_field = nullptr) {
+  ParsedLog log;
+  log.pattern_id = pattern;
+  log.timestamp_ms = ts;
+  std::string field = id_field != nullptr
+                          ? id_field
+                          : "P" + std::to_string(pattern) + "F1";
+  log.fields.emplace_back(field, Json(id));
+  log.raw = "p" + std::to_string(pattern) + " " + id;
+  return log;
+}
+
+// Builds a normal corpus: N events of the sequence 1 -> 2(xk) -> 3.
+std::vector<ParsedLog> corpus(int events, int min_mid = 1, int max_mid = 1,
+                              int64_t step = 100) {
+  std::vector<ParsedLog> logs;
+  int64_t ts = 1'000'000;
+  for (int e = 0; e < events; ++e) {
+    std::string id = "ev-" + std::to_string(e);
+    logs.push_back(elog(1, id, ts));
+    ts += step;
+    int mids = min_mid + (max_mid > min_mid ? e % (max_mid - min_mid + 1) : 0);
+    for (int m = 0; m < mids; ++m) {
+      logs.push_back(elog(2, id, ts));
+      ts += step;
+    }
+    logs.push_back(elog(3, id, ts));
+    ts += step;
+  }
+  return logs;
+}
+
+TEST(Learner, SingleAutomatonShape) {
+  SequenceModel model = learn_sequence_model(corpus(10));
+  ASSERT_EQ(model.automata.size(), 1u);
+  const Automaton& a = model.automata[0];
+  EXPECT_TRUE(a.begin_patterns.contains(1));
+  EXPECT_TRUE(a.end_patterns.contains(3));
+  ASSERT_EQ(a.states.size(), 3u);
+  EXPECT_EQ(a.states.at(2).min_occurrences, 1);
+  EXPECT_EQ(a.states.at(2).max_occurrences, 1);
+  EXPECT_EQ(a.training_instances, 10u);
+  // 1 begin + 1 mid + 1 end, step 100 => duration 200 for every instance.
+  EXPECT_EQ(a.min_duration_ms, 200);
+  EXPECT_EQ(a.max_duration_ms, 200);
+}
+
+TEST(Learner, OccurrenceBoundsAreTightest) {
+  SequenceModel model = learn_sequence_model(corpus(10, 1, 3));
+  ASSERT_EQ(model.automata.size(), 1u);
+  const Automaton& a = model.automata[0];
+  EXPECT_EQ(a.states.at(2).min_occurrences, 1);
+  EXPECT_EQ(a.states.at(2).max_occurrences, 3);
+  EXPECT_EQ(a.min_duration_ms, 200);
+  EXPECT_EQ(a.max_duration_ms, 400);
+}
+
+TEST(Learner, TransitionsRecorded) {
+  SequenceModel model = learn_sequence_model(corpus(5, 2, 2));
+  ASSERT_EQ(model.automata.size(), 1u);
+  const auto& t = model.automata[0].transitions;
+  EXPECT_TRUE(t.contains({1, 2}));
+  EXPECT_TRUE(t.contains({2, 2}));
+  EXPECT_TRUE(t.contains({2, 3}));
+  EXPECT_FALSE(t.contains({1, 3}));
+  EXPECT_FALSE(t.contains({3, 1}));
+}
+
+TEST(Learner, TransitionsOptional) {
+  LearnerOptions opts;
+  opts.learn_transitions = false;
+  SequenceModel model = learn_sequence_model(corpus(5), opts);
+  ASSERT_EQ(model.automata.size(), 1u);
+  EXPECT_TRUE(model.automata[0].transitions.empty());
+}
+
+TEST(Learner, DistinctPatternSetsFormDistinctAutomata) {
+  // Type A: 1->2->3 keyed by P?F1; type B: 4->5 keyed similarly.
+  std::vector<ParsedLog> logs = corpus(6);
+  int64_t ts = 5'000'000;
+  for (int e = 0; e < 6; ++e) {
+    std::string id = "tx-" + std::to_string(e);
+    logs.push_back(elog(4, id, ts));
+    logs.push_back(elog(5, id, ts + 50));
+    ts += 1000;
+  }
+  SequenceModel model = learn_sequence_model(logs);
+  ASSERT_EQ(model.automata.size(), 2u);
+  // Deterministic ids by pattern-set order.
+  EXPECT_EQ(model.automata[0].id, 1);
+  EXPECT_EQ(model.automata[1].id, 2);
+  EXPECT_TRUE(model.automata[0].states.contains(1));
+  EXPECT_TRUE(model.automata[1].states.contains(4));
+}
+
+TEST(Learner, LogsWithoutIdFieldExcluded) {
+  auto logs = corpus(5);
+  ParsedLog stray;
+  stray.pattern_id = 99;
+  stray.fields.emplace_back("note", Json("no id here"));
+  logs.push_back(stray);
+  SequenceModel model = learn_sequence_model(logs);
+  EXPECT_EQ(model.automata.size(), 1u);
+  EXPECT_FALSE(model.id_fields.contains(99));
+}
+
+TEST(AutomatonSerde, JsonRoundTrip) {
+  SequenceModel model = learn_sequence_model(corpus(8, 1, 2));
+  ASSERT_FALSE(model.automata.empty());
+  Json j = model.to_json();
+  auto back = SequenceModel::from_json(j);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back.value(), model);
+  // And the JSON itself survives a text round trip.
+  auto text = Json::parse(j.dump());
+  ASSERT_TRUE(text.ok());
+  auto back2 = SequenceModel::from_json(text.value());
+  ASSERT_TRUE(back2.ok());
+  EXPECT_EQ(back2.value(), model);
+}
+
+TEST(AutomatonSerde, RejectsGarbage) {
+  EXPECT_FALSE(SequenceModel::from_json(Json("string")).ok());
+  EXPECT_FALSE(Automaton::from_json(Json(JsonArray{})).ok());
+}
+
+TEST(Automaton, PatternSetSorted) {
+  Automaton a;
+  a.states[3] = {3, 1, 1};
+  a.states[1] = {1, 1, 1};
+  a.states[2] = {2, 1, 1};
+  EXPECT_EQ(a.pattern_set(), (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Automaton, DescribeRendersRules) {
+  SequenceModel model = learn_sequence_model(corpus(8, 1, 2));
+  ASSERT_EQ(model.automata.size(), 1u);
+  std::string text = model.automata[0].describe();
+  EXPECT_NE(text.find("automaton 1: 3 states, 8 training instances"),
+            std::string::npos) << text;
+  EXPECT_NE(text.find("begin: { P1 }"), std::string::npos) << text;
+  EXPECT_NE(text.find("end: { P3 }"), std::string::npos) << text;
+  EXPECT_NE(text.find("P2 x[1,2]"), std::string::npos) << text;
+  EXPECT_NE(text.find("duration: [200, 300] ms"), std::string::npos) << text;
+  EXPECT_NE(text.find("P1->P2"), std::string::npos) << text;
+}
+
+TEST(Learner, EmptyInput) {
+  SequenceModel model = learn_sequence_model({});
+  EXPECT_TRUE(model.automata.empty());
+  EXPECT_TRUE(model.id_fields.empty());
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,231 @@
+#include "broker/broker.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+namespace loglens {
+namespace {
+
+Message msg(const char* key, const char* value, int64_t ts = -1,
+            const char* tag = kTagData) {
+  Message m;
+  m.key = key;
+  m.value = value;
+  m.timestamp_ms = ts;
+  m.tag = tag;
+  return m;
+}
+
+TEST(Broker, TopicCreation) {
+  Broker broker;
+  ASSERT_TRUE(broker.create_topic("t", 3).ok());
+  EXPECT_EQ(broker.partition_count("t"), 3u);
+  EXPECT_TRUE(broker.create_topic("t", 3).ok());   // idempotent
+  EXPECT_FALSE(broker.create_topic("t", 4).ok());  // mismatch
+  EXPECT_FALSE(broker.create_topic("z", 0).ok());
+  EXPECT_EQ(broker.partition_count("missing"), 0u);
+}
+
+TEST(Broker, AutoCreatesOnProduce) {
+  Broker broker;
+  ASSERT_TRUE(broker.produce("auto", msg("k", "v")).ok());
+  EXPECT_EQ(broker.partition_count("auto"), 1u);
+  EXPECT_EQ(broker.end_offset("auto", 0), 1u);
+}
+
+TEST(Broker, PartitionOrderPreserved) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  for (int i = 0; i < 10; ++i) {
+    broker.produce("t", msg("k", std::to_string(i).c_str()));
+  }
+  auto fetched = broker.fetch("t", 0, 0, 100);
+  ASSERT_EQ(fetched.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(fetched[i].value, std::to_string(i));
+  }
+}
+
+TEST(Broker, KeyHashingIsStable) {
+  Broker broker;
+  broker.create_topic("t", 4);
+  for (int i = 0; i < 20; ++i) broker.produce("t", msg("same-key", "v"));
+  // All messages with one key land in one partition.
+  size_t nonempty = 0;
+  for (size_t p = 0; p < 4; ++p) {
+    if (broker.end_offset("t", p) > 0) ++nonempty;
+  }
+  EXPECT_EQ(nonempty, 1u);
+}
+
+TEST(Broker, ExplicitPartitionAndBounds) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  ASSERT_TRUE(broker.produce("t", msg("k", "v"), 1).ok());
+  EXPECT_FALSE(broker.produce("t", msg("k", "v"), 7).ok());
+  EXPECT_EQ(broker.end_offset("t", 1), 1u);
+  EXPECT_EQ(broker.end_offset("t", 0), 0u);
+}
+
+TEST(Broker, FetchOffsetsAndLimits) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  for (int i = 0; i < 5; ++i) {
+    broker.produce("t", msg("k", std::to_string(i).c_str()));
+  }
+  EXPECT_EQ(broker.fetch("t", 0, 3, 100).size(), 2u);
+  EXPECT_EQ(broker.fetch("t", 0, 0, 2).size(), 2u);
+  EXPECT_TRUE(broker.fetch("t", 0, 5, 100).empty());
+  EXPECT_TRUE(broker.fetch("t", 9, 0, 100).empty());   // bad partition
+  EXPECT_TRUE(broker.fetch("no", 0, 0, 100).empty());  // bad topic
+}
+
+TEST(Broker, BlockingFetchTimesOut) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  auto start = std::chrono::steady_clock::now();
+  auto out = broker.fetch_blocking("t", 0, 0, 10, 50);
+  auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_TRUE(out.empty());
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            40);
+}
+
+TEST(Broker, BlockingFetchWakesOnProduce) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  std::thread producer([&broker] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    broker.produce("t", msg("k", "wake"));
+  });
+  auto out = broker.fetch_blocking("t", 0, 0, 10, 2000);
+  producer.join();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].value, "wake");
+}
+
+TEST(Consumer, PollAdvancesOffsets) {
+  Broker broker;
+  broker.create_topic("t", 2);
+  for (int i = 0; i < 6; ++i) {
+    broker.produce("t", msg(("k" + std::to_string(i)).c_str(), "v"));
+  }
+  Consumer consumer(broker, "t");
+  size_t total = 0;
+  while (true) {
+    auto batch = consumer.poll(2);
+    if (batch.empty()) break;
+    total += batch.size();
+  }
+  EXPECT_EQ(total, 6u);
+  EXPECT_EQ(consumer.consumed(), 6u);
+  EXPECT_TRUE(consumer.caught_up());
+  broker.produce("t", msg("k", "late"));
+  EXPECT_FALSE(consumer.caught_up());
+  EXPECT_EQ(consumer.poll(10).size(), 1u);
+}
+
+TEST(Consumer, IndependentConsumersSeeAllMessages) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  broker.produce("t", msg("k", "v1"));
+  Consumer a(broker, "t");
+  Consumer b(broker, "t");
+  EXPECT_EQ(a.poll(10).size(), 1u);
+  EXPECT_EQ(b.poll(10).size(), 1u);  // offsets are per consumer
+}
+
+TEST(Consumer, CreatedBeforeTopicGrowsWithIt) {
+  Broker broker;
+  Consumer consumer(broker, "later");
+  EXPECT_TRUE(consumer.poll(10).empty());
+  broker.produce("later", msg("k", "v"));
+  EXPECT_EQ(consumer.poll(10).size(), 1u);
+}
+
+TEST(ConsumerGroupTest, PartitionsSplitAcrossMembers) {
+  Broker broker;
+  broker.create_topic("t", 6);
+  ConsumerGroup group(broker, "g", "t");
+  size_t m0 = group.join();
+  size_t m1 = group.join();
+  EXPECT_EQ(group.members(), 2u);
+  auto a0 = group.assignment(m0);
+  auto a1 = group.assignment(m1);
+  EXPECT_EQ(a0.size() + a1.size(), 6u);
+  // Disjoint coverage of all partitions.
+  std::set<size_t> all(a0.begin(), a0.end());
+  for (size_t p : a1) {
+    EXPECT_TRUE(all.insert(p).second) << "partition " << p << " shared";
+  }
+  EXPECT_EQ(all.size(), 6u);
+}
+
+TEST(ConsumerGroupTest, EveryMessageConsumedExactlyOnce) {
+  Broker broker;
+  broker.create_topic("t", 4);
+  for (int i = 0; i < 40; ++i) {
+    broker.produce("t", msg(("k" + std::to_string(i)).c_str(),
+                            std::to_string(i).c_str()));
+  }
+  ConsumerGroup group(broker, "g", "t");
+  size_t m0 = group.join();
+  size_t m1 = group.join();
+  size_t m2 = group.join();
+  std::multiset<std::string> seen;
+  for (size_t member : {m0, m1, m2}) {
+    for (auto batch = group.poll(member, 7); !batch.empty();
+         batch = group.poll(member, 7)) {
+      for (const auto& m : batch) seen.insert(m.value);
+    }
+  }
+  EXPECT_EQ(seen.size(), 40u);
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(seen.count(std::to_string(i)), 1u) << i;
+  }
+}
+
+TEST(ConsumerGroupTest, SingleMemberOwnsEverything) {
+  Broker broker;
+  broker.create_topic("t", 3);
+  broker.produce("t", msg("a", "1"));
+  broker.produce("t", msg("b", "2"));
+  ConsumerGroup group(broker, "g", "t");
+  size_t m = group.join();
+  EXPECT_EQ(group.assignment(m).size(), 3u);
+  EXPECT_EQ(group.poll(m, 100).size(), 2u);
+  EXPECT_TRUE(group.poll(m, 100).empty());  // offsets advanced
+}
+
+TEST(Broker, ConcurrentProducersAreSerialized) {
+  Broker broker;
+  broker.create_topic("t", 1);
+  constexpr int kThreads = 4;
+  constexpr int kEach = 250;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&broker, t] {
+      for (int i = 0; i < kEach; ++i) {
+        broker.produce("t", msg("k", (std::to_string(t) + ":" +
+                                      std::to_string(i)).c_str()));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(broker.end_offset("t", 0), kThreads * kEach);
+  // Per-producer order is preserved within the partition.
+  auto all = broker.fetch("t", 0, 0, kThreads * kEach);
+  std::vector<int> last(kThreads, -1);
+  for (const auto& m : all) {
+    int tid = m.value[0] - '0';
+    int seq = std::stoi(m.value.substr(2));
+    EXPECT_GT(seq, last[tid]);
+    last[tid] = seq;
+  }
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,96 @@
+#include "service/dashboard.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+class DashboardTest : public ::testing::Test {
+ protected:
+  DashboardTest() : dashboard_(anomalies_, models_, logs_) {}
+
+  void add_anomaly(AnomalyType type, int64_t ts, const char* source,
+                   const char* severity = "high") {
+    Anomaly a;
+    a.type = type;
+    a.severity = severity;
+    a.reason = "because";
+    a.timestamp_ms = ts;
+    a.source = source;
+    a.event_id = "ev-x";
+    a.logs = {"log line 1", "log line 2"};
+    anomalies_.add(a);
+  }
+
+  AnomalyStore anomalies_;
+  ModelStore models_;
+  LogStore logs_;
+  Dashboard dashboard_;
+};
+
+TEST_F(DashboardTest, RenderSummaryCounts) {
+  logs_.add("D1", "raw", 0);
+  logs_.add("D1", "raw2", 1);
+  models_.put("default", Json("blob"));
+  models_.put("default", Json("blob2"));
+  add_anomaly(AnomalyType::kMissingEndState, 100, "D1");
+  add_anomaly(AnomalyType::kMissingEndState, 200, "D1");
+  add_anomaly(AnomalyType::kUnparsedLog, 300, "D2", "medium");
+
+  std::string out = dashboard_.render();
+  EXPECT_NE(out.find("archived logs: 2"), std::string::npos);
+  EXPECT_NE(out.find("default(v2)"), std::string::npos);
+  EXPECT_NE(out.find("anomalies: 3"), std::string::npos);
+  EXPECT_NE(out.find("MISSING_END_STATE: 2"), std::string::npos);
+  EXPECT_NE(out.find("UNPARSED_LOG: 1"), std::string::npos);
+  EXPECT_NE(out.find("D2: 1"), std::string::npos);
+  EXPECT_NE(out.find("high: 2"), std::string::npos);
+}
+
+TEST_F(DashboardTest, TimelineShowsClusters) {
+  // Two clusters: around t=10s and t=70s.
+  for (int i = 0; i < 8; ++i) {
+    add_anomaly(AnomalyType::kMissingEndState, 10'000 + i * 100, "SS7");
+  }
+  add_anomaly(AnomalyType::kMissingEndState, 70'000, "SS7");
+  std::string out = dashboard_.render_timeline(0, 80'000, 10'000);
+  EXPECT_NE(out.find(" 8"), std::string::npos);  // the dense bucket
+  // More #s for the dense bucket than the sparse one.
+  size_t dense_pos = out.find(" 8\n");
+  ASSERT_NE(dense_pos, std::string::npos);
+  EXPECT_NE(out.find("####"), std::string::npos);
+}
+
+TEST_F(DashboardTest, TimelineEdgeCases) {
+  EXPECT_TRUE(dashboard_.render_timeline(0, 100, 0).empty());
+  EXPECT_TRUE(dashboard_.render_timeline(100, 100, 10).empty());
+  // Empty store: renders buckets with zero counts, no crash.
+  std::string out = dashboard_.render_timeline(0, 30'000, 10'000);
+  EXPECT_NE(out.find(" 0\n"), std::string::npos);
+}
+
+TEST_F(DashboardTest, RecentListsLatestWithDetail) {
+  for (int i = 0; i < 5; ++i) {
+    add_anomaly(AnomalyType::kDurationViolation, 1000 + i, "D1");
+  }
+  std::string out = dashboard_.render_recent(2);
+  // Exactly two entries rendered.
+  size_t count = 0;
+  for (size_t pos = out.find("DURATION_VIOLATION"); pos != std::string::npos;
+       pos = out.find("DURATION_VIOLATION", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(out.find("because"), std::string::npos);
+  EXPECT_NE(out.find("> log line 1"), std::string::npos);
+  EXPECT_NE(out.find("event=ev-x"), std::string::npos);
+}
+
+TEST_F(DashboardTest, EmptyStoresRenderCleanly) {
+  std::string out = dashboard_.render();
+  EXPECT_NE(out.find("anomalies: 0"), std::string::npos);
+  EXPECT_TRUE(dashboard_.render_recent(5).empty());
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,162 @@
+#include "datagen/datasets.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/event_gen.h"
+#include "datagen/template_gen.h"
+#include "tokenize/preprocessor.h"
+
+namespace loglens {
+namespace {
+
+TEST(EventGen, Deterministic) {
+  Dataset a = make_d1(0.02);
+  Dataset b = make_d1(0.02);
+  EXPECT_EQ(a.training, b.training);
+  EXPECT_EQ(a.testing, b.testing);
+  EXPECT_EQ(a.anomalous_event_ids, b.anomalous_event_ids);
+}
+
+TEST(EventGen, SeedChangesOutput) {
+  Dataset a = make_d1(0.02, 1);
+  Dataset b = make_d1(0.02, 2);
+  EXPECT_NE(a.training, b.training);
+}
+
+TEST(EventGen, D1GroundTruthCounts) {
+  Dataset d1 = make_d1(0.1);
+  // 21 anomalous sequences, exactly 1 of which is a missing end (Fig. 4/5).
+  EXPECT_EQ(d1.injected_anomalies(), 21u);
+  EXPECT_EQ(d1.missing_end_event_ids.size(), 1u);
+  // 13 in event type 1, 8 in type 2 (Table V).
+  size_t type1 = 0, type2 = 0;
+  for (const auto& [_, type] : d1.anomaly_event_types) {
+    if (type == 1) ++type1;
+    if (type == 2) ++type2;
+  }
+  EXPECT_EQ(type1, 13u);
+  EXPECT_EQ(type2, 8u);
+}
+
+TEST(EventGen, D2GroundTruthCounts) {
+  Dataset d2 = make_d2(0.1);
+  EXPECT_EQ(d2.injected_anomalies(), 13u);
+  EXPECT_EQ(d2.missing_end_event_ids.size(), 3u);
+  size_t type3 = 0;
+  for (const auto& [_, type] : d2.anomaly_event_types) {
+    if (type == 3) ++type3;
+  }
+  EXPECT_EQ(type3, 4u);  // deleting automaton 3 removes 4 anomalies
+}
+
+TEST(EventGen, TrainingIsCleanAndSorted) {
+  Dataset d1 = make_d1(0.05);
+  EXPECT_FALSE(d1.training.empty());
+  // Training lines are time-sorted (timestamps are the leading tokens).
+  auto pre = std::move(Preprocessor::create({}).value());
+  int64_t last = -1;
+  for (size_t i = 0; i < d1.training.size(); i += 37) {
+    int64_t ts = pre.process(d1.training[i]).timestamp_ms;
+    ASSERT_GE(ts, 0) << d1.training[i];
+    EXPECT_GE(ts, last);
+    last = ts;
+  }
+}
+
+TEST(EventGen, PaperScaleLogCounts) {
+  // At scale 1.0, D1 should produce on the order of 16k logs per phase.
+  Dataset d1 = make_d1(1.0);
+  EXPECT_GT(d1.training.size(), 12000u);
+  EXPECT_LT(d1.training.size(), 22000u);
+  Dataset d2 = make_d2(0.25);
+  EXPECT_GT(d2.training.size(), 3000u);
+}
+
+TEST(TemplateGen, TemplateCountsMatchSpec) {
+  TemplateCorpusSpec spec;
+  spec.flavor = "storage";
+  spec.num_templates = 301;
+  auto templates = make_templates(spec);
+  EXPECT_EQ(templates.size(), 301u);
+  // All templates distinct.
+  std::set<std::string> unique(templates.begin(), templates.end());
+  EXPECT_EQ(unique.size(), 301u);
+}
+
+TEST(TemplateGen, AllFlavorsProduceDistinctTemplates) {
+  for (const char* flavor : {"storage", "openstack", "pcap", "network",
+                             "sql"}) {
+    TemplateCorpusSpec spec;
+    spec.flavor = flavor;
+    spec.num_templates = 200;
+    auto templates = make_templates(spec);
+    std::set<std::string> unique(templates.begin(), templates.end());
+    EXPECT_EQ(unique.size(), 200u) << flavor;
+  }
+}
+
+TEST(TemplateGen, EveryTemplateAppearsInTraining) {
+  TemplateCorpusSpec spec;
+  spec.flavor = "pcap";
+  spec.num_templates = 50;
+  spec.train_logs = 500;
+  spec.test_logs = 100;
+  Dataset ds = generate_template_corpus(spec, "T");
+  EXPECT_EQ(ds.training.size(), 500u);
+  EXPECT_EQ(ds.testing.size(), 100u);
+}
+
+TEST(Datasets, ByNameDispatch) {
+  EXPECT_EQ(make_dataset("D1", 0.02).name, "D1");
+  EXPECT_EQ(make_dataset("D5", 0.002).name, "D5");
+  EXPECT_EQ(make_dataset("SS7", 0.001).name, "SS7");
+  EXPECT_EQ(make_dataset("SQL", 0.01).name, "SQL");
+}
+
+TEST(Datasets, Ss7SpoofedDialoguesLackUpdateLocation) {
+  Dataset ss7 = make_ss7(0.01);
+  ASSERT_FALSE(ss7.anomalous_event_ids.empty());
+  EXPECT_EQ(ss7.anomalous_event_ids, ss7.missing_end_event_ids);
+  // No test line for a spoofed IMSI contains InvokeUpdateLocation.
+  for (const auto& line : ss7.testing) {
+    if (line.find("InvokeUpdateLocation") == std::string::npos) continue;
+    for (const auto& imsi : ss7.anomalous_event_ids) {
+      EXPECT_EQ(line.find(imsi), std::string::npos) << line;
+    }
+  }
+}
+
+TEST(Datasets, Ss7TrainingClean) {
+  Dataset ss7 = make_ss7(0.002);
+  // Each training dialogue has all three actions; count multiples of 3.
+  EXPECT_EQ(ss7.training.size() % 3, 0u);
+  size_t purge = 0, auth = 0, update = 0;
+  for (const auto& line : ss7.training) {
+    if (line.find("InvokePurgeMs") != std::string::npos) ++purge;
+    if (line.find("InvokeSendAuthenticationInfo") != std::string::npos) ++auth;
+    if (line.find("InvokeUpdateLocation") != std::string::npos) ++update;
+  }
+  EXPECT_EQ(purge, auth);
+  EXPECT_EQ(auth, update);
+}
+
+TEST(Datasets, SqlTemplatesAreComplex) {
+  Dataset sql = make_sql(0.01);
+  // The case study's point: these lines are deep and GUID-ridden.
+  size_t nested = 0;
+  for (const auto& line : sql.training) {
+    if (line.find("SELECT oID FROM") != std::string::npos) ++nested;
+  }
+  EXPECT_GT(nested, sql.training.size() / 4);
+}
+
+TEST(Datasets, ScaleControlsVolume) {
+  Dataset small = make_d3(0.01);
+  Dataset tiny = make_d3(0.002);
+  EXPECT_GT(small.training.size(), tiny.training.size());
+  // Template floor: even tiny scales include every template three times.
+  EXPECT_GE(make_d3(0.0001).training.size(), 903u);
+}
+
+}  // namespace
+}  // namespace loglens

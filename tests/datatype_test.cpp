@@ -1,0 +1,105 @@
+#include "grok/datatype.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+TEST(DatatypeNames, RoundTrip) {
+  for (Datatype t : {Datatype::kWord, Datatype::kNumber, Datatype::kIp,
+                     Datatype::kNotSpace, Datatype::kDateTime,
+                     Datatype::kAnyData}) {
+    Datatype back;
+    ASSERT_TRUE(datatype_from_name(datatype_name(t), back));
+    EXPECT_EQ(back, t);
+  }
+  Datatype out;
+  EXPECT_FALSE(datatype_from_name("BOGUS", out));
+}
+
+TEST(Coverage, PaperExamples) {
+  // isCovered("WORD", "NOTSPACE") is true; the reverse is false.
+  EXPECT_TRUE(is_covered(Datatype::kWord, Datatype::kNotSpace));
+  EXPECT_FALSE(is_covered(Datatype::kNotSpace, Datatype::kWord));
+}
+
+TEST(Coverage, LatticeShape) {
+  for (Datatype t : {Datatype::kWord, Datatype::kNumber, Datatype::kIp,
+                     Datatype::kNotSpace, Datatype::kDateTime,
+                     Datatype::kAnyData}) {
+    EXPECT_TRUE(is_covered(t, t));            // reflexive
+    EXPECT_TRUE(is_covered(t, Datatype::kAnyData));  // top element
+  }
+  EXPECT_TRUE(is_covered(Datatype::kNumber, Datatype::kNotSpace));
+  EXPECT_TRUE(is_covered(Datatype::kIp, Datatype::kNotSpace));
+  // DATETIME contains a space, so it is NOT under NOTSPACE.
+  EXPECT_FALSE(is_covered(Datatype::kDateTime, Datatype::kNotSpace));
+  EXPECT_FALSE(is_covered(Datatype::kAnyData, Datatype::kNotSpace));
+  EXPECT_FALSE(is_covered(Datatype::kWord, Datatype::kNumber));
+  EXPECT_FALSE(is_covered(Datatype::kWord, Datatype::kIp));
+}
+
+TEST(Coverage, TransitivityProperty) {
+  const Datatype all[] = {Datatype::kWord,     Datatype::kNumber,
+                          Datatype::kIp,       Datatype::kNotSpace,
+                          Datatype::kDateTime, Datatype::kAnyData};
+  for (Datatype a : all) {
+    for (Datatype b : all) {
+      for (Datatype c : all) {
+        if (is_covered(a, b) && is_covered(b, c)) {
+          EXPECT_TRUE(is_covered(a, c))
+              << datatype_name(a) << " <= " << datatype_name(b)
+              << " <= " << datatype_name(c);
+        }
+      }
+    }
+  }
+}
+
+TEST(Generality, OrderedByCoverage) {
+  // If a is strictly covered by b, a must be strictly less general.
+  const Datatype all[] = {Datatype::kWord,     Datatype::kNumber,
+                          Datatype::kIp,       Datatype::kNotSpace,
+                          Datatype::kDateTime, Datatype::kAnyData};
+  for (Datatype a : all) {
+    for (Datatype b : all) {
+      if (a != b && is_covered(a, b)) {
+        EXPECT_LT(generality(a), generality(b));
+      }
+    }
+  }
+}
+
+TEST(Classifier, TableOneRules) {
+  DatatypeClassifier c;
+  EXPECT_EQ(c.classify("Connect"), Datatype::kWord);
+  EXPECT_EQ(c.classify("abc"), Datatype::kWord);
+  EXPECT_EQ(c.classify("42"), Datatype::kNumber);
+  EXPECT_EQ(c.classify("-3.5"), Datatype::kNumber);
+  EXPECT_EQ(c.classify("127.0.0.1"), Datatype::kIp);
+  EXPECT_EQ(c.classify("user1"), Datatype::kNotSpace);
+  EXPECT_EQ(c.classify("abc123"), Datatype::kNotSpace);
+  EXPECT_EQ(c.classify("a-b"), Datatype::kNotSpace);
+}
+
+TEST(Classifier, MostSpecificWins) {
+  DatatypeClassifier c;
+  // "123" is both NUMBER and NOTSPACE; NUMBER is more specific.
+  EXPECT_EQ(c.classify("123"), Datatype::kNumber);
+  // An IP is also NOTSPACE but not NUMBER or WORD.
+  EXPECT_EQ(c.classify("10.0.0.1"), Datatype::kIp);
+}
+
+TEST(Classifier, MatchesRespectsCoverage) {
+  DatatypeClassifier c;
+  EXPECT_TRUE(c.matches("hello", Datatype::kWord));
+  EXPECT_TRUE(c.matches("hello", Datatype::kNotSpace));
+  EXPECT_TRUE(c.matches("hello", Datatype::kAnyData));
+  EXPECT_FALSE(c.matches("hello", Datatype::kNumber));
+  EXPECT_FALSE(c.matches("two words", Datatype::kNotSpace));
+  EXPECT_TRUE(c.matches("2016/02/23 09:00:31.000", Datatype::kDateTime));
+  EXPECT_FALSE(c.matches("hello", Datatype::kDateTime));
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,239 @@
+#include "automata/detector.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+ParsedLog elog(int pattern, const std::string& id, int64_t ts) {
+  ParsedLog log;
+  log.pattern_id = pattern;
+  log.timestamp_ms = ts;
+  log.fields.emplace_back("P" + std::to_string(pattern) + "F1", Json(id));
+  log.raw = "p" + std::to_string(pattern) + " " + id + " @" +
+            std::to_string(ts);
+  return log;
+}
+
+// Model: one automaton, sequence 1 -> 2{1,2} -> 3, duration in [200, 500].
+SequenceModel simple_model() {
+  SequenceModel m;
+  m.id_fields = {{1, "P1F1"}, {2, "P2F1"}, {3, "P3F1"}};
+  Automaton a;
+  a.id = 1;
+  a.begin_patterns = {1};
+  a.end_patterns = {3};
+  a.states[1] = {1, 1, 1};
+  a.states[2] = {2, 1, 2};
+  a.states[3] = {3, 1, 1};
+  a.min_duration_ms = 200;
+  a.max_duration_ms = 500;
+  a.transitions = {{1, 2}, {2, 2}, {2, 3}};
+  m.automata.push_back(a);
+  return m;
+}
+
+std::vector<Anomaly> feed(SequenceDetector& det,
+                          std::initializer_list<ParsedLog> logs) {
+  std::vector<Anomaly> out;
+  for (const auto& l : logs) {
+    auto a = det.on_log(l, "src");
+    out.insert(out.end(), a.begin(), a.end());
+  }
+  return out;
+}
+
+TEST(Detector, NormalEventProducesNoAnomaly) {
+  SequenceDetector det(simple_model());
+  auto anomalies = feed(det, {elog(1, "e1", 1000), elog(2, "e1", 1150),
+                              elog(3, "e1", 1300)});
+  EXPECT_TRUE(anomalies.empty());
+  EXPECT_EQ(det.open_events(), 0u);  // closed on end arrival
+  EXPECT_EQ(det.stats().events_closed, 1u);
+}
+
+TEST(Detector, InterleavedEventsTrackedIndependently) {
+  SequenceDetector det(simple_model());
+  std::vector<Anomaly> anomalies =
+      feed(det, {elog(1, "a", 1000), elog(1, "b", 1020), elog(2, "a", 1150),
+                 elog(2, "b", 1180), elog(3, "a", 1300), elog(3, "b", 1320)});
+  EXPECT_TRUE(anomalies.empty());
+  EXPECT_EQ(det.stats().events_closed, 2u);
+}
+
+TEST(Detector, MissingBeginDetectedAtClose) {
+  SequenceDetector det(simple_model());
+  auto anomalies = feed(det, {elog(2, "e1", 1000), elog(3, "e1", 1210)});
+  ASSERT_FALSE(anomalies.empty());
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kMissingBeginState);
+  EXPECT_EQ(anomalies[0].event_id, "e1");
+  EXPECT_EQ(anomalies[0].automaton_id, 1);
+  EXPECT_EQ(anomalies[0].source, "src");
+}
+
+TEST(Detector, MissingIntermediateDetectedAtClose) {
+  SequenceDetector det(simple_model());
+  auto anomalies = feed(det, {elog(1, "e1", 1000), elog(3, "e1", 1300)});
+  bool found = false;
+  for (const auto& a : anomalies) {
+    if (a.type == AnomalyType::kMissingIntermediateState) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Detector, OccurrenceViolationAboveMax) {
+  SequenceDetector det(simple_model());
+  auto anomalies =
+      feed(det, {elog(1, "e1", 1000), elog(2, "e1", 1100), elog(2, "e1", 1150),
+                 elog(2, "e1", 1200), elog(3, "e1", 1300)});
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kOccurrenceViolation);
+  EXPECT_NE(anomalies[0].reason.find("3 times"), std::string::npos);
+}
+
+TEST(Detector, DurationViolationSlowAndFast) {
+  SequenceDetector det(simple_model());
+  auto slow = feed(det, {elog(1, "slow", 1000), elog(2, "slow", 1300),
+                         elog(3, "slow", 2000)});  // 1000 > max 500
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0].type, AnomalyType::kDurationViolation);
+  auto fast = feed(det, {elog(1, "fast", 5000), elog(2, "fast", 5050),
+                         elog(3, "fast", 5100)});  // 100 < min 200
+  ASSERT_EQ(fast.size(), 1u);
+  EXPECT_EQ(fast[0].type, AnomalyType::kDurationViolation);
+}
+
+TEST(Detector, MissingEndOnlyViaHeartbeat) {
+  SequenceDetector det(simple_model());
+  auto during = feed(det, {elog(1, "e1", 1000), elog(2, "e1", 1100)});
+  EXPECT_TRUE(during.empty());
+  EXPECT_EQ(det.open_events(), 1u);
+  // Heartbeat before the deadline: nothing yet.
+  EXPECT_TRUE(det.on_heartbeat(1400).empty());
+  EXPECT_EQ(det.open_events(), 1u);
+  // Past first_ts + max_duration: expired, missing end reported.
+  auto expired = det.on_heartbeat(1600);
+  ASSERT_FALSE(expired.empty());
+  EXPECT_EQ(expired[0].type, AnomalyType::kMissingEndState);
+  EXPECT_EQ(det.open_events(), 0u);
+  EXPECT_EQ(det.stats().events_expired, 1u);
+  // Without the heartbeat the anomaly would never have been reported —
+  // exactly the Figure 5 gap.
+}
+
+TEST(Detector, HeartbeatUsesLogTimeNotArrivalOrder) {
+  SequenceDetector det(simple_model());
+  feed(det, {elog(1, "e1", 1'000'000)});
+  // A heartbeat carrying an *earlier* log time must not expire anything.
+  EXPECT_TRUE(det.on_heartbeat(999'000).empty());
+  EXPECT_EQ(det.open_events(), 1u);
+}
+
+TEST(Detector, UnknownPatternsIgnored) {
+  SequenceDetector det(simple_model());
+  ParsedLog stray = elog(42, "e1", 1000);
+  EXPECT_TRUE(det.on_log(stray, "src").empty());
+  EXPECT_EQ(det.open_events(), 0u);
+  // Logs with an id field entry but no id value are also ignored.
+  ParsedLog no_id;
+  no_id.pattern_id = 1;
+  no_id.timestamp_ms = 1000;
+  EXPECT_TRUE(det.on_log(no_id, "src").empty());
+  EXPECT_EQ(det.open_events(), 0u);
+}
+
+TEST(Detector, TransitionCheckingOptIn) {
+  DetectorOptions opts;
+  opts.check_transitions = true;
+  SequenceModel model = simple_model();
+  // Add pattern 2b (id 4) as an alternative middle so an unusual order can
+  // exist inside one automaton: allowed 1->2->4->3 only.
+  model.id_fields[4] = "P4F1";
+  Automaton& a = model.automata[0];
+  a.states[4] = {4, 1, 1};
+  a.transitions = {{1, 2}, {2, 4}, {4, 3}};
+  SequenceDetector det(model, opts);
+  // Out-of-order middle: 1 -> 4 -> 2 -> 3.
+  auto anomalies = feed(det, {elog(1, "e1", 1000), elog(4, "e1", 1100),
+                              elog(2, "e1", 1200), elog(3, "e1", 1300)});
+  size_t transitions = 0;
+  for (const auto& an : anomalies) {
+    if (an.type == AnomalyType::kUnknownTransition) ++transitions;
+  }
+  EXPECT_EQ(transitions, 3u);  // 1->4, 4->2, 2->3 all unseen
+}
+
+TEST(Detector, ModelUpdatePreservesOpenState) {
+  SequenceDetector det(simple_model());
+  feed(det, {elog(1, "e1", 1000), elog(2, "e1", 1100)});
+  ASSERT_EQ(det.open_events(), 1u);
+  // Update to a model with a longer max duration; the open event survives
+  // and closes normally afterwards.
+  SequenceModel longer = simple_model();
+  longer.automata[0].max_duration_ms = 10'000;
+  det.update_model(longer);
+  EXPECT_EQ(det.open_events(), 1u);
+  auto anomalies = feed(det, {elog(3, "e1", 2500)});  // duration 1500 < 10000
+  EXPECT_TRUE(anomalies.empty());
+  EXPECT_EQ(det.stats().events_closed, 1u);
+}
+
+TEST(Detector, DeletedAutomatonSilencesItsEvents) {
+  // Table V semantics: after deleting the automaton, its events stop
+  // producing anomalies entirely.
+  SequenceModel empty;
+  empty.id_fields = simple_model().id_fields;
+  SequenceDetector det(simple_model());
+  feed(det, {elog(1, "e1", 1000)});
+  det.update_model(empty);
+  auto anomalies = feed(det, {elog(2, "e1", 1100)});
+  EXPECT_TRUE(anomalies.empty());
+  // Heartbeats cannot blame a deleted automaton either.
+  auto hb = det.on_heartbeat(1'000'000'000);
+  EXPECT_TRUE(hb.empty());
+}
+
+TEST(Detector, EvictionBoundsOpenStates) {
+  DetectorOptions opts;
+  opts.max_open_events = 4;
+  SequenceDetector det(simple_model(), opts);
+  for (int e = 0; e < 10; ++e) {
+    det.on_log(elog(1, "e" + std::to_string(e), 1000 + e), "src");
+  }
+  EXPECT_LE(det.open_events(), 5u);
+  EXPECT_GT(det.stats().evicted, 0u);
+}
+
+TEST(Detector, AnomalyCarriesAssociatedLogs) {
+  SequenceDetector det(simple_model());
+  auto anomalies = feed(det, {elog(2, "e1", 1000), elog(3, "e1", 1210)});
+  ASSERT_FALSE(anomalies.empty());
+  ASSERT_EQ(anomalies[0].logs.size(), 2u);
+  EXPECT_NE(anomalies[0].logs[0].find("p2 e1"), std::string::npos);
+}
+
+TEST(Detector, EventsWithNoCandidateUseDefaultTimeout) {
+  // Two patterns from *different* automata under one event id never fit a
+  // single automaton; the default timeout governs expiry.
+  SequenceModel m = simple_model();
+  Automaton b;
+  b.id = 2;
+  b.begin_patterns = {7};
+  b.end_patterns = {8};
+  b.states[7] = {7, 1, 1};
+  b.states[8] = {8, 1, 1};
+  b.max_duration_ms = 100;
+  m.automata.push_back(b);
+  m.id_fields[7] = "P7F1";
+  DetectorOptions opts;
+  opts.default_timeout_ms = 500;
+  SequenceDetector det(m, opts);
+  feed(det, {elog(1, "mix", 1000), elog(7, "mix", 1050)});
+  EXPECT_EQ(det.open_events(), 1u);
+  EXPECT_TRUE(det.on_heartbeat(1500).empty());  // last_ts+500 = 1550
+  auto expired = det.on_heartbeat(1600);
+  EXPECT_FALSE(expired.empty());
+}
+
+}  // namespace
+}  // namespace loglens

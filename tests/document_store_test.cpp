@@ -1,0 +1,148 @@
+#include "storage/document_store.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "storage/stores.h"
+
+namespace loglens {
+namespace {
+
+Json doc(const char* source, int64_t ts, const char* msg) {
+  JsonObject o;
+  o.emplace_back("source", Json(source));
+  o.emplace_back("ts", Json(ts));
+  o.emplace_back("msg", Json(msg));
+  return Json(std::move(o));
+}
+
+TEST(DocumentStore, InsertAndGet) {
+  DocumentStore store;
+  uint64_t id = store.insert(doc("a", 1, "hello"));
+  EXPECT_EQ(store.size(), 1u);
+  auto got = store.get(id);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->get_string("msg"), "hello");
+  EXPECT_FALSE(store.get(999).has_value());
+}
+
+TEST(DocumentStore, TermQueryUsesIndex) {
+  DocumentStore store;
+  for (int i = 0; i < 100; ++i) {
+    store.insert(doc(i % 2 == 0 ? "even" : "odd", i, "x"));
+  }
+  Query q;
+  q.clauses.push_back(QueryClause::Term("source", "even"));
+  EXPECT_EQ(store.query(q).size(), 50u);
+  EXPECT_EQ(store.count(q), 50u);
+  q.clauses[0].term = "missing";
+  EXPECT_TRUE(store.query(q).empty());
+}
+
+TEST(DocumentStore, RangeQuery) {
+  DocumentStore store;
+  for (int i = 0; i < 20; ++i) store.insert(doc("s", i * 10, "x"));
+  Query q;
+  q.clauses.push_back(QueryClause::Range("ts", 50, 100));
+  auto hits = store.query(q);
+  EXPECT_EQ(hits.size(), 6u);  // 50,60,...,100 inclusive
+}
+
+TEST(DocumentStore, ConjunctionOfClauses) {
+  DocumentStore store;
+  store.insert(doc("a", 5, "x"));
+  store.insert(doc("a", 50, "x"));
+  store.insert(doc("b", 5, "x"));
+  Query q;
+  q.clauses.push_back(QueryClause::Term("source", "a"));
+  q.clauses.push_back(QueryClause::Range("ts", 0, 10));
+  auto hits = store.query(q);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].get_int("ts"), 5);
+}
+
+TEST(DocumentStore, LimitRespected) {
+  DocumentStore store;
+  for (int i = 0; i < 10; ++i) store.insert(doc("s", i, "x"));
+  Query q;
+  q.limit = 3;
+  EXPECT_EQ(store.query(q).size(), 3u);
+}
+
+TEST(DocumentStore, MissingFieldNeverMatches) {
+  DocumentStore store;
+  store.insert(Json(JsonObject{{"other", Json("v")}}));
+  Query q;
+  q.clauses.push_back(QueryClause::Range("ts", 0, 100));
+  EXPECT_TRUE(store.query(q).empty());
+}
+
+TEST(DocumentStore, JsonlRoundTrip) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "loglens_store_test.jsonl").string();
+  {
+    DocumentStore store;
+    store.insert(doc("a", 1, "first"));
+    store.insert(doc("b", 2, "second \"quoted\""));
+    ASSERT_TRUE(store.save_jsonl(path).ok());
+  }
+  DocumentStore loaded;
+  ASSERT_TRUE(loaded.load_jsonl(path).ok());
+  EXPECT_EQ(loaded.size(), 2u);
+  Query q;
+  q.clauses.push_back(QueryClause::Term("source", "b"));
+  auto hits = loaded.query(q);
+  ASSERT_EQ(hits.size(), 1u);  // index rebuilt on load
+  EXPECT_EQ(hits[0].get_string("msg"), "second \"quoted\"");
+  std::remove(path.c_str());
+  EXPECT_FALSE(loaded.load_jsonl("/nonexistent/nowhere.jsonl").ok());
+}
+
+TEST(LogStore, FetchBySourceAndTime) {
+  LogStore store;
+  store.add("web", "line1", 100);
+  store.add("web", "line2", 200);
+  store.add("db", "line3", 150);
+  EXPECT_EQ(store.size(), 3u);
+  auto web = store.fetch("web");
+  ASSERT_EQ(web.size(), 2u);
+  EXPECT_EQ(web[0], "line1");
+  auto ranged = store.fetch("web", 150, 300);
+  ASSERT_EQ(ranged.size(), 1u);
+  EXPECT_EQ(ranged[0], "line2");
+  EXPECT_TRUE(store.fetch("missing").empty());
+  EXPECT_EQ(store.fetch("web", INT64_MIN, INT64_MAX, 1).size(), 1u);
+}
+
+TEST(ModelStore, VersioningAndDelete) {
+  ModelStore store;
+  EXPECT_EQ(store.put("m", Json("v1")), 1);
+  EXPECT_EQ(store.put("m", Json("v2")), 2);
+  auto latest = store.latest("m");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->version, 2);
+  EXPECT_EQ(latest->blob.as_string(), "v2");
+  auto v1 = store.version("m", 1);
+  ASSERT_TRUE(v1.has_value());
+  EXPECT_EQ(v1->blob.as_string(), "v1");
+  store.remove("m");
+  EXPECT_FALSE(store.latest("m").has_value());
+  EXPECT_TRUE(store.names().empty());
+  // Re-adding revives with the next version.
+  EXPECT_EQ(store.put("m", Json("v3")), 3);
+  EXPECT_TRUE(store.latest("m").has_value());
+}
+
+TEST(ModelStore, IndependentNames) {
+  ModelStore store;
+  store.put("a", Json(1));
+  store.put("b", Json(2));
+  EXPECT_EQ(store.names().size(), 2u);
+  EXPECT_FALSE(store.latest("c").has_value());
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,171 @@
+// Granular tests of the event-stream generator's anomaly injection: each
+// InjectKind must corrupt exactly the structure the detector later relies on.
+#include "datagen/event_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace loglens {
+namespace {
+
+EventStreamSpec base_spec(std::vector<InjectPlan> injections) {
+  EventStreamSpec spec;
+  spec.seed = 123;
+  spec.types.push_back(EventTypeSpec{
+      "wf",
+      {"{TS} {HOST} Begin job {ID} from {IP}",
+       "{TS} {HOST} Middle job {ID} step {N}",
+       "{TS} {HOST} End job {ID} status {N}"},
+      /*repeat_min=*/2, /*repeat_max=*/2, 100, 100});
+  spec.train_events = 20;
+  spec.test_events = 20;
+  spec.injections = std::move(injections);
+  return spec;
+}
+
+// Extracts the event id (the token after "job") from a generated line.
+std::string id_of(const std::string& line) {
+  auto toks = split_any(line, " ");
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i] == "job") return std::string(toks[i + 1]);
+  }
+  return {};
+}
+
+// Counts action kinds per event id.
+std::map<std::string, std::map<std::string, int>> histogram(
+    const std::vector<std::string>& lines) {
+  std::map<std::string, std::map<std::string, int>> out;
+  for (const auto& line : lines) {
+    auto toks = split_any(line, " ");
+    // tokens: date time host ACTION job id ...
+    if (toks.size() > 3) out[id_of(line)][std::string(toks[3])]++;
+  }
+  return out;
+}
+
+TEST(EventGenInject, TrainingNeverCorrupted) {
+  Dataset ds = generate_event_stream(
+      base_spec({{InjectKind::kMissingEnd, 0}}), "t");
+  for (const auto& [id, actions] : histogram(ds.training)) {
+    EXPECT_EQ(actions.at("Begin"), 1) << id;
+    EXPECT_EQ(actions.at("End"), 1) << id;
+    EXPECT_EQ(actions.at("Middle"), 2) << id;
+  }
+}
+
+TEST(EventGenInject, MissingBeginDropsFirstLog) {
+  Dataset ds = generate_event_stream(
+      base_spec({{InjectKind::kMissingBegin, 0}}), "t");
+  ASSERT_EQ(ds.anomalous_event_ids.size(), 1u);
+  const std::string& victim = *ds.anomalous_event_ids.begin();
+  auto h = histogram(ds.testing);
+  EXPECT_EQ(h[victim].count("Begin"), 0u);
+  EXPECT_EQ(h[victim].at("End"), 1);
+  EXPECT_EQ(h[victim].at("Middle"), 2);
+}
+
+TEST(EventGenInject, MissingEndDropsLastLog) {
+  Dataset ds = generate_event_stream(
+      base_spec({{InjectKind::kMissingEnd, 0}}), "t");
+  const std::string& victim = *ds.anomalous_event_ids.begin();
+  EXPECT_TRUE(ds.missing_end_event_ids.contains(victim));
+  auto h = histogram(ds.testing);
+  EXPECT_EQ(h[victim].at("Begin"), 1);
+  EXPECT_EQ(h[victim].count("End"), 0u);
+}
+
+TEST(EventGenInject, MissingMiddleRemovesAllRepeats) {
+  Dataset ds = generate_event_stream(
+      base_spec({{InjectKind::kMissingMiddle, 0}}), "t");
+  const std::string& victim = *ds.anomalous_event_ids.begin();
+  auto h = histogram(ds.testing);
+  EXPECT_EQ(h[victim].count("Middle"), 0u);
+  EXPECT_EQ(h[victim].at("Begin"), 1);
+  EXPECT_EQ(h[victim].at("End"), 1);
+}
+
+TEST(EventGenInject, ExtraOccurrencesExceedTrainedMax) {
+  Dataset ds = generate_event_stream(
+      base_spec({{InjectKind::kExtraOccurrences, 0}}), "t");
+  const std::string& victim = *ds.anomalous_event_ids.begin();
+  auto h = histogram(ds.testing);
+  // repeat_max(2) + 3 extras on top of the normal repeats.
+  EXPECT_GE(h[victim].at("Middle"), 2 + 3);
+}
+
+TEST(EventGenInject, SlowDurationStretchesTimestamps) {
+  Dataset ds = generate_event_stream(
+      base_spec({{InjectKind::kSlowDuration, 0}}), "t");
+  const std::string& victim = *ds.anomalous_event_ids.begin();
+  // Normal event: 3 gaps x 100 ms = 300 ms span; slowed: x12.
+  // Find the victim's timestamps via the leading "yyyy/MM/dd HH:mm:ss.SSS".
+  // A cheap proxy: the victim's log count is normal but its lines are far
+  // apart in the (time-sorted) stream.
+  size_t first = SIZE_MAX, last = 0;
+  for (size_t i = 0; i < ds.testing.size(); ++i) {
+    if (id_of(ds.testing[i]) == victim) {
+      first = std::min(first, i);
+      last = std::max(last, i);
+    }
+  }
+  ASSERT_NE(first, SIZE_MAX);
+  auto h = histogram(ds.testing);
+  EXPECT_EQ(h[victim].at("Begin"), 1);  // structurally intact
+  EXPECT_EQ(h[victim].at("End"), 1);
+}
+
+TEST(EventGenInject, DistinctVictimsPerPlan) {
+  Dataset ds = generate_event_stream(
+      base_spec({{InjectKind::kMissingEnd, 0},
+                 {InjectKind::kMissingBegin, 0},
+                 {InjectKind::kMissingMiddle, 0},
+                 {InjectKind::kExtraOccurrences, 0},
+                 {InjectKind::kSlowDuration, 0}}),
+      "t");
+  EXPECT_EQ(ds.anomalous_event_ids.size(), 5u);
+  EXPECT_EQ(ds.missing_end_event_ids.size(), 1u);
+  EXPECT_EQ(ds.anomaly_event_types.size(), 5u);
+}
+
+TEST(EventGenInject, EventsInterleaveInStream) {
+  EventStreamSpec spec = base_spec({});
+  spec.train_events = 100;
+  spec.test_events = 100;
+  spec.spread_ms = 2000;  // 100 events x 400 ms span in a 2 s window
+  Dataset ds = generate_event_stream(spec, "t");
+  // Dense overlap: consecutive lines usually belong to different events.
+  size_t switches = 0;
+  for (size_t i = 1; i < ds.testing.size(); ++i) {
+    if (id_of(ds.testing[i]) != id_of(ds.testing[i - 1])) ++switches;
+  }
+  EXPECT_GT(switches, ds.testing.size() / 3);
+}
+
+TEST(EventGenInject, TimestampStyles) {
+  EventStreamSpec spec = base_spec({});
+  spec.timestamp_format = "iso";
+  Dataset iso = generate_event_stream(spec, "t");
+  EXPECT_NE(iso.training.front().find('T'), std::string::npos);
+  spec.timestamp_format = "syslog";
+  Dataset syslog = generate_event_stream(spec, "t");
+  // Syslog style leads with a month abbreviation.
+  EXPECT_TRUE(isupper(syslog.training.front()[0]));
+}
+
+TEST(EventGenInject, UniqueEventIds) {
+  Dataset ds = generate_event_stream(base_spec({}), "t");
+  auto train = histogram(ds.training);
+  auto test = histogram(ds.testing);
+  EXPECT_EQ(train.size(), 20u);
+  EXPECT_EQ(test.size(), 20u);
+  for (const auto& [id, _] : train) {
+    EXPECT_FALSE(test.contains(id)) << id;
+  }
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,116 @@
+#include "service/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include "service/wire.h"
+
+namespace loglens {
+namespace {
+
+Message parsed(const char* source, int64_t ts) {
+  Message m;
+  m.key = source;
+  m.value = "{}";
+  m.timestamp_ms = ts;
+  m.tag = kTagData;
+  m.source = source;
+  return m;
+}
+
+TEST(Heartbeat, EmitsOnePerActiveSource) {
+  Broker broker;
+  broker.create_topic("parsed", 1);
+  HeartbeatController hb(broker, {"parsed", "parsed", 1000});
+  broker.produce("parsed", parsed("A", 1000));
+  broker.produce("parsed", parsed("B", 2000));
+  EXPECT_EQ(hb.tick(), 2u);
+  EXPECT_EQ(hb.active_sources(), 2u);
+  // The heartbeats are now in the topic, tagged.
+  auto all = broker.fetch("parsed", 0, 2, 10);
+  ASSERT_EQ(all.size(), 2u);
+  for (const auto& m : all) EXPECT_EQ(m.tag, kTagHeartbeat);
+}
+
+TEST(Heartbeat, CarriesObservedLogTimeWhileActive) {
+  Broker broker;
+  broker.create_topic("parsed", 1);
+  HeartbeatController hb(broker, {"parsed", "parsed", 1000});
+  broker.produce("parsed", parsed("A", 5000));
+  hb.tick();
+  auto msgs = broker.fetch("parsed", 0, 1, 10);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].timestamp_ms, 5000);
+  EXPECT_EQ(msgs[0].source, "A");
+}
+
+TEST(Heartbeat, ExtrapolatesWhenSourceGoesQuiet) {
+  Broker broker;
+  broker.create_topic("parsed", 1);
+  HeartbeatController hb(broker, {"parsed", "parsed", 1000});
+  // Establish a rate: 10 logs, 100ms apart, in one tick window.
+  for (int i = 0; i < 10; ++i) {
+    broker.produce("parsed", parsed("A", 1000 + i * 100));
+  }
+  hb.tick();  // observes; predicted = 1900
+  uint64_t offset = broker.end_offset("parsed", 0);
+  // Quiet ticks: predicted time must advance monotonically.
+  hb.tick();
+  hb.tick();
+  auto msgs = broker.fetch("parsed", 0, offset, 10);
+  ASSERT_EQ(msgs.size(), 2u);
+  EXPECT_GT(msgs[0].timestamp_ms, 1900);
+  EXPECT_GT(msgs[1].timestamp_ms, msgs[0].timestamp_ms);
+}
+
+TEST(Heartbeat, MinAdvanceBoundsQuietExtrapolation) {
+  Broker broker;
+  broker.create_topic("parsed", 1);
+  HeartbeatController hb(broker, {"parsed", "parsed", 60'000});
+  broker.produce("parsed", parsed("A", 1000));
+  hb.tick();
+  uint64_t offset = broker.end_offset("parsed", 0);
+  hb.tick();  // quiet: advance >= 60s
+  auto msgs = broker.fetch("parsed", 0, offset, 10);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_GE(msgs[0].timestamp_ms, 61'000);
+}
+
+TEST(Heartbeat, TickAdvanceForcesLogTimeForward) {
+  Broker broker;
+  broker.create_topic("parsed", 1);
+  HeartbeatController hb(broker, {"parsed", "parsed", 1000});
+  broker.produce("parsed", parsed("A", 10'000));
+  EXPECT_EQ(hb.tick_advance(500'000), 1u);
+  auto msgs = broker.fetch("parsed", 0, 1, 10);
+  ASSERT_EQ(msgs.size(), 1u);
+  EXPECT_EQ(msgs[0].timestamp_ms, 510'000);
+}
+
+TEST(Heartbeat, IgnoresNonDataMessages) {
+  Broker broker;
+  broker.create_topic("parsed", 1);
+  HeartbeatController hb(broker, {"parsed", "parsed", 1000});
+  Message anomaly;
+  anomaly.tag = kTagAnomaly;
+  anomaly.source = "A";
+  anomaly.timestamp_ms = 1;
+  broker.produce("parsed", anomaly);
+  Message own_hb;
+  own_hb.tag = kTagHeartbeat;
+  own_hb.source = "B";
+  own_hb.timestamp_ms = 2;
+  broker.produce("parsed", own_hb);
+  EXPECT_EQ(hb.tick(), 0u);  // no *data* sources observed
+  EXPECT_EQ(hb.active_sources(), 0u);
+}
+
+TEST(Heartbeat, NoSourcesNoHeartbeats) {
+  Broker broker;
+  broker.create_topic("parsed", 1);
+  HeartbeatController hb(broker, {"parsed", "parsed", 1000});
+  EXPECT_EQ(hb.tick(), 0u);
+  EXPECT_EQ(hb.tick_advance(1000), 0u);
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,129 @@
+#include "automata/id_discovery.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+ParsedLog log_of(int pattern, std::initializer_list<std::pair<const char*, const char*>> fields,
+                 int64_t ts = 0) {
+  ParsedLog log;
+  log.pattern_id = pattern;
+  log.timestamp_ms = ts;
+  for (const auto& [k, v] : fields) {
+    log.fields.emplace_back(k, Json(v));
+  }
+  return log;
+}
+
+TEST(IdDiscovery, FindsSharedIdAcrossPatterns) {
+  // Two events, each spanning patterns 1 and 2, linked by field content.
+  std::vector<ParsedLog> logs = {
+      log_of(1, {{"P1F1", "ev-aaa"}, {"P1F2", "x1"}}),
+      log_of(2, {{"P2F1", "ev-aaa"}, {"P2F2", "y1"}}),
+      log_of(1, {{"P1F1", "ev-bbb"}, {"P1F2", "x2"}}),
+      log_of(2, {{"P2F1", "ev-bbb"}, {"P2F2", "y2"}}),
+  };
+  IdFieldMap map = discover_id_fields(logs);
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_EQ(map[1], "P1F1");
+  EXPECT_EQ(map[2], "P2F1");
+}
+
+TEST(IdDiscovery, IgnoresConstantsAndHighFrequencyContents) {
+  // "prod" appears in every log of both patterns but only as one distinct
+  // content with huge fan-out; it must not be chosen.
+  std::vector<ParsedLog> logs;
+  for (int e = 0; e < 30; ++e) {
+    std::string id = "ev-" + std::to_string(e);
+    logs.push_back(log_of(1, {{"P1F1", id.c_str()}, {"P1F2", "prod"}}));
+    logs.push_back(log_of(2, {{"P2F1", id.c_str()}, {"P2F2", "prod"}}));
+  }
+  IdDiscoveryOptions opts;
+  opts.max_logs_per_content = 8;
+  IdFieldMap map = discover_id_fields(logs, opts);
+  ASSERT_EQ(map.size(), 2u);
+  EXPECT_EQ(map[1], "P1F1");
+  EXPECT_EQ(map[2], "P2F1");
+}
+
+TEST(IdDiscovery, RequiresMultipleDistinctContents) {
+  // A single event is not enough evidence.
+  std::vector<ParsedLog> logs = {
+      log_of(1, {{"P1F1", "ev-only"}}),
+      log_of(2, {{"P2F1", "ev-only"}}),
+  };
+  EXPECT_TRUE(discover_id_fields(logs).empty());
+}
+
+TEST(IdDiscovery, HeterogeneousEventTypesViaGreedyCover) {
+  // Patterns {1,2} share id field A; patterns {3,4} share id field B; no
+  // single content covers all four patterns (the paper's strict rule would
+  // find nothing) — the greedy-cover extension must find both.
+  std::vector<ParsedLog> logs;
+  for (int e = 0; e < 5; ++e) {
+    std::string a = "a-" + std::to_string(e);
+    std::string b = "b-" + std::to_string(e);
+    logs.push_back(log_of(1, {{"P1F1", a.c_str()}}));
+    logs.push_back(log_of(2, {{"P2F1", a.c_str()}}));
+    logs.push_back(log_of(3, {{"P3F1", b.c_str()}}));
+    logs.push_back(log_of(4, {{"P4F1", b.c_str()}}));
+  }
+  IdFieldMap map = discover_id_fields(logs);
+  ASSERT_EQ(map.size(), 4u);
+  EXPECT_EQ(map[1], "P1F1");
+  EXPECT_EQ(map[3], "P3F1");
+}
+
+TEST(IdDiscovery, AmbiguousFieldPerPatternRejected) {
+  // If a content maps pattern 1 to two different fields, that candidate
+  // cannot be an id assignment.
+  std::vector<ParsedLog> logs = {
+      log_of(1, {{"P1F1", "x"}, {"P1F2", "x"}}),
+      log_of(2, {{"P2F1", "x"}}),
+      log_of(1, {{"P1F1", "y"}, {"P1F2", "y"}}),
+      log_of(2, {{"P2F1", "y"}}),
+  };
+  IdFieldMap map = discover_id_fields(logs);
+  EXPECT_TRUE(map.empty());
+}
+
+TEST(IdDiscovery, MinPatternsThreshold) {
+  // Contents confined to one pattern do not form an event link.
+  std::vector<ParsedLog> logs = {
+      log_of(1, {{"P1F1", "v1"}}),
+      log_of(1, {{"P1F1", "v2"}}),
+  };
+  EXPECT_TRUE(discover_id_fields(logs).empty());
+}
+
+TEST(IdDiscovery, EmptyAndFieldlessInputs) {
+  EXPECT_TRUE(discover_id_fields({}).empty());
+  std::vector<ParsedLog> logs = {log_of(1, {}), log_of(2, {})};
+  EXPECT_TRUE(discover_id_fields(logs).empty());
+}
+
+TEST(IdDiscovery, NonStringFieldsIgnored) {
+  ParsedLog l1;
+  l1.pattern_id = 1;
+  l1.fields.emplace_back("num", Json(42));
+  ParsedLog l2;
+  l2.pattern_id = 2;
+  l2.fields.emplace_back("num", Json(42));
+  EXPECT_TRUE(discover_id_fields({l1, l2}).empty());
+}
+
+TEST(IdDiscovery, Deterministic) {
+  std::vector<ParsedLog> logs;
+  for (int e = 0; e < 10; ++e) {
+    std::string id = "ev-" + std::to_string(e);
+    logs.push_back(log_of(1, {{"P1F1", id.c_str()}, {"P1F2", "other"}}));
+    logs.push_back(log_of(2, {{"P2F1", id.c_str()}}));
+  }
+  IdFieldMap a = discover_id_fields(logs);
+  IdFieldMap b = discover_id_fields(logs);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,135 @@
+#include "streaming/keyed_state.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+TEST(StateMap, GetOrCreateAndFind) {
+  StateMap<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find("a"), nullptr);
+  m.get_or_create("a") = 7;
+  ASSERT_NE(m.find("a"), nullptr);
+  EXPECT_EQ(*m.find("a"), 7);
+  EXPECT_EQ(m.size(), 1u);
+  m.get_or_create("a") += 1;  // same slot
+  EXPECT_EQ(*m.find("a"), 8);
+  m.erase("a");
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(StateMap, ForEachEnumeratesAll) {
+  StateMap<int> m;
+  for (int i = 0; i < 5; ++i) m.get_or_create("k" + std::to_string(i)) = i;
+  int sum = 0;
+  m.for_each([&sum](const std::string&, int& v) { sum += v; });
+  EXPECT_EQ(sum, 0 + 1 + 2 + 3 + 4);
+  // Mutation through the enumeration sticks (reference access).
+  m.for_each([](const std::string&, int& v) { v *= 10; });
+  EXPECT_EQ(*m.find("k3"), 30);
+}
+
+TEST(StateMap, SweepRemovesExpiredAndReportsThem) {
+  StateMap<int> m;
+  for (int i = 0; i < 10; ++i) m.get_or_create("k" + std::to_string(i)) = i;
+  std::vector<std::string> expired;
+  size_t removed = m.sweep(
+      [](const std::string&, int& v) { return v % 2 == 0; },
+      [&expired](const std::string& k, int&) { expired.push_back(k); });
+  EXPECT_EQ(removed, 5u);
+  EXPECT_EQ(expired.size(), 5u);
+  EXPECT_EQ(m.size(), 5u);
+  EXPECT_EQ(m.find("k2"), nullptr);
+  EXPECT_NE(m.find("k3"), nullptr);
+}
+
+// A session tracker built on KeyedStateTask: counts records per key and
+// expires sessions idle past a deadline, emitting a summary message.
+struct Session {
+  uint64_t records = 0;
+  int64_t last_seen = -1;
+};
+
+class SessionTask : public KeyedStateTask<Session> {
+ protected:
+  void on_record(const Message& m, Session& s, TaskContext&) override {
+    ++s.records;
+    s.last_seen = m.timestamp_ms;
+  }
+  void on_heartbeat(int64_t now, StateMap<Session>& states,
+                    TaskContext& ctx) override {
+    states.sweep(
+        [now](const std::string&, Session& s) {
+          return s.last_seen >= 0 && now - s.last_seen > 1000;
+        },
+        [&ctx](const std::string& key, Session& s) {
+          Message out;
+          out.key = key;
+          out.value = std::to_string(s.records);
+          out.tag = "session-closed";
+          ctx.emit(std::move(out));
+        });
+  }
+};
+
+Message rec(const char* key, int64_t ts) {
+  Message m;
+  m.key = key;
+  m.value = "x";
+  m.timestamp_ms = ts;
+  m.tag = kTagData;
+  return m;
+}
+
+Message hb(int64_t ts) {
+  Message m;
+  m.tag = kTagHeartbeat;
+  m.timestamp_ms = ts;
+  return m;
+}
+
+TEST(KeyedStateTask, SessionLifecycleThroughEngine) {
+  EngineOptions opts;
+  opts.partitions = 3;
+  opts.workers = 2;
+  StreamEngine engine(opts, [](size_t) -> std::unique_ptr<PartitionTask> {
+    return std::make_unique<SessionTask>();
+  });
+
+  // Two sessions, interleaved; "a" gets 3 records, "b" gets 1.
+  engine.run_batch({rec("a", 100), rec("b", 150), rec("a", 200)});
+  engine.run_batch({rec("a", 300)});
+  // Heartbeat before the idle deadline: nothing closes.
+  auto r1 = engine.run_batch({hb(900)});
+  EXPECT_TRUE(r1.outputs.empty());
+  // Past the deadline: both sessions close with correct counts, regardless
+  // of which partition holds them (the heartbeat fans out to all).
+  auto r2 = engine.run_batch({hb(5000)});
+  ASSERT_EQ(r2.outputs.size(), 2u);
+  std::map<std::string, std::string> closed;
+  for (const auto& m : r2.outputs) closed[m.key] = m.value;
+  EXPECT_EQ(closed["a"], "3");
+  EXPECT_EQ(closed["b"], "1");
+  // State is gone afterwards.
+  auto r3 = engine.run_batch({hb(10000)});
+  EXPECT_TRUE(r3.outputs.empty());
+}
+
+TEST(KeyedStateTask, ControlMessagesIgnored) {
+  EngineOptions opts;
+  opts.partitions = 1;
+  opts.workers = 1;
+  StreamEngine engine(opts, [](size_t) -> std::unique_ptr<PartitionTask> {
+    return std::make_unique<SessionTask>();
+  });
+  Message control;
+  control.tag = kTagControl;
+  control.key = "a";
+  engine.run_batch({control});
+  auto& task = dynamic_cast<SessionTask&>(engine.task(0));
+  EXPECT_TRUE(task.states().empty());
+}
+
+}  // namespace
+}  // namespace loglens

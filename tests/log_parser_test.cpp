@@ -1,0 +1,142 @@
+#include "parser/log_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tokenize/preprocessor.h"
+
+namespace loglens {
+namespace {
+
+class LogParserTest : public ::testing::Test {
+ protected:
+  LogParserTest() : pre_(std::move(Preprocessor::create({}).value())) {}
+
+  std::vector<GrokPattern> model(std::initializer_list<const char*> texts) {
+    std::vector<GrokPattern> out;
+    int id = 1;
+    for (const char* t : texts) {
+      auto p = GrokPattern::parse(t);
+      EXPECT_TRUE(p.ok()) << t;
+      p->assign_field_ids(id++);
+      out.push_back(std::move(p.value()));
+    }
+    return out;
+  }
+
+  Preprocessor pre_;
+};
+
+TEST_F(LogParserTest, ParsesPaperExample) {
+  LogParser parser(
+      model({"%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}"}),
+      pre_.classifier());
+  auto outcome = parser.parse(pre_.process("Connect DB 127.0.0.1 user abc123"));
+  ASSERT_TRUE(outcome.log.has_value());
+  EXPECT_EQ(outcome.log->pattern_id, 1);
+  EXPECT_EQ(outcome.log->to_json().dump(),
+            R"({"_pattern_id":1,"Action":"Connect","Server":"127.0.0.1",)"
+            R"("UserName":"abc123"})");
+}
+
+TEST_F(LogParserTest, UnparsedIsAnomaly) {
+  LogParser parser(model({"%{WORD:w} ok"}), pre_.classifier());
+  auto outcome = parser.parse(pre_.process("something else entirely here"));
+  EXPECT_FALSE(outcome.log.has_value());
+  EXPECT_EQ(parser.stats().unparsed, 1u);
+}
+
+TEST_F(LogParserTest, TimestampCarriedThrough) {
+  LogParser parser(model({"%{DATETIME:t} boot %{WORD:w}"}), pre_.classifier());
+  auto outcome = parser.parse(pre_.process("2016/02/23 09:00:31 boot ok"));
+  ASSERT_TRUE(outcome.log.has_value());
+  EXPECT_EQ(outcome.log->timestamp_ms, 1456218031000);
+  EXPECT_EQ(outcome.log->to_json().get_string("_timestamp"),
+            "2016/02/23 09:00:31.000");
+}
+
+TEST_F(LogParserTest, MostSpecificPatternWins) {
+  // Both patterns can parse "login 42"; the WORD/NUMBER one is more
+  // specific than NOTSPACE/NOTSPACE and must win regardless of model order.
+  LogParser parser(model({"%{NOTSPACE:a} %{NOTSPACE:b}",
+                          "%{WORD:a} %{NUMBER:b}"}),
+                   pre_.classifier());
+  auto outcome = parser.parse(pre_.process("login 42"));
+  ASSERT_TRUE(outcome.log.has_value());
+  EXPECT_EQ(outcome.log->pattern_id, 2);
+}
+
+TEST_F(LogParserTest, ShorterPatternBreaksGeneralityTies) {
+  LogParser parser(model({"%{WORD:a} %{ANYDATA:rest}", "%{WORD:a}"}),
+                   pre_.classifier());
+  auto outcome = parser.parse(pre_.process("hello"));
+  ASSERT_TRUE(outcome.log.has_value());
+  EXPECT_EQ(outcome.log->pattern_id, 2);
+}
+
+TEST_F(LogParserTest, IndexAmortizesSignatureComparisons) {
+  LogParser parser(model({"%{WORD:a} %{NUMBER:b}", "x %{WORD:c}",
+                          "%{IP:d} in", "%{WORD:a} out %{NUMBER:b}"}),
+                   pre_.classifier());
+  for (int i = 0; i < 100; ++i) {
+    auto outcome =
+        parser.parse(pre_.process("login " + std::to_string(i)));
+    ASSERT_TRUE(outcome.log.has_value());
+  }
+  // One group build (4 signature comparisons), then 99 index hits.
+  EXPECT_EQ(parser.stats().groups_built, 1u);
+  EXPECT_EQ(parser.stats().index_hits, 99u);
+  EXPECT_EQ(parser.stats().signature_comparisons, 4u);
+  EXPECT_EQ(parser.stats().match_attempts, 100u);
+}
+
+TEST_F(LogParserTest, EmptyCandidateGroupCachedToo) {
+  LogParser parser(model({"%{WORD:a} %{NUMBER:b}"}), pre_.classifier());
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(parser.parse(pre_.process("1 2 3")).log.has_value());
+  }
+  EXPECT_EQ(parser.stats().groups_built, 1u);
+  EXPECT_EQ(parser.stats().index_hits, 9u);
+  EXPECT_EQ(parser.stats().unparsed, 10u);
+}
+
+TEST_F(LogParserTest, DisabledIndexScansModelOrder) {
+  LogParser parser(model({"%{NOTSPACE:a} %{NOTSPACE:b}",
+                          "%{WORD:a} %{NUMBER:b}"}),
+                   pre_.classifier(), IndexMode::kDisabled);
+  auto outcome = parser.parse(pre_.process("login 42"));
+  ASSERT_TRUE(outcome.log.has_value());
+  // Naive mode: first pattern in model order wins (Logstash-style), so the
+  // general pattern shadows the specific one.
+  EXPECT_EQ(outcome.log->pattern_id, 1);
+  EXPECT_EQ(parser.stats().groups_built, 0u);
+}
+
+TEST_F(LogParserTest, WildcardPatternViaIndex) {
+  LogParser parser(model({"start %{ANYDATA:body} end"}), pre_.classifier());
+  auto outcome = parser.parse(pre_.process("start a b c end"));
+  ASSERT_TRUE(outcome.log.has_value());
+  JsonObject& f = outcome.log->fields;
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].second.as_string(), "a b c");
+  EXPECT_TRUE(parser.parse(pre_.process("start end")).log.has_value());
+  EXPECT_FALSE(parser.parse(pre_.process("start a b")).log.has_value());
+}
+
+TEST_F(LogParserTest, ResidentBytesGrowWithModel) {
+  auto small = model({"%{WORD:a}"});
+  auto large = model({"%{WORD:a} %{NUMBER:b} %{IP:c} lit1 lit2",
+                      "%{WORD:x} %{ANYDATA:y} tail",
+                      "alpha beta gamma %{NOTSPACE:z}"});
+  LogParser p1(small, pre_.classifier());
+  LogParser p2(large, pre_.classifier());
+  EXPECT_GT(p2.resident_bytes(), p1.resident_bytes());
+}
+
+TEST_F(LogParserTest, EmptyModelParsesNothing) {
+  LogParser parser({}, pre_.classifier());
+  EXPECT_FALSE(parser.parse(pre_.process("anything")).log.has_value());
+  EXPECT_EQ(parser.pattern_count(), 0u);
+}
+
+}  // namespace
+}  // namespace loglens

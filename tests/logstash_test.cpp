@@ -1,0 +1,121 @@
+#include "baseline/logstash_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tokenize/preprocessor.h"
+
+namespace loglens {
+namespace {
+
+class LogstashTest : public ::testing::Test {
+ protected:
+  LogstashTest() : pre_(std::move(Preprocessor::create({}).value())) {}
+
+  std::vector<GrokPattern> model(std::initializer_list<const char*> texts) {
+    std::vector<GrokPattern> out;
+    int id = 1;
+    for (const char* t : texts) {
+      auto p = GrokPattern::parse(t);
+      EXPECT_TRUE(p.ok()) << t;
+      p->assign_field_ids(id++);
+      out.push_back(std::move(p.value()));
+    }
+    return out;
+  }
+
+  Preprocessor pre_;
+};
+
+TEST_F(LogstashTest, PatternToRegexShapes) {
+  auto p = GrokPattern::parse(
+      "%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}");
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(LogstashParser::pattern_to_regex(p.value()),
+            "([a-zA-Z]+) DB ([0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}"
+            "\\.[0-9]{1,3}) user (\\S+)");
+}
+
+TEST_F(LogstashTest, EscapesRegexMetaInLiterals) {
+  auto p = GrokPattern::parse("(0): q.x %{NUMBER:n}");
+  ASSERT_TRUE(p.ok());
+  std::string re = LogstashParser::pattern_to_regex(p.value());
+  EXPECT_EQ(re, "\\(0\\): q\\.x (-?[0-9]+(?:\\.[0-9]+)?)");
+  // And the regex actually matches the literal text.
+  LogstashParser parser(model({"(0): q.x %{NUMBER:n}"}));
+  auto outcome = parser.parse(pre_.process("(0): q.x 42"));
+  EXPECT_TRUE(outcome.log.has_value());
+  EXPECT_FALSE(parser.parse(pre_.process("(0)! qyx 42")).log.has_value());
+}
+
+TEST_F(LogstashTest, ParsesAndExtractsFields) {
+  LogstashParser parser(
+      model({"%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}"}));
+  auto outcome = parser.parse(pre_.process("Connect DB 127.0.0.1 user abc123"));
+  ASSERT_TRUE(outcome.log.has_value());
+  const auto& f = outcome.log->fields;
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].first, "Action");
+  EXPECT_EQ(f[0].second.as_string(), "Connect");
+  EXPECT_EQ(f[2].second.as_string(), "abc123");
+}
+
+TEST_F(LogstashTest, FirstMatchWinsInModelOrder) {
+  LogstashParser parser(model({"%{NOTSPACE:a} %{NOTSPACE:b}",
+                               "%{WORD:a} %{NUMBER:b}"}));
+  auto outcome = parser.parse(pre_.process("login 42"));
+  ASSERT_TRUE(outcome.log.has_value());
+  EXPECT_EQ(outcome.log->pattern_id, 1);  // no specificity ordering
+}
+
+TEST_F(LogstashTest, LinearScanCostsGrowWithModel) {
+  // The defining behaviour: per-log attempts ~ model size for unmatched
+  // logs.
+  LogstashParser parser(model({"a %{NUMBER:x}", "b %{NUMBER:x}",
+                               "c %{NUMBER:x}", "d %{NUMBER:x}"}));
+  parser.parse(pre_.process("zz 1"));  // matches nothing
+  EXPECT_EQ(parser.stats().regex_attempts, 4u);
+  EXPECT_EQ(parser.stats().unparsed, 1u);
+  parser.parse(pre_.process("a 1"));  // matches first
+  EXPECT_EQ(parser.stats().regex_attempts, 5u);
+}
+
+TEST_F(LogstashTest, DateTimeFieldMatchesCanonicalForm) {
+  LogstashParser parser(model({"%{DATETIME:t} boot %{WORD:w}"}));
+  auto outcome = parser.parse(pre_.process("2016/02/23 09:00:31 boot ok"));
+  ASSERT_TRUE(outcome.log.has_value());
+  EXPECT_EQ(outcome.log->fields[0].second.as_string(),
+            "2016/02/23 09:00:31.000");
+}
+
+TEST_F(LogstashTest, AgreesWithLogLensParserOnParseability) {
+  auto patterns = model({"%{WORD:a} %{NUMBER:b}", "start %{ANYDATA:x} end",
+                         "%{DATETIME:t} %{IP:ip} login %{NOTSPACE:u}"});
+  LogstashParser logstash(patterns);
+  LogParser loglens_parser(patterns, pre_.classifier());
+  const char* inputs[] = {
+      "hello 42",
+      "start middle bits end",
+      "start end",
+      "2016/02/23 09:00:31 10.1.2.3 login user9",
+      "unmatched garbage line",
+      "hello notanumber",
+  };
+  for (const char* in : inputs) {
+    TokenizedLog log = pre_.process(in);
+    EXPECT_EQ(logstash.parse(log).log.has_value(),
+              loglens_parser.parse(log).log.has_value())
+        << in;
+  }
+}
+
+TEST_F(LogstashTest, ResidentBytesGrowWithPatterns) {
+  LogstashParser small(model({"%{WORD:a}"}));
+  LogstashParser large(model({"%{WORD:a} %{NUMBER:b} %{IP:c} x y z",
+                              "%{DATETIME:t} %{ANYDATA:r}",
+                              "alpha %{NOTSPACE:u} beta %{NUMBER:v}"}));
+  EXPECT_GT(large.resident_bytes(), small.resident_bytes());
+  EXPECT_EQ(large.pattern_count(), 3u);
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,132 @@
+#include "service/model.h"
+
+#include <gtest/gtest.h>
+
+#include "service/wire.h"
+
+namespace loglens {
+namespace {
+
+std::vector<GrokPattern> sample_patterns() {
+  std::vector<GrokPattern> out;
+  auto p1 = GrokPattern::parse(
+      "%{DATETIME:t} %{IP:ip} login %{NOTSPACE:user}");
+  p1->assign_field_ids(1);
+  auto p2 = GrokPattern::parse("start %{ANYDATA:body} end");
+  p2->assign_field_ids(2);
+  out.push_back(std::move(p1.value()));
+  out.push_back(std::move(p2.value()));
+  return out;
+}
+
+SequenceModel sample_sequence() {
+  SequenceModel m;
+  m.id_fields = {{1, "user"}, {2, "body"}};
+  Automaton a;
+  a.id = 1;
+  a.begin_patterns = {1};
+  a.end_patterns = {2};
+  a.states[1] = {1, 1, 2};
+  a.states[2] = {2, 1, 1};
+  a.min_duration_ms = 10;
+  a.max_duration_ms = 5000;
+  a.transitions = {{1, 2}};
+  a.training_instances = 9;
+  m.automata.push_back(std::move(a));
+  return m;
+}
+
+TEST(PatternSerde, RoundTrip) {
+  auto patterns = sample_patterns();
+  Json j = patterns_to_json(patterns);
+  auto back = patterns_from_json(j);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  ASSERT_EQ(back->size(), 2u);
+  EXPECT_EQ((*back)[0].to_string(), patterns[0].to_string());
+  EXPECT_EQ((*back)[0].id(), 1);
+  EXPECT_EQ((*back)[1].id(), 2);
+}
+
+TEST(PatternSerde, RejectsBadShapes) {
+  EXPECT_FALSE(patterns_from_json(Json("nope")).ok());
+  JsonArray arr;
+  arr.emplace_back(Json(JsonObject{{"id", Json(1)},
+                                   {"grok", Json("%{BAD:x}")}}));
+  EXPECT_FALSE(patterns_from_json(Json(std::move(arr))).ok());
+}
+
+TEST(CompositeModelSerde, FullRoundTrip) {
+  CompositeModel m;
+  m.patterns = sample_patterns();
+  m.sequence = sample_sequence();
+  Json j = m.to_json();
+  auto text_back = Json::parse(j.dump());
+  ASSERT_TRUE(text_back.ok());
+  auto back = CompositeModel::from_json(text_back.value());
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back->sequence, m.sequence);
+  ASSERT_EQ(back->patterns.size(), m.patterns.size());
+  for (size_t i = 0; i < m.patterns.size(); ++i) {
+    EXPECT_EQ(back->patterns[i].to_string(), m.patterns[i].to_string());
+  }
+}
+
+TEST(CompositeModelSerde, EmptyModel) {
+  CompositeModel empty;
+  auto back = CompositeModel::from_json(empty.to_json());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->patterns.empty());
+  EXPECT_TRUE(back->sequence.automata.empty());
+}
+
+TEST(CompositeModelSerde, MissingPatternsRejected) {
+  EXPECT_FALSE(CompositeModel::from_json(Json(JsonObject{})).ok());
+  EXPECT_FALSE(CompositeModel::from_json(Json(7)).ok());
+}
+
+TEST(Wire, ParsedLogRoundTrip) {
+  ParsedLog log;
+  log.pattern_id = 3;
+  log.timestamp_ms = 1456218031000;
+  log.raw = "the raw line";
+  log.fields.emplace_back("user", Json("u1"));
+  log.fields.emplace_back("bytes", Json("123"));
+  Message m = parsed_to_message(log, "u1", "D1");
+  EXPECT_EQ(m.key, "u1");
+  EXPECT_EQ(m.source, "D1");
+  EXPECT_EQ(m.timestamp_ms, log.timestamp_ms);
+  EXPECT_EQ(m.tag, kTagData);
+  auto back = parsed_from_message(m);
+  ASSERT_TRUE(back.ok()) << back.status().message();
+  EXPECT_EQ(back->pattern_id, 3);
+  EXPECT_EQ(back->timestamp_ms, log.timestamp_ms);
+  EXPECT_EQ(back->raw, "the raw line");
+  EXPECT_EQ(back->fields, log.fields);
+}
+
+TEST(Wire, AnomalyRoundTrip) {
+  Anomaly a;
+  a.type = AnomalyType::kOccurrenceViolation;
+  a.reason = "too many";
+  a.timestamp_ms = 99;
+  a.source = "D2";
+  a.event_id = "ev-1";
+  a.automaton_id = 4;
+  a.logs = {"l1"};
+  Message m = anomaly_to_message(a);
+  EXPECT_EQ(m.tag, kTagAnomaly);
+  EXPECT_EQ(m.key, "ev-1");
+  auto back = anomaly_from_message(m);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), a);
+}
+
+TEST(Wire, MalformedPayloadRejected) {
+  Message m;
+  m.value = "{not json";
+  EXPECT_FALSE(parsed_from_message(m).ok());
+  EXPECT_FALSE(anomaly_from_message(m).ok());
+}
+
+}  // namespace
+}  // namespace loglens

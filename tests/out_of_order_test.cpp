@@ -1,0 +1,143 @@
+// Out-of-order arrival robustness: logs reordered in flight (a reality the
+// paper's arrival-time sorting glosses over) must not fake anomalies, as
+// long as their embedded timestamps are intact.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "automata/detector.h"
+#include "common/rng.h"
+#include "datagen/datasets.h"
+#include "service/service.h"
+
+namespace loglens {
+namespace {
+
+ParsedLog elog(int pattern, const std::string& id, int64_t ts) {
+  ParsedLog log;
+  log.pattern_id = pattern;
+  log.timestamp_ms = ts;
+  log.fields.emplace_back("P" + std::to_string(pattern) + "F1", Json(id));
+  log.raw = "p" + std::to_string(pattern);
+  return log;
+}
+
+SequenceModel model_123() {
+  SequenceModel m;
+  m.id_fields = {{1, "P1F1"}, {2, "P2F1"}, {3, "P3F1"}};
+  Automaton a;
+  a.id = 1;
+  a.begin_patterns = {1};
+  a.end_patterns = {3};
+  a.states[1] = {1, 1, 1};
+  a.states[2] = {2, 1, 2};
+  a.states[3] = {3, 1, 1};
+  a.min_duration_ms = 100;
+  a.max_duration_ms = 1000;
+  a.transitions = {{1, 2}, {2, 2}, {2, 3}};
+  m.automata.push_back(a);
+  return m;
+}
+
+TEST(OutOfOrder, SwappedBeginAndMiddleDoNotAlarm) {
+  SequenceDetector det(model_123());
+  // Middle arrives before begin (network reordering); timestamps are true.
+  EXPECT_TRUE(det.on_log(elog(2, "e1", 1100), "s").empty());
+  EXPECT_TRUE(det.on_log(elog(1, "e1", 1000), "s").empty());
+  auto anomalies = det.on_log(elog(3, "e1", 1300), "s");
+  EXPECT_TRUE(anomalies.empty()) << anomalies.size() << " anomalies";
+}
+
+TEST(OutOfOrder, LegacyArrivalOrderModeStillAvailable) {
+  DetectorOptions opts;
+  opts.sort_by_log_time = false;  // the paper's arrival-order behaviour
+  SequenceDetector det(model_123(), opts);
+  det.on_log(elog(2, "e1", 1100), "s");
+  det.on_log(elog(1, "e1", 1000), "s");
+  auto anomalies = det.on_log(elog(3, "e1", 1300), "s");
+  // In arrival order the event "starts" with pattern 2 -> missing begin.
+  bool missing_begin = false;
+  for (const auto& a : anomalies) {
+    if (a.type == AnomalyType::kMissingBeginState) missing_begin = true;
+  }
+  EXPECT_TRUE(missing_begin);
+}
+
+TEST(OutOfOrder, TransitionsCheckedInTimestampOrder) {
+  DetectorOptions opts;
+  opts.check_transitions = true;
+  SequenceDetector det(model_123(), opts);
+  // Arrival order 2,2,1,3 but timestamp order 1,2,2,3 (all legal edges).
+  det.on_log(elog(2, "e1", 1100), "s");
+  det.on_log(elog(2, "e1", 1200), "s");
+  det.on_log(elog(1, "e1", 1000), "s");
+  auto anomalies = det.on_log(elog(3, "e1", 1300), "s");
+  EXPECT_TRUE(anomalies.empty());
+}
+
+TEST(OutOfOrder, DurationUsesTrueSpanNotArrivalSpan) {
+  SequenceDetector det(model_123());
+  // Arrival compresses the event into one instant, but embedded timestamps
+  // span 300 ms — inside the learned [100, 1000] window.
+  det.on_log(elog(2, "e1", 1150), "s");
+  det.on_log(elog(1, "e1", 1000), "s");
+  EXPECT_TRUE(det.on_log(elog(3, "e1", 1300), "s").empty());
+  // And a genuinely too-fast event still alarms.
+  det.on_log(elog(2, "f1", 2010), "s");
+  det.on_log(elog(1, "f1", 2000), "s");
+  auto anomalies = det.on_log(elog(3, "f1", 2020), "s");
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kDurationViolation);
+}
+
+// Whole-pipeline property: reordering the stream across *different* events
+// (the situation real transports create — per-key FIFO holds, cross-key
+// order does not) leaves the detected set identical to the in-order run.
+TEST(OutOfOrder, CrossEventShuffledStreamMatchesInOrderResults) {
+  Dataset d1 = make_d1(0.03);
+  auto event_of = [](const std::string& line) -> std::string {
+    for (const char* key : {" job ", " txn "}) {
+      size_t pos = line.find(key);
+      if (pos == std::string::npos) continue;
+      pos += std::strlen(key);
+      size_t end = line.find(' ', pos);
+      return line.substr(pos, end - pos);
+    }
+    return {};
+  };
+  // Disjoint adjacent swaps of different-event lines: every event's own
+  // logs keep their relative order (per-key FIFO), but the interleaving —
+  // and thus the arrival timestamps' global order — changes.
+  std::vector<std::string> shuffled = d1.testing;
+  Rng rng(777);
+  for (size_t i = 0; i + 1 < shuffled.size(); i += 2) {
+    if (rng.chance(0.7) &&
+        event_of(shuffled[i]) != event_of(shuffled[i + 1])) {
+      std::swap(shuffled[i], shuffled[i + 1]);
+    }
+  }
+  ASSERT_NE(shuffled, d1.testing);
+
+  auto run = [&](const std::vector<std::string>& stream) {
+    ServiceOptions opts;
+    opts.build.discovery = recommended_discovery("D1");
+    LogLensService service(opts);
+    service.train(d1.training);
+    Agent agent = service.make_agent("D1");
+    agent.replay(stream);
+    service.drain();
+    service.heartbeat_advance(24L * 3600 * 1000);
+    service.drain();
+    std::set<std::string> ids;
+    for (const auto& a : service.anomalies().all()) {
+      if (!a.event_id.empty()) ids.insert(a.event_id);
+    }
+    return ids;
+  };
+
+  EXPECT_EQ(run(shuffled), run(d1.testing));
+  EXPECT_EQ(run(d1.testing), d1.anomalous_event_ids);
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,58 @@
+// Property: detection results are invariant to the engine's partitioning.
+// The same trained model and the same test stream must yield the same set of
+// anomalous event ids whether the service runs 1, 2, or 5 partitions per
+// stage — because the parser stage keys parsed logs by event id, an event's
+// logs always land on one detector partition.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "datagen/datasets.h"
+#include "service/service.h"
+
+namespace loglens {
+namespace {
+
+std::set<std::string> run_with_partitions(const Dataset& ds,
+                                          size_t partitions) {
+  ServiceOptions opts;
+  opts.build.discovery = recommended_discovery(ds.name);
+  opts.parser_partitions = partitions;
+  opts.detector_partitions = partitions;
+  opts.workers = partitions;
+  LogLensService service(opts);
+  service.train(ds.training);
+  Agent agent = service.make_agent(ds.name);
+  agent.replay(ds.testing);
+  service.drain();
+  service.heartbeat_advance(24L * 3600 * 1000);
+  service.drain();
+  std::set<std::string> ids;
+  for (const auto& a : service.anomalies().all()) {
+    if (!a.event_id.empty()) ids.insert(a.event_id);
+  }
+  return ids;
+}
+
+class PartitionSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PartitionSweep, D1ResultsMatchSinglePartition) {
+  Dataset d1 = make_d1(0.03);
+  std::set<std::string> baseline = run_with_partitions(d1, 1);
+  EXPECT_EQ(baseline, d1.anomalous_event_ids);
+  EXPECT_EQ(run_with_partitions(d1, GetParam()), baseline);
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, PartitionSweep,
+                         ::testing::Values(2, 3, 5));
+
+TEST(PartitionInvariance, D2AcrossPartitionCounts) {
+  Dataset d2 = make_d2(0.03);
+  auto one = run_with_partitions(d2, 1);
+  auto four = run_with_partitions(d2, 4);
+  EXPECT_EQ(one, four);
+  EXPECT_EQ(one, d2.anomalous_event_ids);
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,111 @@
+#include "grok/edit.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+GrokPattern parse(const char* text) {
+  auto p = GrokPattern::parse(text);
+  EXPECT_TRUE(p.ok()) << p.status().message();
+  return std::move(p.value());
+}
+
+TEST(Rename, Basic) {
+  GrokPattern p = parse("%{DATETIME:P1F1} %{IP:P1F2} login");
+  ASSERT_TRUE(pattern_edit::rename_field(p, "P1F1", "logTime").ok());
+  EXPECT_EQ(p.to_string(), "%{DATETIME:logTime} %{IP:P1F2} login");
+}
+
+TEST(Rename, Errors) {
+  GrokPattern p = parse("%{WORD:a} %{WORD:b}");
+  EXPECT_FALSE(pattern_edit::rename_field(p, "missing", "x").ok());
+  EXPECT_FALSE(pattern_edit::rename_field(p, "a", "b").ok());  // collision
+  EXPECT_FALSE(pattern_edit::rename_field(p, "a", "").ok());
+}
+
+TEST(Specialize, PaperExample) {
+  // Replace %{IP:P1F2} with the fixed value "127.0.0.1".
+  GrokPattern p = parse("%{WORD:Action} DB %{IP:P1F2}");
+  ASSERT_TRUE(pattern_edit::specialize(p, "P1F2", "127.0.0.1").ok());
+  EXPECT_EQ(p.to_string(), "%{WORD:Action} DB 127.0.0.1");
+}
+
+TEST(Specialize, RejectsMultiTokenValue) {
+  GrokPattern p = parse("%{WORD:a}");
+  EXPECT_FALSE(pattern_edit::specialize(p, "a", "two words").ok());
+  EXPECT_FALSE(pattern_edit::specialize(p, "a", "").ok());
+  EXPECT_FALSE(pattern_edit::specialize(p, "nope", "x").ok());
+}
+
+TEST(Generalize, PaperExample) {
+  // Generalize "user1" into %{NOTSPACE:userName}.
+  GrokPattern p = parse("%{WORD:Action} user1");
+  ASSERT_TRUE(
+      pattern_edit::generalize(p, 1, Datatype::kNotSpace, "userName").ok());
+  EXPECT_EQ(p.to_string(), "%{WORD:Action} %{NOTSPACE:userName}");
+}
+
+TEST(Generalize, Errors) {
+  GrokPattern p = parse("%{WORD:a} lit");
+  EXPECT_FALSE(pattern_edit::generalize(p, 0, Datatype::kWord, "x").ok());
+  EXPECT_FALSE(pattern_edit::generalize(p, 5, Datatype::kWord, "x").ok());
+  EXPECT_FALSE(pattern_edit::generalize(p, 1, Datatype::kWord, "a").ok());
+}
+
+TEST(WidenToAnyData, MergesTokenRange) {
+  GrokPattern p = parse("head %{WORD:a} mid tail");
+  ASSERT_TRUE(pattern_edit::widen_to_anydata(p, 1, 2, "body").ok());
+  EXPECT_EQ(p.to_string(), "head %{ANYDATA:body} tail");
+  GrokPattern q = parse("a b");
+  EXPECT_FALSE(pattern_edit::widen_to_anydata(q, 1, 0, "x").ok());
+  EXPECT_FALSE(pattern_edit::widen_to_anydata(q, 0, 9, "x").ok());
+}
+
+TEST(GenericNames, Recognition) {
+  EXPECT_TRUE(pattern_edit::is_generic_name("P1F1"));
+  EXPECT_TRUE(pattern_edit::is_generic_name("P12F34"));
+  EXPECT_FALSE(pattern_edit::is_generic_name("PDU"));
+  EXPECT_FALSE(pattern_edit::is_generic_name("P1"));
+  EXPECT_FALSE(pattern_edit::is_generic_name("PF1"));
+  EXPECT_FALSE(pattern_edit::is_generic_name("P1F"));
+  EXPECT_FALSE(pattern_edit::is_generic_name("P1F2x"));
+  EXPECT_FALSE(pattern_edit::is_generic_name(""));
+}
+
+TEST(HeuristicNames, PaperPduExample) {
+  // "PDU = %{NUMBER:P1F1}" is renamed to "PDU = %{NUMBER:PDU}".
+  GrokPattern p = parse("PDU = %{NUMBER:P1F1}");
+  EXPECT_EQ(pattern_edit::apply_heuristic_names(p), 1);
+  EXPECT_EQ(p.to_string(), "PDU = %{NUMBER:PDU}");
+}
+
+TEST(HeuristicNames, KeyEqualsAndColonForms) {
+  GrokPattern p = parse("latency= %{NUMBER:P1F1} status: %{WORD:P1F2}");
+  EXPECT_EQ(pattern_edit::apply_heuristic_names(p), 2);
+  EXPECT_EQ(p.to_string(), "latency= %{NUMBER:latency} status: %{WORD:status}");
+}
+
+TEST(HeuristicNames, NoFalsePositives) {
+  // Fields without a Key=/Key: predecessor keep generic names; user-named
+  // fields are never touched.
+  GrokPattern p = parse("%{WORD:P1F1} foo %{NUMBER:custom}");
+  EXPECT_EQ(pattern_edit::apply_heuristic_names(p), 0);
+  EXPECT_EQ(p.to_string(), "%{WORD:P1F1} foo %{NUMBER:custom}");
+}
+
+TEST(HeuristicNames, DeduplicatesWithinPattern) {
+  GrokPattern p = parse("x = %{NUMBER:P1F1} x = %{NUMBER:P1F2}");
+  // Only the first can take "x"; the second would collide and is skipped.
+  EXPECT_EQ(pattern_edit::apply_heuristic_names(p), 1);
+  EXPECT_EQ(p.to_string(), "x = %{NUMBER:x} x = %{NUMBER:P1F2}");
+}
+
+TEST(HeuristicNames, SanitizesKeys) {
+  GrokPattern p = parse("[cpu.load]: %{NUMBER:P1F1}");
+  EXPECT_EQ(pattern_edit::apply_heuristic_names(p), 1);
+  EXPECT_EQ(p.tokens()[1].field.name, "cpuload");
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,270 @@
+// Differential property test: regexlite vs a reference matcher.
+//
+// We generate random regex ASTs over a small alphabet, render them to
+// pattern text, and compare regexlite's full_match against a direct
+// AST-interpreting reference matcher on random inputs (including inputs
+// biased to be near-matches). Any divergence is a bug in the engine's
+// parser, compiler, or VM.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "regexlite/regex.h"
+
+namespace loglens {
+namespace {
+
+// --- reference AST -----------------------------------------------------
+
+struct Node {
+  enum class Kind { kChar, kAny, kClass, kSeq, kAlt, kStar, kPlus, kOpt };
+  Kind kind;
+  char ch = 0;
+  std::string cls;  // characters in the class
+  bool negate = false;
+  std::vector<std::unique_ptr<Node>> children;
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+// Reference matcher: set-of-positions simulation (no backtracking bugs
+// possible). Returns all end positions reachable from `starts`.
+std::vector<size_t> match_positions(const Node& n, std::string_view text,
+                                    const std::vector<size_t>& starts);
+
+std::vector<size_t> unique_sorted(std::vector<size_t> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+std::vector<size_t> match_positions(const Node& n, std::string_view text,
+                                    const std::vector<size_t>& starts) {
+  std::vector<size_t> out;
+  switch (n.kind) {
+    case Node::Kind::kChar:
+      for (size_t s : starts) {
+        if (s < text.size() && text[s] == n.ch) out.push_back(s + 1);
+      }
+      break;
+    case Node::Kind::kAny:
+      for (size_t s : starts) {
+        if (s < text.size() && text[s] != '\n') out.push_back(s + 1);
+      }
+      break;
+    case Node::Kind::kClass:
+      for (size_t s : starts) {
+        if (s >= text.size()) continue;
+        bool in = n.cls.find(text[s]) != std::string::npos;
+        if (in != n.negate) out.push_back(s + 1);
+      }
+      break;
+    case Node::Kind::kSeq: {
+      std::vector<size_t> cur = starts;
+      for (const auto& c : n.children) {
+        cur = match_positions(*c, text, cur);
+        if (cur.empty()) break;
+      }
+      out = cur;
+      break;
+    }
+    case Node::Kind::kAlt:
+      for (const auto& c : n.children) {
+        auto sub = match_positions(*c, text, starts);
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+      break;
+    case Node::Kind::kStar:
+    case Node::Kind::kPlus: {
+      std::vector<size_t> all =
+          n.kind == Node::Kind::kStar ? unique_sorted(starts)
+                                      : std::vector<size_t>{};
+      std::vector<size_t> frontier =
+          unique_sorted(match_positions(*n.children[0], text, starts));
+      while (!frontier.empty()) {
+        std::vector<size_t> fresh;
+        for (size_t p : frontier) {
+          if (std::find(all.begin(), all.end(), p) == all.end()) {
+            fresh.push_back(p);
+            all.push_back(p);
+          }
+        }
+        all = unique_sorted(all);
+        if (fresh.empty()) break;
+        frontier =
+            unique_sorted(match_positions(*n.children[0], text, fresh));
+      }
+      out = all;
+      break;
+    }
+    case Node::Kind::kOpt: {
+      out = starts;
+      auto sub = match_positions(*n.children[0], text, starts);
+      out.insert(out.end(), sub.begin(), sub.end());
+      break;
+    }
+  }
+  return unique_sorted(out);
+}
+
+bool reference_full_match(const Node& n, std::string_view text) {
+  auto ends = match_positions(n, text, {0});
+  return std::find(ends.begin(), ends.end(), text.size()) != ends.end();
+}
+
+// --- random AST generation ---------------------------------------------
+
+constexpr std::string_view kAlphabet = "abc1";
+
+NodePtr random_node(Rng& rng, int depth) {
+  auto n = std::make_unique<Node>();
+  int pick = static_cast<int>(rng.below(depth <= 0 ? 3 : 8));
+  switch (pick) {
+    case 0:
+      n->kind = Node::Kind::kChar;
+      n->ch = kAlphabet[rng.below(kAlphabet.size())];
+      break;
+    case 1:
+      n->kind = Node::Kind::kAny;
+      break;
+    case 2: {
+      n->kind = Node::Kind::kClass;
+      n->negate = rng.chance(0.3);
+      size_t count = 1 + rng.below(3);
+      for (size_t i = 0; i < count; ++i) {
+        n->cls.push_back(kAlphabet[rng.below(kAlphabet.size())]);
+      }
+      break;
+    }
+    case 3: {
+      n->kind = Node::Kind::kSeq;
+      size_t count = 1 + rng.below(3);
+      for (size_t i = 0; i < count; ++i) {
+        n->children.push_back(random_node(rng, depth - 1));
+      }
+      break;
+    }
+    case 4: {
+      n->kind = Node::Kind::kAlt;
+      size_t count = 2 + rng.below(2);
+      for (size_t i = 0; i < count; ++i) {
+        n->children.push_back(random_node(rng, depth - 1));
+      }
+      break;
+    }
+    case 5:
+      n->kind = Node::Kind::kStar;
+      n->children.push_back(random_node(rng, depth - 1));
+      break;
+    case 6:
+      n->kind = Node::Kind::kPlus;
+      n->children.push_back(random_node(rng, depth - 1));
+      break;
+    default:
+      n->kind = Node::Kind::kOpt;
+      n->children.push_back(random_node(rng, depth - 1));
+      break;
+  }
+  return n;
+}
+
+// Renders the AST in regexlite syntax.
+std::string render(const Node& n) {
+  switch (n.kind) {
+    case Node::Kind::kChar: return std::string(1, n.ch);
+    case Node::Kind::kAny: return ".";
+    case Node::Kind::kClass: {
+      std::string out = "[";
+      if (n.negate) out += "^";
+      out += n.cls;
+      out += "]";
+      return out;
+    }
+    case Node::Kind::kSeq: {
+      std::string out;
+      for (const auto& c : n.children) {
+        bool wrap = c->kind == Node::Kind::kAlt;
+        if (wrap) out += "(?:";
+        out += render(*c);
+        if (wrap) out += ")";
+      }
+      return out;
+    }
+    case Node::Kind::kAlt: {
+      std::string out;
+      for (size_t i = 0; i < n.children.size(); ++i) {
+        if (i > 0) out += "|";
+        out += render(*n.children[i]);
+      }
+      return out;
+    }
+    case Node::Kind::kStar:
+    case Node::Kind::kPlus:
+    case Node::Kind::kOpt: {
+      std::string inner = render(*n.children[0]);
+      bool wrap = n.children[0]->kind == Node::Kind::kSeq ||
+                  n.children[0]->kind == Node::Kind::kAlt ||
+                  n.children[0]->kind == Node::Kind::kStar ||
+                  n.children[0]->kind == Node::Kind::kPlus ||
+                  n.children[0]->kind == Node::Kind::kOpt || inner.empty();
+      std::string out = wrap ? "(?:" + inner + ")" : inner;
+      out += n.kind == Node::Kind::kStar ? "*"
+             : n.kind == Node::Kind::kPlus ? "+" : "?";
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string random_input(Rng& rng, size_t max_len) {
+  std::string out;
+  size_t len = rng.below(max_len + 1);
+  for (size_t i = 0; i < len; ++i) {
+    out.push_back(kAlphabet[rng.below(kAlphabet.size())]);
+  }
+  return out;
+}
+
+TEST(RegexDifferential, RandomPatternsAgreeWithReference) {
+  Rng rng(20260705);
+  size_t checked = 0;
+  for (int round = 0; round < 400; ++round) {
+    NodePtr ast = random_node(rng, 4);
+    std::string pattern = render(*ast);
+    auto re = Regex::compile(pattern);
+    ASSERT_TRUE(re.ok()) << pattern << ": " << re.status().message();
+    for (int i = 0; i < 25; ++i) {
+      std::string input = random_input(rng, 8);
+      bool expected = reference_full_match(*ast, input);
+      bool actual = re->full_match(input);
+      ASSERT_EQ(actual, expected)
+          << "pattern='" << pattern << "' input='" << input << "'";
+      ++checked;
+    }
+  }
+  EXPECT_EQ(checked, 400u * 25u);
+}
+
+TEST(RegexDifferential, SearchIsConsistentWithFullMatch) {
+  // If full_match succeeds, search must find a match starting at 0 or
+  // earlier... i.e., search must succeed on any full-matching input.
+  Rng rng(42);
+  for (int round = 0; round < 200; ++round) {
+    NodePtr ast = random_node(rng, 3);
+    std::string pattern = render(*ast);
+    auto re = Regex::compile(pattern);
+    ASSERT_TRUE(re.ok()) << pattern;
+    for (int i = 0; i < 10; ++i) {
+      std::string input = random_input(rng, 6);
+      if (re->full_match(input)) {
+        EXPECT_TRUE(re->search(input)) << pattern << " / " << input;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace loglens

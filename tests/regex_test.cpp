@@ -1,0 +1,221 @@
+#include "regexlite/regex.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+TEST(RegexCompile, RejectsBadSyntax) {
+  EXPECT_FALSE(Regex::compile("(unclosed").ok());
+  EXPECT_FALSE(Regex::compile("[unclosed").ok());
+  EXPECT_FALSE(Regex::compile("*dangling").ok());
+  EXPECT_FALSE(Regex::compile("a\\").ok());
+  EXPECT_FALSE(Regex::compile("a)b").ok());
+}
+
+TEST(RegexFullMatch, Literals) {
+  Regex re = Regex::compile_or_die("abc");
+  EXPECT_TRUE(re.full_match("abc"));
+  EXPECT_FALSE(re.full_match("abcd"));
+  EXPECT_FALSE(re.full_match("ab"));
+  EXPECT_FALSE(re.full_match(""));
+}
+
+TEST(RegexFullMatch, Classes) {
+  Regex re = Regex::compile_or_die("[a-z0-9_]+");
+  EXPECT_TRUE(re.full_match("hello_42"));
+  EXPECT_FALSE(re.full_match("Hello"));
+  Regex neg = Regex::compile_or_die("[^0-9]+");
+  EXPECT_TRUE(neg.full_match("abc!"));
+  EXPECT_FALSE(neg.full_match("a1"));
+}
+
+TEST(RegexFullMatch, ClassEdgeCases) {
+  // ']' first in class is a literal; '-' at the end is a literal.
+  EXPECT_TRUE(Regex::compile_or_die("[]a]+").full_match("]a"));
+  EXPECT_TRUE(Regex::compile_or_die("[a-]+").full_match("a-"));
+  EXPECT_TRUE(Regex::compile_or_die("[\\d\\s]+").full_match("1 2"));
+}
+
+TEST(RegexFullMatch, PredefinedEscapes) {
+  EXPECT_TRUE(Regex::compile_or_die("\\d+").full_match("0123"));
+  EXPECT_FALSE(Regex::compile_or_die("\\d+").full_match("12a"));
+  EXPECT_TRUE(Regex::compile_or_die("\\w+").full_match("a_1Z"));
+  EXPECT_TRUE(Regex::compile_or_die("\\S+").full_match("no-space!"));
+  EXPECT_FALSE(Regex::compile_or_die("\\S+").full_match("has space"));
+  EXPECT_TRUE(Regex::compile_or_die("\\D+").full_match("ab!"));
+  EXPECT_FALSE(Regex::compile_or_die("\\D+").full_match("a1"));
+}
+
+TEST(RegexFullMatch, Quantifiers) {
+  EXPECT_TRUE(Regex::compile_or_die("a*").full_match(""));
+  EXPECT_TRUE(Regex::compile_or_die("a*").full_match("aaaa"));
+  EXPECT_FALSE(Regex::compile_or_die("a+").full_match(""));
+  EXPECT_TRUE(Regex::compile_or_die("a?b").full_match("b"));
+  EXPECT_TRUE(Regex::compile_or_die("a?b").full_match("ab"));
+}
+
+TEST(RegexFullMatch, BoundedQuantifiers) {
+  Regex re = Regex::compile_or_die("[0-9]{1,3}");
+  EXPECT_TRUE(re.full_match("1"));
+  EXPECT_TRUE(re.full_match("123"));
+  EXPECT_FALSE(re.full_match("1234"));
+  EXPECT_FALSE(re.full_match(""));
+  Regex exact = Regex::compile_or_die("a{3}");
+  EXPECT_TRUE(exact.full_match("aaa"));
+  EXPECT_FALSE(exact.full_match("aa"));
+  EXPECT_FALSE(exact.full_match("aaaa"));
+  Regex open = Regex::compile_or_die("a{2,}");
+  EXPECT_FALSE(open.full_match("a"));
+  EXPECT_TRUE(open.full_match("aaaaa"));
+}
+
+TEST(RegexFullMatch, InvalidBracesAreLiteral) {
+  EXPECT_TRUE(Regex::compile_or_die("a{x}").full_match("a{x}"));
+  EXPECT_TRUE(Regex::compile_or_die("{").full_match("{"));
+}
+
+TEST(RegexFullMatch, Alternation) {
+  Regex re = Regex::compile_or_die("cat|dog|bird");
+  EXPECT_TRUE(re.full_match("cat"));
+  EXPECT_TRUE(re.full_match("bird"));
+  EXPECT_FALSE(re.full_match("catdog"));
+  Regex grouped = Regex::compile_or_die("a(b|c)d");
+  EXPECT_TRUE(grouped.full_match("abd"));
+  EXPECT_TRUE(grouped.full_match("acd"));
+  EXPECT_FALSE(grouped.full_match("ad"));
+}
+
+TEST(RegexFullMatch, TableOneIpPattern) {
+  Regex re = Regex::compile_or_die(
+      "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}");
+  EXPECT_TRUE(re.full_match("127.0.0.1"));
+  EXPECT_TRUE(re.full_match("10.255.1.2"));
+  EXPECT_FALSE(re.full_match("1.2.3"));
+  EXPECT_FALSE(re.full_match("a.b.c.d"));
+}
+
+TEST(RegexFullMatch, TableOneNumberPattern) {
+  Regex re = Regex::compile_or_die("-?[0-9]+(\\.[0-9]+)?");
+  EXPECT_TRUE(re.full_match("42"));
+  EXPECT_TRUE(re.full_match("-42"));
+  EXPECT_TRUE(re.full_match("3.14"));
+  EXPECT_FALSE(re.full_match("3."));
+  EXPECT_FALSE(re.full_match("."));
+}
+
+TEST(RegexSearch, FindsLeftmost) {
+  Regex re = Regex::compile_or_die("[0-9]+");
+  RegexMatch m;
+  ASSERT_TRUE(re.search("abc 123 def 456", m));
+  EXPECT_EQ(m.begin, 4u);
+  EXPECT_EQ(m.end, 7u);
+  EXPECT_FALSE(re.search("no digits here", m));
+}
+
+TEST(RegexSearch, Anchors) {
+  Regex re = Regex::compile_or_die("^abc");
+  EXPECT_TRUE(re.search("abcdef"));
+  EXPECT_FALSE(re.search("xabc"));
+  Regex end = Regex::compile_or_die("def$");
+  EXPECT_TRUE(end.search("abcdef"));
+  EXPECT_FALSE(end.search("defabc"));
+}
+
+TEST(RegexCaptures, GroupsExtracted) {
+  Regex re = Regex::compile_or_die("([a-z]+)=([0-9]+)");
+  RegexMatch m;
+  ASSERT_TRUE(re.full_match("size=42", m));
+  ASSERT_EQ(m.groups.size(), 2u);
+  EXPECT_EQ(m.group_text("size=42", 0), "size");
+  EXPECT_EQ(m.group_text("size=42", 1), "42");
+}
+
+TEST(RegexCaptures, NonCapturingGroups) {
+  Regex re = Regex::compile_or_die("(?:ab)+(c)");
+  RegexMatch m;
+  ASSERT_TRUE(re.full_match("ababc", m));
+  ASSERT_EQ(m.groups.size(), 1u);
+  EXPECT_EQ(m.group_text("ababc", 0), "c");
+}
+
+TEST(RegexCaptures, UnmatchedOptionalGroup) {
+  Regex re = Regex::compile_or_die("a(b)?c");
+  RegexMatch m;
+  ASSERT_TRUE(re.full_match("ac", m));
+  EXPECT_EQ(m.group_text("ac", 0), "");
+}
+
+TEST(RegexLazy, LazyVsGreedy) {
+  Regex greedy = Regex::compile_or_die("\"(.*)\"");
+  Regex lazy = Regex::compile_or_die("\"(.*?)\"");
+  std::string s = "\"a\" and \"b\"";
+  RegexMatch m;
+  ASSERT_TRUE(greedy.search(s, m));
+  EXPECT_EQ(m.group_text(s, 0), "a\" and \"b");
+  ASSERT_TRUE(lazy.search(s, m));
+  EXPECT_EQ(m.group_text(s, 0), "a");
+}
+
+TEST(RegexReplace, ReplaceAllWithGroups) {
+  Regex re = Regex::compile_or_die("([0-9]+)KB");
+  EXPECT_EQ(re.replace_all("read 123KB wrote 45KB", "$1 KB"),
+            "read 123 KB wrote 45 KB");
+  EXPECT_EQ(re.replace_all("no match", "$1 KB"), "no match");
+  Regex dollar = Regex::compile_or_die("x");
+  EXPECT_EQ(dollar.replace_all("x", "$$"), "$");
+  EXPECT_EQ(dollar.replace_all("axb", "[$0]"), "a[x]b");
+}
+
+TEST(RegexDot, DoesNotCrossNewline) {
+  Regex re = Regex::compile_or_die("a.b");
+  EXPECT_TRUE(re.full_match("axb"));
+  EXPECT_FALSE(re.full_match("a\nb"));
+}
+
+TEST(RegexBudget, PathologicalPatternTerminates) {
+  // Classic catastrophic backtracking shape; the step budget turns it into
+  // a no-match instead of a hang.
+  Regex re = Regex::compile_or_die("(a+)+$");
+  re.set_step_budget(10000);
+  std::string adversarial(64, 'a');
+  adversarial.push_back('b');
+  EXPECT_FALSE(re.full_match(adversarial));
+}
+
+TEST(RegexStats, CompiledBytesNonZero) {
+  Regex re = Regex::compile_or_die("[a-z]+ [0-9]{1,3}");
+  EXPECT_GT(re.compiled_bytes(), re.pattern().size());
+}
+
+// Property sweep: every (pattern, input, expected) triple.
+struct Case {
+  const char* pattern;
+  const char* input;
+  bool match;
+};
+
+class FullMatchSweep : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FullMatchSweep, Matches) {
+  const Case& c = GetParam();
+  Regex re = Regex::compile_or_die(c.pattern);
+  EXPECT_EQ(re.full_match(c.input), c.match)
+      << c.pattern << " vs " << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FullMatchSweep,
+    ::testing::Values(
+        Case{"a|", "", true}, Case{"a|", "a", true},
+        Case{"(ab)*", "ababab", true}, Case{"(ab)*", "aba", false},
+        Case{"a{0,2}b", "b", true}, Case{"a{0,2}b", "aab", true},
+        Case{"a{0,2}b", "aaab", false},
+        Case{"x(y|z){2}w", "xyzw", true}, Case{"x(y|z){2}w", "xyw", false},
+        Case{"\\.", ".", true}, Case{"\\.", "a", false},
+        Case{".*", "anything at all", true},
+        Case{"[A-Za-z]+[0-9]*", "abc123", true},
+        Case{"[A-Za-z]+[0-9]*", "123", false}));
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,80 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+TEST(SplitAny, BasicWhitespace) {
+  auto parts = split_any("a b  c\td", " \t");
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+  EXPECT_EQ(parts[3], "d");
+}
+
+TEST(SplitAny, DropsEmptyPieces) {
+  EXPECT_TRUE(split_any("", " ").empty());
+  EXPECT_TRUE(split_any("   ", " ").empty());
+  EXPECT_EQ(split_any("  x  ", " ").size(), 1u);
+}
+
+TEST(SplitAny, CustomDelimiters) {
+  auto parts = split_any("a,b;c", ",;");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitExact, KeepsEmptyPieces) {
+  auto parts = split_exact("a||b", "|");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitExact, MultiCharSeparator) {
+  auto parts = split_exact("x->y->z", "->");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "y");
+}
+
+TEST(Join, RoundTripsWithSplit) {
+  std::vector<std::string> v{"one", "two", "three"};
+  EXPECT_EQ(join(v, " "), "one two three");
+  EXPECT_EQ(join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(join(std::vector<std::string>{"solo"}, ","), "solo");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(Case, LowerAndIequals) {
+  EXPECT_EQ(to_lower("AbC123"), "abc123");
+  EXPECT_TRUE(iequals("HELLO", "hello"));
+  EXPECT_FALSE(iequals("hello", "hell"));
+  EXPECT_FALSE(iequals("hello", "hellx"));
+}
+
+TEST(Digits, AllDigitsAndParse) {
+  EXPECT_TRUE(all_digits("0123"));
+  EXPECT_FALSE(all_digits(""));
+  EXPECT_FALSE(all_digits("12a"));
+  EXPECT_EQ(parse_small_int("042"), 42);
+  EXPECT_EQ(parse_small_int(""), -1);
+  EXPECT_EQ(parse_small_int("12.3"), -1);
+  EXPECT_EQ(parse_small_int("9999999999"), -1);  // too long
+}
+
+TEST(ReplaceAll, Basics) {
+  EXPECT_EQ(replace_all("a-b-c", "-", "+"), "a+b+c");
+  EXPECT_EQ(replace_all("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(replace_all("none", "x", "y"), "none");
+  EXPECT_EQ(replace_all("x", "", "y"), "x");
+}
+
+}  // namespace
+}  // namespace loglens

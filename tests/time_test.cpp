@@ -1,0 +1,79 @@
+#include "common/time.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+TEST(CivilTime, EpochOrigin) {
+  CivilTime t;  // 1970/01/01 00:00:00.000
+  EXPECT_EQ(to_epoch_millis(t), 0);
+  EXPECT_EQ(from_epoch_millis(0), t);
+}
+
+TEST(CivilTime, KnownDate) {
+  CivilTime t{2016, 2, 23, 9, 0, 31, 0};
+  int64_t ms = to_epoch_millis(t);
+  EXPECT_EQ(ms, 1456218031000);
+  EXPECT_EQ(from_epoch_millis(ms), t);
+}
+
+TEST(CivilTime, FormatCanonical) {
+  CivilTime t{2016, 2, 23, 9, 0, 31, 7};
+  EXPECT_EQ(format_canonical(t), "2016/02/23 09:00:31.007");
+}
+
+TEST(CivilTime, NegativeEpoch) {
+  CivilTime t{1969, 12, 31, 23, 59, 59, 999};
+  EXPECT_EQ(to_epoch_millis(t), -1);
+  EXPECT_EQ(from_epoch_millis(-1), t);
+}
+
+TEST(CivilTime, LeapYearRules) {
+  EXPECT_TRUE(is_leap_year(2016));
+  EXPECT_TRUE(is_leap_year(2000));
+  EXPECT_FALSE(is_leap_year(1900));
+  EXPECT_FALSE(is_leap_year(2018));
+  EXPECT_EQ(days_in_month(2016, 2), 29);
+  EXPECT_EQ(days_in_month(2018, 2), 28);
+  EXPECT_EQ(days_in_month(2018, 4), 30);
+}
+
+TEST(CivilTime, Validation) {
+  EXPECT_TRUE(is_valid_civil({2016, 2, 29, 0, 0, 0, 0}));
+  EXPECT_FALSE(is_valid_civil({2017, 2, 29, 0, 0, 0, 0}));
+  EXPECT_FALSE(is_valid_civil({2017, 13, 1, 0, 0, 0, 0}));
+  EXPECT_FALSE(is_valid_civil({2017, 0, 1, 0, 0, 0, 0}));
+  EXPECT_FALSE(is_valid_civil({2017, 6, 31, 0, 0, 0, 0}));
+  EXPECT_FALSE(is_valid_civil({2017, 6, 1, 24, 0, 0, 0}));
+  EXPECT_FALSE(is_valid_civil({2017, 6, 1, 0, 60, 0, 0}));
+  EXPECT_FALSE(is_valid_civil({2017, 6, 1, 0, 0, 0, 1000}));
+}
+
+// Property: round-trip across a broad sweep of timestamps.
+class RoundTrip : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(RoundTrip, EpochToCivilAndBack) {
+  int64_t ms = GetParam();
+  CivilTime t = from_epoch_millis(ms);
+  EXPECT_TRUE(is_valid_civil(t));
+  EXPECT_EQ(to_epoch_millis(t), ms);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RoundTrip,
+    ::testing::Values(0LL, 1LL, 999LL, 86400000LL, 1456218031000LL,
+                      1462788000000LL, 4102444799999LL,  // 2099-12-31
+                      951782399000LL,                    // leap-day eve 2000
+                      -86400000LL));
+
+TEST(CivilTime, DaysFromCivilInverse) {
+  for (int64_t day : {-1000, 0, 1, 1000, 20000, 40000}) {
+    int y, m, d;
+    civil_from_days(day, y, m, d);
+    EXPECT_EQ(days_from_civil(y, m, d), day);
+  }
+}
+
+}  // namespace
+}  // namespace loglens

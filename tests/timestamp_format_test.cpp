@@ -1,0 +1,161 @@
+#include "timestamp/format.h"
+
+#include <gtest/gtest.h>
+
+namespace loglens {
+namespace {
+
+std::vector<std::string_view> views(std::initializer_list<const char*> toks) {
+  return std::vector<std::string_view>(toks.begin(), toks.end());
+}
+
+TEST(FormatCompile, RejectsBadYearWidth) {
+  EXPECT_FALSE(TimestampFormat::compile("yyy/MM/dd").ok());
+  EXPECT_FALSE(TimestampFormat::compile("").ok());
+  EXPECT_TRUE(TimestampFormat::compile("yyyy/MM/dd HH:mm:ss.SSS").ok());
+}
+
+TEST(FormatMatch, CanonicalForm) {
+  auto f = TimestampFormat::compile("yyyy/MM/dd HH:mm:ss.SSS");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->token_span(), 2u);
+  auto t = f->match(views({"2016/02/23", "09:00:31.123"}), 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->year, 2016);
+  EXPECT_EQ(t->month, 2);
+  EXPECT_EQ(t->day, 23);
+  EXPECT_EQ(t->hour, 9);
+  EXPECT_EQ(t->minute, 0);
+  EXPECT_EQ(t->second, 31);
+  EXPECT_EQ(t->millis, 123);
+}
+
+TEST(FormatMatch, RejectsInvalidCalendarDates) {
+  auto f = TimestampFormat::compile("yyyy/MM/dd HH:mm:ss");
+  ASSERT_TRUE(f.ok());
+  EXPECT_FALSE(f->match(views({"2017/02/29", "09:00:31"}), 0).has_value());
+  EXPECT_FALSE(f->match(views({"2016/13/01", "09:00:31"}), 0).has_value());
+  EXPECT_FALSE(f->match(views({"2016/00/10", "09:00:31"}), 0).has_value());
+  EXPECT_TRUE(f->match(views({"2016/02/29", "09:00:31"}), 0).has_value());
+}
+
+TEST(FormatMatch, MonthNames) {
+  auto f = TimestampFormat::compile("MMM d, yyyy HH:mm:ss");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->token_span(), 4u);
+  auto t = f->match(views({"Feb", "23,", "2016", "09:00:31"}), 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->month, 2);
+  EXPECT_EQ(t->day, 23);
+  // Case-insensitive.
+  EXPECT_TRUE(
+      f->match(views({"feb", "23,", "2016", "09:00:31"}), 0).has_value());
+  EXPECT_FALSE(
+      f->match(views({"Xxx", "23,", "2016", "09:00:31"}), 0).has_value());
+}
+
+TEST(FormatMatch, FullMonthName) {
+  auto f = TimestampFormat::compile("MMMM d yyyy HH:mm");
+  ASSERT_TRUE(f.ok());
+  auto t = f->match(views({"February", "3", "2016", "09:05"}), 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->month, 2);
+  EXPECT_EQ(t->day, 3);
+}
+
+TEST(FormatMatch, FlexibleDigitWidths) {
+  auto f = TimestampFormat::compile("M/d HH:mm:ss");
+  ASSERT_TRUE(f.ok());
+  auto t = f->match(views({"2/3", "09:00:31"}), 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->month, 2);
+  EXPECT_EQ(t->day, 3);
+  EXPECT_TRUE(f->match(views({"12/31", "09:00:31"}), 0).has_value());
+}
+
+TEST(FormatMatch, SingleTokenIso) {
+  auto f = TimestampFormat::compile("yyyy-MM-ddTHH:mm:ss.SSS");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->token_span(), 1u);
+  auto t = f->match(views({"2016-02-23T09:00:31.123"}), 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->millis, 123);
+  EXPECT_FALSE(f->match(views({"2016-02-23 09:00:31.123"}), 0).has_value());
+}
+
+TEST(FormatMatch, TwelveHourClock) {
+  auto f = TimestampFormat::compile("MM/dd/yyyy hh:mm:ss a");
+  ASSERT_TRUE(f.ok());
+  auto am = f->match(views({"02/23/2016", "09:00:31", "AM"}), 0);
+  ASSERT_TRUE(am.has_value());
+  EXPECT_EQ(am->hour, 9);
+  auto pm = f->match(views({"02/23/2016", "09:00:31", "pm"}), 0);
+  ASSERT_TRUE(pm.has_value());
+  EXPECT_EQ(pm->hour, 21);
+  auto noon = f->match(views({"02/23/2016", "12:00:00", "PM"}), 0);
+  ASSERT_TRUE(noon.has_value());
+  EXPECT_EQ(noon->hour, 12);
+  auto midnight = f->match(views({"02/23/2016", "12:00:00", "AM"}), 0);
+  ASSERT_TRUE(midnight.has_value());
+  EXPECT_EQ(midnight->hour, 0);
+}
+
+TEST(FormatMatch, WeekdayPrefix) {
+  auto f = TimestampFormat::compile("EEE MMM d HH:mm:ss yyyy");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->match(views({"Tue", "Feb", "23", "09:00:31", "2016"}), 0)
+                  .has_value());
+  EXPECT_FALSE(f->match(views({"Xyz", "Feb", "23", "09:00:31", "2016"}), 0)
+                   .has_value());
+}
+
+TEST(FormatMatch, DefaultsWithoutYearOrDate) {
+  auto noyear = TimestampFormat::compile("MM/dd HH:mm:ss");
+  ASSERT_TRUE(noyear.ok());
+  auto t = noyear->match(views({"02/23", "09:00:31"}), 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->year, 2000);
+  auto timeonly = TimestampFormat::compile("HH:mm:ss");
+  auto t2 = timeonly->match(views({"09:00:31"}), 0);
+  ASSERT_TRUE(t2.has_value());
+  EXPECT_EQ(t2->year, 2000);
+  EXPECT_EQ(t2->month, 1);
+  EXPECT_EQ(t2->day, 1);
+}
+
+TEST(FormatMatch, OffsetIntoTokenVector) {
+  auto f = TimestampFormat::compile("yyyy/MM/dd HH:mm:ss");
+  auto t = f->match(views({"junk", "2016/02/23", "09:00:31"}), 1);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->day, 23);
+  // Not enough tokens remaining.
+  EXPECT_FALSE(f->match(views({"junk", "2016/02/23"}), 1).has_value());
+}
+
+TEST(FormatMatch, RejectsTrailingGarbage) {
+  auto f = TimestampFormat::compile("HH:mm:ss");
+  EXPECT_FALSE(f->match(views({"09:00:31x"}), 0).has_value());
+  EXPECT_FALSE(f->match(views({"09:00"}), 0).has_value());
+}
+
+TEST(Prefilter, LengthAndFirstChar) {
+  auto f = TimestampFormat::compile("yyyy/MM/dd HH:mm:ss");
+  ASSERT_TRUE(f.ok());
+  EXPECT_TRUE(f->first_token_plausible("2016/02/23"));
+  EXPECT_FALSE(f->first_token_plausible("x016/02/23"));   // starts alpha
+  EXPECT_FALSE(f->first_token_plausible("2016/02/233"));  // too long
+  EXPECT_FALSE(f->first_token_plausible("16/2/3"));       // too short? 8 vs [8,10]
+  auto named = TimestampFormat::compile("MMM d HH:mm:ss");
+  EXPECT_TRUE(named->first_token_plausible("Feb"));
+  EXPECT_FALSE(named->first_token_plausible("2016"));
+}
+
+TEST(FormatMatch, CommaMillis) {
+  auto f = TimestampFormat::compile("HH:mm:ss,SSS");
+  auto t = f->match(views({"09:00:31,250"}), 0);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->millis, 250);
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,157 @@
+#include "timestamp/recognizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/time.h"
+
+namespace loglens {
+namespace {
+
+std::vector<std::string_view> views(std::initializer_list<const char*> toks) {
+  return std::vector<std::string_view>(toks.begin(), toks.end());
+}
+
+TEST(Predefined, ExactlyEightyNineFormats) {
+  // The paper: "LogLens has 89 predefined timestamp formats in the
+  // knowledge-base."
+  EXPECT_EQ(TimestampRecognizer::predefined_formats().size(), 89u);
+}
+
+TEST(Predefined, AllCompile) {
+  TimestampRecognizer r;  // aborts internally if any predefined is invalid
+  EXPECT_EQ(r.format_count(), 89u);
+}
+
+TEST(Recognize, HeterogeneousFormsUnifyToSameInstant) {
+  // The paper's example: the same instant written many ways.
+  TimestampRecognizer r;
+  const int64_t expect =
+      to_epoch_millis(CivilTime{2016, 2, 23, 9, 0, 31, 0});
+  struct Case {
+    std::vector<std::string_view> tokens;
+    size_t span;
+  };
+  std::vector<Case> cases = {
+      {views({"2016/02/23", "09:00:31"}), 2},
+      {views({"2016/02/23", "09:00:31.000"}), 2},
+      {views({"Feb", "23,", "2016", "09:00:31"}), 4},
+      {views({"2016", "Feb", "23", "09:00:31"}), 4},
+      {views({"02/23/2016", "09:00:31"}), 2},
+      {views({"02-23-2016", "09:00:31"}), 2},
+  };
+  for (const auto& c : cases) {
+    auto m = r.match_at(c.tokens, 0);
+    ASSERT_TRUE(m.has_value()) << c.tokens[0];
+    EXPECT_EQ(m->span, c.span) << c.tokens[0];
+    EXPECT_EQ(m->epoch_ms, expect) << c.tokens[0];
+  }
+}
+
+TEST(Recognize, NoMatchForOrdinaryTokens) {
+  TimestampRecognizer r;
+  EXPECT_FALSE(r.match_at(views({"login", "user1"}), 0).has_value());
+  EXPECT_FALSE(r.match_at(views({"127.0.0.1"}), 0).has_value());
+  // A plain number is not a timestamp.
+  EXPECT_FALSE(r.match_at(views({"123456"}), 0).has_value());
+}
+
+TEST(Recognize, AmbiguousYearFirstPrefersMonthDayOrder) {
+  // "2016/02/23" matches both yyyy/MM/dd and yyyy/dd/MM; the canonical
+  // order is listed first and must win.
+  TimestampRecognizer r;
+  auto m = r.match_at(views({"2016/02/23", "09:00:31"}), 0);
+  ASSERT_TRUE(m.has_value());
+  CivilTime t = from_epoch_millis(m->epoch_ms);
+  EXPECT_EQ(t.month, 2);
+  EXPECT_EQ(t.day, 23);
+  // Day > 12 disambiguates to yyyy/dd/MM.
+  auto m2 = r.match_at(views({"2016/23/02", "09:00:31"}), 0);
+  ASSERT_TRUE(m2.has_value());
+  CivilTime t2 = from_epoch_millis(m2->epoch_ms);
+  EXPECT_EQ(t2.month, 2);
+  EXPECT_EQ(t2.day, 23);
+}
+
+TEST(Recognize, CacheSpeedsUpRepeatedFormat) {
+  TimestampRecognizer r({.use_cache = true, .use_filter = false});
+  auto toks = views({"2016/02/23", "09:00:31.000"});
+  ASSERT_TRUE(r.match_at(toks, 0).has_value());
+  uint64_t tried_first = r.stats().formats_tried;
+  ASSERT_TRUE(r.match_at(toks, 0).has_value());
+  uint64_t tried_second = r.stats().formats_tried - tried_first;
+  EXPECT_EQ(tried_second, 1u);  // cache hit: exactly one structural match
+  EXPECT_EQ(r.stats().cache_hits, 1u);
+}
+
+TEST(Recognize, FilterRejectsNonTimestampTokensCheaply) {
+  TimestampRecognizer r({.use_cache = false, .use_filter = true});
+  ASSERT_FALSE(r.match_at(views({"login"}), 0).has_value());
+  EXPECT_EQ(r.stats().filtered_out, 1u);
+  EXPECT_EQ(r.stats().formats_tried, 0u);
+  // Month-name keywords pass the filter.
+  ASSERT_TRUE(
+      r.match_at(views({"Feb", "23,", "2016", "09:00:31"}), 0).has_value());
+  EXPECT_GT(r.stats().formats_tried, 0u);
+}
+
+TEST(Recognize, OptimizationsPreserveResults) {
+  // Property: cache/filter must never change *what* is recognized.
+  std::vector<std::vector<std::string_view>> inputs = {
+      views({"2016/02/23", "09:00:31"}),
+      views({"Feb", "23,", "2016", "09:00:31"}),
+      views({"09:00:31,123"}),
+      views({"2016-02-23T09:00:31.000"}),
+      views({"notatime"}),
+      views({"12345"}),
+      views({"Tue", "Feb", "23", "09:00:31", "2016"}),
+  };
+  TimestampRecognizer plain({.use_cache = false, .use_filter = false});
+  TimestampRecognizer cached({.use_cache = true, .use_filter = false});
+  TimestampRecognizer filtered({.use_cache = false, .use_filter = true});
+  TimestampRecognizer both({.use_cache = true, .use_filter = true});
+  for (int round = 0; round < 3; ++round) {  // repeated to exercise cache
+    for (const auto& in : inputs) {
+      auto a = plain.match_at(in, 0);
+      for (TimestampRecognizer* r : {&cached, &filtered, &both}) {
+        auto b = r->match_at(in, 0);
+        ASSERT_EQ(a.has_value(), b.has_value()) << in[0];
+        if (a.has_value()) {
+          EXPECT_EQ(a->epoch_ms, b->epoch_ms) << in[0];
+          EXPECT_EQ(a->span, b->span) << in[0];
+        }
+      }
+    }
+  }
+}
+
+TEST(Recognize, UserFormatsReplacePredefined) {
+  TimestampRecognizer r({}, {"yyyy.MM.dd@HH:mm"});
+  EXPECT_EQ(r.format_count(), 1u);
+  EXPECT_TRUE(r.match_at(views({"2016.02.23@09:00"}), 0).has_value());
+  // Predefined forms are no longer recognized.
+  EXPECT_FALSE(r.match_at(views({"2016/02/23", "09:00:31"}), 0).has_value());
+}
+
+TEST(Recognize, AddFormatExtendsList) {
+  TimestampRecognizer r;
+  EXPECT_FALSE(r.match_at(views({"20160223-090031"}), 0).has_value());
+  ASSERT_TRUE(r.add_format("yyyyMMdd-HHmmss").ok());
+  EXPECT_EQ(r.format_count(), 90u);
+  auto m = r.match_at(views({"20160223-090031"}), 0);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->epoch_ms, to_epoch_millis(CivilTime{2016, 2, 23, 9, 0, 31, 0}));
+  EXPECT_FALSE(r.add_format("yyy").ok());
+}
+
+TEST(Recognize, MidLogPosition) {
+  TimestampRecognizer r;
+  auto toks = views({"INFO", "2016/02/23", "09:00:31", "done"});
+  EXPECT_FALSE(r.match_at(toks, 0).has_value());
+  auto m = r.match_at(toks, 1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->span, 2u);
+  EXPECT_FALSE(r.match_at(toks, 3).has_value());
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,104 @@
+// Sweep over all 89 predefined timestamp formats: for each format we render
+// a sample timestamp and assert the recognizer recognizes it with the right
+// span and the right wall-clock meaning. This guards the whole knowledge
+// base, not just the formats other tests happen to touch.
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+#include "timestamp/recognizer.h"
+
+namespace loglens {
+namespace {
+
+// Renders a sample timestamp for a SimpleDateFormat-style string. Sample
+// instant: 2016-02-23 09:05:07.123, a Tuesday; day 23 > 12 disambiguates
+// month/day order.
+std::string render_sample(const std::string& format) {
+  std::string out;
+  size_t i = 0;
+  while (i < format.size()) {
+    char c = format[i];
+    size_t run = 1;
+    while (i + run < format.size() && format[i + run] == c) ++run;
+    switch (c) {
+      case 'y': out += run == 4 ? "2016" : "16"; break;
+      case 'M':
+        if (run == 1) out += "2";
+        else if (run == 2) out += "02";
+        else if (run == 3) out += "Feb";
+        else out += "February";
+        break;
+      case 'd': out += run == 1 ? "23" : "23"; break;
+      case 'H': out += run == 1 ? "9" : "09"; break;
+      case 'h': out += run == 1 ? "9" : "09"; break;
+      case 'm': out += "05"; break;
+      case 's': out += "07"; break;
+      case 'S': out += run == 3 ? "123" : "12"; break;
+      case 'E': out += run >= 4 ? "Tuesday" : "Tue"; break;
+      case 'a': out += "AM"; break;
+      default: out.append(run, c); break;
+    }
+    i += run;
+  }
+  return out;
+}
+
+class PredefinedFormatSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PredefinedFormatSweep, SampleIsRecognized) {
+  const std::string& format =
+      TimestampRecognizer::predefined_formats()[GetParam()];
+  std::string sample = render_sample(format);
+  auto views = split_any(sample, " ");
+  std::vector<std::string_view> tokens(views.begin(), views.end());
+
+  // The compiled format itself must match its own sample over the full span.
+  auto compiled = TimestampFormat::compile(format);
+  ASSERT_TRUE(compiled.ok()) << format;
+  EXPECT_TRUE(compiled->match(tokens, 0).has_value())
+      << format << " -> " << sample;
+
+  // The recognizer must recognize it too. Another format may legitimately
+  // win on a prefix (e.g. a 24-hour format matching the date+time part of a
+  // 12-hour sample before the AM/PM token), so span is <= token count, but
+  // every field the match carries must agree with the sample instant.
+  TimestampRecognizer recognizer;
+  auto m = recognizer.match_at(tokens, 0);
+  ASSERT_TRUE(m.has_value()) << format << " -> " << sample;
+  EXPECT_GE(m->span, 1u);
+  EXPECT_LE(m->span, tokens.size()) << format << " -> " << sample;
+
+  CivilTime t = from_epoch_millis(m->epoch_ms);
+  // Time of day is unambiguous in every format that carries it.
+  if (format.find('H') != std::string::npos ||
+      format.find('h') != std::string::npos) {
+    EXPECT_EQ(t.hour, 9) << format;
+    EXPECT_EQ(t.minute, 5) << format;
+  }
+  if (format.find('s') != std::string::npos) {
+    EXPECT_EQ(t.second, 7) << format;
+  }
+  // Day 23 disambiguates month/day even for ambiguous orders.
+  if (format.find('d') != std::string::npos) {
+    EXPECT_EQ(t.day, 23) << format;
+    EXPECT_EQ(t.month, 2) << format;
+  }
+  if (format.find("yyyy") != std::string::npos) {
+    EXPECT_EQ(t.year, 2016) << format;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All89, PredefinedFormatSweep,
+                         ::testing::Range<size_t>(0, 89));
+
+// And the compiled formats agree with the recognizer about span.
+TEST(PredefinedFormats, SpansMatchTokenCounts) {
+  for (const auto& f : TimestampRecognizer::predefined_formats()) {
+    auto compiled = TimestampFormat::compile(f);
+    ASSERT_TRUE(compiled.ok()) << f;
+    EXPECT_EQ(compiled->token_span(), split_any(f, " ").size()) << f;
+  }
+}
+
+}  // namespace
+}  // namespace loglens

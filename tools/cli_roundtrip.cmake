@@ -1,0 +1,43 @@
+# Scripted CLI round trip: train a model from files, inspect it, edit it,
+# parse a production stream, and run full detection.
+file(REMOVE_RECURSE ${WORKDIR})
+file(MAKE_DIRECTORY ${WORKDIR})
+file(WRITE ${WORKDIR}/train.log
+"2016/02/23 09:00:31 10.0.0.1 login user1
+2016/02/23 09:00:32 10.0.0.2 login user2
+2016/02/23 09:00:33 10.0.0.3 login user3
+2016/02/23 09:01:02 Connect DB 127.0.0.1 user abc123
+2016/02/23 09:01:09 Connect DB 10.1.1.5 user svc_batch
+2016/02/23 09:01:44 Connect DB 10.1.1.9 user reporter
+")
+file(WRITE ${WORKDIR}/prod.log
+"2016/02/23 10:00:01 10.0.0.9 login bob
+2016/02/23 10:00:07 Connect DB 10.1.1.2 user etl
+kernel panic: something exploded
+")
+
+macro(run_cli expect_rc)
+  execute_process(COMMAND ${LOGLENS} ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL ${expect_rc})
+    message(FATAL_ERROR "loglens ${ARGN} -> rc=${rc} (want ${expect_rc})\n${out}\n${err}")
+  endif()
+endmacro()
+
+run_cli(0 --max-dist 0.45 train ${WORKDIR}/train.log ${WORKDIR}/model.json)
+run_cli(0 show ${WORKDIR}/model.json)
+run_cli(0 edit ${WORKDIR}/model.json rename 1 P1F2 clientIp)
+run_cli(1 edit ${WORKDIR}/model.json rename 99 nope nope)
+# prod.log has one garbage line -> parse exits 3 (anomalies present).
+run_cli(3 parse ${WORKDIR}/model.json ${WORKDIR}/prod.log)
+run_cli(3 detect ${WORKDIR}/model.json ${WORKDIR}/prod.log)
+# Renamed field must appear in parse output.
+execute_process(COMMAND ${LOGLENS} parse ${WORKDIR}/model.json ${WORKDIR}/prod.log
+                OUTPUT_VARIABLE out ERROR_QUIET RESULT_VARIABLE rc)
+string(FIND "${out}" "clientIp" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "renamed field missing from parse output:\n${out}")
+endif()
+message(STATUS "cli round trip ok")

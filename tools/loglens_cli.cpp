@@ -1,0 +1,355 @@
+// loglens — command-line front end to the LogLens library.
+//
+//   loglens discover <training.log>
+//       Discover GROK patterns from a training corpus and print them.
+//
+//   loglens train <training.log> <model.json>
+//       Build the full model (patterns + event automata + extension
+//       detectors) and write it as JSON.
+//
+//   loglens parse <model.json> <logs.log>
+//       Parse a log file with a trained model; parsed records go to stdout
+//       as JSONL, unparseable lines are reported to stderr.
+//
+//   loglens detect <model.json> <logs.log>
+//       Run the full stateless+stateful pipeline over a log file and print
+//       the anomaly report and dashboard summary.
+//
+//   loglens edit <model.json> <op> [args...]
+//       Human-in-the-loop model editing (Section III-A4 / model manager):
+//         rename     <pattern-id> <old-field> <new-field>
+//         specialize <pattern-id> <field> <literal>
+//         generalize <pattern-id> <token-index> <TYPE> <field>
+//         drop-pattern   <pattern-id>
+//         drop-automaton <automaton-id>
+//       Writes the edited model back in place (print with `show`).
+//
+//   loglens show <model.json>
+//       Print a model summary: patterns, automata, extension detectors.
+//
+//   loglens demo
+//       Self-contained demonstration on a generated dataset.
+//
+// Flags (must precede the subcommand):
+//   --max-dist <d>     clustering threshold for discover/train (default 0.3)
+//   --ranges           learn/check KPI field ranges
+//   --keywords         learn/check severity keywords
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "datagen/datasets.h"
+#include "grok/edit.h"
+#include "service/dashboard.h"
+#include "service/service.h"
+
+namespace loglens {
+namespace {
+
+struct CliOptions {
+  double max_dist = 0.3;
+  bool ranges = false;
+  bool keywords = false;
+};
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: loglens [--max-dist D] [--ranges] [--keywords] "
+               "<discover|train|parse|detect|demo> [args...]\n"
+               "  discover <training.log>\n"
+               "  train    <training.log> <model.json>\n"
+               "  parse    <model.json> <logs.log>\n"
+               "  detect   <model.json> <logs.log>\n"
+               "  show     <model.json>\n"
+               "  edit     <model.json> <op> [args...]\n"
+               "  demo\n");
+  return 2;
+}
+
+StatusOr<std::vector<std::string>> read_lines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return StatusOr<std::vector<std::string>>::Error("cannot open: " + path);
+  }
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) lines.push_back(line);
+  }
+  return lines;
+}
+
+StatusOr<CompositeModel> read_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return StatusOr<CompositeModel>::Error("cannot open: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto j = Json::parse(text);
+  if (!j.ok()) return StatusOr<CompositeModel>(j.status());
+  return CompositeModel::from_json(j.value());
+}
+
+BuildOptions build_options(const CliOptions& cli) {
+  BuildOptions opts;
+  opts.discovery.max_dist = cli.max_dist;
+  opts.learn_field_ranges = cli.ranges;
+  opts.learn_keywords = cli.keywords;
+  return opts;
+}
+
+int cmd_discover(const CliOptions& cli, const std::string& training_path) {
+  auto lines = read_lines(training_path);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "error: %s\n", lines.status().message().c_str());
+    return 1;
+  }
+  ModelBuilder builder(build_options(cli));
+  BuildResult result = builder.build(lines.value());
+  std::printf("# %zu patterns from %zu logs (%.2f s discovery)\n",
+              result.model.patterns.size(), result.training_logs,
+              result.discovery_seconds);
+  for (const auto& p : result.model.patterns) {
+    std::printf("P%d: %s\n", p.id(), p.to_string().c_str());
+  }
+  return 0;
+}
+
+int cmd_train(const CliOptions& cli, const std::string& training_path,
+              const std::string& model_path) {
+  auto lines = read_lines(training_path);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "error: %s\n", lines.status().message().c_str());
+    return 1;
+  }
+  ModelBuilder builder(build_options(cli));
+  BuildResult result = builder.build(lines.value());
+  std::ofstream out(model_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", model_path.c_str());
+    return 1;
+  }
+  out << result.model.to_json().dump() << "\n";
+  std::fprintf(stderr,
+               "model: %zu patterns, %zu automata, %zu tracked KPI fields "
+               "(%.2f s total; %zu/%zu training logs parsed)\n",
+               result.model.patterns.size(),
+               result.model.sequence.automata.size(),
+               result.model.field_ranges.tracked_fields(),
+               result.total_seconds,
+               result.training_logs - result.unparsed_training_logs,
+               result.training_logs);
+  return 0;
+}
+
+int cmd_parse(const CliOptions&, const std::string& model_path,
+              const std::string& logs_path) {
+  auto model = read_model(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+    return 1;
+  }
+  auto lines = read_lines(logs_path);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "error: %s\n", lines.status().message().c_str());
+    return 1;
+  }
+  Preprocessor pre = std::move(Preprocessor::create({}).value());
+  LogParser parser(model->patterns, pre.classifier());
+  size_t anomalies = 0;
+  for (const auto& line : lines.value()) {
+    auto outcome = parser.parse(pre.process(line));
+    if (outcome.log.has_value()) {
+      std::printf("%s\n", outcome.log->to_json().dump().c_str());
+    } else {
+      ++anomalies;
+      std::fprintf(stderr, "UNPARSED: %s\n", line.c_str());
+    }
+  }
+  std::fprintf(stderr, "parsed %zu/%zu logs (%zu stateless anomalies)\n",
+               lines->size() - anomalies, lines->size(), anomalies);
+  return anomalies == 0 ? 0 : 3;
+}
+
+int cmd_detect(const CliOptions& cli, const std::string& model_path,
+               const std::string& logs_path) {
+  auto model = read_model(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+    return 1;
+  }
+  auto lines = read_lines(logs_path);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "error: %s\n", lines.status().message().c_str());
+    return 1;
+  }
+  ServiceOptions opts;
+  opts.build = build_options(cli);
+  LogLensService service(opts);
+  service.models().deploy(service.model_name(), model.value());
+  Agent agent = service.make_agent(logs_path);
+  agent.replay(lines.value());
+  service.drain();
+  service.heartbeat_advance(24L * 3600 * 1000);
+  service.drain();
+
+  Dashboard dashboard(service.anomalies(), service.model_store(),
+                      service.log_store());
+  std::printf("%s\n", dashboard.render().c_str());
+  std::printf("%s", dashboard.render_recent(10).c_str());
+  return service.anomalies().count() == 0 ? 0 : 3;
+}
+
+int cmd_show(const std::string& model_path) {
+  auto model = read_model(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+    return 1;
+  }
+  std::printf("patterns: %zu\n", model->patterns.size());
+  for (const auto& p : model->patterns) {
+    std::string text = p.to_string();
+    if (text.size() > 120) text = text.substr(0, 117) + "...";
+    std::printf("  P%d: %s\n", p.id(), text.c_str());
+  }
+  std::printf("automata: %zu\n", model->sequence.automata.size());
+  for (const auto& a : model->sequence.automata) {
+    std::printf("%s", a.describe().c_str());
+  }
+  std::printf("id fields: %zu, tracked KPI fields: %zu\n",
+              model->sequence.id_fields.size(),
+              model->field_ranges.tracked_fields());
+  return 0;
+}
+
+GrokPattern* find_pattern(CompositeModel& model, int id) {
+  for (auto& p : model.patterns) {
+    if (p.id() == id) return &p;
+  }
+  return nullptr;
+}
+
+int cmd_edit(const std::string& model_path, int argc, char** argv, int arg) {
+  auto model = read_model(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+    return 1;
+  }
+  std::string op = argv[arg++];
+  Status status = Status::Error("unknown edit op: " + op);
+  auto remaining = [&](int n) { return argc - arg >= n; };
+  if (op == "rename" && remaining(3)) {
+    GrokPattern* p = find_pattern(model.value(), std::atoi(argv[arg]));
+    status = p == nullptr
+                 ? Status::Error("no such pattern")
+                 : pattern_edit::rename_field(*p, argv[arg + 1], argv[arg + 2]);
+  } else if (op == "specialize" && remaining(3)) {
+    GrokPattern* p = find_pattern(model.value(), std::atoi(argv[arg]));
+    status = p == nullptr
+                 ? Status::Error("no such pattern")
+                 : pattern_edit::specialize(*p, argv[arg + 1], argv[arg + 2]);
+  } else if (op == "generalize" && remaining(4)) {
+    GrokPattern* p = find_pattern(model.value(), std::atoi(argv[arg]));
+    Datatype type;
+    if (p == nullptr) {
+      status = Status::Error("no such pattern");
+    } else if (!datatype_from_name(argv[arg + 2], type)) {
+      status = Status::Error(std::string("unknown datatype: ") + argv[arg + 2]);
+    } else {
+      status = pattern_edit::generalize(
+          *p, static_cast<size_t>(std::atoi(argv[arg + 1])), type,
+          argv[arg + 3]);
+    }
+  } else if (op == "drop-pattern" && remaining(1)) {
+    int id = std::atoi(argv[arg]);
+    size_t before = model->patterns.size();
+    std::erase_if(model->patterns,
+                  [id](const GrokPattern& p) { return p.id() == id; });
+    status = model->patterns.size() < before
+                 ? Status::Ok()
+                 : Status::Error("no such pattern");
+  } else if (op == "drop-automaton" && remaining(1)) {
+    int id = std::atoi(argv[arg]);
+    size_t before = model->sequence.automata.size();
+    std::erase_if(model->sequence.automata,
+                  [id](const Automaton& a) { return a.id == id; });
+    status = model->sequence.automata.size() < before
+                 ? Status::Ok()
+                 : Status::Error("no such automaton");
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.message().c_str());
+    return 1;
+  }
+  std::ofstream out(model_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", model_path.c_str());
+    return 1;
+  }
+  out << model->to_json().dump() << "\n";
+  std::fprintf(stderr, "edited %s: %s applied\n", model_path.c_str(),
+               op.c_str());
+  return 0;
+}
+
+int cmd_demo() {
+  std::printf("Generating a data-center trace workload (D1 shape)...\n");
+  Dataset d1 = make_d1(0.03);
+  ServiceOptions opts;
+  opts.build.discovery = recommended_discovery("D1");
+  LogLensService service(opts);
+  BuildResult build = service.train(d1.training);
+  std::printf("trained: %zu patterns, %zu automata from %zu logs\n",
+              build.model.patterns.size(),
+              build.model.sequence.automata.size(), d1.training.size());
+  Agent agent = service.make_agent("demo");
+  agent.replay(d1.testing);
+  service.drain();
+  service.heartbeat_advance(24L * 3600 * 1000);
+  service.drain();
+  Dashboard dashboard(service.anomalies(), service.model_store(),
+                      service.log_store());
+  std::printf("\n%s\n%s", dashboard.render().c_str(),
+              dashboard.render_recent(5).c_str());
+  std::printf("(%zu corrupted workflows were injected)\n",
+              d1.injected_anomalies());
+  return 0;
+}
+
+}  // namespace
+}  // namespace loglens
+
+int main(int argc, char** argv) {
+  using namespace loglens;
+  CliOptions cli;
+  int arg = 1;
+  while (arg < argc && std::strncmp(argv[arg], "--", 2) == 0) {
+    if (std::strcmp(argv[arg], "--ranges") == 0) {
+      cli.ranges = true;
+      ++arg;
+    } else if (std::strcmp(argv[arg], "--keywords") == 0) {
+      cli.keywords = true;
+      ++arg;
+    } else if (std::strcmp(argv[arg], "--max-dist") == 0 && arg + 1 < argc) {
+      cli.max_dist = std::atof(argv[arg + 1]);
+      arg += 2;
+    } else {
+      return usage();
+    }
+  }
+  if (arg >= argc) return usage();
+  std::string cmd = argv[arg++];
+  auto need = [&](int n) { return argc - arg >= n; };
+  if (cmd == "discover" && need(1)) return cmd_discover(cli, argv[arg]);
+  if (cmd == "train" && need(2)) return cmd_train(cli, argv[arg], argv[arg + 1]);
+  if (cmd == "parse" && need(2)) return cmd_parse(cli, argv[arg], argv[arg + 1]);
+  if (cmd == "detect" && need(2)) {
+    return cmd_detect(cli, argv[arg], argv[arg + 1]);
+  }
+  if (cmd == "show" && need(1)) return cmd_show(argv[arg]);
+  if (cmd == "edit" && need(2)) return cmd_edit(argv[arg], argc, argv, arg + 1);
+  if (cmd == "demo") return cmd_demo();
+  return usage();
+}
