@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_open_states.dir/bench_open_states.cpp.o"
+  "CMakeFiles/bench_open_states.dir/bench_open_states.cpp.o.d"
+  "bench_open_states"
+  "bench_open_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_open_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parser_vs_logstash.dir/bench_parser_vs_logstash.cpp.o"
+  "CMakeFiles/bench_parser_vs_logstash.dir/bench_parser_vs_logstash.cpp.o.d"
+  "bench_parser_vs_logstash"
+  "bench_parser_vs_logstash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parser_vs_logstash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

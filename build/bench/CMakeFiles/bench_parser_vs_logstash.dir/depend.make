@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_parser_vs_logstash.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rebroadcast.dir/bench_rebroadcast.cpp.o"
+  "CMakeFiles/bench_rebroadcast.dir/bench_rebroadcast.cpp.o.d"
+  "bench_rebroadcast"
+  "bench_rebroadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rebroadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

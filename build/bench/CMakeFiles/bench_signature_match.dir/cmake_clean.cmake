@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signature_match.dir/bench_signature_match.cpp.o"
+  "CMakeFiles/bench_signature_match.dir/bench_signature_match.cpp.o.d"
+  "bench_signature_match"
+  "bench_signature_match.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signature_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

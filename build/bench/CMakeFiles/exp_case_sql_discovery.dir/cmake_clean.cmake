@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_case_sql_discovery.dir/exp_case_sql_discovery.cpp.o"
+  "CMakeFiles/exp_case_sql_discovery.dir/exp_case_sql_discovery.cpp.o.d"
+  "exp_case_sql_discovery"
+  "exp_case_sql_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_case_sql_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_case_ss7.dir/exp_case_ss7.cpp.o"
+  "CMakeFiles/exp_case_ss7.dir/exp_case_ss7.cpp.o.d"
+  "exp_case_ss7"
+  "exp_case_ss7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_case_ss7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_accuracy.dir/exp_fig4_accuracy.cpp.o"
+  "CMakeFiles/exp_fig4_accuracy.dir/exp_fig4_accuracy.cpp.o.d"
+  "exp_fig4_accuracy"
+  "exp_fig4_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig5_heartbeat.dir/exp_fig5_heartbeat.cpp.o"
+  "CMakeFiles/exp_fig5_heartbeat.dir/exp_fig5_heartbeat.cpp.o.d"
+  "exp_fig5_heartbeat"
+  "exp_fig5_heartbeat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig5_heartbeat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table5_model_update.dir/exp_table5_model_update.cpp.o"
+  "CMakeFiles/exp_table5_model_update.dir/exp_table5_model_update.cpp.o.d"
+  "exp_table5_model_update"
+  "exp_table5_model_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table5_model_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for exp_table5_model_update.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(exp_fig4_accuracy "/root/repo/build/bench/exp_fig4_accuracy")
+set_tests_properties(exp_fig4_accuracy PROPERTIES  ENVIRONMENT "LOGLENS_SCALE=0.05" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(exp_fig5_heartbeat "/root/repo/build/bench/exp_fig5_heartbeat")
+set_tests_properties(exp_fig5_heartbeat PROPERTIES  ENVIRONMENT "LOGLENS_SCALE=0.05" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(exp_table5_model_update "/root/repo/build/bench/exp_table5_model_update")
+set_tests_properties(exp_table5_model_update PROPERTIES  ENVIRONMENT "LOGLENS_SCALE=0.05" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(exp_case_sql_discovery "/root/repo/build/bench/exp_case_sql_discovery")
+set_tests_properties(exp_case_sql_discovery PROPERTIES  ENVIRONMENT "LOGLENS_SCALE=0.05" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")
+add_test(exp_case_ss7 "/root/repo/build/bench/exp_case_ss7")
+set_tests_properties(exp_case_ss7 PROPERTIES  ENVIRONMENT "LOGLENS_SCALE=0.05" TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;46;add_test;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacenter_monitor.dir/datacenter_monitor.cpp.o"
+  "CMakeFiles/datacenter_monitor.dir/datacenter_monitor.cpp.o.d"
+  "datacenter_monitor"
+  "datacenter_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacenter_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

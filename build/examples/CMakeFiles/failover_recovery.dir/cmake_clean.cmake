@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failover_recovery.dir/failover_recovery.cpp.o"
+  "CMakeFiles/failover_recovery.dir/failover_recovery.cpp.o.d"
+  "failover_recovery"
+  "failover_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failover_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_pattern_discovery.dir/sql_pattern_discovery.cpp.o"
+  "CMakeFiles/sql_pattern_discovery.dir/sql_pattern_discovery.cpp.o.d"
+  "sql_pattern_discovery"
+  "sql_pattern_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_pattern_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ss7_attack_hunt.dir/ss7_attack_hunt.cpp.o"
+  "CMakeFiles/ss7_attack_hunt.dir/ss7_attack_hunt.cpp.o.d"
+  "ss7_attack_hunt"
+  "ss7_attack_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ss7_attack_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

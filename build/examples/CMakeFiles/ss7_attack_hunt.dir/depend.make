@@ -1,0 +1,2 @@
+# Empty dependencies file for ss7_attack_hunt.
+# This may be replaced when dependencies are built.

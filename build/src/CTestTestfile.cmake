@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("json")
+subdirs("regexlite")
+subdirs("grok")
+subdirs("timestamp")
+subdirs("tokenize")
+subdirs("broker")
+subdirs("storage")
+subdirs("streaming")
+subdirs("logmine")
+subdirs("parser")
+subdirs("automata")
+subdirs("detectors")
+subdirs("baseline")
+subdirs("datagen")
+subdirs("service")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_automata.dir/detector.cpp.o"
+  "CMakeFiles/loglens_automata.dir/detector.cpp.o.d"
+  "CMakeFiles/loglens_automata.dir/id_discovery.cpp.o"
+  "CMakeFiles/loglens_automata.dir/id_discovery.cpp.o.d"
+  "CMakeFiles/loglens_automata.dir/model.cpp.o"
+  "CMakeFiles/loglens_automata.dir/model.cpp.o.d"
+  "libloglens_automata.a"
+  "libloglens_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

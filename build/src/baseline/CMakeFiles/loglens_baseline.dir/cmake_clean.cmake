@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_baseline.dir/logstash_parser.cpp.o"
+  "CMakeFiles/loglens_baseline.dir/logstash_parser.cpp.o.d"
+  "libloglens_baseline.a"
+  "libloglens_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_broker.dir/broker.cpp.o"
+  "CMakeFiles/loglens_broker.dir/broker.cpp.o.d"
+  "libloglens_broker.a"
+  "libloglens_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

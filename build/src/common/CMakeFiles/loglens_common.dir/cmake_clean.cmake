@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_common.dir/strings.cpp.o"
+  "CMakeFiles/loglens_common.dir/strings.cpp.o.d"
+  "CMakeFiles/loglens_common.dir/time.cpp.o"
+  "CMakeFiles/loglens_common.dir/time.cpp.o.d"
+  "libloglens_common.a"
+  "libloglens_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

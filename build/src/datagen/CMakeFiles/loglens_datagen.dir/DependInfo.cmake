@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/datasets.cpp" "src/datagen/CMakeFiles/loglens_datagen.dir/datasets.cpp.o" "gcc" "src/datagen/CMakeFiles/loglens_datagen.dir/datasets.cpp.o.d"
+  "/root/repo/src/datagen/event_gen.cpp" "src/datagen/CMakeFiles/loglens_datagen.dir/event_gen.cpp.o" "gcc" "src/datagen/CMakeFiles/loglens_datagen.dir/event_gen.cpp.o.d"
+  "/root/repo/src/datagen/render.cpp" "src/datagen/CMakeFiles/loglens_datagen.dir/render.cpp.o" "gcc" "src/datagen/CMakeFiles/loglens_datagen.dir/render.cpp.o.d"
+  "/root/repo/src/datagen/template_gen.cpp" "src/datagen/CMakeFiles/loglens_datagen.dir/template_gen.cpp.o" "gcc" "src/datagen/CMakeFiles/loglens_datagen.dir/template_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/loglens_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmine/CMakeFiles/loglens_logmine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenize/CMakeFiles/loglens_tokenize.dir/DependInfo.cmake"
+  "/root/repo/build/src/grok/CMakeFiles/loglens_grok.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/loglens_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexlite/CMakeFiles/loglens_regexlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/loglens_timestamp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

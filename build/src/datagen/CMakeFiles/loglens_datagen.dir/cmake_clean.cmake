@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_datagen.dir/datasets.cpp.o"
+  "CMakeFiles/loglens_datagen.dir/datasets.cpp.o.d"
+  "CMakeFiles/loglens_datagen.dir/event_gen.cpp.o"
+  "CMakeFiles/loglens_datagen.dir/event_gen.cpp.o.d"
+  "CMakeFiles/loglens_datagen.dir/render.cpp.o"
+  "CMakeFiles/loglens_datagen.dir/render.cpp.o.d"
+  "CMakeFiles/loglens_datagen.dir/template_gen.cpp.o"
+  "CMakeFiles/loglens_datagen.dir/template_gen.cpp.o.d"
+  "libloglens_datagen.a"
+  "libloglens_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/detectors/field_range.cpp" "src/detectors/CMakeFiles/loglens_detectors.dir/field_range.cpp.o" "gcc" "src/detectors/CMakeFiles/loglens_detectors.dir/field_range.cpp.o.d"
+  "/root/repo/src/detectors/keyword.cpp" "src/detectors/CMakeFiles/loglens_detectors.dir/keyword.cpp.o" "gcc" "src/detectors/CMakeFiles/loglens_detectors.dir/keyword.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/parser/CMakeFiles/loglens_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/loglens_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loglens_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/grok/CMakeFiles/loglens_grok.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexlite/CMakeFiles/loglens_regexlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/loglens_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

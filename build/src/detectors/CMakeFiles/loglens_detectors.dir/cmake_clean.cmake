@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_detectors.dir/field_range.cpp.o"
+  "CMakeFiles/loglens_detectors.dir/field_range.cpp.o.d"
+  "CMakeFiles/loglens_detectors.dir/keyword.cpp.o"
+  "CMakeFiles/loglens_detectors.dir/keyword.cpp.o.d"
+  "libloglens_detectors.a"
+  "libloglens_detectors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_detectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/grok/datatype.cpp" "src/grok/CMakeFiles/loglens_grok.dir/datatype.cpp.o" "gcc" "src/grok/CMakeFiles/loglens_grok.dir/datatype.cpp.o.d"
+  "/root/repo/src/grok/edit.cpp" "src/grok/CMakeFiles/loglens_grok.dir/edit.cpp.o" "gcc" "src/grok/CMakeFiles/loglens_grok.dir/edit.cpp.o.d"
+  "/root/repo/src/grok/pattern.cpp" "src/grok/CMakeFiles/loglens_grok.dir/pattern.cpp.o" "gcc" "src/grok/CMakeFiles/loglens_grok.dir/pattern.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/loglens_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexlite/CMakeFiles/loglens_regexlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/loglens_json.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_grok.dir/datatype.cpp.o"
+  "CMakeFiles/loglens_grok.dir/datatype.cpp.o.d"
+  "CMakeFiles/loglens_grok.dir/edit.cpp.o"
+  "CMakeFiles/loglens_grok.dir/edit.cpp.o.d"
+  "CMakeFiles/loglens_grok.dir/pattern.cpp.o"
+  "CMakeFiles/loglens_grok.dir/pattern.cpp.o.d"
+  "libloglens_grok.a"
+  "libloglens_grok.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_grok.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

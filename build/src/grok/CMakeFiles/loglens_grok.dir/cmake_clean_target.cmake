@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libloglens_grok.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_json.dir/json.cpp.o"
+  "CMakeFiles/loglens_json.dir/json.cpp.o.d"
+  "libloglens_json.a"
+  "libloglens_json.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_json.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_logmine.dir/discoverer.cpp.o"
+  "CMakeFiles/loglens_logmine.dir/discoverer.cpp.o.d"
+  "libloglens_logmine.a"
+  "libloglens_logmine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_logmine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/parser/log_parser.cpp" "src/parser/CMakeFiles/loglens_parser.dir/log_parser.cpp.o" "gcc" "src/parser/CMakeFiles/loglens_parser.dir/log_parser.cpp.o.d"
+  "/root/repo/src/parser/signature.cpp" "src/parser/CMakeFiles/loglens_parser.dir/signature.cpp.o" "gcc" "src/parser/CMakeFiles/loglens_parser.dir/signature.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/grok/CMakeFiles/loglens_grok.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/loglens_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loglens_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexlite/CMakeFiles/loglens_regexlite.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_parser.dir/log_parser.cpp.o"
+  "CMakeFiles/loglens_parser.dir/log_parser.cpp.o.d"
+  "CMakeFiles/loglens_parser.dir/signature.cpp.o"
+  "CMakeFiles/loglens_parser.dir/signature.cpp.o.d"
+  "libloglens_parser.a"
+  "libloglens_parser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

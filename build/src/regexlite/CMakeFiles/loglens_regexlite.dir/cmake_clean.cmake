@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_regexlite.dir/regex.cpp.o"
+  "CMakeFiles/loglens_regexlite.dir/regex.cpp.o.d"
+  "libloglens_regexlite.a"
+  "libloglens_regexlite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_regexlite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/service/agent.cpp" "src/service/CMakeFiles/loglens_service.dir/agent.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/agent.cpp.o.d"
+  "/root/repo/src/service/dashboard.cpp" "src/service/CMakeFiles/loglens_service.dir/dashboard.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/dashboard.cpp.o.d"
+  "/root/repo/src/service/feedback.cpp" "src/service/CMakeFiles/loglens_service.dir/feedback.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/feedback.cpp.o.d"
+  "/root/repo/src/service/heartbeat.cpp" "src/service/CMakeFiles/loglens_service.dir/heartbeat.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/heartbeat.cpp.o.d"
+  "/root/repo/src/service/log_manager.cpp" "src/service/CMakeFiles/loglens_service.dir/log_manager.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/log_manager.cpp.o.d"
+  "/root/repo/src/service/model.cpp" "src/service/CMakeFiles/loglens_service.dir/model.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/model.cpp.o.d"
+  "/root/repo/src/service/model_ops.cpp" "src/service/CMakeFiles/loglens_service.dir/model_ops.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/model_ops.cpp.o.d"
+  "/root/repo/src/service/service.cpp" "src/service/CMakeFiles/loglens_service.dir/service.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/service.cpp.o.d"
+  "/root/repo/src/service/tasks.cpp" "src/service/CMakeFiles/loglens_service.dir/tasks.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/tasks.cpp.o.d"
+  "/root/repo/src/service/wire.cpp" "src/service/CMakeFiles/loglens_service.dir/wire.cpp.o" "gcc" "src/service/CMakeFiles/loglens_service.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/automata/CMakeFiles/loglens_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/loglens_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmine/CMakeFiles/loglens_logmine.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/loglens_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenize/CMakeFiles/loglens_tokenize.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/loglens_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/loglens_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/loglens_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/loglens_timestamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/grok/CMakeFiles/loglens_grok.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/loglens_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexlite/CMakeFiles/loglens_regexlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loglens_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_service.dir/agent.cpp.o"
+  "CMakeFiles/loglens_service.dir/agent.cpp.o.d"
+  "CMakeFiles/loglens_service.dir/dashboard.cpp.o"
+  "CMakeFiles/loglens_service.dir/dashboard.cpp.o.d"
+  "CMakeFiles/loglens_service.dir/feedback.cpp.o"
+  "CMakeFiles/loglens_service.dir/feedback.cpp.o.d"
+  "CMakeFiles/loglens_service.dir/heartbeat.cpp.o"
+  "CMakeFiles/loglens_service.dir/heartbeat.cpp.o.d"
+  "CMakeFiles/loglens_service.dir/log_manager.cpp.o"
+  "CMakeFiles/loglens_service.dir/log_manager.cpp.o.d"
+  "CMakeFiles/loglens_service.dir/model.cpp.o"
+  "CMakeFiles/loglens_service.dir/model.cpp.o.d"
+  "CMakeFiles/loglens_service.dir/model_ops.cpp.o"
+  "CMakeFiles/loglens_service.dir/model_ops.cpp.o.d"
+  "CMakeFiles/loglens_service.dir/service.cpp.o"
+  "CMakeFiles/loglens_service.dir/service.cpp.o.d"
+  "CMakeFiles/loglens_service.dir/tasks.cpp.o"
+  "CMakeFiles/loglens_service.dir/tasks.cpp.o.d"
+  "CMakeFiles/loglens_service.dir/wire.cpp.o"
+  "CMakeFiles/loglens_service.dir/wire.cpp.o.d"
+  "libloglens_service.a"
+  "libloglens_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

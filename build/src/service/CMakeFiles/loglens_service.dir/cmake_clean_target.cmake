@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libloglens_service.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_storage.dir/anomaly.cpp.o"
+  "CMakeFiles/loglens_storage.dir/anomaly.cpp.o.d"
+  "CMakeFiles/loglens_storage.dir/document_store.cpp.o"
+  "CMakeFiles/loglens_storage.dir/document_store.cpp.o.d"
+  "CMakeFiles/loglens_storage.dir/stores.cpp.o"
+  "CMakeFiles/loglens_storage.dir/stores.cpp.o.d"
+  "libloglens_storage.a"
+  "libloglens_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

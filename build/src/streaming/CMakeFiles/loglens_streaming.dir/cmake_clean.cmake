@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_streaming.dir/engine.cpp.o"
+  "CMakeFiles/loglens_streaming.dir/engine.cpp.o.d"
+  "CMakeFiles/loglens_streaming.dir/job.cpp.o"
+  "CMakeFiles/loglens_streaming.dir/job.cpp.o.d"
+  "CMakeFiles/loglens_streaming.dir/thread_pool.cpp.o"
+  "CMakeFiles/loglens_streaming.dir/thread_pool.cpp.o.d"
+  "libloglens_streaming.a"
+  "libloglens_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_timestamp.dir/format.cpp.o"
+  "CMakeFiles/loglens_timestamp.dir/format.cpp.o.d"
+  "CMakeFiles/loglens_timestamp.dir/recognizer.cpp.o"
+  "CMakeFiles/loglens_timestamp.dir/recognizer.cpp.o.d"
+  "libloglens_timestamp.a"
+  "libloglens_timestamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

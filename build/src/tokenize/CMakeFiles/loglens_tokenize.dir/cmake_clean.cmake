@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens_tokenize.dir/preprocessor.cpp.o"
+  "CMakeFiles/loglens_tokenize.dir/preprocessor.cpp.o.d"
+  "libloglens_tokenize.a"
+  "libloglens_tokenize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens_tokenize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_model_test.dir/automata_model_test.cpp.o"
+  "CMakeFiles/automata_model_test.dir/automata_model_test.cpp.o.d"
+  "automata_model_test"
+  "automata_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/discoverer_test.dir/discoverer_test.cpp.o"
+  "CMakeFiles/discoverer_test.dir/discoverer_test.cpp.o.d"
+  "discoverer_test"
+  "discoverer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/discoverer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_gen_test.dir/event_gen_test.cpp.o"
+  "CMakeFiles/event_gen_test.dir/event_gen_test.cpp.o.d"
+  "event_gen_test"
+  "event_gen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_gen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_e2e_test.dir/extension_e2e_test.cpp.o"
+  "CMakeFiles/extension_e2e_test.dir/extension_e2e_test.cpp.o.d"
+  "extension_e2e_test"
+  "extension_e2e_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_e2e_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grok_pattern_test.dir/grok_pattern_test.cpp.o"
+  "CMakeFiles/grok_pattern_test.dir/grok_pattern_test.cpp.o.d"
+  "grok_pattern_test"
+  "grok_pattern_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grok_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heartbeat_test.dir/heartbeat_test.cpp.o"
+  "CMakeFiles/heartbeat_test.dir/heartbeat_test.cpp.o.d"
+  "heartbeat_test"
+  "heartbeat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heartbeat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/id_discovery_test.dir/id_discovery_test.cpp.o"
+  "CMakeFiles/id_discovery_test.dir/id_discovery_test.cpp.o.d"
+  "id_discovery_test"
+  "id_discovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/id_discovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_test.dir/job_test.cpp.o"
+  "CMakeFiles/job_test.dir/job_test.cpp.o.d"
+  "job_test"
+  "job_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keyed_state_test.dir/keyed_state_test.cpp.o"
+  "CMakeFiles/keyed_state_test.dir/keyed_state_test.cpp.o.d"
+  "keyed_state_test"
+  "keyed_state_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keyed_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_manager_test.dir/log_manager_test.cpp.o"
+  "CMakeFiles/log_manager_test.dir/log_manager_test.cpp.o.d"
+  "log_manager_test"
+  "log_manager_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

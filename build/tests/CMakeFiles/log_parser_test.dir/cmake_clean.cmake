@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/log_parser_test.dir/log_parser_test.cpp.o"
+  "CMakeFiles/log_parser_test.dir/log_parser_test.cpp.o.d"
+  "log_parser_test"
+  "log_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/log_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/logstash_test.dir/logstash_test.cpp.o"
+  "CMakeFiles/logstash_test.dir/logstash_test.cpp.o.d"
+  "logstash_test"
+  "logstash_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/logstash_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_ops_test.dir/model_ops_test.cpp.o"
+  "CMakeFiles/model_ops_test.dir/model_ops_test.cpp.o.d"
+  "model_ops_test"
+  "model_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_serde_test.dir/model_serde_test.cpp.o"
+  "CMakeFiles/model_serde_test.dir/model_serde_test.cpp.o.d"
+  "model_serde_test"
+  "model_serde_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_serde_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

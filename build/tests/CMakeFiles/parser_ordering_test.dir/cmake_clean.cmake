@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_ordering_test.dir/parser_ordering_test.cpp.o"
+  "CMakeFiles/parser_ordering_test.dir/parser_ordering_test.cpp.o.d"
+  "parser_ordering_test"
+  "parser_ordering_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_ordering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

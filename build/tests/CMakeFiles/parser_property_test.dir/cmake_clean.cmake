@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_property_test.dir/parser_property_test.cpp.o"
+  "CMakeFiles/parser_property_test.dir/parser_property_test.cpp.o.d"
+  "parser_property_test"
+  "parser_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

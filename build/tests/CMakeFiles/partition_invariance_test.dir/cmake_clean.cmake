@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_invariance_test.dir/partition_invariance_test.cpp.o"
+  "CMakeFiles/partition_invariance_test.dir/partition_invariance_test.cpp.o.d"
+  "partition_invariance_test"
+  "partition_invariance_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_invariance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

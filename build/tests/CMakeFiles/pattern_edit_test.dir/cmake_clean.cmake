@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_edit_test.dir/pattern_edit_test.cpp.o"
+  "CMakeFiles/pattern_edit_test.dir/pattern_edit_test.cpp.o.d"
+  "pattern_edit_test"
+  "pattern_edit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_edit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/robustness_test.cpp" "tests/CMakeFiles/robustness_test.dir/robustness_test.cpp.o" "gcc" "tests/CMakeFiles/robustness_test.dir/robustness_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/service/CMakeFiles/loglens_service.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/loglens_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/automata/CMakeFiles/loglens_automata.dir/DependInfo.cmake"
+  "/root/repo/build/src/detectors/CMakeFiles/loglens_detectors.dir/DependInfo.cmake"
+  "/root/repo/build/src/parser/CMakeFiles/loglens_parser.dir/DependInfo.cmake"
+  "/root/repo/build/src/streaming/CMakeFiles/loglens_streaming.dir/DependInfo.cmake"
+  "/root/repo/build/src/broker/CMakeFiles/loglens_broker.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/loglens_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/logmine/CMakeFiles/loglens_logmine.dir/DependInfo.cmake"
+  "/root/repo/build/src/tokenize/CMakeFiles/loglens_tokenize.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/loglens_timestamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/grok/CMakeFiles/loglens_grok.dir/DependInfo.cmake"
+  "/root/repo/build/src/json/CMakeFiles/loglens_json.dir/DependInfo.cmake"
+  "/root/repo/build/src/regexlite/CMakeFiles/loglens_regexlite.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/loglens_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

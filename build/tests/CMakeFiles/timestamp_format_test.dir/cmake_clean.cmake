@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamp_format_test.dir/timestamp_format_test.cpp.o"
+  "CMakeFiles/timestamp_format_test.dir/timestamp_format_test.cpp.o.d"
+  "timestamp_format_test"
+  "timestamp_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamp_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

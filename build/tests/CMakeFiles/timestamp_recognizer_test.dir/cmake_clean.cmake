@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamp_recognizer_test.dir/timestamp_recognizer_test.cpp.o"
+  "CMakeFiles/timestamp_recognizer_test.dir/timestamp_recognizer_test.cpp.o.d"
+  "timestamp_recognizer_test"
+  "timestamp_recognizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamp_recognizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

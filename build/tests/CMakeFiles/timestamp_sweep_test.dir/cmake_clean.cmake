@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamp_sweep_test.dir/timestamp_sweep_test.cpp.o"
+  "CMakeFiles/timestamp_sweep_test.dir/timestamp_sweep_test.cpp.o.d"
+  "timestamp_sweep_test"
+  "timestamp_sweep_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamp_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

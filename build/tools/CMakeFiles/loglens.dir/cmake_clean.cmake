@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loglens.dir/loglens_cli.cpp.o"
+  "CMakeFiles/loglens.dir/loglens_cli.cpp.o.d"
+  "loglens"
+  "loglens.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loglens.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
