@@ -1,10 +1,18 @@
 // End-to-end service throughput: logs/second through the full pipeline
 // (log manager -> parser stage -> detector stage -> anomaly sink), the
 // deployment-scale quantity behind the paper's "handling millions of logs".
+//
+// Besides the google-benchmark report, the binary writes BENCH_pipeline.json
+// (messages/sec and batch-latency percentiles, sourced from the metrics
+// registry) so successive PRs leave a machine-readable perf trajectory.
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <fstream>
 
 #include "bench/bench_util.h"
 #include "datagen/datasets.h"
+#include "metrics/metrics.h"
 #include "service/service.h"
 
 namespace loglens {
@@ -94,7 +102,50 @@ void BM_PreprocessOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_PreprocessOnly)->Unit(benchmark::kMillisecond);
 
+// Summarizes one engine stage from the global metrics registry. Counters
+// accumulate across every benchmark iteration in this process (training
+// drains included), which is fine for a trajectory metric.
+Json stage_report(const std::string& stage) {
+  auto& registry = MetricsRegistry::global();
+  MetricLabels labels{{"stage", stage}};
+  uint64_t records =
+      registry.counter("loglens_engine_records_total", labels).value();
+  Histogram::Snapshot batch =
+      registry.histogram("loglens_engine_batch_duration_us", labels)
+          .snapshot();
+  double busy_seconds = static_cast<double>(batch.sum) / 1e6;
+  JsonObject obj;
+  obj.emplace_back("stage", Json(stage));
+  obj.emplace_back("records", Json(static_cast<int64_t>(records)));
+  obj.emplace_back("batches", Json(static_cast<int64_t>(batch.count)));
+  obj.emplace_back("msgs_per_sec",
+                   Json(busy_seconds > 0
+                            ? static_cast<double>(records) / busy_seconds
+                            : 0.0));
+  obj.emplace_back("p50_batch_latency_us", Json(batch.p50));
+  obj.emplace_back("p99_batch_latency_us", Json(batch.p99));
+  return Json(std::move(obj));
+}
+
+void write_bench_json() {
+  JsonObject root;
+  root.emplace_back("benchmark", Json("bench_pipeline_throughput"));
+  JsonArray stages;
+  stages.push_back(stage_report("parser"));
+  stages.push_back(stage_report("detector"));
+  root.emplace_back("stages", Json(std::move(stages)));
+  std::ofstream out("BENCH_pipeline.json");
+  out << Json(std::move(root)).dump() << "\n";
+}
+
 }  // namespace
 }  // namespace loglens
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  loglens::write_bench_json();
+  return 0;
+}

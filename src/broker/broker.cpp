@@ -4,6 +4,27 @@
 
 namespace loglens {
 
+Broker::TopicData& Broker::topic_data_locked(const std::string& topic,
+                                             size_t partitions) {
+  auto it = topics_.find(topic);
+  if (it == topics_.end()) {
+    it = topics_.emplace(topic, TopicData{}).first;
+    it->second.partitions.resize(partitions);
+    MetricLabels labels{{"topic", topic}};
+    it->second.produced =
+        &metrics_->counter("loglens_broker_messages_produced_total", labels,
+                           "Messages appended per topic");
+    it->second.fetched =
+        &metrics_->counter("loglens_broker_messages_fetched_total", labels,
+                           "Messages returned by fetches per topic");
+    metrics_
+        ->gauge("loglens_broker_topics", {},
+                "Topics that exist on this broker")
+        .set(static_cast<int64_t>(topics_.size()));
+  }
+  return it->second;
+}
+
 Status Broker::create_topic(const std::string& topic, size_t partitions) {
   if (partitions == 0) return Status::Error("topic needs >= 1 partition");
   std::lock_guard lock(mu_);
@@ -15,19 +36,15 @@ Status Broker::create_topic(const std::string& topic, size_t partitions) {
     }
     return Status::Ok();
   }
-  topics_[topic].partitions.resize(partitions);
+  topic_data_locked(topic, partitions);
   return Status::Ok();
 }
 
 Status Broker::produce(const std::string& topic, Message message,
                        std::optional<size_t> partition) {
   std::lock_guard lock(mu_);
-  auto it = topics_.find(topic);
-  if (it == topics_.end()) {
-    it = topics_.emplace(topic, TopicData{}).first;
-    it->second.partitions.resize(1);
-  }
-  auto& parts = it->second.partitions;
+  TopicData& data = topic_data_locked(topic, 1);
+  auto& parts = data.partitions;
   size_t p;
   if (partition.has_value()) {
     if (*partition >= parts.size()) {
@@ -38,6 +55,7 @@ Status Broker::produce(const std::string& topic, Message message,
     p = message.key.empty() ? 0 : fnv1a(message.key) % parts.size();
   }
   parts[p].push_back(std::move(message));
+  data.produced->inc();
   cv_.notify_all();
   return Status::Ok();
 }
@@ -54,6 +72,7 @@ std::vector<Message> Broker::fetch(const std::string& topic, size_t partition,
   for (uint64_t i = offset; i < log.size() && out.size() < max; ++i) {
     out.push_back(log[i]);
   }
+  if (!out.empty()) it->second.fetched->inc(out.size());
   return out;
 }
 
@@ -78,6 +97,7 @@ std::vector<Message> Broker::fetch_blocking(const std::string& topic,
   for (uint64_t i = offset; i < log.size() && out.size() < max; ++i) {
     out.push_back(log[i]);
   }
+  if (!out.empty()) it->second.fetched->inc(out.size());
   return out;
 }
 
@@ -178,6 +198,17 @@ bool Consumer::caught_up() const {
     if (offsets_[p] < broker_.end_offset(topic_, p)) return false;
   }
   return true;
+}
+
+uint64_t Consumer::lag() const {
+  uint64_t total = 0;
+  size_t partitions = broker_.partition_count(topic_);
+  for (size_t p = 0; p < partitions; ++p) {
+    uint64_t end = broker_.end_offset(topic_, p);
+    uint64_t offset = p < offsets_.size() ? offsets_[p] : 0;
+    if (end > offset) total += end - offset;
+  }
+  return total;
 }
 
 }  // namespace loglens

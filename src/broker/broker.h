@@ -20,12 +20,15 @@
 #include "broker/message.h"
 #include "common/hash.h"
 #include "common/status.h"
+#include "metrics/metrics.h"
 
 namespace loglens {
 
 class Broker {
  public:
-  Broker() = default;
+  // `metrics`: where produce/fetch rates are reported (nullptr -> global).
+  explicit Broker(MetricsRegistry* metrics = nullptr)
+      : metrics_(&registry_or_global(metrics)) {}
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
 
@@ -57,8 +60,14 @@ class Broker {
  private:
   struct TopicData {
     std::vector<std::vector<Message>> partitions;
+    // Per-topic rate counters, resolved once at topic creation.
+    Counter* produced = nullptr;
+    Counter* fetched = nullptr;
   };
 
+  TopicData& topic_data_locked(const std::string& topic, size_t partitions);
+
+  MetricsRegistry* metrics_;
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::map<std::string, TopicData> topics_;
@@ -107,6 +116,8 @@ class Consumer {
   uint64_t consumed() const { return consumed_; }
   // True when every partition is fully consumed *right now*.
   bool caught_up() const;
+  // Messages currently buffered past this consumer's offsets (queue depth).
+  uint64_t lag() const;
 
  private:
   Broker& broker_;

@@ -11,6 +11,8 @@ namespace loglens {
 inline constexpr const char* kTagData = "";
 inline constexpr const char* kTagHeartbeat = "heartbeat";
 inline constexpr const char* kTagControl = "control";
+// Periodic self-describing health reports (JobRunner metrics reports).
+inline constexpr const char* kTagMetrics = "metrics";
 
 struct Message {
   std::string key;        // partitioning key (e.g. event id or source)

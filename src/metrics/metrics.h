@@ -1,0 +1,180 @@
+// Low-overhead, thread-safe metrics for the streaming pipeline.
+//
+// The paper's evaluation is all about measured runtime behaviour (parser
+// throughput vs Logstash, heartbeat sweeps, zero-downtime model updates);
+// this subsystem is the measurement substrate. Three primitives:
+//
+//   Counter   — monotonically increasing, sharded over cacheline-padded
+//               atomics so concurrent partition workers never contend on
+//               one cell. Reads sum the shards.
+//   Gauge     — a point-in-time int64 (open states, consumer lag).
+//   Histogram — fixed-bucket log-scale (4 sub-buckets per power of two,
+//               ≤ 12.5% relative bucket width) with lock-free recording
+//               and p50/p90/p95/p99 snapshots.
+//
+// `MetricsRegistry` owns named metric families with Prometheus-style
+// labels. Registration takes a mutex; the returned references are stable
+// for the registry's lifetime, so hot paths resolve handles once (at task
+// construction) and then only touch atomics. The registry renders as
+// Prometheus text exposition (`render_prometheus`) and as a JSON snapshot
+// (`snapshot_json`), and keeps a small ring buffer of completed tracing
+// spans (see timer.h) for per-stage latency forensics.
+//
+// Metric naming convention (see docs/OBSERVABILITY.md):
+//   loglens_<subsystem>_<quantity>[_total|_us]
+// with `_total` for counters and `_us` (microseconds) for histograms.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "json/json.h"
+
+namespace loglens {
+
+// Label set, e.g. {{"stage", "parser"}, {"partition", "0"}}. Kept sorted by
+// the registry so equal sets compare equal regardless of insertion order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(uint64_t n = 1) {
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const;
+  void reset();
+
+ private:
+  // Enough shards to keep a handful of partition workers off each other's
+  // cachelines; the shard is picked per thread, not per call.
+  static constexpr size_t kShards = 8;
+  struct alignas(64) Shard {
+    std::atomic<uint64_t> v{0};
+  };
+  static size_t shard_index();
+  Shard shards_[kShards];
+};
+
+class Gauge {
+ public:
+  void set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { set(0); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+class Histogram {
+ public:
+  struct Snapshot {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    double p50 = 0;
+    double p90 = 0;
+    double p95 = 0;
+    double p99 = 0;
+  };
+
+  void record(uint64_t value);
+  Snapshot snapshot() const;
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  void reset();
+
+  // Bucket layout: values 0..3 get exact buckets; above that, each power of
+  // two [2^m, 2^(m+1)) splits into 4 equal sub-buckets.
+  static constexpr size_t kBuckets = 4 + 62 * 4;
+  static size_t bucket_of(uint64_t v);
+  static uint64_t bucket_lo(size_t b);
+  static uint64_t bucket_width(size_t b);
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+// One completed tracing span (see ScopedSpan in timer.h).
+struct SpanRecord {
+  std::string name;
+  uint64_t start_us = 0;  // steady time since process start
+  uint64_t duration_us = 0;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // The process-wide default registry. Components take a `MetricsRegistry*`
+  // and fall back to this when given nullptr.
+  static MetricsRegistry& global();
+
+  // Looks up or creates a metric. References stay valid for the registry's
+  // lifetime; `help` is kept from the first registration of a name.
+  Counter& counter(const std::string& name, MetricLabels labels = {},
+                   const std::string& help = "");
+  Gauge& gauge(const std::string& name, MetricLabels labels = {},
+               const std::string& help = "");
+  Histogram& histogram(const std::string& name, MetricLabels labels = {},
+                       const std::string& help = "");
+
+  // Tracing-span ring buffer (newest last). Completion is rare (per batch /
+  // per stage, never per message), so a mutex is fine here.
+  void record_span(std::string name, uint64_t start_us, uint64_t duration_us);
+  std::vector<SpanRecord> recent_spans() const;
+
+  // Prometheus text exposition: counters and gauges as single samples,
+  // histograms as summaries (quantile series + _sum + _count).
+  std::string render_prometheus() const;
+
+  // Structured snapshot of every metric plus the span ring.
+  Json snapshot_json() const;
+
+  // Zeroes every metric in place (handles stay valid) and clears spans.
+  void reset();
+
+ private:
+  struct Key {
+    std::string name;
+    MetricLabels labels;
+    bool operator<(const Key& o) const {
+      if (name != o.name) return name < o.name;
+      return labels < o.labels;
+    }
+  };
+
+  template <typename M>
+  M& lookup(std::map<Key, std::unique_ptr<M>>& familes,
+            const std::string& name, MetricLabels labels,
+            const std::string& help);
+
+  static constexpr size_t kSpanRing = 256;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::unique_ptr<Counter>> counters_;
+  std::map<Key, std::unique_ptr<Gauge>> gauges_;
+  std::map<Key, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, std::string> help_;
+  std::vector<SpanRecord> spans_;  // ring, oldest at spans_begin_
+  size_t spans_begin_ = 0;
+};
+
+// Resolves an optional registry pointer to a usable registry.
+inline MetricsRegistry& registry_or_global(MetricsRegistry* m) {
+  return m != nullptr ? *m : MetricsRegistry::global();
+}
+
+}  // namespace loglens

@@ -1,0 +1,78 @@
+// Scoped timers and lightweight tracing spans.
+//
+// `ScopedTimer` records an elapsed-microseconds sample into a Histogram on
+// destruction — wrap a hot-path section in one and the latency distribution
+// shows up in the registry. `ScopedSpan` additionally files a named
+// SpanRecord into the registry's ring buffer; spans are for coarse stages
+// (a micro-batch, a heartbeat sweep, a model rebroadcast), never for
+// per-message work.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "metrics/metrics.h"
+
+namespace loglens {
+
+// Microseconds on the steady clock since process start (well, since the
+// first call — only differences matter).
+inline uint64_t steady_now_us() {
+  static const auto kEpoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
+                                   std::chrono::steady_clock::now() - kEpoch)
+                                   .count());
+}
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) histogram_->record(elapsed_us());
+  }
+
+  uint64_t elapsed_us() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count());
+  }
+
+ private:
+  Histogram* histogram_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+class ScopedSpan {
+ public:
+  // `histogram` is optional: pass one to get the span's duration into a
+  // latency distribution as well as the trace ring.
+  ScopedSpan(MetricsRegistry* registry, std::string name,
+             Histogram* histogram = nullptr)
+      : registry_(registry),
+        name_(std::move(name)),
+        histogram_(histogram),
+        start_us_(steady_now_us()) {}
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+  ~ScopedSpan() {
+    uint64_t duration = steady_now_us() - start_us_;
+    if (histogram_ != nullptr) histogram_->record(duration);
+    if (registry_ != nullptr) {
+      registry_->record_span(std::move(name_), start_us_, duration);
+    }
+  }
+
+ private:
+  MetricsRegistry* registry_;
+  std::string name_;
+  Histogram* histogram_;
+  uint64_t start_us_;
+};
+
+}  // namespace loglens

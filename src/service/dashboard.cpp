@@ -39,6 +39,12 @@ std::string Dashboard::render() const {
   return out.str();
 }
 
+std::string Dashboard::render_metrics() const {
+  return metrics_->render_prometheus();
+}
+
+Json Dashboard::metrics_snapshot() const { return metrics_->snapshot_json(); }
+
 std::string Dashboard::render_timeline(int64_t from_ms, int64_t to_ms,
                                        int64_t bucket_ms) const {
   std::ostringstream out;

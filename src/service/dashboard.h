@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "metrics/metrics.h"
 #include "storage/stores.h"
 
 namespace loglens {
@@ -16,11 +17,21 @@ namespace loglens {
 class Dashboard {
  public:
   Dashboard(const AnomalyStore& anomalies, const ModelStore& models,
-            const LogStore& logs)
-      : anomalies_(anomalies), models_(models), logs_(logs) {}
+            const LogStore& logs, const MetricsRegistry* metrics = nullptr)
+      : anomalies_(anomalies),
+        models_(models),
+        logs_(logs),
+        metrics_(metrics != nullptr ? metrics : &MetricsRegistry::global()) {}
 
   // Multi-line textual summary of system status.
   std::string render() const;
+
+  // Prometheus-style text exposition of every pipeline metric (engine,
+  // parser, detector, broker, jobs, heartbeats).
+  std::string render_metrics() const;
+
+  // The same data as a machine-readable JSON snapshot (plus recent spans).
+  Json metrics_snapshot() const;
 
   // Anomaly-count-per-bucket timeline over [from_ms, to_ms]; the text bar
   // chart that surfaces temporal anomaly clusters.
@@ -34,6 +45,7 @@ class Dashboard {
   const AnomalyStore& anomalies_;
   const ModelStore& models_;
   const LogStore& logs_;
+  const MetricsRegistry* metrics_;
 };
 
 }  // namespace loglens

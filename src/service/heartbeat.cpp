@@ -2,13 +2,24 @@
 
 #include <algorithm>
 
+#include "metrics/timer.h"
+
 namespace loglens {
 
 HeartbeatController::HeartbeatController(Broker& broker,
-                                         HeartbeatOptions options)
+                                         HeartbeatOptions options,
+                                         MetricsRegistry* metrics)
     : broker_(broker),
       options_(std::move(options)),
-      consumer_(broker, options_.watch_topic) {}
+      consumer_(broker, options_.watch_topic) {
+  registry_ = &registry_or_global(metrics);
+  ticks_total_ = &registry_->counter("loglens_heartbeat_ticks_total", {},
+                                     "Heartbeat controller sweeps");
+  emitted_total_ = &registry_->counter("loglens_heartbeat_emitted_total", {},
+                                       "Heartbeat messages emitted");
+  active_sources_ = &registry_->gauge("loglens_heartbeat_active_sources", {},
+                                      "Sources with a live log-time clock");
+}
 
 void HeartbeatController::observe_new_logs() {
   constexpr double kAlpha = 0.2;  // EMA weight for gap estimation
@@ -34,6 +45,9 @@ void HeartbeatController::observe_new_logs() {
 }
 
 size_t HeartbeatController::emit_all() {
+  ScopedSpan span(registry_, "heartbeat.emit");
+  ticks_total_->inc();
+  active_sources_->set(static_cast<int64_t>(sources_.size()));
   size_t emitted = 0;
   for (auto& [source, clock] : sources_) {
     if (clock.predicted_ts < 0) continue;
@@ -46,6 +60,7 @@ size_t HeartbeatController::emit_all() {
     broker_.produce(options_.emit_topic, std::move(hb));
     ++emitted;
   }
+  emitted_total_->inc(emitted);
   return emitted;
 }
 

@@ -22,6 +22,7 @@
 #include <string>
 
 #include "broker/broker.h"
+#include "metrics/metrics.h"
 
 namespace loglens {
 
@@ -35,7 +36,8 @@ struct HeartbeatOptions {
 
 class HeartbeatController {
  public:
-  HeartbeatController(Broker& broker, HeartbeatOptions options = {});
+  HeartbeatController(Broker& broker, HeartbeatOptions options = {},
+                      MetricsRegistry* metrics = nullptr);
 
   // Observes new parsed logs (updating per-source clocks), then emits one
   // heartbeat per active source. Returns the number of heartbeats emitted.
@@ -63,6 +65,11 @@ class HeartbeatController {
   HeartbeatOptions options_;
   Consumer consumer_;
   std::map<std::string, SourceClock> sources_;
+
+  MetricsRegistry* registry_ = nullptr;
+  Counter* ticks_total_ = nullptr;
+  Counter* emitted_total_ = nullptr;
+  Gauge* active_sources_ = nullptr;
 };
 
 }  // namespace loglens

@@ -8,13 +8,16 @@ namespace loglens {
 
 LogLensService::LogLensService(ServiceOptions options)
     : options_(std::move(options)),
+      broker_(options_.metrics),
       log_manager_(broker_, LogManagerOptions{"ingest", "logs"}),
-      heartbeat_(broker_, HeartbeatOptions{"parsed", "parsed"}),
+      heartbeat_(broker_, HeartbeatOptions{"parsed", "parsed"},
+                 options_.metrics),
       anomaly_sink_(broker_, "anomalies") {
   broker_.create_topic("ingest", 1);
   broker_.create_topic("logs", 1);
   broker_.create_topic("parsed", 1);
   broker_.create_topic("anomalies", 1);
+  broker_.create_topic("metrics", 1);
 
   parser_broadcast_ = std::make_shared<ModelBroadcast>(
       1, CompositeModel{}, options_.parser_partitions);
@@ -24,6 +27,8 @@ LogLensService::LogLensService(ServiceOptions options)
   EngineOptions parser_opts;
   parser_opts.partitions = options_.parser_partitions;
   parser_opts.workers = options_.workers;
+  parser_opts.metrics = options_.metrics;
+  parser_opts.stage = "parser";
   // Stateless stage: partition by source so one source's timestamp-format
   // cache stays hot on one partition.
   parser_opts.partitioner = [](const Message& m, size_t n) {
@@ -32,24 +37,37 @@ LogLensService::LogLensService(ServiceOptions options)
   parser_engine_ = std::make_unique<StreamEngine>(
       parser_opts, [this](size_t p) -> std::unique_ptr<PartitionTask> {
         return std::make_unique<ParserTask>(parser_broadcast_, p,
-                                            options_.parser);
+                                            options_.parser, options_.metrics);
       });
 
   EngineOptions detector_opts;
   detector_opts.partitions = options_.detector_partitions;
   detector_opts.workers = options_.workers;
+  detector_opts.metrics = options_.metrics;
+  detector_opts.stage = "detector";
   // Stateful stage: default key-hash partitioner; the parser stage keys
   // parsed logs by event id, so an event's logs share a partition.
   detector_engine_ = std::make_unique<StreamEngine>(
       detector_opts, [this](size_t p) -> std::unique_ptr<PartitionTask> {
-        return std::make_unique<DetectorTask>(detector_broadcast_, p,
-                                              options_.detector);
+        return std::make_unique<DetectorTask>(
+            detector_broadcast_, p, options_.detector, options_.metrics);
       });
 
-  parser_runner_ = std::make_unique<JobRunner>(
-      broker_, *parser_engine_, JobOptions{"logs", "parsed", 2048, 20});
-  detector_runner_ = std::make_unique<JobRunner>(
-      broker_, *detector_engine_, JobOptions{"parsed", "anomalies", 2048, 20});
+  JobOptions parser_job;
+  parser_job.input_topic = "logs";
+  parser_job.output_topic = "parsed";
+  parser_job.batch_size = 2048;
+  parser_job.name = "parser";
+  parser_job.metrics_report_every = options_.metrics_report_every;
+  parser_job.metrics = options_.metrics;
+  parser_runner_ =
+      std::make_unique<JobRunner>(broker_, *parser_engine_, parser_job);
+  JobOptions detector_job = parser_job;
+  detector_job.input_topic = "parsed";
+  detector_job.output_topic = "anomalies";
+  detector_job.name = "detector";
+  detector_runner_ =
+      std::make_unique<JobRunner>(broker_, *detector_engine_, detector_job);
 
   model_controller_ = std::make_unique<ModelController>(
       model_store_,

@@ -37,6 +37,11 @@ struct ServiceOptions {
   DetectorOptions detector;
   std::string model_name = "default";
   BuildOptions build;
+  // Observability: registry every component reports into (nullptr -> the
+  // process-wide global one) and how often each JobRunner publishes a JSON
+  // health report to the "metrics" topic (0 disables the reports).
+  MetricsRegistry* metrics = nullptr;
+  size_t metrics_report_every = 64;
 };
 
 class LogLensService {

@@ -1,5 +1,7 @@
 #include "service/tasks.h"
 
+#include "metrics/timer.h"
+
 namespace loglens {
 
 namespace {
@@ -11,21 +13,52 @@ Preprocessor make_preprocessor(PreprocessorOptions options) {
   return std::move(Preprocessor::create({}).value());
 }
 
+// Counter delta since the last sync. The underlying stats structs reset to
+// zero when a parser/detector is rebuilt (model update, restore), in which
+// case the whole new value is the delta.
+uint64_t stat_delta(uint64_t current, uint64_t last) {
+  return current >= last ? current - last : current;
+}
+
 }  // namespace
 
 ParserTask::ParserTask(std::shared_ptr<ModelBroadcast> model, size_t partition,
-                       ParserTaskOptions options)
+                       ParserTaskOptions options, MetricsRegistry* metrics)
     : model_(std::move(model)),
       partition_(partition),
       options_(std::move(options)),
-      preprocessor_(make_preprocessor(options_.preprocessor)) {}
+      preprocessor_(make_preprocessor(options_.preprocessor)) {
+  MetricsRegistry& registry = registry_or_global(metrics);
+  MetricLabels labels{{"partition", std::to_string(partition)}};
+  logs_total_ = &registry.counter("loglens_parser_logs_total", labels,
+                                  "Log lines fed to the parser stage");
+  unparsed_total_ =
+      &registry.counter("loglens_parser_unparsed_total", labels,
+                        "Logs no pattern parses (stateless anomalies)");
+  index_hits_total_ = &registry.counter("loglens_parser_index_hits_total",
+                                        labels, "Signature-index hits");
+  index_misses_total_ =
+      &registry.counter("loglens_parser_index_misses_total", labels,
+                        "Signature-index misses (candidate groups built)");
+  match_attempts_total_ =
+      &registry.counter("loglens_parser_match_attempts_total", labels,
+                        "Full pattern match attempts");
+  stateless_anomalies_total_ =
+      &registry.counter("loglens_parser_stateless_anomalies_total", labels,
+                        "Anomalies emitted by the stateless stage");
+  parse_latency_us_ =
+      &registry.histogram("loglens_parser_parse_latency_us", labels,
+                          "Per-log parse latency (index lookup + matching)");
+}
 
 void ParserTask::refresh_model(size_t partition) {
   auto fresh = model_->value(partition);
   if (fresh == current_ && parser_ != nullptr) return;
+  if (parser_ != nullptr) sync_stats();  // flush before the stats reset
   current_ = std::move(fresh);
   parser_ = std::make_unique<LogParser>(current_->patterns,
                                         preprocessor_.classifier());
+  synced_ = {};
   id_fields_ = current_->sequence.id_fields;
   keywords_.reset();
   if (options_.check_keywords && current_->keyword_model.is_object() &&
@@ -38,6 +71,21 @@ void ParserTask::refresh_model(size_t partition) {
     }
   }
 }
+
+void ParserTask::sync_stats() {
+  if (parser_ == nullptr) return;
+  const ParserStats& stats = parser_->stats();
+  logs_total_->inc(stat_delta(stats.logs, synced_.logs));
+  unparsed_total_->inc(stat_delta(stats.unparsed, synced_.unparsed));
+  index_hits_total_->inc(stat_delta(stats.index_hits, synced_.index_hits));
+  index_misses_total_->inc(
+      stat_delta(stats.groups_built, synced_.groups_built));
+  match_attempts_total_->inc(
+      stat_delta(stats.match_attempts, synced_.match_attempts));
+  synced_ = stats;
+}
+
+void ParserTask::on_batch_end(TaskContext& /*ctx*/) { sync_stats(); }
 
 void ParserTask::process(const Message& message, TaskContext& ctx) {
   if (message.tag == kTagHeartbeat) {
@@ -55,11 +103,15 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
   if (keywords_ != nullptr) {
     if (auto alert = keywords_->check(message.value, message.source,
                                       tokenized.timestamp_ms)) {
+      stateless_anomalies_total_->inc();
       ctx.emit(anomaly_to_message(*alert));
     }
   }
 
-  ParseOutcome outcome = parser_->parse(tokenized);
+  ParseOutcome outcome = [&] {
+    ScopedTimer timer(parse_latency_us_);
+    return parser_->parse(tokenized);
+  }();
   if (!outcome.log.has_value()) {
     Anomaly a;
     a.type = AnomalyType::kUnparsedLog;
@@ -68,6 +120,7 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
     a.timestamp_ms = tokenized.timestamp_ms;
     a.source = message.source;
     a.logs = {message.value};
+    stateless_anomalies_total_->inc();
     ctx.emit(anomaly_to_message(a));
     return;
   }
@@ -79,6 +132,7 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
       current_->field_ranges.tracked_fields() > 0) {
     for (const auto& a :
          current_->field_ranges.check(parsed, message.source)) {
+      stateless_anomalies_total_->inc();
       ctx.emit(anomaly_to_message(a));
     }
   }
@@ -98,8 +152,33 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
 }
 
 DetectorTask::DetectorTask(std::shared_ptr<ModelBroadcast> model,
-                           size_t partition, DetectorOptions options)
-    : model_(std::move(model)), partition_(partition), options_(options) {}
+                           size_t partition, DetectorOptions options,
+                           MetricsRegistry* metrics)
+    : model_(std::move(model)), partition_(partition), options_(options) {
+  MetricsRegistry& registry = registry_or_global(metrics);
+  MetricLabels labels{{"partition", std::to_string(partition)}};
+  logs_total_ = &registry.counter("loglens_detector_logs_total", labels,
+                                  "Parsed logs fed to the detector stage");
+  tracked_total_ =
+      &registry.counter("loglens_detector_tracked_total", labels,
+                        "Logs that joined an open event (state transitions)");
+  heartbeats_total_ = &registry.counter("loglens_detector_heartbeats_total",
+                                        labels, "Heartbeat sweeps executed");
+  events_closed_total_ =
+      &registry.counter("loglens_detector_events_closed_total", labels,
+                        "Events closed by end-state arrival");
+  events_expired_total_ =
+      &registry.counter("loglens_detector_events_expired_total", labels,
+                        "Events expired by heartbeat sweeps");
+  evicted_total_ =
+      &registry.counter("loglens_detector_evicted_total", labels,
+                        "Open events evicted by the memory bound");
+  anomalies_total_ =
+      &registry.counter("loglens_detector_anomalies_total", labels,
+                        "Anomalies emitted by the stateful stage");
+  open_events_ = &registry.gauge("loglens_detector_open_events", labels,
+                                 "Open events held at the last batch end");
+}
 
 void DetectorTask::refresh_model(size_t partition) {
   auto fresh = model_->value(partition);
@@ -113,6 +192,23 @@ void DetectorTask::refresh_model(size_t partition) {
     detector_->update_model(current_->sequence);
   }
 }
+
+void DetectorTask::sync_stats() {
+  if (detector_ == nullptr) return;
+  const DetectorStats& stats = detector_->stats();
+  logs_total_->inc(stat_delta(stats.logs_seen, synced_.logs_seen));
+  tracked_total_->inc(stat_delta(stats.logs_tracked, synced_.logs_tracked));
+  heartbeats_total_->inc(stat_delta(stats.heartbeats, synced_.heartbeats));
+  events_closed_total_->inc(
+      stat_delta(stats.events_closed, synced_.events_closed));
+  events_expired_total_->inc(
+      stat_delta(stats.events_expired, synced_.events_expired));
+  evicted_total_->inc(stat_delta(stats.evicted, synced_.evicted));
+  synced_ = stats;
+  open_events_->set(static_cast<int64_t>(detector_->open_events()));
+}
+
+void DetectorTask::on_batch_end(TaskContext& /*ctx*/) { sync_stats(); }
 
 void DetectorTask::process(const Message& message, TaskContext& ctx) {
   if (message.tag == kTagAnomaly) {
@@ -130,6 +226,7 @@ void DetectorTask::process(const Message& message, TaskContext& ctx) {
     if (!parsed.ok()) return;  // malformed payloads are dropped
     anomalies = detector_->on_log(parsed.value(), message.source);
   }
+  anomalies_total_->inc(anomalies.size());
   for (const auto& a : anomalies) {
     ctx.emit(anomaly_to_message(a));
   }

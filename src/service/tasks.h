@@ -13,6 +13,7 @@
 #include "automata/detector.h"
 #include "detectors/field_range.h"
 #include "detectors/keyword.h"
+#include "metrics/metrics.h"
 #include "parser/log_parser.h"
 #include "service/model.h"
 #include "service/wire.h"
@@ -34,9 +35,11 @@ struct ParserTaskOptions {
 class ParserTask : public PartitionTask {
  public:
   ParserTask(std::shared_ptr<ModelBroadcast> model, size_t partition,
-             ParserTaskOptions options = {});
+             ParserTaskOptions options = {},
+             MetricsRegistry* metrics = nullptr);
 
   void process(const Message& message, TaskContext& ctx) override;
+  void on_batch_end(TaskContext& ctx) override;
 
   const ParserStats* parser_stats() const {
     return parser_ ? &parser_->stats() : nullptr;
@@ -44,6 +47,7 @@ class ParserTask : public PartitionTask {
 
  private:
   void refresh_model(size_t partition);
+  void sync_stats();
 
   std::shared_ptr<ModelBroadcast> model_;
   size_t partition_;
@@ -53,14 +57,27 @@ class ParserTask : public PartitionTask {
   std::unique_ptr<LogParser> parser_;
   IdFieldMap id_fields_;
   std::unique_ptr<KeywordDetector> keywords_;
+
+  // Metric handles + the last ParserStats values already pushed to them
+  // (the parser is rebuilt on model updates, which resets its stats).
+  Counter* logs_total_ = nullptr;
+  Counter* unparsed_total_ = nullptr;
+  Counter* index_hits_total_ = nullptr;
+  Counter* index_misses_total_ = nullptr;
+  Counter* match_attempts_total_ = nullptr;
+  Counter* stateless_anomalies_total_ = nullptr;
+  Histogram* parse_latency_us_ = nullptr;
+  ParserStats synced_;
 };
 
 class DetectorTask : public PartitionTask {
  public:
   DetectorTask(std::shared_ptr<ModelBroadcast> model, size_t partition,
-               DetectorOptions options = {});
+               DetectorOptions options = {},
+               MetricsRegistry* metrics = nullptr);
 
   void process(const Message& message, TaskContext& ctx) override;
+  void on_batch_end(TaskContext& ctx) override;
 
   size_t open_events() const {
     return detector_ ? detector_->open_events() : 0;
@@ -83,12 +100,23 @@ class DetectorTask : public PartitionTask {
 
  private:
   void refresh_model(size_t partition);
+  void sync_stats();
 
   std::shared_ptr<ModelBroadcast> model_;
   size_t partition_;
   DetectorOptions options_;
   std::shared_ptr<const CompositeModel> current_;
   std::unique_ptr<SequenceDetector> detector_;
+
+  Counter* logs_total_ = nullptr;
+  Counter* tracked_total_ = nullptr;
+  Counter* heartbeats_total_ = nullptr;
+  Counter* events_closed_total_ = nullptr;
+  Counter* events_expired_total_ = nullptr;
+  Counter* evicted_total_ = nullptr;
+  Counter* anomalies_total_ = nullptr;
+  Gauge* open_events_ = nullptr;
+  DetectorStats synced_;
 };
 
 }  // namespace loglens

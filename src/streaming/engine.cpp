@@ -1,8 +1,10 @@
 #include "streaming/engine.h"
 
+#include <algorithm>
 #include <chrono>
 
 #include "common/hash.h"
+#include "metrics/timer.h"
 
 namespace loglens {
 
@@ -18,6 +20,40 @@ StreamEngine::StreamEngine(EngineOptions options, const TaskFactory& factory)
   tasks_.reserve(options_.partitions);
   for (size_t p = 0; p < options_.partitions; ++p) {
     tasks_.push_back(factory(p));
+  }
+
+  // Resolve metric handles once; run_batch only touches atomics.
+  registry_ = &registry_or_global(options_.metrics);
+  MetricLabels stage{{"stage", options_.stage}};
+  batches_total_ = &registry_->counter("loglens_engine_batches_total", stage,
+                                       "Micro-batches executed");
+  records_total_ = &registry_->counter("loglens_engine_records_total", stage,
+                                       "Input messages routed to partitions");
+  outputs_total_ = &registry_->counter("loglens_engine_outputs_total", stage,
+                                       "Messages emitted by partition tasks");
+  control_ops_total_ =
+      &registry_->counter("loglens_engine_control_ops_total", stage,
+                          "Control ops (rebroadcasts etc.) applied");
+  batch_duration_us_ =
+      &registry_->histogram("loglens_engine_batch_duration_us", stage,
+                            "Wall time of the parallel section per batch");
+  batch_skew_us_ = &registry_->histogram(
+      "loglens_engine_batch_skew_us", stage,
+      "Per-batch max-min partition task time (load skew)");
+  barrier_wait_us_ = &registry_->histogram(
+      "loglens_engine_barrier_wait_us", stage,
+      "Time a finished partition waited at the end-of-batch barrier");
+  partition_records_.reserve(options_.partitions);
+  partition_task_us_.reserve(options_.partitions);
+  for (size_t p = 0; p < options_.partitions; ++p) {
+    MetricLabels labels{{"partition", std::to_string(p)},
+                        {"stage", options_.stage}};
+    partition_records_.push_back(
+        &registry_->counter("loglens_engine_partition_records_total", labels,
+                            "Messages processed per partition"));
+    partition_task_us_.push_back(
+        &registry_->histogram("loglens_engine_partition_task_us", labels,
+                              "Per-partition task time per batch"));
   }
 }
 
@@ -55,21 +91,29 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
     }
   }
 
-  // Parallel section with end-of-batch barrier.
+  // Parallel section with end-of-batch barrier. Each worker stamps its own
+  // slot of `task_us` (no contention); histograms are fed after the barrier.
   std::vector<TaskContext> contexts;
   contexts.reserve(n);
   for (size_t p = 0; p < n; ++p) {
     contexts.emplace_back(p, result.batch_number);
   }
+  std::vector<uint64_t> task_us(n, 0);
+  const uint64_t span_start = steady_now_us();
   auto start = std::chrono::steady_clock::now();
   for (size_t p = 0; p < n; ++p) {
-    pool_.submit([this, p, &per_partition, &contexts] {
+    pool_.submit([this, p, &per_partition, &contexts, &task_us] {
+      auto task_start = std::chrono::steady_clock::now();
       TaskContext& ctx = contexts[p];
       tasks_[p]->on_batch_start(ctx);
       for (const Message& m : per_partition[p]) {
         tasks_[p]->process(m, ctx);
       }
       tasks_[p]->on_batch_end(ctx);
+      task_us[p] = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - task_start)
+              .count());
     });
   }
   pool_.wait_idle();
@@ -77,8 +121,38 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
   result.elapsed_ms =
       std::chrono::duration<double, std::milli>(end - start).count();
 
-  for (auto& ctx : contexts) {
-    for (auto& m : ctx.outputs()) result.outputs.push_back(std::move(m));
+  const auto elapsed_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+          .count());
+  batches_total_->inc();
+  records_total_->inc(result.input_records);
+  control_ops_total_->inc(result.control_ops_applied);
+  batch_duration_us_->record(elapsed_us);
+  uint64_t min_task = UINT64_MAX, max_task = 0;
+  for (size_t p = 0; p < n; ++p) {
+    partition_records_[p]->inc(per_partition[p].size());
+    partition_task_us_[p]->record(task_us[p]);
+    barrier_wait_us_->record(elapsed_us > task_us[p] ? elapsed_us - task_us[p]
+                                                     : 0);
+    min_task = std::min(min_task, task_us[p]);
+    max_task = std::max(max_task, task_us[p]);
+  }
+  batch_skew_us_->record(max_task - min_task);
+  registry_->record_span(options_.stage + ".batch", span_start, elapsed_us);
+
+  size_t total_outputs = 0;
+  for (auto& ctx : contexts) total_outputs += ctx.outputs().size();
+  outputs_total_->inc(total_outputs);
+  if (n == 1) {
+    result.outputs = contexts.front().take_outputs();
+  } else {
+    result.outputs.reserve(total_outputs);
+    for (auto& ctx : contexts) {
+      auto outs = ctx.take_outputs();
+      result.outputs.insert(result.outputs.end(),
+                            std::make_move_iterator(outs.begin()),
+                            std::make_move_iterator(outs.end()));
+    }
   }
   return result;
 }

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "broker/message.h"
+#include "metrics/metrics.h"
 #include "streaming/broadcast.h"
 #include "streaming/thread_pool.h"
 
@@ -43,6 +44,10 @@ class TaskContext {
   void emit(Message m) { outputs_.push_back(std::move(m)); }
 
   std::vector<Message>& outputs() { return outputs_; }
+
+  // Steals the outputs (the engine collects them once per batch; moving the
+  // whole vector avoids re-growing the result buffer element by element).
+  std::vector<Message> take_outputs() { return std::move(outputs_); }
 
  private:
   size_t partition_;
@@ -68,6 +73,10 @@ struct EngineOptions {
   size_t workers = 2;
   // Default: hash of the message key (empty key -> partition 0).
   Partitioner partitioner;
+  // Observability: which registry to report into (nullptr -> the global
+  // one) and the `stage` label distinguishing this engine's metrics.
+  MetricsRegistry* metrics = nullptr;
+  std::string stage = "engine";
 };
 
 struct BatchResult {
@@ -105,6 +114,18 @@ class StreamEngine {
   EngineOptions options_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<PartitionTask>> tasks_;
+
+  // Metric handles, resolved once at construction (see engine.cpp).
+  MetricsRegistry* registry_ = nullptr;
+  Counter* batches_total_ = nullptr;
+  Counter* records_total_ = nullptr;
+  Counter* outputs_total_ = nullptr;
+  Counter* control_ops_total_ = nullptr;
+  Histogram* batch_duration_us_ = nullptr;
+  Histogram* batch_skew_us_ = nullptr;
+  Histogram* barrier_wait_us_ = nullptr;
+  std::vector<Counter*> partition_records_;
+  std::vector<Histogram*> partition_task_us_;
 
   std::mutex control_mu_;
   std::vector<std::function<void()>> pending_controls_;

@@ -6,7 +6,19 @@ JobRunner::JobRunner(Broker& broker, StreamEngine& engine, JobOptions options)
     : broker_(broker),
       engine_(engine),
       options_(std::move(options)),
-      consumer_(broker, options_.input_topic) {}
+      consumer_(broker, options_.input_topic) {
+  MetricsRegistry& registry = registry_or_global(options_.metrics);
+  MetricLabels labels{{"job", options_.name}};
+  batches_total_ = &registry.counter("loglens_job_batches_total", labels,
+                                     "Micro-batches pulled from the broker");
+  records_total_ = &registry.counter("loglens_job_records_total", labels,
+                                     "Messages consumed from the input topic");
+  reports_total_ = &registry.counter("loglens_job_metrics_reports_total",
+                                     labels, "Health reports emitted");
+  input_lag_ = &registry.gauge(
+      "loglens_job_input_lag", labels,
+      "Messages buffered on the input topic behind this job");
+}
 
 JobRunner::~JobRunner() { stop(); }
 
@@ -20,14 +32,38 @@ void JobRunner::stop() {
   if (driver_.joinable()) driver_.join();
 }
 
+Json JobRunner::metrics_report() const {
+  JsonObject obj;
+  obj.emplace_back("job", Json(options_.name));
+  obj.emplace_back("batches", Json(static_cast<int64_t>(batches_.load())));
+  obj.emplace_back("records_in",
+                   Json(static_cast<int64_t>(records_in_.load())));
+  obj.emplace_back("input_lag", Json(static_cast<int64_t>(consumer_.lag())));
+  obj.emplace_back("engine_batches",
+                   Json(static_cast<int64_t>(engine_.batches_run())));
+  return Json(std::move(obj));
+}
+
 void JobRunner::process_batch(std::vector<Message> batch) {
   records_in_.fetch_add(batch.size());
+  records_total_->inc(batch.size());
   BatchResult result = engine_.run_batch(std::move(batch));
-  batches_.fetch_add(1);
+  uint64_t batches = batches_.fetch_add(1) + 1;
+  batches_total_->inc();
+  input_lag_->set(static_cast<int64_t>(consumer_.lag()));
   if (!options_.output_topic.empty()) {
     for (auto& m : result.outputs) {
       broker_.produce(options_.output_topic, std::move(m));
     }
+  }
+  if (options_.metrics_report_every > 0 &&
+      batches % options_.metrics_report_every == 0) {
+    Message report;
+    report.tag = kTagMetrics;
+    report.source = options_.name;
+    report.value = metrics_report().dump();
+    broker_.produce(options_.metrics_topic, std::move(report));
+    reports_total_->inc();
   }
 }
 

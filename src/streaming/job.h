@@ -14,6 +14,8 @@
 #include <thread>
 
 #include "broker/broker.h"
+#include "json/json.h"
+#include "metrics/metrics.h"
 #include "streaming/engine.h"
 
 namespace loglens {
@@ -23,6 +25,13 @@ struct JobOptions {
   std::string output_topic;  // empty: outputs are dropped
   size_t batch_size = 1024;
   int64_t poll_timeout_ms = 20;
+  // Observability. `name` labels this job's metrics; when
+  // `metrics_report_every` > 0, a kTagMetrics message with a JSON health
+  // report is produced to `metrics_topic` every N batches.
+  std::string name = "job";
+  size_t metrics_report_every = 0;
+  std::string metrics_topic = "metrics";
+  MetricsRegistry* metrics = nullptr;  // nullptr -> the global registry
 };
 
 class JobRunner {
@@ -44,6 +53,10 @@ class JobRunner {
   uint64_t batches() const { return batches_.load(); }
   uint64_t records_in() const { return records_in_.load(); }
 
+  // The JSON health report emitted every `metrics_report_every` batches
+  // (also handy for tests and ad-hoc inspection).
+  Json metrics_report() const;
+
  private:
   void loop();
   void process_batch(std::vector<Message> batch);
@@ -56,6 +69,11 @@ class JobRunner {
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> records_in_{0};
+
+  Counter* batches_total_ = nullptr;
+  Counter* records_total_ = nullptr;
+  Counter* reports_total_ = nullptr;
+  Gauge* input_lag_ = nullptr;
 };
 
 }  // namespace loglens

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus a sanitizer pass:
+#   1. regular build + full ctest (the suite every PR must keep green)
+#   2. AddressSanitizer build + ctest (catches lifetime/race-adjacent bugs
+#      the regular build hides)
+#
+# Usage: tools/check.sh [--skip-asan]
+# Set LOGLENS_SANITIZE=thread in the environment to run TSan instead of ASan
+# for the second pass.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+sanitizer="${LOGLENS_SANITIZE:-address}"
+
+echo "== tier-1: regular build + ctest =="
+cmake -B "$repo/build" -S "$repo" >/dev/null
+cmake --build "$repo/build" -j "$jobs"
+ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+
+if [[ "${1:-}" == "--skip-asan" ]]; then
+  echo "== sanitizer pass skipped =="
+  exit 0
+fi
+
+echo "== sanitizer pass: ${sanitizer} build + ctest =="
+cmake -B "$repo/build-${sanitizer}" -S "$repo" \
+      -DLOGLENS_SANITIZE="${sanitizer}" >/dev/null
+cmake --build "$repo/build-${sanitizer}" -j "$jobs"
+ctest --test-dir "$repo/build-${sanitizer}" --output-on-failure -j "$jobs"
+
+echo "== all checks passed =="

@@ -40,4 +40,27 @@ string(FIND "${out}" "clientIp" pos)
 if(pos EQUAL -1)
   message(FATAL_ERROR "renamed field missing from parse output:\n${out}")
 endif()
+# Dashboard prints a Prometheus metrics page with live pipeline counters.
+execute_process(COMMAND ${LOGLENS} dashboard ${WORKDIR}/model.json ${WORKDIR}/prod.log
+                OUTPUT_VARIABLE out ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "loglens dashboard -> rc=${rc}\n${out}")
+endif()
+foreach(metric loglens_engine_batches_total loglens_parser_logs_total
+               loglens_detector_logs_total loglens_broker_messages_produced_total)
+  string(REGEX MATCH "${metric}[^\n]* [1-9][0-9]*" hit "${out}")
+  if("${hit}" STREQUAL "")
+    message(FATAL_ERROR "metric ${metric} missing or zero in dashboard output:\n${out}")
+  endif()
+endforeach()
+# And the machine-readable snapshot parses as non-empty JSON.
+execute_process(COMMAND ${LOGLENS} --json dashboard ${WORKDIR}/model.json ${WORKDIR}/prod.log
+                OUTPUT_VARIABLE out ERROR_QUIET RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "loglens --json dashboard -> rc=${rc}")
+endif()
+string(FIND "${out}" "\"histograms\"" pos)
+if(pos EQUAL -1)
+  message(FATAL_ERROR "JSON metrics snapshot missing histograms:\n${out}")
+endif()
 message(STATUS "cli round trip ok")

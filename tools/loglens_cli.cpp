@@ -27,6 +27,12 @@
 //   loglens show <model.json>
 //       Print a model summary: patterns, automata, extension detectors.
 //
+//   loglens dashboard <model.json> <logs.log>
+//       Run the full pipeline over a log file, then print the status
+//       dashboard and the Prometheus-style metrics page (engine, parser,
+//       detector, broker, job counters/latencies). With --json, print the
+//       machine-readable metrics snapshot instead of the Prometheus text.
+//
 //   loglens demo
 //       Self-contained demonstration on a generated dataset.
 //
@@ -53,18 +59,21 @@ struct CliOptions {
   double max_dist = 0.3;
   bool ranges = false;
   bool keywords = false;
+  bool json = false;
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: loglens [--max-dist D] [--ranges] [--keywords] "
-               "<discover|train|parse|detect|demo> [args...]\n"
-               "  discover <training.log>\n"
-               "  train    <training.log> <model.json>\n"
-               "  parse    <model.json> <logs.log>\n"
-               "  detect   <model.json> <logs.log>\n"
-               "  show     <model.json>\n"
-               "  edit     <model.json> <op> [args...]\n"
+               "[--json] <discover|train|parse|detect|dashboard|demo> "
+               "[args...]\n"
+               "  discover  <training.log>\n"
+               "  train     <training.log> <model.json>\n"
+               "  parse     <model.json> <logs.log>\n"
+               "  detect    <model.json> <logs.log>\n"
+               "  dashboard <model.json> <logs.log>\n"
+               "  show      <model.json>\n"
+               "  edit      <model.json> <op> [args...]\n"
                "  demo\n");
   return 2;
 }
@@ -202,6 +211,39 @@ int cmd_detect(const CliOptions& cli, const std::string& model_path,
   return service.anomalies().count() == 0 ? 0 : 3;
 }
 
+int cmd_dashboard(const CliOptions& cli, const std::string& model_path,
+                  const std::string& logs_path) {
+  auto model = read_model(model_path);
+  if (!model.ok()) {
+    std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+    return 1;
+  }
+  auto lines = read_lines(logs_path);
+  if (!lines.ok()) {
+    std::fprintf(stderr, "error: %s\n", lines.status().message().c_str());
+    return 1;
+  }
+  ServiceOptions opts;
+  opts.build = build_options(cli);
+  LogLensService service(opts);
+  service.models().deploy(service.model_name(), model.value());
+  Agent agent = service.make_agent(logs_path);
+  agent.replay(lines.value());
+  service.drain();
+  service.heartbeat_advance(24L * 3600 * 1000);
+  service.drain();
+
+  Dashboard dashboard(service.anomalies(), service.model_store(),
+                      service.log_store());
+  if (cli.json) {
+    std::printf("%s\n", dashboard.metrics_snapshot().dump().c_str());
+  } else {
+    std::printf("%s\n%s", dashboard.render().c_str(),
+                dashboard.render_metrics().c_str());
+  }
+  return 0;
+}
+
 int cmd_show(const std::string& model_path) {
   auto model = read_model(model_path);
   if (!model.ok()) {
@@ -332,6 +374,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--keywords") == 0) {
       cli.keywords = true;
       ++arg;
+    } else if (std::strcmp(argv[arg], "--json") == 0) {
+      cli.json = true;
+      ++arg;
     } else if (std::strcmp(argv[arg], "--max-dist") == 0 && arg + 1 < argc) {
       cli.max_dist = std::atof(argv[arg + 1]);
       arg += 2;
@@ -347,6 +392,9 @@ int main(int argc, char** argv) {
   if (cmd == "parse" && need(2)) return cmd_parse(cli, argv[arg], argv[arg + 1]);
   if (cmd == "detect" && need(2)) {
     return cmd_detect(cli, argv[arg], argv[arg + 1]);
+  }
+  if (cmd == "dashboard" && need(2)) {
+    return cmd_dashboard(cli, argv[arg], argv[arg + 1]);
   }
   if (cmd == "show" && need(1)) return cmd_show(argv[arg]);
   if (cmd == "edit" && need(2)) return cmd_edit(argv[arg], argc, argv, arg + 1);
