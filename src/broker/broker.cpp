@@ -1,8 +1,21 @@
 #include "broker/broker.h"
 
 #include <chrono>
+#include <thread>
 
 namespace loglens {
+
+namespace {
+// Produce-side retry budget for injected (or, in a networked broker,
+// transient) append failures. Capped exponential backoff: 1, 2, 4, 8 ms.
+constexpr int kProduceMaxAttempts = 5;
+constexpr int64_t kProduceBackoffCapMs = 8;
+
+void produce_backoff(int attempt) {
+  int64_t ms = std::min<int64_t>(kProduceBackoffCapMs, 1LL << (attempt - 1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+}  // namespace
 
 Broker::TopicData& Broker::topic_data_locked(const std::string& topic,
                                              size_t partitions) {
@@ -42,6 +55,24 @@ Status Broker::create_topic(const std::string& topic, size_t partitions) {
 
 Status Broker::produce(const std::string& topic, Message message,
                        std::optional<size_t> partition) {
+  if (faults_ != nullptr) {
+    // Client-style producer retries: absorb injected append failures here so
+    // every producer call site inherits resilience. The loop runs before the
+    // broker lock (the backoff sleep must not serialize other producers).
+    for (int attempt = 1; faults_->check(kFaultSiteProduce) ==
+                          FaultAction::kThrow;
+         ++attempt) {
+      if (attempt >= kProduceMaxAttempts) {
+        return Status::Error("produce to '" + topic +
+                             "' failed after retries");
+      }
+      metrics_
+          ->counter("loglens_broker_produce_retries_total",
+                    {{"topic", topic}}, "Produce attempts that were retried")
+          .inc();
+      produce_backoff(attempt);
+    }
+  }
   std::lock_guard lock(mu_);
   TopicData& data = topic_data_locked(topic, 1);
   auto& parts = data.partitions;
@@ -54,14 +85,31 @@ Status Broker::produce(const std::string& topic, Message message,
   } else {
     p = message.key.empty() ? 0 : fnv1a(message.key) % parts.size();
   }
+  if (message.seq < 0) {
+    message.seq = static_cast<int64_t>(parts[p].size());
+  }
   parts[p].push_back(std::move(message));
   data.produced->inc();
   cv_.notify_all();
   return Status::Ok();
 }
 
+bool Broker::fetch_fault() const {
+  if (faults_ == nullptr) return false;
+  // kDelay already slept inside check() (a stalled broker); kThrow maps to
+  // a transient empty result the caller's next poll retries.
+  return faults_->check(kFaultSiteFetch) == FaultAction::kThrow;
+}
+
 std::vector<Message> Broker::fetch(const std::string& topic, size_t partition,
                                    uint64_t offset, size_t max) const {
+  if (fetch_fault()) {
+    metrics_
+        ->counter("loglens_broker_fetch_errors_total", {{"topic", topic}},
+                  "Fetches failed transiently (injected)")
+        .inc();
+    return {};
+  }
   std::lock_guard lock(mu_);
   std::vector<Message> out;
   auto it = topics_.find(topic);
@@ -80,6 +128,13 @@ std::vector<Message> Broker::fetch_blocking(const std::string& topic,
                                             size_t partition, uint64_t offset,
                                             size_t max,
                                             int64_t timeout_ms) const {
+  if (fetch_fault()) {
+    metrics_
+        ->counter("loglens_broker_fetch_errors_total", {{"topic", topic}},
+                  "Fetches failed transiently (injected)")
+        .inc();
+    return {};
+  }
   std::unique_lock lock(mu_);
   auto deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(timeout_ms);
@@ -191,6 +246,11 @@ std::vector<Message> Consumer::poll_blocking(size_t max, int64_t timeout_ms) {
   (void)broker_.fetch_blocking(topic_, 0, offsets_.empty() ? 0 : offsets_[0],
                                1, timeout_ms);
   return poll(max);
+}
+
+void Consumer::seek(const std::vector<uint64_t>& offsets) {
+  if (offsets_.size() < offsets.size()) offsets_.resize(offsets.size(), 0);
+  for (size_t p = 0; p < offsets.size(); ++p) offsets_[p] = offsets[p];
 }
 
 bool Consumer::caught_up() const {

@@ -20,6 +20,7 @@
 #include "broker/message.h"
 #include "common/hash.h"
 #include "common/status.h"
+#include "faults/fault_injector.h"
 #include "metrics/metrics.h"
 
 namespace loglens {
@@ -27,8 +28,11 @@ namespace loglens {
 class Broker {
  public:
   // `metrics`: where produce/fetch rates are reported (nullptr -> global).
-  explicit Broker(MetricsRegistry* metrics = nullptr)
-      : metrics_(&registry_or_global(metrics)) {}
+  // `faults`: optional injector consulted at kFaultSiteProduce /
+  // kFaultSiteFetch (nullptr -> no injection, no overhead).
+  explicit Broker(MetricsRegistry* metrics = nullptr,
+                  FaultInjector* faults = nullptr)
+      : metrics_(&registry_or_global(metrics)), faults_(faults) {}
   Broker(const Broker&) = delete;
   Broker& operator=(const Broker&) = delete;
 
@@ -38,12 +42,22 @@ class Broker {
 
   // Appends to the partition chosen by hash(key) (or to `partition` when
   // explicitly given). Creating on demand with 1 partition keeps simple
-  // pipelines simple.
+  // pipelines simple. A message arriving without a seq is stamped with its
+  // partition append offset; a message that already carries one keeps it
+  // (that is how a record's identity survives stage re-publication).
+  //
+  // Injected produce faults are absorbed here with a capped-backoff retry
+  // loop — like a Kafka client's producer retries — so the dozens of
+  // producer call sites stay oblivious. Only an exhausted retry budget
+  // surfaces as an error Status.
   Status produce(const std::string& topic, Message message,
                  std::optional<size_t> partition = std::nullopt);
 
   // Copies up to `max` messages from [offset, ...) of a partition. Returns
-  // fewer (possibly zero) when the partition is short.
+  // fewer (possibly zero) when the partition is short. Injected fetch faults
+  // surface as a delay (broker stall) or an empty result (transient fetch
+  // error; offsets are caller-held, so the caller's next poll retries) —
+  // never an exception.
   std::vector<Message> fetch(const std::string& topic, size_t partition,
                              uint64_t offset, size_t max) const;
 
@@ -66,8 +80,11 @@ class Broker {
   };
 
   TopicData& topic_data_locked(const std::string& topic, size_t partitions);
+  // Consults the fetch fault site; true when this fetch should fail empty.
+  bool fetch_fault() const;
 
   MetricsRegistry* metrics_;
+  FaultInjector* faults_ = nullptr;
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   std::map<std::string, TopicData> topics_;
@@ -118,6 +135,14 @@ class Consumer {
   bool caught_up() const;
   // Messages currently buffered past this consumer's offsets (queue depth).
   uint64_t lag() const;
+
+  // Offset checkpointing: the per-partition next-read offsets, and a seek
+  // that rewinds (or forwards) them. A consumer seeked to offsets saved
+  // before a crash redelivers everything after that point, in order —
+  // at-least-once replay (see docs/FAULTS.md). A short vector leaves the
+  // remaining partitions untouched.
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  void seek(const std::vector<uint64_t>& offsets);
 
  private:
   Broker& broker_;

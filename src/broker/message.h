@@ -20,8 +20,21 @@ struct Message {
   int64_t timestamp_ms = -1;  // log time, not wall time
   std::string tag;        // kTagData / kTagHeartbeat / kTagControl
   std::string source;     // originating log source
+  // Delivery identity, not content: a per-source-monotonic sequence number.
+  // The broker stamps it (with the partition append offset) on the first
+  // produce of a message that carries none; pipeline stages that re-emit a
+  // message derive the child's seq from the parent's, so one logical record
+  // keeps one identity across stages. The detector task's at-least-once
+  // dedup guard compares these (see docs/FAULTS.md). -1 = unassigned.
+  int64_t seq = -1;
 
-  friend bool operator==(const Message&, const Message&) = default;
+  // Equality is content equality; seq is delivery metadata (a redelivered
+  // copy of a message is still the same message).
+  friend bool operator==(const Message& a, const Message& b) {
+    return a.key == b.key && a.value == b.value &&
+           a.timestamp_ms == b.timestamp_ms && a.tag == b.tag &&
+           a.source == b.source;
+  }
 };
 
 }  // namespace loglens

@@ -1,0 +1,98 @@
+#include "faults/fault_injector.h"
+
+#include <chrono>
+#include <thread>
+
+#include "common/hash.h"
+
+namespace loglens {
+
+const char* fault_action_name(FaultAction action) {
+  switch (action) {
+    case FaultAction::kNone:
+      return "none";
+    case FaultAction::kThrow:
+      return "throw";
+    case FaultAction::kDelay:
+      return "delay";
+    case FaultAction::kTornWrite:
+      return "torn_write";
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(uint64_t seed, MetricsRegistry* metrics)
+    : seed_(seed), metrics_(&registry_or_global(metrics)) {}
+
+FaultInjector::Site& FaultInjector::site_locked(const std::string& name) {
+  auto it = sites_.find(name);
+  if (it == sites_.end()) {
+    // Each site draws from its own stream, seeded from (seed, site name), so
+    // the consult rate at one site never shifts another site's decisions.
+    it = sites_.emplace(name, Site(seed_ ^ fnv1a(name))).first;
+  }
+  return it->second;
+}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard lock(mu_);
+  Site& s = site_locked(site);
+  s.spec = spec;
+  s.armed = true;
+}
+
+void FaultInjector::disarm(const std::string& site) {
+  std::lock_guard lock(mu_);
+  site_locked(site).armed = false;
+}
+
+void FaultInjector::disarm_all() {
+  std::lock_guard lock(mu_);
+  for (auto& [_, s] : sites_) s.armed = false;
+}
+
+FaultAction FaultInjector::check(const std::string& site) {
+  FaultAction fired = FaultAction::kNone;
+  int64_t delay_ms = 0;
+  {
+    std::lock_guard lock(mu_);
+    Site& s = site_locked(site);
+    if (!s.armed || s.triggered >= s.spec.max_triggers) {
+      return FaultAction::kNone;
+    }
+    if (!s.rng.chance(s.spec.probability)) return FaultAction::kNone;
+    ++s.triggered;
+    fired = s.spec.action;
+    delay_ms = s.spec.delay_ms;
+  }
+  metrics_
+      ->counter("loglens_faults_injected_total",
+                {{"site", site}, {"action", fault_action_name(fired)}},
+                "Faults fired by the injector")
+      .inc();
+  if (fired == FaultAction::kDelay && delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  return fired;
+}
+
+void FaultInjector::hit(const std::string& site) {
+  if (check(site) == FaultAction::kThrow) {
+    throw FaultError("injected fault at " + site);
+  }
+}
+
+uint64_t FaultInjector::triggered(const std::string& site) const {
+  std::lock_guard lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.triggered;
+}
+
+uint64_t FaultInjector::total_triggered() const {
+  std::lock_guard lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [_, s] : sites_) total += s.triggered;
+  return total;
+}
+
+}  // namespace loglens

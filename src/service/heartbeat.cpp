@@ -23,8 +23,17 @@ HeartbeatController::HeartbeatController(Broker& broker,
 
 void HeartbeatController::observe_new_logs() {
   constexpr double kAlpha = 0.2;  // EMA weight for gap estimation
-  for (auto batch = consumer_.poll(4096); !batch.empty();
-       batch = consumer_.poll(4096)) {
+  // Under fault injection an empty poll can be an injected fetch failure
+  // rather than an empty topic, so gate on consumer lag (with a bounded
+  // retry budget — the next tick resumes from the same offsets anyway).
+  // Stopping early here is what silently suppresses heartbeats: a source
+  // whose clock is never observed is skipped by emit_all().
+  for (int empty_polls = 0; consumer_.lag() > 0 && empty_polls < 100;) {
+    auto batch = consumer_.poll(4096);
+    if (batch.empty()) {
+      ++empty_polls;
+      continue;
+    }
     for (const auto& m : batch) {
       if (m.tag != kTagData || m.source.empty() || m.timestamp_ms < 0) {
         continue;

@@ -32,6 +32,11 @@ class LogManager {
   // Drains the ingest topic completely (repeated pumps).
   size_t drain();
 
+  // Logs still buffered on the ingest topic. Under fault injection an empty
+  // poll inside drain() can be an injected fetch failure, so callers chasing
+  // a fixed point must gate on this rather than on drain() returning 0.
+  uint64_t input_lag() const { return consumer_.lag(); }
+
   const std::set<std::string>& sources() const { return sources_; }
   LogStore& log_store() { return store_; }
   uint64_t forwarded() const { return forwarded_; }

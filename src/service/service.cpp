@@ -1,5 +1,7 @@
 #include "service/service.h"
 
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 
 #include "common/hash.h"
@@ -8,7 +10,7 @@ namespace loglens {
 
 LogLensService::LogLensService(ServiceOptions options)
     : options_(std::move(options)),
-      broker_(options_.metrics),
+      broker_(options_.metrics, options_.faults),
       log_manager_(broker_, LogManagerOptions{"ingest", "logs"}),
       heartbeat_(broker_, HeartbeatOptions{"parsed", "parsed"},
                  options_.metrics),
@@ -18,6 +20,12 @@ LogLensService::LogLensService(ServiceOptions options)
   broker_.create_topic("parsed", 1);
   broker_.create_topic("anomalies", 1);
   broker_.create_topic("metrics", 1);
+  if (!options_.dead_letter_topic.empty()) {
+    broker_.create_topic(options_.dead_letter_topic, 1);
+  }
+  recoveries_total_ = &registry_or_global(options_.metrics)
+                           .counter("loglens_service_recoveries_total", {},
+                                    "Successful checkpoint recoveries");
 
   parser_broadcast_ = std::make_shared<ModelBroadcast>(
       1, CompositeModel{}, options_.parser_partitions);
@@ -29,6 +37,8 @@ LogLensService::LogLensService(ServiceOptions options)
   parser_opts.workers = options_.workers;
   parser_opts.metrics = options_.metrics;
   parser_opts.stage = "parser";
+  parser_opts.faults = options_.faults;
+  parser_opts.task_max_attempts = options_.task_max_attempts;
   // Stateless stage: partition by source so one source's timestamp-format
   // cache stays hot on one partition.
   parser_opts.partitioner = [](const Message& m, size_t n) {
@@ -45,6 +55,8 @@ LogLensService::LogLensService(ServiceOptions options)
   detector_opts.workers = options_.workers;
   detector_opts.metrics = options_.metrics;
   detector_opts.stage = "detector";
+  detector_opts.faults = options_.faults;
+  detector_opts.task_max_attempts = options_.task_max_attempts;
   // Stateful stage: default key-hash partitioner; the parser stage keys
   // parsed logs by event id, so an event's logs share a partition.
   detector_engine_ = std::make_unique<StreamEngine>(
@@ -60,6 +72,7 @@ LogLensService::LogLensService(ServiceOptions options)
   parser_job.name = "parser";
   parser_job.metrics_report_every = options_.metrics_report_every;
   parser_job.metrics = options_.metrics;
+  parser_job.dead_letter_topic = options_.dead_letter_topic;
   parser_runner_ =
       std::make_unique<JobRunner>(broker_, *parser_engine_, parser_job);
   JobOptions detector_job = parser_job;
@@ -94,18 +107,38 @@ Agent LogLensService::make_agent(const std::string& source) {
 }
 
 void LogLensService::start() {
-  if (running_) return;
-  running_ = true;
+  if (running_.exchange(true)) return;
   parser_runner_->start();
   detector_runner_->start();
+  if (options_.supervise && !options_.checkpoint_path.empty() &&
+      !supervising_.exchange(true)) {
+    supervisor_ = std::thread([this] { supervisor_loop(); });
+  }
 }
 
 void LogLensService::stop() {
-  if (!running_) return;
+  // Supervisor first: it restarts runners on failure, so it must be gone
+  // before the runners are told to stay down.
+  if (supervising_.exchange(false) && supervisor_.joinable()) {
+    supervisor_.join();
+  }
+  if (!running_.exchange(false)) return;
   parser_runner_->stop();
   detector_runner_->stop();
-  running_ = false;
   drain();
+}
+
+void LogLensService::supervisor_loop() {
+  while (supervising_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.supervise_interval_ms));
+    if (!supervising_.load()) return;
+    if (parser_runner_->failed() || detector_runner_->failed()) {
+      // Failed recovery (e.g. the checkpoint file is being faulted too) is
+      // retried on the next tick.
+      (void)recover();
+    }
+  }
 }
 
 void LogLensService::sink_drain() {
@@ -119,15 +152,32 @@ void LogLensService::sink_drain() {
 }
 
 void LogLensService::drain() {
-  // One pass can enqueue work for the next stage, so loop to a fixed point.
-  for (int round = 0; round < 8; ++round) {
+  // One pass can enqueue work for the next stage, so loop to a fixed point:
+  // nothing moved AND nothing is still buffered. The lag checks matter under
+  // fault injection, where an empty poll can be an injected fetch fault
+  // rather than an empty topic. A round that parks a runner recovers in
+  // place (checkpoint configured) and keeps draining — the rewound offsets
+  // are reprocessed by later rounds.
+  for (int round = 0; round < 32; ++round) {
     size_t moved = log_manager_.drain();
-    if (!running_) {
+    bool recovered = false;
+    bool idle = true;
+    if (!running_.load()) {
       parser_runner_->drain();
       detector_runner_->drain();
+      if (parser_runner_->failed() || detector_runner_->failed()) {
+        if (options_.checkpoint_path.empty()) break;  // leave failure visible
+        recovered = recover().ok();
+        if (!recovered) break;  // cannot repair; don't spin
+      }
+      idle = parser_runner_->input_lag() == 0 &&
+             detector_runner_->input_lag() == 0;
     }
     sink_drain();
-    if (moved == 0 && round > 0) break;
+    if (moved == 0 && !recovered && idle && log_manager_.input_lag() == 0 &&
+        anomaly_sink_.caught_up() && round > 0) {
+      break;
+    }
   }
 }
 
@@ -147,13 +197,55 @@ Status LogLensService::checkpoint(const std::string& path) {
     }
   }
   obj.emplace_back("open_events", Json(std::move(events)));
-  std::ofstream out(path);
-  if (!out) return Status::Error("cannot write checkpoint: " + path);
-  out << Json(std::move(obj)).dump() << "\n";
-  return out ? Status::Ok() : Status::Error("checkpoint write failed");
+  // Broker positions at checkpoint time; recover() rewinds to these. Only
+  // meaningful on a quiesced service (header contract), where they form a
+  // consistent cut with the detector state above.
+  auto offsets_json = [](const std::vector<uint64_t>& offsets) {
+    JsonArray arr;
+    for (uint64_t o : offsets) arr.push_back(Json(static_cast<int64_t>(o)));
+    return Json(std::move(arr));
+  };
+  JsonObject offsets;
+  offsets.emplace_back("parser",
+                       offsets_json(parser_runner_->consumer_offsets()));
+  offsets.emplace_back("detector",
+                       offsets_json(detector_runner_->consumer_offsets()));
+  offsets.emplace_back("anomaly_sink", offsets_json(anomaly_sink_.offsets()));
+  obj.emplace_back("offsets", Json(std::move(offsets)));
+
+  std::string payload = Json(std::move(obj)).dump() + "\n";
+  const std::string tmp = path + ".tmp";
+  FaultAction fault = options_.faults != nullptr
+                          ? options_.faults->check(kFaultSiteCheckpointWrite)
+                          : FaultAction::kNone;
+  if (fault == FaultAction::kThrow) {
+    return Status::Error("checkpoint write failed (injected)");
+  }
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return Status::Error("cannot write checkpoint: " + tmp);
+    if (fault == FaultAction::kTornWrite) {
+      // Simulated crash mid-write: half the payload, no rename. The
+      // previous checkpoint at `path` stays intact — this is exactly what
+      // the tmp+rename protocol exists for.
+      out << payload.substr(0, payload.size() / 2);
+      return Status::Error("checkpoint write torn (injected)");
+    }
+    out << payload;
+    if (!out) return Status::Error("checkpoint write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Error("cannot publish checkpoint: " + path);
+  }
+  return Status::Ok();
 }
 
 Status LogLensService::restore(const std::string& path) {
+  return restore_internal(path, /*in_place=*/false);
+}
+
+Status LogLensService::restore_internal(const std::string& path,
+                                        bool in_place) {
   std::ifstream in(path);
   if (!in) return Status::Error("cannot open checkpoint: " + path);
   std::string text((std::istreambuf_iterator<char>(in)),
@@ -167,7 +259,18 @@ Status LogLensService::restore(const std::string& path) {
   auto model = CompositeModel::from_json(*model_blob);
   if (!model.ok()) return model.status();
   model_manager_->deploy(options_.model_name, model.value());
-  if (!running_) drain();  // land the rebroadcast
+  if (!running_.load()) {
+    // Land the rebroadcast without consuming queued input: control ops are
+    // applied at the head of a batch, so empty batches suffice (a plain
+    // drain() here would replay input before the offsets below are rewound).
+    try {
+      parser_engine_->run_batch({});
+      detector_engine_->run_batch({});
+    } catch (const std::exception& e) {
+      return Status::Error(std::string("restore rebroadcast failed: ") +
+                           e.what());
+    }
+  }
 
   // Re-shard the open events over this service's detector partitions using
   // the same key hash the engine's partitioner applies to event ids.
@@ -189,7 +292,77 @@ Status LogLensService::restore(const std::string& path) {
     Status s = task->restore_state(Json(std::move(slice)), model.value());
     if (!s.ok()) return s;
   }
+  if (!in_place) return Status::Ok();
+
+  // In-place recovery: rewind the pipeline to the checkpoint's cut.
+  const Json* offsets = j->find("offsets");
+  if (offsets == nullptr || !offsets->is_object()) {
+    return Status::Error("checkpoint missing offsets (pre-recovery format?)");
+  }
+  auto offsets_of = [&](const char* key) {
+    std::vector<uint64_t> out;
+    if (const Json* arr = offsets->find(key);
+        arr != nullptr && arr->is_array()) {
+      for (const auto& o : arr->as_array()) {
+        out.push_back(o.is_int() ? static_cast<uint64_t>(o.as_int()) : 0);
+      }
+    }
+    return out;
+  };
+  parser_runner_->seek(offsets_of("parser"));
+  detector_runner_->seek(offsets_of("detector"));
+
+  // Exactly-once output despite the at-least-once replay: roll the anomaly
+  // store back to the checkpointed prefix of the topic and skip the sink
+  // past everything currently appended — the replay re-emits the
+  // post-checkpoint anomalies.
+  anomaly_store_.clear();
+  std::vector<uint64_t> sink_offsets = offsets_of("anomaly_sink");
+  const size_t parts = broker_.partition_count("anomalies");
+  std::vector<uint64_t> topic_end(parts, 0);
+  for (size_t p = 0; p < parts; ++p) {
+    topic_end[p] = broker_.end_offset("anomalies", p);
+    const uint64_t upto = p < sink_offsets.size() ? sink_offsets[p] : 0;
+    std::vector<Message> prefix;
+    // fetch() is itself a fault site; retry until the full prefix arrives.
+    for (int attempt = 0; attempt < 100 && prefix.size() < upto; ++attempt) {
+      prefix = broker_.fetch("anomalies", p, 0, upto);
+    }
+    if (prefix.size() < upto) {
+      return Status::Error("cannot re-read checkpointed anomalies");
+    }
+    for (const auto& m : prefix) {
+      auto a = anomaly_from_message(m);
+      if (a.ok()) anomaly_store_.add(a.value());
+    }
+  }
+  anomaly_sink_.seek(topic_end);
   return Status::Ok();
+}
+
+Status LogLensService::recover() {
+  std::lock_guard lock(recover_mu_);
+  if (options_.checkpoint_path.empty()) {
+    return Status::Error("no checkpoint_path configured");
+  }
+  const bool was_running = running_.exchange(false);
+  if (was_running) {
+    parser_runner_->stop();
+    detector_runner_->stop();
+  }
+  Status s = restore_internal(options_.checkpoint_path, /*in_place=*/true);
+  if (s.ok()) {
+    parser_runner_->clear_failure();
+    detector_runner_->clear_failure();
+    recoveries_.fetch_add(1);
+    recoveries_total_->inc();
+  }
+  if (was_running) {
+    running_.store(true);
+    parser_runner_->start();
+    detector_runner_->start();
+  }
+  return s;
 }
 
 StatusOr<LogLensService::ReplayResult> LogLensService::replay_archive(

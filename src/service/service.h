@@ -13,11 +13,15 @@
 //     what the experiments use for determinism.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "broker/broker.h"
+#include "faults/fault_injector.h"
 #include "service/agent.h"
 #include "service/heartbeat.h"
 #include "service/log_manager.h"
@@ -42,6 +46,17 @@ struct ServiceOptions {
   // health report to the "metrics" topic (0 disables the reports).
   MetricsRegistry* metrics = nullptr;
   size_t metrics_report_every = 64;
+  // Fault tolerance (docs/FAULTS.md). `faults` is threaded into the broker
+  // and both engines; poison messages land on `dead_letter_topic`.
+  // `checkpoint_path` names the file checkpoint()/recover() use; with
+  // `supervise`, start() also launches a watchdog thread that calls
+  // recover() whenever a runner reports a fatal batch.
+  FaultInjector* faults = nullptr;
+  size_t task_max_attempts = 4;
+  std::string dead_letter_topic = "dead_letters";
+  std::string checkpoint_path;
+  bool supervise = false;
+  int64_t supervise_interval_ms = 20;
 };
 
 class LogLensService {
@@ -87,6 +102,23 @@ class LogLensService {
   Status checkpoint(const std::string& path);
   Status restore(const std::string& path);
 
+  // Crash recovery: re-restores the checkpoint at
+  // ServiceOptions::checkpoint_path *into the running service* — deployed
+  // model, detector state, and the consumer offsets recorded at checkpoint
+  // time (at-least-once redelivery; the detector's dedup guard and the
+  // anomaly-store rollback below keep outputs exactly-once). The anomaly
+  // store is rebuilt from the checkpointed prefix of the anomalies topic and
+  // the sink skips ahead past any post-checkpoint output (the replay
+  // re-emits it). Called by the supervisor thread when a runner fails; also
+  // callable directly (e.g. chaos tests simulating a hard crash).
+  Status recover();
+
+  // True while either job runner is parked on a fatal batch.
+  bool failed() const {
+    return parser_runner_->failed() || detector_runner_->failed();
+  }
+  uint64_t recoveries() const { return recoveries_.load(); }
+
   // Post-facto analysis (Figure 1's Log Storage role: "stored logs can be
   // used ... for future log replaying to perform further analysis"): re-runs
   // detection over a source's archived logs — with the *currently deployed*
@@ -105,6 +137,8 @@ class LogLensService {
 
  private:
   void sink_drain();
+  Status restore_internal(const std::string& path, bool in_place);
+  void supervisor_loop();
 
   ServiceOptions options_;
   Broker broker_;
@@ -121,7 +155,14 @@ class LogLensService {
   std::unique_ptr<ModelManager> model_manager_;
   AnomalyStore anomaly_store_;
   Consumer anomaly_sink_;
-  bool running_ = false;
+  std::atomic<bool> running_{false};
+
+  // Crash supervisor (see ServiceOptions::supervise).
+  std::thread supervisor_;
+  std::atomic<bool> supervising_{false};
+  std::mutex recover_mu_;  // serializes recover() callers
+  std::atomic<uint64_t> recoveries_{0};
+  Counter* recoveries_total_ = nullptr;
 };
 
 }  // namespace loglens

@@ -1,5 +1,7 @@
 #include "service/tasks.h"
 
+#include <algorithm>
+
 #include "metrics/timer.h"
 
 namespace loglens {
@@ -97,6 +99,20 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
   if (message.tag == kTagControl) return;
 
   refresh_model(partition_);
+
+  // Delivery identity for emitted children: 32 seq slots per input log keep
+  // child seqs per-source monotonic, so the detector's dedup guard can
+  // recognize a redelivered copy after an at-least-once replay. Inputs
+  // without a seq (never brokered) emit seq-less children.
+  int emit_index = 0;
+  auto emit = [&](Message m) {
+    if (message.seq >= 0) {
+      m.seq = message.seq * 32 + std::min(emit_index, 31);
+      ++emit_index;
+    }
+    ctx.emit(std::move(m));
+  };
+
   TokenizedLog tokenized = preprocessor_.process(message.value);
 
   // Extension: stateless keyword detection on the raw line.
@@ -104,7 +120,7 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
     if (auto alert = keywords_->check(message.value, message.source,
                                       tokenized.timestamp_ms)) {
       stateless_anomalies_total_->inc();
-      ctx.emit(anomaly_to_message(*alert));
+      emit(anomaly_to_message(*alert));
     }
   }
 
@@ -121,7 +137,7 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
     a.source = message.source;
     a.logs = {message.value};
     stateless_anomalies_total_->inc();
-    ctx.emit(anomaly_to_message(a));
+    emit(anomaly_to_message(a));
     return;
   }
 
@@ -133,7 +149,7 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
     for (const auto& a :
          current_->field_ranges.check(parsed, message.source)) {
       stateless_anomalies_total_->inc();
-      ctx.emit(anomaly_to_message(a));
+      emit(anomaly_to_message(a));
     }
   }
 
@@ -148,7 +164,7 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
       }
     }
   }
-  ctx.emit(parsed_to_message(parsed, std::move(key), message.source));
+  emit(parsed_to_message(parsed, std::move(key), message.source));
 }
 
 DetectorTask::DetectorTask(std::shared_ptr<ModelBroadcast> model,
@@ -176,6 +192,9 @@ DetectorTask::DetectorTask(std::shared_ptr<ModelBroadcast> model,
   anomalies_total_ =
       &registry.counter("loglens_detector_anomalies_total", labels,
                         "Anomalies emitted by the stateful stage");
+  dedup_skipped_total_ = &registry.counter(
+      "loglens_detector_dedup_skipped_total", labels,
+      "Redelivered messages skipped by the at-least-once dedup guard");
   open_events_ = &registry.gauge("loglens_detector_open_events", labels,
                                  "Open events held at the last batch end");
 }
@@ -211,11 +230,25 @@ void DetectorTask::sync_stats() {
 void DetectorTask::on_batch_end(TaskContext& /*ctx*/) { sync_stats(); }
 
 void DetectorTask::process(const Message& message, TaskContext& ctx) {
+  if (message.tag == kTagControl) return;
+  // Dedup guard (data and anomaly messages only — heartbeats are idempotent
+  // sweeps and carry no per-source identity). Within a partition the seqs a
+  // source delivers are strictly increasing, so seq <= watermark means this
+  // exact copy was already applied: an engine retry after a mid-mutation
+  // throw, or an offset replay without a matching state rollback.
+  if (message.seq >= 0 &&
+      (message.tag == kTagData || message.tag == kTagAnomaly)) {
+    auto [it, inserted] = seen_seq_.try_emplace(message.source, -1);
+    if (!inserted && message.seq <= it->second) {
+      dedup_skipped_total_->inc();
+      return;
+    }
+    it->second = message.seq;
+  }
   if (message.tag == kTagAnomaly) {
     ctx.emit(message);  // stateless anomalies pass through to the sink
     return;
   }
-  if (message.tag == kTagControl) return;
   refresh_model(partition_);
 
   std::vector<Anomaly> anomalies;

@@ -8,7 +8,9 @@
 // preserving every open state — the zero-downtime behaviour of Section V-A.
 #pragma once
 
+#include <map>
 #include <memory>
+#include <string>
 
 #include "automata/detector.h"
 #include "detectors/field_range.h"
@@ -92,6 +94,9 @@ class DetectorTask : public PartitionTask {
       detector_ = std::make_unique<SequenceDetector>(model.sequence, options_);
       current_.reset();  // next refresh re-pulls and update_model()s
     }
+    // After a state rollback the replayed copies ARE the authoritative
+    // input again — forget the watermarks or they would all be skipped.
+    seen_seq_.clear();
     return detector_->restore_state(j);
   }
   const DetectorStats* detector_stats() const {
@@ -107,6 +112,13 @@ class DetectorTask : public PartitionTask {
   DetectorOptions options_;
   std::shared_ptr<const CompositeModel> current_;
   std::unique_ptr<SequenceDetector> detector_;
+  // At-least-once dedup guard: highest Message::seq already processed per
+  // source. Redelivered copies (engine retry after a mid-mutation throw, or
+  // offset replay after recovery without a state rollback) are skipped so
+  // the detector never double-applies a log. Heartbeats/control are exempt
+  // (idempotent); cleared by restore_state (the rollback re-legitimizes
+  // replays).
+  std::map<std::string, int64_t> seen_seq_;
 
   Counter* logs_total_ = nullptr;
   Counter* tracked_total_ = nullptr;
@@ -115,6 +127,7 @@ class DetectorTask : public PartitionTask {
   Counter* events_expired_total_ = nullptr;
   Counter* evicted_total_ = nullptr;
   Counter* anomalies_total_ = nullptr;
+  Counter* dedup_skipped_total_ = nullptr;
   Gauge* open_events_ = nullptr;
   DetectorStats synced_;
 };

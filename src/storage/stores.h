@@ -73,6 +73,10 @@ class AnomalyStore {
   size_t count() const { return store_.size(); }
   size_t count_by_type(AnomalyType type) const;
 
+  // Drops everything — crash recovery rebuilds the store from the
+  // checkpointed prefix of the anomalies topic (LogLensService::recover).
+  void clear() { store_.clear(); }
+
   Status save_jsonl(const std::string& path) const {
     return store_.save_jsonl(path);
   }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "common/hash.h"
 #include "metrics/timer.h"
@@ -34,6 +35,12 @@ StreamEngine::StreamEngine(EngineOptions options, const TaskFactory& factory)
   control_ops_total_ =
       &registry_->counter("loglens_engine_control_ops_total", stage,
                           "Control ops (rebroadcasts etc.) applied");
+  task_retries_total_ =
+      &registry_->counter("loglens_engine_task_retries_total", stage,
+                          "Partition task attempts that were retried");
+  dead_letters_total_ = &registry_->counter(
+      "loglens_engine_dead_letter_records_total", stage,
+      "Messages routed to the dead-letter channel (poison)");
   batch_duration_us_ =
       &registry_->histogram("loglens_engine_batch_duration_us", stage,
                             "Wall time of the parallel section per batch");
@@ -60,6 +67,59 @@ StreamEngine::StreamEngine(EngineOptions options, const TaskFactory& factory)
 void StreamEngine::enqueue_control(std::function<void()> op) {
   std::lock_guard lock(control_mu_);
   pending_controls_.push_back(std::move(op));
+}
+
+void StreamEngine::run_partition(size_t p, std::vector<Message>& input,
+                                 TaskContext& ctx,
+                                 PartitionOutcome& outcome) {
+  auto task_start = std::chrono::steady_clock::now();
+  // Retries `fn` (optionally preceded by an injected fault at `site`) with
+  // capped exponential backoff; false when the attempt budget is spent.
+  auto guarded = [&](const char* site, auto&& fn) {
+    for (size_t attempt = 1;; ++attempt) {
+      try {
+        if (options_.faults != nullptr) options_.faults->hit(site);
+        fn();
+        return true;
+      } catch (const std::exception&) {
+        if (attempt >= options_.task_max_attempts) return false;
+        ++outcome.retries;
+        int64_t ms = std::min(options_.retry_cap_ms,
+                              options_.retry_base_ms
+                                  << std::min<size_t>(attempt - 1, 20));
+        if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+      }
+    }
+  };
+
+  if (!guarded(kFaultSiteTaskStart,
+               [&] { tasks_[p]->on_batch_start(ctx); })) {
+    // The task cannot even open the batch: dead-letter the whole partition
+    // batch rather than stall the stage. (The vector keeps its size; the
+    // post-barrier metrics loop only reads sizes.)
+    for (auto& m : input) outcome.dead_letters.push_back(std::move(m));
+  } else {
+    for (Message& m : input) {
+      // A message that keeps throwing is poison: route it to the dead
+      // letters and move on. Note the at-least-once caveat — a *real* throw
+      // from inside process() may leave a partial state mutation behind;
+      // the detector task's dedup guard and idempotent parser make the
+      // retry safe (docs/FAULTS.md).
+      if (!guarded(kFaultSiteTaskProcess, [&] { tasks_[p]->process(m, ctx); })) {
+        outcome.dead_letters.push_back(std::move(m));
+      }
+    }
+    if (!guarded(kFaultSiteTaskFinish,
+                 [&] { tasks_[p]->on_batch_end(ctx); })) {
+      // The task may now hold half-synced state; escalate to the job level
+      // (fatal batch) so the supervisor can restore from a checkpoint.
+      outcome.fatal = true;
+    }
+  }
+  outcome.task_us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - task_start)
+          .count());
 }
 
 BatchResult StreamEngine::run_batch(std::vector<Message> input) {
@@ -98,22 +158,12 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
   for (size_t p = 0; p < n; ++p) {
     contexts.emplace_back(p, result.batch_number);
   }
-  std::vector<uint64_t> task_us(n, 0);
+  std::vector<PartitionOutcome> outcomes(n);
   const uint64_t span_start = steady_now_us();
   auto start = std::chrono::steady_clock::now();
   for (size_t p = 0; p < n; ++p) {
-    pool_.submit([this, p, &per_partition, &contexts, &task_us] {
-      auto task_start = std::chrono::steady_clock::now();
-      TaskContext& ctx = contexts[p];
-      tasks_[p]->on_batch_start(ctx);
-      for (const Message& m : per_partition[p]) {
-        tasks_[p]->process(m, ctx);
-      }
-      tasks_[p]->on_batch_end(ctx);
-      task_us[p] = static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::microseconds>(
-              std::chrono::steady_clock::now() - task_start)
-              .count());
+    pool_.submit([this, p, &per_partition, &contexts, &outcomes] {
+      run_partition(p, per_partition[p], contexts[p], outcomes[p]);
     });
   }
   pool_.wait_idle();
@@ -129,16 +179,29 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
   control_ops_total_->inc(result.control_ops_applied);
   batch_duration_us_->record(elapsed_us);
   uint64_t min_task = UINT64_MAX, max_task = 0;
+  bool fatal = false;
   for (size_t p = 0; p < n; ++p) {
+    const uint64_t task_us = outcomes[p].task_us;
     partition_records_[p]->inc(per_partition[p].size());
-    partition_task_us_[p]->record(task_us[p]);
-    barrier_wait_us_->record(elapsed_us > task_us[p] ? elapsed_us - task_us[p]
-                                                     : 0);
-    min_task = std::min(min_task, task_us[p]);
-    max_task = std::max(max_task, task_us[p]);
+    partition_task_us_[p]->record(task_us);
+    barrier_wait_us_->record(elapsed_us > task_us ? elapsed_us - task_us : 0);
+    min_task = std::min(min_task, task_us);
+    max_task = std::max(max_task, task_us);
+    result.task_retries += outcomes[p].retries;
+    fatal = fatal || outcomes[p].fatal;
+    for (auto& m : outcomes[p].dead_letters) {
+      result.dead_letters.push_back(std::move(m));
+    }
   }
   batch_skew_us_->record(max_task - min_task);
+  task_retries_total_->inc(result.task_retries);
+  dead_letters_total_->inc(result.dead_letters.size());
   registry_->record_span(options_.stage + ".batch", span_start, elapsed_us);
+  if (fatal) {
+    throw FaultError("stage '" + options_.stage +
+                     "' failed a batch: partition task did not finish after " +
+                     std::to_string(options_.task_max_attempts) + " attempts");
+  }
 
   size_t total_outputs = 0;
   for (auto& ctx : contexts) total_outputs += ctx.outputs().size();

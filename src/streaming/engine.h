@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "broker/message.h"
+#include "faults/fault_injector.h"
 #include "metrics/metrics.h"
 #include "streaming/broadcast.h"
 #include "streaming/thread_pool.h"
@@ -77,6 +78,20 @@ struct EngineOptions {
   // one) and the `stage` label distinguishing this engine's metrics.
   MetricsRegistry* metrics = nullptr;
   std::string stage = "engine";
+  // Fault tolerance. A partition task call (on_batch_start, per-message
+  // process, on_batch_end) that throws is retried up to `task_max_attempts`
+  // times in total, with capped exponential backoff (retry_base_ms doubling
+  // up to retry_cap_ms). A message whose process() still throws after that
+  // is poison: it is routed to BatchResult::dead_letters instead of killing
+  // the job. An on_batch_start that never succeeds dead-letters the whole
+  // partition batch; an on_batch_end that never succeeds fails the batch
+  // (FaultError out of run_batch) because the task may hold half-synced
+  // state — that is the supervisor's cue to restore from a checkpoint.
+  size_t task_max_attempts = 4;
+  int64_t retry_base_ms = 1;
+  int64_t retry_cap_ms = 50;
+  // Optional injector consulted at kFaultSiteTaskStart/Process/Finish.
+  FaultInjector* faults = nullptr;
 };
 
 struct BatchResult {
@@ -85,6 +100,10 @@ struct BatchResult {
   size_t control_ops_applied = 0;
   std::vector<Message> outputs;  // concatenated in partition order
   double elapsed_ms = 0;         // wall time of the parallel section
+  // Fault tolerance (see EngineOptions): task attempts that were retried,
+  // and the poison messages that exhausted their retry budget this batch.
+  size_t task_retries = 0;
+  std::vector<Message> dead_letters;
 };
 
 class StreamEngine {
@@ -111,6 +130,21 @@ class StreamEngine {
   PartitionTask& task(size_t partition) { return *tasks_[partition]; }
 
  private:
+  // Per-partition outcome of one batch attempt, filled by run_partition on a
+  // worker thread (each worker touches only its own slot).
+  struct PartitionOutcome {
+    uint64_t task_us = 0;
+    size_t retries = 0;
+    std::vector<Message> dead_letters;
+    bool fatal = false;  // on_batch_end failed after all retries
+  };
+
+  // Executes one partition's share of a batch with the retry/dead-letter
+  // policy of EngineOptions. Never throws (fatal failures are reported
+  // through the outcome so they cross the thread-pool boundary safely).
+  void run_partition(size_t partition, std::vector<Message>& input,
+                     TaskContext& ctx, PartitionOutcome& outcome);
+
   EngineOptions options_;
   ThreadPool pool_;
   std::vector<std::unique_ptr<PartitionTask>> tasks_;
@@ -121,6 +155,8 @@ class StreamEngine {
   Counter* records_total_ = nullptr;
   Counter* outputs_total_ = nullptr;
   Counter* control_ops_total_ = nullptr;
+  Counter* task_retries_total_ = nullptr;
+  Counter* dead_letters_total_ = nullptr;
   Histogram* batch_duration_us_ = nullptr;
   Histogram* batch_skew_us_ = nullptr;
   Histogram* barrier_wait_us_ = nullptr;

@@ -1,5 +1,7 @@
 #include "streaming/job.h"
 
+#include <chrono>
+
 namespace loglens {
 
 JobRunner::JobRunner(Broker& broker, StreamEngine& engine, JobOptions options)
@@ -15,6 +17,15 @@ JobRunner::JobRunner(Broker& broker, StreamEngine& engine, JobOptions options)
                                      "Messages consumed from the input topic");
   reports_total_ = &registry.counter("loglens_job_metrics_reports_total",
                                      labels, "Health reports emitted");
+  failures_total_ = &registry.counter(
+      "loglens_job_failures_total", labels,
+      "Fatal batches that parked this job pending recovery");
+  dead_letters_total_ = &registry.counter(
+      "loglens_job_dead_letter_records_total", labels,
+      "Messages routed to (or dropped toward) the dead-letter topic");
+  produce_retries_total_ = &registry.counter(
+      "loglens_job_produce_retries_total", labels,
+      "Output produce attempts that were retried at the job level");
   input_lag_ = &registry.gauge(
       "loglens_job_input_lag", labels,
       "Messages buffered on the input topic behind this job");
@@ -32,6 +43,28 @@ void JobRunner::stop() {
   if (driver_.joinable()) driver_.join();
 }
 
+std::string JobRunner::last_error() const {
+  std::lock_guard lock(error_mu_);
+  return last_error_;
+}
+
+void JobRunner::clear_failure() {
+  {
+    std::lock_guard lock(error_mu_);
+    last_error_.clear();
+  }
+  failed_.store(false);
+}
+
+void JobRunner::mark_failed(const char* what) {
+  {
+    std::lock_guard lock(error_mu_);
+    last_error_ = what;
+  }
+  failed_.store(true);
+  failures_total_->inc();
+}
+
 Json JobRunner::metrics_report() const {
   JsonObject obj;
   obj.emplace_back("job", Json(options_.name));
@@ -41,7 +74,29 @@ Json JobRunner::metrics_report() const {
   obj.emplace_back("input_lag", Json(static_cast<int64_t>(consumer_.lag())));
   obj.emplace_back("engine_batches",
                    Json(static_cast<int64_t>(engine_.batches_run())));
+  obj.emplace_back("failed", Json(failed_.load()));
   return Json(std::move(obj));
+}
+
+void JobRunner::produce_with_retry(const std::string& topic, Message message) {
+  for (size_t attempt = 1; attempt <= options_.produce_max_attempts;
+       ++attempt) {
+    // The broker already absorbs transient faults with its own client-style
+    // retry loop; a Status error here means that budget is spent too.
+    if (broker_.produce(topic, message).ok()) return;
+    if (attempt == options_.produce_max_attempts) break;
+    produce_retries_total_->inc();
+    if (options_.produce_retry_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.produce_retry_ms));
+    }
+  }
+  // Undeliverable output: dead-letter it rather than lose it silently. If
+  // even the dead-letter produce fails, counting is all that is left.
+  dead_letters_total_->inc();
+  if (!options_.dead_letter_topic.empty()) {
+    (void)broker_.produce(options_.dead_letter_topic, std::move(message));
+  }
 }
 
 void JobRunner::process_batch(std::vector<Message> batch) {
@@ -51,9 +106,15 @@ void JobRunner::process_batch(std::vector<Message> batch) {
   uint64_t batches = batches_.fetch_add(1) + 1;
   batches_total_->inc();
   input_lag_->set(static_cast<int64_t>(consumer_.lag()));
+  for (auto& m : result.dead_letters) {
+    dead_letters_total_->inc();
+    if (!options_.dead_letter_topic.empty()) {
+      (void)broker_.produce(options_.dead_letter_topic, std::move(m));
+    }
+  }
   if (!options_.output_topic.empty()) {
     for (auto& m : result.outputs) {
-      broker_.produce(options_.output_topic, std::move(m));
+      produce_with_retry(options_.output_topic, std::move(m));
     }
   }
   if (options_.metrics_report_every > 0 &&
@@ -69,22 +130,48 @@ void JobRunner::process_batch(std::vector<Message> batch) {
 
 void JobRunner::loop() {
   while (running_.load()) {
+    if (failed_.load()) {
+      // Parked pending recovery: the supervisor stops this runner, repairs
+      // state/offsets, clears the failure, and restarts it.
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.poll_timeout_ms));
+      continue;
+    }
     auto batch =
         consumer_.poll_blocking(options_.batch_size, options_.poll_timeout_ms);
     if (batch.empty()) continue;
-    process_batch(std::move(batch));
+    try {
+      process_batch(std::move(batch));
+    } catch (const std::exception& e) {
+      // Fatal batch (on_batch_end retries exhausted). The polled messages
+      // are past this consumer's offsets, which is why recovery rewinds to
+      // the checkpointed offsets before restarting.
+      mark_failed(e.what());
+    }
   }
+  if (failed_.load()) return;
   // Final drain so stop() never strands buffered input.
   for (auto batch = consumer_.poll(options_.batch_size); !batch.empty();
        batch = consumer_.poll(options_.batch_size)) {
-    process_batch(std::move(batch));
+    try {
+      process_batch(std::move(batch));
+    } catch (const std::exception& e) {
+      mark_failed(e.what());
+      return;
+    }
   }
 }
 
 void JobRunner::drain() {
+  if (failed_.load()) return;
   for (auto batch = consumer_.poll(options_.batch_size); !batch.empty();
        batch = consumer_.poll(options_.batch_size)) {
-    process_batch(std::move(batch));
+    try {
+      process_batch(std::move(batch));
+    } catch (const std::exception& e) {
+      mark_failed(e.what());
+      return;
+    }
   }
 }
 

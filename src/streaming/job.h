@@ -10,6 +10,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -32,6 +33,13 @@ struct JobOptions {
   size_t metrics_report_every = 0;
   std::string metrics_topic = "metrics";
   MetricsRegistry* metrics = nullptr;  // nullptr -> the global registry
+  // Fault tolerance. Poison messages the engine gives up on, and outputs
+  // whose produce exhausts its retries, land on `dead_letter_topic` (empty:
+  // they are dropped after being counted). Output produces are themselves
+  // retried `produce_max_attempts` times with capped backoff.
+  std::string dead_letter_topic = "";
+  size_t produce_max_attempts = 5;
+  int64_t produce_retry_ms = 1;
 };
 
 class JobRunner {
@@ -53,6 +61,27 @@ class JobRunner {
   uint64_t batches() const { return batches_.load(); }
   uint64_t records_in() const { return records_in_.load(); }
 
+  // Messages buffered on the input topic behind this job. Under fault
+  // injection an empty poll is not proof of emptiness (fetch faults read as
+  // empty), so drain loops gate on this instead.
+  uint64_t input_lag() const { return consumer_.lag(); }
+
+  // Failure state. A batch the engine declares fatal (FaultError out of
+  // run_batch) marks the job failed: the driver thread parks, drain()
+  // returns early, and a supervisor (LogLensService::recover) is expected
+  // to restore state and call clear_failure() before resuming.
+  bool failed() const { return failed_.load(); }
+  std::string last_error() const;
+  void clear_failure();
+
+  // Offset checkpointing passthrough (call only while the job is stopped):
+  // what the service records in a checkpoint, and how recovery rewinds the
+  // job to it for at-least-once redelivery.
+  const std::vector<uint64_t>& consumer_offsets() const {
+    return consumer_.offsets();
+  }
+  void seek(const std::vector<uint64_t>& offsets) { consumer_.seek(offsets); }
+
   // The JSON health report emitted every `metrics_report_every` batches
   // (also handy for tests and ad-hoc inspection).
   Json metrics_report() const;
@@ -60,6 +89,8 @@ class JobRunner {
  private:
   void loop();
   void process_batch(std::vector<Message> batch);
+  void produce_with_retry(const std::string& topic, Message message);
+  void mark_failed(const char* what);
 
   Broker& broker_;
   StreamEngine& engine_;
@@ -67,12 +98,18 @@ class JobRunner {
   Consumer consumer_;
   std::thread driver_;
   std::atomic<bool> running_{false};
+  std::atomic<bool> failed_{false};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> records_in_{0};
+  mutable std::mutex error_mu_;
+  std::string last_error_;
 
   Counter* batches_total_ = nullptr;
   Counter* records_total_ = nullptr;
   Counter* reports_total_ = nullptr;
+  Counter* failures_total_ = nullptr;
+  Counter* dead_letters_total_ = nullptr;
+  Counter* produce_retries_total_ = nullptr;
   Gauge* input_lag_ = nullptr;
 };
 

@@ -1,0 +1,138 @@
+// FaultInjector unit tests: deterministic per-site streams, trigger caps,
+// delay behavior, and the metrics it reports through.
+#include "faults/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <vector>
+
+namespace loglens {
+namespace {
+
+std::vector<FaultAction> draw(FaultInjector& f, const std::string& site,
+                              int n) {
+  std::vector<FaultAction> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) out.push_back(f.check(site));
+  return out;
+}
+
+TEST(FaultInjectorTest, SameSeedSameDecisions) {
+  MetricsRegistry r1, r2;
+  FaultInjector a(42, &r1);
+  FaultInjector b(42, &r2);
+  FaultSpec spec;
+  spec.probability = 0.3;
+  a.arm(kFaultSiteProduce, spec);
+  b.arm(kFaultSiteProduce, spec);
+  EXPECT_EQ(draw(a, kFaultSiteProduce, 200), draw(b, kFaultSiteProduce, 200));
+  EXPECT_EQ(a.triggered(kFaultSiteProduce), b.triggered(kFaultSiteProduce));
+  EXPECT_GT(a.triggered(kFaultSiteProduce), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiverge) {
+  MetricsRegistry r1, r2;
+  FaultInjector a(1, &r1);
+  FaultInjector b(2, &r2);
+  FaultSpec spec;
+  spec.probability = 0.5;
+  a.arm(kFaultSiteFetch, spec);
+  b.arm(kFaultSiteFetch, spec);
+  EXPECT_NE(draw(a, kFaultSiteFetch, 200), draw(b, kFaultSiteFetch, 200));
+}
+
+TEST(FaultInjectorTest, SiteStreamsAreIndependent) {
+  // Consulting one site must not perturb another site's decision stream:
+  // run B alone, then re-run B with interleaved consults at A.
+  MetricsRegistry r1, r2;
+  FaultInjector lone(7, &r1);
+  FaultSpec spec;
+  spec.probability = 0.4;
+  lone.arm(kFaultSiteTaskProcess, spec);
+  auto expected = draw(lone, kFaultSiteTaskProcess, 100);
+
+  FaultInjector noisy(7, &r2);
+  noisy.arm(kFaultSiteTaskProcess, spec);
+  noisy.arm(kFaultSiteTaskStart, spec);
+  std::vector<FaultAction> got;
+  for (int i = 0; i < 100; ++i) {
+    noisy.check(kFaultSiteTaskStart);  // extra draws on a different site
+    got.push_back(noisy.check(kFaultSiteTaskProcess));
+  }
+  EXPECT_EQ(got, expected);
+}
+
+TEST(FaultInjectorTest, MaxTriggersCapsFiring) {
+  MetricsRegistry r;
+  FaultInjector f(9, &r);
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.max_triggers = 3;
+  f.arm(kFaultSiteProduce, spec);
+  int fired = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (f.check(kFaultSiteProduce) != FaultAction::kNone) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(f.triggered(kFaultSiteProduce), 3u);
+  EXPECT_EQ(f.total_triggered(), 3u);
+}
+
+TEST(FaultInjectorTest, DisarmedSiteNeverFires) {
+  MetricsRegistry r;
+  FaultInjector f(5, &r);
+  EXPECT_EQ(f.check(kFaultSiteCheckpointWrite), FaultAction::kNone);
+  FaultSpec spec;
+  f.arm(kFaultSiteCheckpointWrite, spec);
+  EXPECT_EQ(f.check(kFaultSiteCheckpointWrite), FaultAction::kThrow);
+  f.disarm(kFaultSiteCheckpointWrite);
+  EXPECT_EQ(f.check(kFaultSiteCheckpointWrite), FaultAction::kNone);
+  f.arm(kFaultSiteCheckpointWrite, spec);
+  f.disarm_all();
+  EXPECT_EQ(f.check(kFaultSiteCheckpointWrite), FaultAction::kNone);
+  EXPECT_EQ(f.triggered(kFaultSiteCheckpointWrite), 1u);
+}
+
+TEST(FaultInjectorTest, HitThrowsFaultError) {
+  MetricsRegistry r;
+  FaultInjector f(3, &r);
+  FaultSpec spec;
+  spec.max_triggers = 1;
+  f.arm(kFaultSiteTaskFinish, spec);
+  EXPECT_THROW(f.hit(kFaultSiteTaskFinish), FaultError);
+  EXPECT_NO_THROW(f.hit(kFaultSiteTaskFinish));  // cap spent
+}
+
+TEST(FaultInjectorTest, DelayStallsTheCall) {
+  MetricsRegistry r;
+  FaultInjector f(11, &r);
+  FaultSpec spec;
+  spec.action = FaultAction::kDelay;
+  spec.delay_ms = 30;
+  spec.max_triggers = 1;
+  f.arm(kFaultSiteFetch, spec);
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(f.check(kFaultSiteFetch), FaultAction::kDelay);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+  EXPECT_GE(elapsed.count(), 25);
+  // A delay is survivable: hit() only throws for kThrow.
+  EXPECT_NO_THROW(f.hit(kFaultSiteFetch));
+}
+
+TEST(FaultInjectorTest, FiredFaultsAreCounted) {
+  MetricsRegistry r;
+  FaultInjector f(13, &r);
+  FaultSpec spec;
+  spec.max_triggers = 5;
+  f.arm(kFaultSiteProduce, spec);
+  for (int i = 0; i < 10; ++i) f.check(kFaultSiteProduce);
+  EXPECT_EQ(r.counter("loglens_faults_injected_total",
+                      {{"site", kFaultSiteProduce}, {"action", "throw"}})
+                .value(),
+            5u);
+}
+
+}  // namespace
+}  // namespace loglens

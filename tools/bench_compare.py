@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Compare a bench_pipeline_throughput run against the committed baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Both files are the BENCH_pipeline.json the benchmark binary writes. The
+check fails (exit 1) when any stage's msgs_per_sec drops more than
+``threshold`` below the baseline. Stages present in only one file are
+reported but do not fail the check (the benchmark may grow stages between
+commits); speedups only update the printed report.
+
+CI keeps the baseline honest: refresh bench/baseline.json deliberately when
+a PR moves throughput, rather than letting it drift.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_stages(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    stages = {}
+    for stage in doc.get("stages", []):
+        name = stage.get("stage")
+        rate = stage.get("msgs_per_sec")
+        if name is not None and isinstance(rate, (int, float)) and rate > 0:
+            stages[name] = float(rate)
+    return stages
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed fractional regression (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_stages(args.baseline)
+    current = load_stages(args.current)
+    if not baseline:
+        print(f"error: no stages in baseline {args.baseline}", file=sys.stderr)
+        return 2
+
+    failed = False
+    for name in sorted(baseline):
+        if name not in current:
+            print(f"  {name}: missing from current run (skipped)")
+            continue
+        base, cur = baseline[name], current[name]
+        delta = (cur - base) / base
+        floor = base * (1.0 - args.threshold)
+        verdict = "ok" if cur >= floor else "REGRESSION"
+        if cur < floor:
+            failed = True
+        print(f"  {name}: {cur:,.0f} msgs/s vs baseline {base:,.0f} "
+              f"({delta:+.1%}) [{verdict}]")
+    for name in sorted(set(current) - set(baseline)):
+        print(f"  {name}: new stage, {current[name]:,.0f} msgs/s (no baseline)")
+
+    if failed:
+        print(f"FAIL: throughput regressed more than "
+              f"{args.threshold:.0%} on at least one stage", file=sys.stderr)
+        return 1
+    print("bench smoke: within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

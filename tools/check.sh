@@ -1,32 +1,72 @@
 #!/usr/bin/env bash
 # Tier-1 gate plus a sanitizer pass:
 #   1. regular build + full ctest (the suite every PR must keep green)
-#   2. AddressSanitizer build + ctest (catches lifetime/race-adjacent bugs
-#      the regular build hides)
+#   2. sanitizer build + ctest (catches lifetime/race bugs the regular
+#      build hides)
 #
-# Usage: tools/check.sh [--skip-asan]
-# Set LOGLENS_SANITIZE=thread in the environment to run TSan instead of ASan
-# for the second pass.
+# Usage: tools/check.sh [--skip-asan] [--skip-sanitizer] [--sanitizer-only]
+#   --skip-sanitizer  run only the regular pass
+#   --skip-asan       skip the sanitizer pass only when it would be ASan; a
+#                     pass explicitly requested via LOGLENS_SANITIZE=thread
+#                     still runs
+#   --sanitizer-only  run only the sanitizer pass (the CI matrix legs)
+#
+# Environment:
+#   LOGLENS_SANITIZE       sanitizer for the second pass (default: address)
+#   LOGLENS_CTEST_TIMEOUT  default per-test timeout in seconds, propagated to
+#                          ctest (the sanitizer pass gets 3x — instrumented
+#                          binaries are that much slower). Tests with their
+#                          own TIMEOUT property keep it.
+#   LOGLENS_CMAKE_ARGS     extra arguments for every cmake configure, e.g.
+#                          "-DCMAKE_CXX_COMPILER_LAUNCHER=ccache
+#                           -DLOGLENS_WERROR=ON"
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 jobs="$(nproc 2>/dev/null || echo 4)"
 sanitizer="${LOGLENS_SANITIZE:-address}"
 
-echo "== tier-1: regular build + ctest =="
-cmake -B "$repo/build" -S "$repo" >/dev/null
-cmake --build "$repo/build" -j "$jobs"
-ctest --test-dir "$repo/build" --output-on-failure -j "$jobs"
+run_regular=1
+run_sanitizer=1
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitizer) run_sanitizer=0 ;;
+    --skip-asan)
+      if [[ "$sanitizer" == "address" ]]; then run_sanitizer=0; fi ;;
+    --sanitizer-only) run_regular=0 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
 
-if [[ "${1:-}" == "--skip-asan" ]]; then
-  echo "== sanitizer pass skipped =="
-  exit 0
+cmake_args=()
+if [[ -n "${LOGLENS_CMAKE_ARGS:-}" ]]; then
+  # Intentional word splitting: the variable carries several -D flags.
+  # shellcheck disable=SC2206
+  cmake_args=(${LOGLENS_CMAKE_ARGS})
 fi
 
-echo "== sanitizer pass: ${sanitizer} build + ctest =="
-cmake -B "$repo/build-${sanitizer}" -S "$repo" \
-      -DLOGLENS_SANITIZE="${sanitizer}" >/dev/null
-cmake --build "$repo/build-${sanitizer}" -j "$jobs"
-ctest --test-dir "$repo/build-${sanitizer}" --output-on-failure -j "$jobs"
+ctest_args=(--output-on-failure -j "$jobs")
+san_ctest_args=("${ctest_args[@]}")
+if [[ -n "${LOGLENS_CTEST_TIMEOUT:-}" ]]; then
+  ctest_args+=(--timeout "$LOGLENS_CTEST_TIMEOUT")
+  san_ctest_args+=(--timeout "$((LOGLENS_CTEST_TIMEOUT * 3))")
+fi
+
+if [[ "$run_regular" == 1 ]]; then
+  echo "== tier-1: regular build + ctest =="
+  cmake -B "$repo/build" -S "$repo" "${cmake_args[@]}" >/dev/null
+  cmake --build "$repo/build" -j "$jobs"
+  ctest --test-dir "$repo/build" "${ctest_args[@]}"
+fi
+
+if [[ "$run_sanitizer" == 1 ]]; then
+  echo "== sanitizer pass: ${sanitizer} build + ctest =="
+  cmake -B "$repo/build-${sanitizer}" -S "$repo" \
+        -DLOGLENS_SANITIZE="${sanitizer}" "${cmake_args[@]}" >/dev/null
+  cmake --build "$repo/build-${sanitizer}" -j "$jobs"
+  ctest --test-dir "$repo/build-${sanitizer}" "${san_ctest_args[@]}"
+else
+  echo "== sanitizer pass skipped =="
+fi
 
 echo "== all checks passed =="
