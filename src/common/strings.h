@@ -16,6 +16,21 @@ namespace loglens {
 std::vector<std::string_view> split_any(std::string_view text,
                                         std::string_view delims);
 
+// Allocation-free core of split_any: calls `fn(piece)` for each non-empty
+// piece, views pointing into `text`.
+template <typename Fn>
+void for_each_split_any(std::string_view text, std::string_view delims,
+                        Fn&& fn) {
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() ||
+        delims.find(text[i]) != std::string_view::npos) {
+      if (i > start) fn(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+}
+
 // Splits `text` on the exact separator string, keeping empty pieces.
 std::vector<std::string_view> split_exact(std::string_view text,
                                           std::string_view sep);

@@ -61,6 +61,15 @@ std::string format_canonical(int64_t epoch_millis) {
   return format_canonical(from_epoch_millis(epoch_millis));
 }
 
+void format_canonical_to(int64_t epoch_millis, std::string& out) {
+  const CivilTime t = from_epoch_millis(epoch_millis);
+  char buf[32];
+  int n = std::snprintf(buf, sizeof(buf), "%04d/%02d/%02d %02d:%02d:%02d.%03d",
+                        t.year, t.month, t.day, t.hour, t.minute, t.second,
+                        t.millis);
+  out.assign(buf, static_cast<size_t>(n));
+}
+
 bool is_leap_year(int year) {
   return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
 }

@@ -54,6 +54,13 @@ class DatatypeClassifier {
   // True iff `token` matches the RegEx definition of `type`.
   bool matches(std::string_view token, Datatype type) const;
 
+  // Times any of the Table I regexes gave up on VM budget exhaustion
+  // (monotonic; surfaced as loglens_regex_budget_exhausted_total).
+  uint64_t budget_exhausted_total() const {
+    return word_.budget_exhausted_count() + number_.budget_exhausted_count() +
+           ip_.budget_exhausted_count();
+  }
+
  private:
   Regex word_;
   Regex number_;

@@ -94,57 +94,148 @@ void GrokPattern::assign_field_ids(int pattern_id) {
   }
 }
 
-bool GrokPattern::match_rec(const std::vector<Token>& tokens,
-                            const DatatypeClassifier& classifier, size_t ti,
-                            size_t pi, JsonObject* out) const {
-  if (pi == tokens_.size()) return ti == tokens.size();
-  const GrokToken& pt = tokens_[pi];
-  if (!pt.is_field) {
-    if (ti < tokens.size() && tokens[ti].text == pt.literal) {
-      return match_rec(tokens, classifier, ti + 1, pi + 1, out);
-    }
-    return false;
+namespace {
+
+bool is_wildcard(const GrokToken& pt) {
+  return pt.is_field && pt.field.type == Datatype::kAnyData;
+}
+
+// Single-token predicate for literals and non-ANYDATA fields. Depends only
+// on the log token, never on its position — the property that makes the
+// single-backtrack wildcard scan below complete.
+bool token_matches(const GrokToken& pt, const Token& tok,
+                   const DatatypeClassifier& classifier) {
+  if (!pt.is_field) return tok.text == pt.literal;
+  if (pt.field.type == Datatype::kDateTime) {
+    return tok.type == Datatype::kDateTime;
   }
-  if (pt.field.type == Datatype::kAnyData) {
-    // Wildcard: consume zero or more tokens, shortest first so trailing
-    // literals anchor the match deterministically.
-    for (size_t take = 0; ti + take <= tokens.size(); ++take) {
-      size_t mark = out != nullptr ? out->size() : 0;
-      if (out != nullptr) {
-        std::vector<std::string_view> span;
-        span.reserve(take);
-        for (size_t k = 0; k < take; ++k) span.push_back(tokens[ti + k].text);
-        out->emplace_back(pt.field.name, Json(join(span, " ")));
+  return tok.type != Datatype::kDateTime &&
+         classifier.matches(tok.text, pt.field.type);
+}
+
+}  // namespace
+
+bool GrokPattern::match_tokens(const std::vector<Token>& tokens,
+                               const DatatypeClassifier& classifier,
+                               GrokMatchScratch& scratch) const {
+  const size_t n = tokens.size();
+  const size_t m = tokens_.size();
+  scratch.steps = 0;
+  auto& starts = scratch.starts;
+  starts.assign(m + 1, 0);
+  starts[m] = static_cast<uint32_t>(n);
+
+  // Locate the fixed suffix after the last wildcard. Every non-wildcard
+  // pattern token consumes exactly one log token and the match must end at
+  // the last log token, so the suffix's placement is forced: right-aligned.
+  // Anchoring it first both rejects unmatchable tails in O(suffix) and caps
+  // the region the wildcard scan has to cover.
+  size_t tail = m;
+  while (tail > 0 && !is_wildcard(tokens_[tail - 1])) --tail;
+  const size_t tail_len = m - tail;
+
+  if (tail == 0) {
+    // No wildcard: one-to-one.
+    if (n != m) return false;
+    for (size_t i = 0; i < m; ++i) {
+      ++scratch.steps;
+      if (!token_matches(tokens_[i], tokens[i], classifier)) return false;
+      starts[i] = static_cast<uint32_t>(i);
+    }
+    return true;
+  }
+
+  if (n < tail_len) return false;
+  const size_t limit = n - tail_len;  // wildcard region is tokens[0, limit)
+  for (size_t k = 0; k < tail_len; ++k) {
+    ++scratch.steps;
+    if (!token_matches(tokens_[tail + k], tokens[limit + k], classifier)) {
+      return false;
+    }
+    starts[tail + k] = static_cast<uint32_t>(limit + k);
+  }
+
+  // Match tokens_[0, tail) — which ends in a wildcard — against
+  // tokens[0, limit). On a dead end, re-open the most recent wildcard one
+  // token wider; earlier wildcards never need revisiting, so the scan is
+  // O(tail * limit) and the first assignment found is the lexicographically
+  // minimal one (same captures as the historical shortest-first search).
+  constexpr size_t kNoStar = static_cast<size_t>(-1);
+  size_t ti = 0;
+  size_t pi = 0;
+  size_t star_pi = kNoStar;  // most recent wildcard's pattern index
+  size_t star_ti = 0;        // resume point: one past that wildcard's span
+  while (ti < limit || pi < tail) {
+    ++scratch.steps;
+    if (pi < tail) {
+      const GrokToken& pt = tokens_[pi];
+      if (is_wildcard(pt)) {
+        starts[pi] = static_cast<uint32_t>(ti);
+        star_pi = pi;
+        star_ti = ti;
+        ++pi;
+        continue;
       }
-      if (match_rec(tokens, classifier, ti + take, pi + 1, out)) return true;
-      if (out != nullptr) out->resize(mark);
+      if (ti < limit && token_matches(pt, tokens[ti], classifier)) {
+        starts[pi] = static_cast<uint32_t>(ti);
+        ++pi;
+        ++ti;
+        continue;
+      }
     }
-    return false;
+    if (star_pi == kNoStar || star_ti >= limit) return false;
+    ++star_ti;
+    ti = star_ti;
+    pi = star_pi + 1;
   }
-  if (ti >= tokens.size()) return false;
-  const Token& tok = tokens[ti];
-  bool ok = pt.field.type == Datatype::kDateTime
-                ? tok.type == Datatype::kDateTime
-                : tok.type != Datatype::kDateTime &&
-                      classifier.matches(tok.text, pt.field.type);
-  if (!ok) return false;
-  size_t mark = out != nullptr ? out->size() : 0;
-  if (out != nullptr) out->emplace_back(pt.field.name, Json(tok.text));
-  if (match_rec(tokens, classifier, ti + 1, pi + 1, out)) return true;
-  if (out != nullptr) out->resize(mark);
-  return false;
+  return true;
+}
+
+void GrokPattern::emit_fields(const std::vector<Token>& tokens,
+                              const GrokMatchScratch& scratch,
+                              JsonObject* out) const {
+  const auto& starts = scratch.starts;
+  size_t nf = 0;
+  for (size_t pi = 0; pi < tokens_.size(); ++pi) {
+    const GrokToken& pt = tokens_[pi];
+    if (!pt.is_field) continue;
+    if (nf == out->size()) out->emplace_back();
+    auto& slot = (*out)[nf++];
+    slot.first.assign(pt.field.name);
+    std::string& value = slot.second.emplace_string();
+    value.clear();
+    if (pt.field.type == Datatype::kAnyData) {
+      for (size_t k = starts[pi]; k < starts[pi + 1]; ++k) {
+        if (k > starts[pi]) value += ' ';
+        value += tokens[k].text;
+      }
+    } else {
+      value.append(tokens[starts[pi]].text);
+    }
+  }
+  out->resize(nf);
+}
+
+bool GrokPattern::match_into(const std::vector<Token>& tokens,
+                             const DatatypeClassifier& classifier,
+                             JsonObject* out, GrokMatchScratch& scratch) const {
+  if (!match_tokens(tokens, classifier, scratch)) return false;
+  if (out != nullptr) emit_fields(tokens, scratch, out);
+  return true;
 }
 
 bool GrokPattern::match(const std::vector<Token>& tokens,
                         const DatatypeClassifier& classifier,
                         JsonObject* out) const {
+  GrokMatchScratch scratch;
   if (out != nullptr) out->clear();
-  return match_rec(tokens, classifier, 0, 0, out);
+  return match_into(tokens, classifier, out, scratch);
 }
 
 bool GrokPattern::match(const std::vector<Token>& tokens,
                         const DatatypeClassifier& classifier) const {
-  return match_rec(tokens, classifier, 0, 0, nullptr);
+  GrokMatchScratch scratch;
+  return match_tokens(tokens, classifier, scratch);
 }
 
 }  // namespace loglens

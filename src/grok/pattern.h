@@ -20,6 +20,17 @@
 
 namespace loglens {
 
+// Reusable state for GrokPattern::match_into. starts[pi] records the log
+// token index where pattern token `pi` began matching (with a sentinel
+// starts[pattern size] = log size), so a wildcard's span is
+// [starts[pi], starts[pi+1]). `steps` counts matcher loop iterations of the
+// last attempt; it is O(pattern tokens * log tokens) by construction, which
+// tests use to pin down the old exponential-backtracking regression.
+struct GrokMatchScratch {
+  std::vector<uint32_t> starts;
+  uint64_t steps = 0;
+};
+
 struct GrokField {
   Datatype type = Datatype::kNotSpace;
   std::string name;  // "P1F2" generic id or a user-supplied semantic name
@@ -67,11 +78,22 @@ class GrokPattern {
 
   // Attempts to parse `tokens`; on success fills `out` with field-name ->
   // value pairs in pattern order and returns true. ANYDATA fields may span
-  // zero or more tokens (joined with single spaces in the output).
+  // zero or more tokens (joined with single spaces in the output); when
+  // several assignments exist the lexicographically minimal one wins (each
+  // wildcard takes as few tokens as possible, left to right), matching the
+  // historical shortest-first search.
   bool match(const std::vector<Token>& tokens, const DatatypeClassifier& classifier,
              JsonObject* out) const;
   bool match(const std::vector<Token>& tokens,
              const DatatypeClassifier& classifier) const;
+
+  // Hot-path variant: iterative matcher reusing `scratch` across calls. On
+  // failure `out` is left untouched; on success `out` is overwritten in
+  // place, reusing existing key/value string storage so a warm call performs
+  // no heap allocation. `out` may be null to test matchability only.
+  bool match_into(const std::vector<Token>& tokens,
+                  const DatatypeClassifier& classifier, JsonObject* out,
+                  GrokMatchScratch& scratch) const;
 
   // Assigns generic field ids P<pattern_id>F<k> to fields that have no name
   // yet (discovery order, k starting at 1), and records the pattern id.
@@ -92,9 +114,18 @@ class GrokPattern {
   friend bool operator==(const GrokPattern&, const GrokPattern&) = default;
 
  private:
-  bool match_rec(const std::vector<Token>& tokens,
-                 const DatatypeClassifier& classifier, size_t ti, size_t pi,
-                 JsonObject* out) const;
+  // Fills scratch.starts with a match assignment, or returns false. The
+  // matcher is the classic iterative glob scan: a single most-recent-wildcard
+  // backtrack register makes it O(pattern * log) worst case (complete for
+  // this pattern class because segments between wildcards are fixed-length
+  // runs of position-independent single-token predicates), and the fixed
+  // suffix after the last wildcard is anchored right-aligned up front so
+  // unmatchable tails fail before any wildcard work happens.
+  bool match_tokens(const std::vector<Token>& tokens,
+                    const DatatypeClassifier& classifier,
+                    GrokMatchScratch& scratch) const;
+  void emit_fields(const std::vector<Token>& tokens,
+                   const GrokMatchScratch& scratch, JsonObject* out) const;
 
   std::vector<GrokToken> tokens_;
   int id_ = 0;

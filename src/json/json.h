@@ -63,6 +63,15 @@ class Json {
   const JsonObject& as_object() const { return std::get<JsonObject>(value_); }
   JsonObject& as_object() { return std::get<JsonObject>(value_); }
 
+  // Makes this value a string and returns it for in-place assembly. When the
+  // value already holds a string its storage (capacity) is preserved — the
+  // parser hot path reuses field-value slots this way without reallocating.
+  std::string& emplace_string() {
+    if (auto* s = std::get_if<std::string>(&value_)) return *s;
+    value_ = std::string();
+    return std::get<std::string>(value_);
+  }
+
   // Object helpers. find() returns nullptr when the key is absent or this is
   // not an object; set() appends or overwrites.
   const Json* find(std::string_view key) const;

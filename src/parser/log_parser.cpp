@@ -18,8 +18,10 @@ Json ParsedLog::to_json() const {
 
 LogParser::LogParser(std::vector<GrokPattern> model,
                      const DatatypeClassifier& classifier,
-                     IndexMode index_mode)
-    : classifier_(classifier), index_mode_(index_mode) {
+                     IndexMode index_mode, size_t index_capacity)
+    : classifier_(classifier),
+      index_mode_(index_mode),
+      index_capacity_(std::max<size_t>(1, index_capacity)) {
   patterns_.reserve(model.size());
   for (auto& p : model) {
     IndexedPattern ip;
@@ -31,60 +33,72 @@ LogParser::LogParser(std::vector<GrokPattern> model,
 }
 
 const std::vector<uint32_t>& LogParser::candidate_group(
-    const std::vector<Datatype>& sig) {
-  std::string key = signature_key(sig);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
+    std::span<const Datatype> sig) {
+  auto it = index_map_.find(sig);
+  if (it != index_map_.end()) {
     ++stats_.index_hits;
-    return it->second;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->group;
   }
   ++stats_.groups_built;
-  std::vector<uint32_t> group;
+  IndexEntry entry;
+  entry.sig.assign(sig.begin(), sig.end());
   for (uint32_t pi = 0; pi < patterns_.size(); ++pi) {
     ++stats_.signature_comparisons;
     if (signature_match(sig, patterns_[pi].signature)) {
-      group.push_back(pi);
+      entry.group.push_back(pi);
     }
   }
   // "Patterns are sorted in the ascending order of datatype's generality and
   // length": most specific first; shorter patterns break ties.
-  std::sort(group.begin(), group.end(), [this](uint32_t a, uint32_t b) {
-    const auto& pa = patterns_[a];
-    const auto& pb = patterns_[b];
-    if (pa.generality != pb.generality) return pa.generality < pb.generality;
-    if (pa.pattern.size() != pb.pattern.size()) {
-      return pa.pattern.size() < pb.pattern.size();
-    }
-    return a < b;
-  });
-  return index_.emplace(std::move(key), std::move(group)).first->second;
+  std::sort(entry.group.begin(), entry.group.end(),
+            [this](uint32_t a, uint32_t b) {
+              const auto& pa = patterns_[a];
+              const auto& pb = patterns_[b];
+              if (pa.generality != pb.generality) {
+                return pa.generality < pb.generality;
+              }
+              if (pa.pattern.size() != pb.pattern.size()) {
+                return pa.pattern.size() < pb.pattern.size();
+              }
+              return a < b;
+            });
+  if (index_map_.size() >= index_capacity_) {
+    index_map_.erase(std::span<const Datatype>(lru_.back().sig));
+    lru_.pop_back();
+    ++stats_.index_evictions;
+  }
+  lru_.push_front(std::move(entry));
+  index_map_.emplace(std::span<const Datatype>(lru_.front().sig),
+                     lru_.begin());
+  return lru_.front().group;
 }
 
-ParseOutcome LogParser::parse(const TokenizedLog& log) {
+bool LogParser::match_core(const TokenizedLog& log, ParsedLog& out) {
   ++stats_.logs;
-  std::vector<Datatype> sig = log_signature(log);
+  sig_scratch_.clear();
+  for (const auto& t : log.tokens) sig_scratch_.push_back(t.type);
 
-  ParsedLog parsed;
   const GrokPattern* matched = nullptr;
-
   if (index_mode_ == IndexMode::kEnabled) {
-    for (uint32_t pi : candidate_group(sig)) {
+    for (uint32_t pi : candidate_group(sig_scratch_)) {
       ++stats_.match_attempts;
-      JsonObject fields;
-      if (patterns_[pi].pattern.match(log.tokens, classifier_, &fields)) {
+      if (patterns_[pi].pattern.match_into(log.tokens, classifier_,
+                                           &out.fields, match_scratch_)) {
         matched = &patterns_[pi].pattern;
-        parsed.fields = std::move(fields);
         break;
       }
     }
   } else {
-    // Naive baseline behaviour: try every pattern in model order.
+    // Naive baseline behaviour: try every pattern in model order. Each scan
+    // step is a pattern comparison — the cost the signature index amortizes
+    // away — so it counts toward signature_comparisons too.
     for (auto& ip : patterns_) {
+      ++stats_.signature_comparisons;
       ++stats_.match_attempts;
-      JsonObject fields;
-      if (ip.pattern.match(log.tokens, classifier_, &fields)) {
+      if (ip.pattern.match_into(log.tokens, classifier_, &out.fields,
+                                match_scratch_)) {
         matched = &ip.pattern;
-        parsed.fields = std::move(fields);
         break;
       }
     }
@@ -92,10 +106,28 @@ ParseOutcome LogParser::parse(const TokenizedLog& log) {
 
   if (matched == nullptr) {
     ++stats_.unparsed;
-    return {};
+    return false;
   }
-  parsed.pattern_id = matched->id();
-  parsed.timestamp_ms = log.timestamp_ms;
+  out.pattern_id = matched->id();
+  out.timestamp_ms = log.timestamp_ms;
+  return true;
+}
+
+bool LogParser::parse_into(const TokenizedLog& log, ParsedLog& out) {
+  if (!match_core(log, out)) return false;
+  out.raw.assign(log.raw);
+  return true;
+}
+
+bool LogParser::parse_into(TokenizedLog&& log, ParsedLog& out) {
+  if (!match_core(log, out)) return false;
+  out.raw.swap(log.raw);
+  return true;
+}
+
+ParseOutcome LogParser::parse(const TokenizedLog& log) {
+  ParsedLog parsed;
+  if (!match_core(log, parsed)) return {};
   parsed.raw = log.raw;
   return ParseOutcome{std::move(parsed)};
 }
@@ -108,9 +140,18 @@ size_t LogParser::resident_bytes() const {
       total += sizeof(t) + t.literal.capacity() + t.field.name.capacity();
     }
   }
-  for (const auto& [k, v] : index_) {
-    total += sizeof(std::pair<std::string, std::vector<uint32_t>>) +
-             k.capacity() + v.capacity() * sizeof(uint32_t);
+  // Index: the hash table's bucket array, then per entry one map node (hash
+  // cache + chain pointer + key/value pair) and one doubly-linked list node
+  // around the entry's owned signature and group storage.
+  total += index_map_.bucket_count() * sizeof(void*);
+  constexpr size_t kMapNodeOverhead =
+      sizeof(void*) + sizeof(size_t) +
+      sizeof(std::pair<std::span<const Datatype>, LruList::iterator>);
+  constexpr size_t kListNodeOverhead = 2 * sizeof(void*);
+  for (const auto& e : lru_) {
+    total += kMapNodeOverhead + kListNodeOverhead + sizeof(IndexEntry) +
+             e.sig.capacity() * sizeof(Datatype) +
+             e.group.capacity() * sizeof(uint32_t);
   }
   return total;
 }

@@ -10,13 +10,26 @@
 //   3. scan the group's patterns in order until one parses the log.
 // A log no pattern parses is an anomaly (type kUnparsedLog).
 //
+// The index keys on the hashed datatype sequence directly (no string key is
+// ever built) and is bounded: entries beyond `index_capacity` evict the
+// least-recently-used signature, so adversarial signature churn cannot grow
+// the parser without bound. Evictions are counted in ParserStats and
+// surfaced as loglens_parser_index_evictions_total.
+//
+// Hot-path contract: parse_into() reuses caller-owned ParsedLog storage plus
+// per-instance scratch (signature buffer, matcher state), so an index-hit
+// parse of a warm parser performs zero heap allocations
+// (tests/parser_allocation_test.cpp holds this to exactly 0).
+//
 // `IndexMode::kDisabled` gives the naive O(m) scan-per-log behaviour for the
 // index ablation benchmark.
 #pragma once
 
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -49,9 +62,10 @@ struct ParserStats {
   uint64_t unparsed = 0;
   uint64_t index_hits = 0;
   uint64_t groups_built = 0;
-  // Pattern comparisons: Algorithm 1 runs during group building plus full
-  // pattern match attempts during group scans. This is the quantity the
-  // O(mn) -> O(n) claim is about.
+  uint64_t index_evictions = 0;
+  // Pattern comparisons: Algorithm 1 runs during group building plus (in
+  // naive mode) the per-pattern model scan every log pays. This is the
+  // quantity the O(mn) -> O(n) claim is about.
   uint64_t signature_comparisons = 0;
   uint64_t match_attempts = 0;
 };
@@ -60,11 +74,20 @@ enum class IndexMode { kEnabled, kDisabled };
 
 class LogParser {
  public:
+  static constexpr size_t kDefaultIndexCapacity = 1u << 16;
+
   LogParser(std::vector<GrokPattern> model, const DatatypeClassifier& classifier,
-            IndexMode index_mode = IndexMode::kEnabled);
+            IndexMode index_mode = IndexMode::kEnabled,
+            size_t index_capacity = kDefaultIndexCapacity);
 
   // Parses one preprocessed log.
   ParseOutcome parse(const TokenizedLog& log);
+
+  // Hot-path variants: on success fill `out` in place (reusing its field and
+  // raw string storage) and return true; on failure `out` is stale and must
+  // not be read. The rvalue overload steals `log.raw` instead of copying it.
+  bool parse_into(const TokenizedLog& log, ParsedLog& out);
+  bool parse_into(TokenizedLog&& log, ParsedLog& out);
 
   std::vector<GrokPattern> model() const {
     std::vector<GrokPattern> out;
@@ -76,7 +99,11 @@ class LogParser {
   const ParserStats& stats() const { return stats_; }
   void reset_stats() { stats_ = {}; }
 
-  // Approximate resident bytes of the model + index (memory experiment).
+  size_t index_size() const { return index_map_.size(); }
+  size_t index_capacity() const { return index_capacity_; }
+
+  // Approximate resident bytes of the model + index (memory experiment),
+  // including the index's hash-bucket array and per-entry node overhead.
   size_t resident_bytes() const;
 
  private:
@@ -86,16 +113,49 @@ class LogParser {
     int generality = 0;
   };
 
-  // Builds (and caches) the candidate group for a log signature; returns the
-  // sorted list of pattern indices.
-  const std::vector<uint32_t>& candidate_group(
-      const std::vector<Datatype>& sig);
+  // One cached signature -> candidate-group mapping. The entry owns the
+  // signature storage; the index map's span key points into it (std::list
+  // nodes are stable under splice, so the span stays valid for the entry's
+  // lifetime).
+  struct IndexEntry {
+    std::vector<Datatype> sig;
+    std::vector<uint32_t> group;
+  };
+  using LruList = std::list<IndexEntry>;
+
+  struct SigHash {
+    size_t operator()(std::span<const Datatype> s) const {
+      return static_cast<size_t>(signature_hash(s));
+    }
+  };
+  struct SigEq {
+    bool operator()(std::span<const Datatype> a,
+                    std::span<const Datatype> b) const {
+      return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+    }
+  };
+
+  // Looks up (and on miss builds + caches) the candidate group for `sig`,
+  // refreshing its LRU position. The returned reference is valid until the
+  // next candidate_group call.
+  const std::vector<uint32_t>& candidate_group(std::span<const Datatype> sig);
+
+  // Shared matching core: fills out.pattern_id / timestamp_ms / fields on
+  // success, leaving out.raw for the caller to settle.
+  bool match_core(const TokenizedLog& log, ParsedLog& out);
 
   const DatatypeClassifier& classifier_;
   IndexMode index_mode_;
+  size_t index_capacity_;
   std::vector<IndexedPattern> patterns_;
-  std::unordered_map<std::string, std::vector<uint32_t>> index_;
+  LruList lru_;  // front = most recently used
+  std::unordered_map<std::span<const Datatype>, LruList::iterator, SigHash,
+                     SigEq>
+      index_map_;
   ParserStats stats_;
+  // Per-instance scratch reused across parse calls (hot-path contract).
+  std::vector<Datatype> sig_scratch_;
+  GrokMatchScratch match_scratch_;
 };
 
 }  // namespace loglens

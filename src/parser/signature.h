@@ -7,10 +7,12 @@
 // parsing from O(m) pattern comparisons per log to amortized O(1).
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "grok/datatype.h"
 #include "grok/pattern.h"
 #include "grok/token.h"
@@ -25,8 +27,20 @@ std::vector<Datatype> log_signature(const TokenizedLog& log);
 std::vector<Datatype> pattern_signature(const GrokPattern& pattern,
                                         const DatatypeClassifier& classifier);
 
-// Renders a signature as the space-joined string used as the index key.
+// Renders a signature as the space-joined datatype-name string. Diagnostics
+// only — the parser index keys on signature_hash + elementwise equality so
+// the hot path never materializes this string.
 std::string signature_key(std::span<const Datatype> signature);
+
+// FNV-1a over the datatype sequence; the parser's index hash.
+inline uint64_t signature_hash(std::span<const Datatype> signature) {
+  uint64_t h = kFnvOffset;
+  for (Datatype d : signature) {
+    h ^= static_cast<uint64_t>(d);
+    h *= kFnvPrime;
+  }
+  return h;
+}
 
 // Algorithm 1: can `pattern_sig` parse `log_sig`? Cell (i,j) is true when
 // the first i log datatypes are parsed by the first j pattern datatypes:

@@ -1,6 +1,7 @@
 #include "regexlite/regex.h"
 
 #include <cassert>
+#include <cstdio>
 #include <cstdlib>
 #include <memory>
 
@@ -478,10 +479,44 @@ StatusOr<Regex> Regex::compile(std::string_view pattern) {
 Regex Regex::compile_or_die(std::string_view pattern) {
   auto re = compile(pattern);
   if (!re.ok()) {
+    std::fprintf(stderr, "regexlite: compile_or_die(\"%.*s\") failed: %s\n",
+                 static_cast<int>(pattern.size()), pattern.data(),
+                 re.status().message().c_str());
     std::abort();
   }
   return std::move(re.value());
 }
+
+namespace {
+
+struct Undo {
+  bool is_mark;
+  uint32_t index;
+  size_t old_value;
+};
+struct Choice {
+  uint32_t pc;
+  size_t sp;
+  size_t undo_size;
+};
+
+// Per-thread VM state reused across run() calls: the vectors keep their
+// capacity, so a warm thread executes a match attempt with zero heap
+// allocations. run() never re-enters itself on the same thread, so a single
+// scratch per thread is safe.
+struct RunScratch {
+  std::vector<size_t> slots;
+  std::vector<size_t> marks;
+  std::vector<Undo> undo;
+  std::vector<Choice> stack;
+};
+
+RunScratch& run_scratch() {
+  static thread_local RunScratch scratch;
+  return scratch;
+}
+
+}  // namespace
 
 // Execution: an iterative backtracking VM. Backtrack points (from kSplit)
 // go on an explicit heap stack, and kSave/kMark slot writes go on an undo
@@ -489,22 +524,17 @@ Regex Regex::compile_or_die(std::string_view pattern) {
 // is bounded by the live choice points, never by input length (a recursive
 // matcher overflows the thread stack on ~100 KB tokens).
 bool Regex::run(std::string_view text, size_t start, bool anchored_end,
-                RegexMatch& m) const {
-  std::vector<size_t> slots(2 * (group_count_ + 1), RegexMatch::kUnset);
-  std::vector<size_t> marks(loop_count_, RegexMatch::kUnset);
-
-  struct Undo {
-    bool is_mark;
-    uint32_t index;
-    size_t old_value;
-  };
-  struct Choice {
-    uint32_t pc;
-    size_t sp;
-    size_t undo_size;
-  };
-  std::vector<Undo> undo;
-  std::vector<Choice> stack;
+                RegexMatch* m) const {
+  RunScratch& scratch = run_scratch();
+  std::vector<size_t>& slots = scratch.slots;
+  std::vector<size_t>& marks = scratch.marks;
+  std::vector<Undo>& undo = scratch.undo;
+  std::vector<Choice>& stack = scratch.stack;
+  slots.assign(2 * (group_count_ + 1), RegexMatch::kUnset);
+  marks.assign(loop_count_, RegexMatch::kUnset);
+  undo.clear();
+  stack.clear();
+  if (m != nullptr) m->budget_exhausted = false;
 
   uint32_t pc = 0;
   size_t sp = start;
@@ -527,7 +557,11 @@ bool Regex::run(std::string_view text, size_t start, bool anchored_end,
   };
 
   while (true) {
-    if (++steps > step_budget_) return false;
+    if (++steps > step_budget_) {
+      budget_exhausted_.v.fetch_add(1, std::memory_order_relaxed);
+      if (m != nullptr) m->budget_exhausted = true;
+      return false;
+    }
     const Inst& in = prog_[pc];
     bool fail = false;
     switch (in.op) {
@@ -607,28 +641,29 @@ bool Regex::run(std::string_view text, size_t start, bool anchored_end,
     if (fail && !backtrack()) return false;
   }
 
-  m.begin = start;
-  m.end = match_end;
-  m.groups.clear();
-  m.groups.reserve(group_count_);
-  for (size_t g = 0; g < group_count_; ++g) {
-    m.groups.emplace_back(slots[2 * g + 2], slots[2 * g + 3]);
+  if (m != nullptr) {
+    m->begin = start;
+    m->end = match_end;
+    m->groups.clear();
+    m->groups.reserve(group_count_);
+    for (size_t g = 0; g < group_count_; ++g) {
+      m->groups.emplace_back(slots[2 * g + 2], slots[2 * g + 3]);
+    }
   }
   return true;
 }
 
 bool Regex::full_match(std::string_view text, RegexMatch& m) const {
-  return run(text, 0, /*anchored_end=*/true, m);
+  return run(text, 0, /*anchored_end=*/true, &m);
 }
 
 bool Regex::full_match(std::string_view text) const {
-  RegexMatch m;
-  return full_match(text, m);
+  return run(text, 0, /*anchored_end=*/true, nullptr);
 }
 
 bool Regex::search(std::string_view text, RegexMatch& m) const {
   for (size_t start = 0; start <= text.size(); ++start) {
-    if (run(text, start, /*anchored_end=*/false, m)) return true;
+    if (run(text, start, /*anchored_end=*/false, &m)) return true;
     // A pattern anchored with '^' can only ever match at 0; the kBegin
     // instruction makes later starts fail fast, so no special case needed.
   }
@@ -636,8 +671,10 @@ bool Regex::search(std::string_view text, RegexMatch& m) const {
 }
 
 bool Regex::search(std::string_view text) const {
-  RegexMatch m;
-  return search(text, m);
+  for (size_t start = 0; start <= text.size(); ++start) {
+    if (run(text, start, /*anchored_end=*/false, nullptr)) return true;
+  }
+  return false;
 }
 
 std::string Regex::replace_all(std::string_view text,
@@ -650,7 +687,7 @@ std::string Regex::replace_all(std::string_view text,
     RegexMatch local;
     bool found = false;
     for (size_t start = 0; start <= rest.size(); ++start) {
-      if (run(rest, start, false, local)) {
+      if (run(rest, start, false, &local)) {
         found = true;
         break;
       }

@@ -12,13 +12,19 @@
 //   alternation '|', anchors '^' '$', quantifiers * + ? {m} {m,} {m,n}
 //   with lazy variants (*?, +?, ??, {m,n}?).
 //
-// Patterns compile to a bytecode program executed by a recursive
+// Patterns compile to a bytecode program executed by an iterative
 // backtracking VM (Pike-style instruction set, backtracking execution). A
 // step budget bounds pathological backtracking; exceeding it reports
-// no-match, which is the safe direction for anomaly detection (an unparsed
-// log is surfaced to the user rather than silently swallowed).
+// no-match — the safe direction for anomaly detection — but the exhaustion
+// is surfaced (RegexMatch::budget_exhausted + a per-instance counter) so
+// callers can tell a truncated search from a genuine no-match.
+//
+// Hot-path contract: run() keeps its VM state (slot/undo/choice stacks) in
+// thread-local scratch reused across calls, so a match attempt performs no
+// heap allocation once a thread is warm.
 #pragma once
 
+#include <atomic>
 #include <bitset>
 #include <cstdint>
 #include <string>
@@ -36,6 +42,9 @@ struct RegexMatch {
   // npos/npos when the group did not participate.
   static constexpr size_t kUnset = static_cast<size_t>(-1);
   std::vector<std::pair<size_t, size_t>> groups;
+  // True when the last attempt gave up because the VM step budget ran out
+  // (the result is then "unknown", reported as no-match).
+  bool budget_exhausted = false;
 
   std::string_view group_text(std::string_view subject, size_t index) const {
     if (index >= groups.size() || groups[index].first == kUnset) return {};
@@ -51,7 +60,8 @@ class Regex {
   // Compiles `pattern`; reports syntax errors with offsets.
   static StatusOr<Regex> compile(std::string_view pattern);
 
-  // Convenience: compiles or aborts. For string literals known to be valid.
+  // Convenience: compiles or aborts (after printing the pattern and the
+  // compile error to stderr). For string literals known to be valid.
   static Regex compile_or_die(std::string_view pattern);
 
   // Whole-string match (as if anchored on both ends).
@@ -77,6 +87,12 @@ class Regex {
   // Maximum VM steps per match attempt (default 4M). Exposed for tests.
   void set_step_budget(uint64_t budget) { step_budget_ = budget; }
 
+  // Times any match attempt on this instance gave up on budget exhaustion
+  // (monotonic; fed into loglens_regex_budget_exhausted_total).
+  uint64_t budget_exhausted_count() const {
+    return budget_exhausted_.v.load(std::memory_order_relaxed);
+  }
+
  private:
   enum class Op : uint8_t {
     kChar, kAny, kClass, kSplit, kJmp, kSave, kMatch, kBegin, kEnd,
@@ -93,8 +109,22 @@ class Regex {
     uint32_t y = 0;     // kSplit second target
   };
 
+  // `m` may be null when the caller only needs the boolean (skips group
+  // extraction entirely).
   bool run(std::string_view text, size_t start, bool anchored_end,
-           RegexMatch& m) const;
+           RegexMatch* m) const;
+
+  // Relaxed counter with value-copy semantics so Regex stays copyable.
+  struct RelaxedCounter {
+    std::atomic<uint64_t> v{0};
+    RelaxedCounter() = default;
+    RelaxedCounter(const RelaxedCounter& o)
+        : v(o.v.load(std::memory_order_relaxed)) {}
+    RelaxedCounter& operator=(const RelaxedCounter& o) {
+      v.store(o.v.load(std::memory_order_relaxed), std::memory_order_relaxed);
+      return *this;
+    }
+  };
 
   std::string pattern_;
   std::vector<Inst> prog_;
@@ -102,6 +132,7 @@ class Regex {
   size_t group_count_ = 0;
   size_t loop_count_ = 0;
   uint64_t step_budget_ = 4u << 20;
+  mutable RelaxedCounter budget_exhausted_;
 
   friend class RegexCompiler;
 };

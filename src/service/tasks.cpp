@@ -42,12 +42,18 @@ ParserTask::ParserTask(std::shared_ptr<ModelBroadcast> model, size_t partition,
   index_misses_total_ =
       &registry.counter("loglens_parser_index_misses_total", labels,
                         "Signature-index misses (candidate groups built)");
+  index_evictions_total_ =
+      &registry.counter("loglens_parser_index_evictions_total", labels,
+                        "Signature-index entries evicted by the LRU bound");
   match_attempts_total_ =
       &registry.counter("loglens_parser_match_attempts_total", labels,
                         "Full pattern match attempts");
   stateless_anomalies_total_ =
       &registry.counter("loglens_parser_stateless_anomalies_total", labels,
                         "Anomalies emitted by the stateless stage");
+  regex_budget_exhausted_total_ = &registry.counter(
+      "loglens_regex_budget_exhausted_total", labels,
+      "Regex match attempts abandoned on VM step-budget exhaustion");
   parse_latency_us_ =
       &registry.histogram("loglens_parser_parse_latency_us", labels,
                           "Per-log parse latency (index lookup + matching)");
@@ -59,7 +65,9 @@ void ParserTask::refresh_model(size_t partition) {
   if (parser_ != nullptr) sync_stats();  // flush before the stats reset
   current_ = std::move(fresh);
   parser_ = std::make_unique<LogParser>(current_->patterns,
-                                        preprocessor_.classifier());
+                                        preprocessor_.classifier(),
+                                        IndexMode::kEnabled,
+                                        options_.parser_index_capacity);
   synced_ = {};
   id_fields_ = current_->sequence.id_fields;
   keywords_.reset();
@@ -82,9 +90,20 @@ void ParserTask::sync_stats() {
   index_hits_total_->inc(stat_delta(stats.index_hits, synced_.index_hits));
   index_misses_total_->inc(
       stat_delta(stats.groups_built, synced_.groups_built));
+  index_evictions_total_->inc(
+      stat_delta(stats.index_evictions, synced_.index_evictions));
   match_attempts_total_->inc(
       stat_delta(stats.match_attempts, synced_.match_attempts));
   synced_ = stats;
+  // Budget exhaustion lives on the regex instances this task owns (the
+  // classifier's Table I regexes + user split rules), never on a global, so
+  // summing per task cannot double-count across partitions.
+  const uint64_t exhausted =
+      preprocessor_.classifier().budget_exhausted_total() +
+      preprocessor_.split_rule_budget_exhausted_total();
+  regex_budget_exhausted_total_->inc(
+      stat_delta(exhausted, synced_regex_exhausted_));
+  synced_regex_exhausted_ = exhausted;
 }
 
 void ParserTask::on_batch_end(TaskContext& /*ctx*/) { sync_stats(); }
@@ -113,27 +132,27 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
     ctx.emit(std::move(m));
   };
 
-  TokenizedLog tokenized = preprocessor_.process(message.value);
+  preprocessor_.process_into(message.value, tokenized_);
 
   // Extension: stateless keyword detection on the raw line.
   if (keywords_ != nullptr) {
     if (auto alert = keywords_->check(message.value, message.source,
-                                      tokenized.timestamp_ms)) {
+                                      tokenized_.timestamp_ms)) {
       stateless_anomalies_total_->inc();
       emit(anomaly_to_message(*alert));
     }
   }
 
-  ParseOutcome outcome = [&] {
+  const bool parsed_ok = [&] {
     ScopedTimer timer(parse_latency_us_);
-    return parser_->parse(tokenized);
+    return parser_->parse_into(std::move(tokenized_), parsed_);
   }();
-  if (!outcome.log.has_value()) {
+  if (!parsed_ok) {
     Anomaly a;
     a.type = AnomalyType::kUnparsedLog;
     a.severity = "medium";
     a.reason = "no discovered pattern parses this log";
-    a.timestamp_ms = tokenized.timestamp_ms;
+    a.timestamp_ms = tokenized_.timestamp_ms;
     a.source = message.source;
     a.logs = {message.value};
     stateless_anomalies_total_->inc();
@@ -141,7 +160,7 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
     return;
   }
 
-  ParsedLog& parsed = *outcome.log;
+  ParsedLog& parsed = parsed_;
 
   // Extension: KPI range checks on the parsed fields.
   if (options_.check_field_ranges &&

@@ -28,6 +28,8 @@ using ModelBroadcast = Broadcast<CompositeModel>;
 
 struct ParserTaskOptions {
   PreprocessorOptions preprocessor;
+  // Bound on the parser's signature index (LRU-evicted beyond this).
+  size_t parser_index_capacity = LogParser::kDefaultIndexCapacity;
   // Run the extension detectors when the model carries them.
   bool check_field_ranges = true;
   bool check_keywords = true;
@@ -66,10 +68,20 @@ class ParserTask : public PartitionTask {
   Counter* unparsed_total_ = nullptr;
   Counter* index_hits_total_ = nullptr;
   Counter* index_misses_total_ = nullptr;
+  Counter* index_evictions_total_ = nullptr;
   Counter* match_attempts_total_ = nullptr;
   Counter* stateless_anomalies_total_ = nullptr;
+  Counter* regex_budget_exhausted_total_ = nullptr;
   Histogram* parse_latency_us_ = nullptr;
   ParserStats synced_;
+  // Last regex budget-exhaustion total pushed (classifier + split rules;
+  // per-task counters, so the sync cannot double-count across partitions).
+  uint64_t synced_regex_exhausted_ = 0;
+
+  // Reused per-message buffers: process_into/parse_into fill these in place,
+  // keeping the steady-state parse path allocation-free.
+  TokenizedLog tokenized_;
+  ParsedLog parsed_;
 };
 
 class DetectorTask : public PartitionTask {

@@ -27,12 +27,23 @@ Preprocessor::Preprocessor(PreprocessorOptions options,
 
 TokenizedLog Preprocessor::process(std::string_view raw) {
   TokenizedLog out;
-  out.raw = std::string(raw);
+  process_into(raw, out);
+  return out;
+}
+
+void Preprocessor::process_into(std::string_view raw, TokenizedLog& out) {
+  out.raw.assign(raw);
+  out.timestamp_ms = -1;
 
   // 1. Delimiter split. 2. Split rules (one pass; a rule's output pieces are
   // not re-fed through the rules, matching the paper's single rewrite step).
-  std::vector<std::string> pieces;
-  for (std::string_view tok : split_any(raw, options_.delimiters)) {
+  // Piece slots keep their string capacity from previous logs.
+  size_t np = 0;
+  auto add_piece = [&](std::string_view sv) {
+    if (np == pieces_.size()) pieces_.emplace_back();
+    pieces_[np++].assign(sv);
+  };
+  for_each_split_any(raw, options_.delimiters, [&](std::string_view tok) {
     const CompiledRule* hit = nullptr;
     for (const auto& rule : rules_) {
       if (rule.match.full_match(tok)) {
@@ -41,39 +52,39 @@ TokenizedLog Preprocessor::process(std::string_view raw) {
       }
     }
     if (hit == nullptr) {
-      pieces.emplace_back(tok);
-      continue;
+      add_piece(tok);
+      return;
     }
     std::string rewritten = hit->match.replace_all(tok, hit->rewrite);
-    for (std::string_view sub : split_any(rewritten, " ")) {
-      pieces.emplace_back(sub);
-    }
-  }
+    for_each_split_any(rewritten, " ", add_piece);
+  });
 
-  // 3+4. Timestamp recognition, then datatype classification.
-  std::vector<std::string_view> views;
-  views.reserve(pieces.size());
-  for (const auto& p : pieces) views.push_back(p);
+  // 3+4. Timestamp recognition, then datatype classification. Token slots
+  // are reused the same way, with a trailing resize dropping leftovers.
+  views_.clear();
+  for (size_t i = 0; i < np; ++i) views_.push_back(pieces_[i]);
 
-  out.tokens.reserve(pieces.size());
+  size_t nt = 0;
+  auto next_token = [&]() -> Token& {
+    if (nt == out.tokens.size()) out.tokens.emplace_back();
+    return out.tokens[nt++];
+  };
   size_t i = 0;
-  while (i < views.size()) {
-    if (auto m = recognizer_.match_at(views, i)) {
-      Token t;
-      t.text = format_canonical(m->epoch_ms);
+  while (i < np) {
+    if (auto m = recognizer_.match_at(views_, i)) {
+      Token& t = next_token();
+      format_canonical_to(m->epoch_ms, t.text);
       t.type = Datatype::kDateTime;
-      out.tokens.push_back(std::move(t));
       if (out.timestamp_ms < 0) out.timestamp_ms = m->epoch_ms;
       i += m->span;
       continue;
     }
-    Token t;
-    t.text = pieces[i];
-    t.type = classifier_.classify(views[i]);
-    out.tokens.push_back(std::move(t));
+    Token& t = next_token();
+    t.text.assign(pieces_[i]);
+    t.type = classifier_.classify(views_[i]);
     ++i;
   }
-  return out;
+  out.tokens.resize(nt);
 }
 
 }  // namespace loglens

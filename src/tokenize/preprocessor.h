@@ -48,8 +48,21 @@ class Preprocessor {
 
   TokenizedLog process(std::string_view raw);
 
+  // Hot-path variant: fills `out` in place, reusing its token/raw string
+  // storage and the instance's piece/view scratch, so a warm call on a
+  // delimiter-only log performs no heap allocation.
+  void process_into(std::string_view raw, TokenizedLog& out);
+
   TimestampRecognizer& recognizer() { return recognizer_; }
   const DatatypeClassifier& classifier() const { return classifier_; }
+
+  // Times any split-rule regex gave up on VM budget exhaustion (monotonic;
+  // folded into loglens_regex_budget_exhausted_total).
+  uint64_t split_rule_budget_exhausted_total() const {
+    uint64_t total = 0;
+    for (const auto& r : rules_) total += r.match.budget_exhausted_count();
+    return total;
+  }
 
  private:
   struct CompiledRule {
@@ -63,6 +76,10 @@ class Preprocessor {
   std::vector<CompiledRule> rules_;
   TimestampRecognizer recognizer_;
   DatatypeClassifier classifier_;
+  // process_into scratch: piece strings keep their capacity across logs;
+  // views_ aliases them for the timestamp recognizer.
+  std::vector<std::string> pieces_;
+  std::vector<std::string_view> views_;
 };
 
 }  // namespace loglens

@@ -138,5 +138,96 @@ TEST_F(LogParserTest, EmptyModelParsesNothing) {
   EXPECT_EQ(parser.pattern_count(), 0u);
 }
 
+TEST_F(LogParserTest, IndexEvictsLeastRecentlyUsedSignature) {
+  LogParser parser(model({"%{WORD:a} %{NUMBER:b}"}), pre_.classifier(),
+                   IndexMode::kEnabled, /*index_capacity=*/2);
+  EXPECT_EQ(parser.index_capacity(), 2u);
+  // Three distinct signatures against capacity 2: the third insert evicts
+  // the least recently used (the first).
+  parser.parse(pre_.process("login 42"));        // sig A
+  parser.parse(pre_.process("login login"));     // sig B
+  parser.parse(pre_.process("login 42 extra"));  // sig C -> evicts A
+  EXPECT_EQ(parser.index_size(), 2u);
+  EXPECT_EQ(parser.stats().index_evictions, 1u);
+  // A was evicted: seeing it again rebuilds the group (and evicts B).
+  parser.parse(pre_.process("login 43"));
+  EXPECT_EQ(parser.stats().groups_built, 4u);
+  EXPECT_EQ(parser.stats().index_hits, 0u);
+  EXPECT_EQ(parser.stats().index_evictions, 2u);
+}
+
+TEST_F(LogParserTest, IndexHitRefreshesLruPosition) {
+  LogParser parser(model({"%{WORD:a} %{NUMBER:b}"}), pre_.classifier(),
+                   IndexMode::kEnabled, /*index_capacity=*/2);
+  parser.parse(pre_.process("login 42"));        // sig A
+  parser.parse(pre_.process("login login"));     // sig B
+  parser.parse(pre_.process("login 43"));        // hit A -> A becomes MRU
+  parser.parse(pre_.process("login 42 extra"));  // sig C -> evicts B, not A
+  EXPECT_EQ(parser.stats().index_evictions, 1u);
+  parser.parse(pre_.process("login 44"));  // A still cached
+  EXPECT_EQ(parser.stats().index_hits, 2u);
+  EXPECT_EQ(parser.stats().groups_built, 3u);
+}
+
+TEST_F(LogParserTest, EvictedGroupStillParsesCorrectly) {
+  LogParser parser(model({"%{WORD:a} %{NUMBER:b}", "%{WORD:a} %{WORD:b}"}),
+                   pre_.classifier(), IndexMode::kEnabled,
+                   /*index_capacity=*/1);
+  for (int i = 0; i < 20; ++i) {
+    // Alternate signatures so every parse evicts the other's entry.
+    auto a = parser.parse(pre_.process("login " + std::to_string(i)));
+    ASSERT_TRUE(a.log.has_value());
+    EXPECT_EQ(a.log->pattern_id, 1);
+    auto b = parser.parse(pre_.process("login out"));
+    ASSERT_TRUE(b.log.has_value());
+    EXPECT_EQ(b.log->pattern_id, 2);
+  }
+  EXPECT_EQ(parser.index_size(), 1u);
+  EXPECT_EQ(parser.stats().index_evictions, 39u);
+}
+
+TEST_F(LogParserTest, DisabledIndexCountsSignatureComparisons) {
+  LogParser parser(model({"%{IP:d} in", "%{WORD:a} %{NUMBER:b}"}),
+                   pre_.classifier(), IndexMode::kDisabled);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(parser.parse(pre_.process("login 42")).log.has_value());
+  }
+  // Every log pays the full model scan up to its match (2 patterns here),
+  // the cost the signature index amortizes away.
+  EXPECT_EQ(parser.stats().signature_comparisons, 20u);
+  EXPECT_EQ(parser.stats().match_attempts, 20u);
+}
+
+TEST_F(LogParserTest, ParseIntoMatchesParseOutput) {
+  LogParser a(model({"%{WORD:Action} DB %{IP:Server}"}), pre_.classifier());
+  LogParser b(model({"%{WORD:Action} DB %{IP:Server}"}), pre_.classifier());
+  TokenizedLog log = pre_.process("Connect DB 127.0.0.1");
+  auto outcome = a.parse(log);
+  ASSERT_TRUE(outcome.log.has_value());
+  ParsedLog parsed;
+  ASSERT_TRUE(b.parse_into(log, parsed));
+  EXPECT_EQ(outcome.log->to_json().dump(), parsed.to_json().dump());
+  EXPECT_EQ(parsed.raw, "Connect DB 127.0.0.1");
+
+  // The rvalue overload steals raw instead of copying.
+  TokenizedLog moved = pre_.process("Connect DB 10.1.1.1");
+  ASSERT_TRUE(b.parse_into(std::move(moved), parsed));
+  EXPECT_EQ(parsed.raw, "Connect DB 10.1.1.1");
+}
+
+TEST_F(LogParserTest, ResidentBytesGrowWithIndexEntries) {
+  auto m = model({"%{WORD:a} %{NUMBER:b}"});
+  LogParser parser(m, pre_.classifier());
+  const size_t empty_index = parser.resident_bytes();
+  for (int i = 0; i < 32; ++i) {
+    std::string line = "login 1";
+    for (int j = 0; j < i; ++j) line += " extra";
+    parser.parse(pre_.process(line));
+  }
+  // 32 distinct signatures cached: the index accounting (bucket array +
+  // per-entry nodes + owned signature/group storage) must be visible.
+  EXPECT_GT(parser.resident_bytes(), empty_index + 32 * sizeof(void*));
+}
+
 }  // namespace
 }  // namespace loglens

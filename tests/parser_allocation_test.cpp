@@ -1,0 +1,139 @@
+// Proves the hot-path allocation contract: once the parser, its scratch, and
+// the reused output slots are warm, an index-hit parse_into performs ZERO
+// heap allocations per log. A global counting operator new underwrites the
+// claim — any hidden allocation (string copy, vector growth, rehash) fails
+// the exact-zero expectation.
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parser/log_parser.h"
+#include "tokenize/preprocessor.h"
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace loglens {
+namespace {
+
+std::vector<GrokPattern> make_model() {
+  std::vector<GrokPattern> model;
+  int id = 1;
+  for (const char* text : {
+           "%{WORD:Action} DB %{IP:Server} user %{NOTSPACE:UserName}",
+           "%{WORD:w} logged out session %{NUMBER:n}",
+           "error code %{NUMBER:code} at %{NOTSPACE:loc}",
+       }) {
+    auto p = GrokPattern::parse(text);
+    p->assign_field_ids(id++);
+    model.push_back(std::move(p.value()));
+  }
+  return model;
+}
+
+TEST(ParserAllocationTest, IndexHitParseIntoIsAllocationFree) {
+  auto pre = std::move(Preprocessor::create({}).value());
+  LogParser parser(make_model(), pre.classifier());
+
+  // Distinct field values, one shared signature: every parse after the first
+  // is an index hit.
+  std::vector<TokenizedLog> logs;
+  for (int i = 0; i < 64; ++i) {
+    logs.push_back(pre.process("Connect DB 10.0.0." + std::to_string(i) +
+                               " user u" + std::to_string(100 + i)));
+  }
+
+  ParsedLog parsed;
+  // Warm: sizes the index entry, the signature/matcher scratch, and the
+  // output slots (field names, values, raw) to their steady-state capacity.
+  for (const auto& log : logs) {
+    ASSERT_TRUE(parser.parse_into(log, parsed));
+  }
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (const auto& log : logs) {
+      ASSERT_TRUE(parser.parse_into(log, parsed));
+    }
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "expected zero allocations across " << 10 * logs.size()
+      << " warm index-hit parses";
+  EXPECT_EQ(parser.stats().groups_built, 1u);
+}
+
+TEST(ParserAllocationTest, UnparsedLogsAreAllocationFreeToo) {
+  auto pre = std::move(Preprocessor::create({}).value());
+  LogParser parser(make_model(), pre.classifier());
+  TokenizedLog log = pre.process("something else entirely here now");
+
+  ParsedLog parsed;
+  EXPECT_FALSE(parser.parse_into(log, parsed));  // warm (builds the group)
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 100; ++rep) {
+    EXPECT_FALSE(parser.parse_into(log, parsed));
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+TEST(ParserAllocationTest, FullPipelineSteadyStateStaysAllocationFree) {
+  // process_into + the raw-stealing parse_into overload: the preprocessor
+  // piece/token slots and the ParsedLog raw slot all reach a steady state,
+  // removing both raw copies the old path paid per log.
+  auto pre = std::move(Preprocessor::create({}).value());
+  LogParser parser(make_model(), pre.classifier());
+
+  std::vector<std::string> lines;
+  for (int i = 0; i < 64; ++i) {
+    lines.push_back("Connect DB 10.0.0." + std::to_string(i) + " user u" +
+                    std::to_string(100 + i));
+  }
+
+  TokenizedLog tokenized;
+  ParsedLog parsed;
+  for (int rep = 0; rep < 2; ++rep) {
+    for (const auto& line : lines) {
+      pre.process_into(line, tokenized);
+      ASSERT_TRUE(parser.parse_into(std::move(tokenized), parsed));
+    }
+  }
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (const auto& line : lines) {
+      pre.process_into(line, tokenized);
+      ASSERT_TRUE(parser.parse_into(std::move(tokenized), parsed));
+      ASSERT_EQ(parsed.raw, line);
+    }
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u);
+}
+
+}  // namespace
+}  // namespace loglens

@@ -183,6 +183,37 @@ TEST(RegexBudget, PathologicalPatternTerminates) {
   EXPECT_FALSE(re.full_match(adversarial));
 }
 
+TEST(RegexBudget, ExhaustionIsSurfacedNotSilent) {
+  Regex re = Regex::compile_or_die("(a+)+$");
+  re.set_step_budget(10000);
+  std::string adversarial(64, 'a');
+  adversarial.push_back('b');
+  EXPECT_EQ(re.budget_exhausted_count(), 0u);
+  RegexMatch m;
+  EXPECT_FALSE(re.full_match(adversarial, m));
+  EXPECT_TRUE(m.budget_exhausted);
+  EXPECT_EQ(re.budget_exhausted_count(), 1u);
+  // The boolean-only overload still counts.
+  EXPECT_FALSE(re.full_match(adversarial));
+  EXPECT_EQ(re.budget_exhausted_count(), 2u);
+}
+
+TEST(RegexBudget, GenuineNoMatchDoesNotFlagExhaustion) {
+  Regex re = Regex::compile_or_die("[0-9]+");
+  RegexMatch m;
+  EXPECT_FALSE(re.full_match("abc", m));
+  EXPECT_FALSE(m.budget_exhausted);
+  EXPECT_EQ(re.budget_exhausted_count(), 0u);
+  // A later successful match clears any stale flag on the reused struct.
+  m.budget_exhausted = true;
+  EXPECT_TRUE(re.full_match("123", m));
+  EXPECT_FALSE(m.budget_exhausted);
+}
+
+TEST(RegexCompileOrDie, AbortsWithDiagnosticOnBadPattern) {
+  EXPECT_DEATH(Regex::compile_or_die("(unclosed"), "compile_or_die");
+}
+
 TEST(RegexStats, CompiledBytesNonZero) {
   Regex re = Regex::compile_or_die("[a-z]+ [0-9]{1,3}");
   EXPECT_GT(re.compiled_bytes(), re.pattern().size());

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Compare a bench_pipeline_throughput run against the committed baseline.
+"""Compare a benchmark run against the committed baseline.
 
 Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
+                        [--require STAGE]...
 
-Both files are the BENCH_pipeline.json the benchmark binary writes. The
-check fails (exit 1) when any stage's msgs_per_sec drops more than
-``threshold`` below the baseline. Stages present in only one file are
-reported but do not fail the check (the benchmark may grow stages between
-commits); speedups only update the printed report.
+Both files are the BENCH_*.json a benchmark binary writes (bench/baseline.json
+holds the union of every gated stage; stages the current binary does not emit
+are skipped). The check fails (exit 1) when any stage's msgs_per_sec drops
+more than ``threshold`` below the baseline. Stages present in only one file
+are reported but do not fail the check (the benchmark may grow stages between
+commits) — except stages named with ``--require``, which must appear in the
+current run so a silently-dropped gate cannot pass. Speedups only update the
+printed report.
 
 CI keeps the baseline honest: refresh bench/baseline.json deliberately when
 a PR moves throughput, rather than letting it drift.
@@ -36,6 +40,9 @@ def main():
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.25,
                         help="allowed fractional regression (default 0.25)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="STAGE",
+                        help="stage that must be present in the current run")
     args = parser.parse_args()
 
     baseline = load_stages(args.baseline)
@@ -45,6 +52,11 @@ def main():
         return 2
 
     failed = False
+    for name in args.require:
+        if name not in current:
+            print(f"  {name}: REQUIRED stage missing from current run",
+                  file=sys.stderr)
+            failed = True
     for name in sorted(baseline):
         if name not in current:
             print(f"  {name}: missing from current run (skipped)")
