@@ -12,14 +12,15 @@
 #include <condition_variable>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "broker/message.h"
 #include "common/hash.h"
+#include "common/lock_rank.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "faults/fault_injector.h"
 #include "metrics/metrics.h"
 
@@ -38,7 +39,8 @@ class Broker {
 
   // Creates `topic` with `partitions` partitions; idempotent when the
   // partition count matches, an error otherwise.
-  Status create_topic(const std::string& topic, size_t partitions = 1);
+  Status create_topic(const std::string& topic, size_t partitions = 1)
+      LOGLENS_EXCLUDES(mu_);
 
   // Appends to the partition chosen by hash(key) (or to `partition` when
   // explicitly given). Creating on demand with 1 partition keeps simple
@@ -51,7 +53,8 @@ class Broker {
   // producer call sites stay oblivious. Only an exhausted retry budget
   // surfaces as an error Status.
   Status produce(const std::string& topic, Message message,
-                 std::optional<size_t> partition = std::nullopt);
+                 std::optional<size_t> partition = std::nullopt)
+      LOGLENS_EXCLUDES(mu_);
 
   // Copies up to `max` messages from [offset, ...) of a partition. Returns
   // fewer (possibly zero) when the partition is short. Injected fetch faults
@@ -59,17 +62,20 @@ class Broker {
   // error; offsets are caller-held, so the caller's next poll retries) —
   // never an exception.
   std::vector<Message> fetch(const std::string& topic, size_t partition,
-                             uint64_t offset, size_t max) const;
+                             uint64_t offset, size_t max) const
+      LOGLENS_EXCLUDES(mu_);
 
   // Blocks until at least one message is available past `offset` or
   // `timeout_ms` elapses.
   std::vector<Message> fetch_blocking(const std::string& topic,
                                       size_t partition, uint64_t offset,
-                                      size_t max, int64_t timeout_ms) const;
+                                      size_t max, int64_t timeout_ms) const
+      LOGLENS_EXCLUDES(mu_);
 
-  size_t partition_count(const std::string& topic) const;
-  uint64_t end_offset(const std::string& topic, size_t partition) const;
-  std::vector<std::string> topics() const;
+  size_t partition_count(const std::string& topic) const LOGLENS_EXCLUDES(mu_);
+  uint64_t end_offset(const std::string& topic, size_t partition) const
+      LOGLENS_EXCLUDES(mu_);
+  std::vector<std::string> topics() const LOGLENS_EXCLUDES(mu_);
 
  private:
   struct TopicData {
@@ -79,15 +85,22 @@ class Broker {
     Counter* fetched = nullptr;
   };
 
-  TopicData& topic_data_locked(const std::string& topic, size_t partitions);
+  TopicData& topic_data_locked(const std::string& topic, size_t partitions)
+      LOGLENS_REQUIRES(mu_);
   // Consults the fetch fault site; true when this fetch should fail empty.
-  bool fetch_fault() const;
+  // Runs before mu_ is taken (the injected delay must not stall the broker).
+  bool fetch_fault() const LOGLENS_EXCLUDES(mu_);
 
   MetricsRegistry* metrics_;
   FaultInjector* faults_ = nullptr;
-  mutable std::mutex mu_;
-  mutable std::condition_variable cv_;
-  std::map<std::string, TopicData> topics_;
+  // Consumers (kConsumer) and groups (kConsumerGroup) fetch while holding
+  // their own locks, and topic creation registers metrics (kMetrics) under
+  // this one — hence kConsumer* < kBroker < kMetrics.
+  mutable RankedMutex mu_{lock_rank::kBroker};
+  // _any: the plain std::condition_variable only accepts
+  // std::unique_lock<std::mutex>, which the analysis cannot see.
+  mutable std::condition_variable_any cv_;
+  std::map<std::string, TopicData> topics_ LOGLENS_GUARDED_BY(mu_);
 };
 
 // Coordinated consumption: members of one group share a topic's partitions
@@ -99,56 +112,66 @@ class ConsumerGroup {
   ConsumerGroup(Broker& broker, std::string group, std::string topic);
 
   // Joins the group; returns a member id used for polling.
-  size_t join();
+  size_t join() LOGLENS_EXCLUDES(mu_);
 
   // Polls the partitions assigned to `member` (round-robin assignment over
   // the current membership), advancing the shared offsets.
-  std::vector<Message> poll(size_t member, size_t max);
+  std::vector<Message> poll(size_t member, size_t max) LOGLENS_EXCLUDES(mu_);
 
-  size_t members() const;
+  size_t members() const LOGLENS_EXCLUDES(mu_);
   // Partitions currently assigned to `member`.
-  std::vector<size_t> assignment(size_t member) const;
+  std::vector<size_t> assignment(size_t member) const LOGLENS_EXCLUDES(mu_);
 
  private:
   Broker& broker_;
   std::string group_;
   std::string topic_;
-  mutable std::mutex mu_;
-  size_t member_count_ = 0;
-  std::map<size_t, uint64_t> offsets_;  // partition -> next offset
+  // poll() fetches from the broker while holding this, pinning
+  // kConsumerGroup < kBroker.
+  mutable RankedMutex mu_{lock_rank::kConsumerGroup};
+  size_t member_count_ LOGLENS_GUARDED_BY(mu_) = 0;
+  // partition -> next offset
+  std::map<size_t, uint64_t> offsets_ LOGLENS_GUARDED_BY(mu_);
 };
 
 // A stateful reader tracking its own offsets across all partitions of one
-// topic (a single-member consumer group).
+// topic (a single-member consumer group). Thread-safe: the job runner polls
+// from its driver thread while monitoring threads read lag()/offsets(), so
+// the offset table is guarded by its own (kConsumer-ranked) mutex.
 class Consumer {
  public:
   Consumer(Broker& broker, std::string topic);
 
   // Round-robins over partitions, advancing offsets; returns up to `max`
   // messages (empty when caught up).
-  std::vector<Message> poll(size_t max);
-  std::vector<Message> poll_blocking(size_t max, int64_t timeout_ms);
+  std::vector<Message> poll(size_t max) LOGLENS_EXCLUDES(mu_);
+  std::vector<Message> poll_blocking(size_t max, int64_t timeout_ms)
+      LOGLENS_EXCLUDES(mu_);
 
   // Total messages consumed so far.
-  uint64_t consumed() const { return consumed_; }
+  uint64_t consumed() const LOGLENS_EXCLUDES(mu_);
   // True when every partition is fully consumed *right now*.
-  bool caught_up() const;
+  bool caught_up() const LOGLENS_EXCLUDES(mu_);
   // Messages currently buffered past this consumer's offsets (queue depth).
-  uint64_t lag() const;
+  uint64_t lag() const LOGLENS_EXCLUDES(mu_);
 
-  // Offset checkpointing: the per-partition next-read offsets, and a seek
-  // that rewinds (or forwards) them. A consumer seeked to offsets saved
-  // before a crash redelivers everything after that point, in order —
-  // at-least-once replay (see docs/FAULTS.md). A short vector leaves the
-  // remaining partitions untouched.
-  const std::vector<uint64_t>& offsets() const { return offsets_; }
-  void seek(const std::vector<uint64_t>& offsets);
+  // Offset checkpointing: the per-partition next-read offsets (a snapshot —
+  // by value, since the table may grow concurrently), and a seek that
+  // rewinds (or forwards) them. A consumer seeked to offsets saved before a
+  // crash redelivers everything after that point, in order — at-least-once
+  // replay (see docs/FAULTS.md). A short vector leaves the remaining
+  // partitions untouched.
+  std::vector<uint64_t> offsets() const LOGLENS_EXCLUDES(mu_);
+  void seek(const std::vector<uint64_t>& offsets) LOGLENS_EXCLUDES(mu_);
 
  private:
   Broker& broker_;
   std::string topic_;
-  std::vector<uint64_t> offsets_;
-  uint64_t consumed_ = 0;
+  // Held while fetching (kConsumer < kBroker) so a poll's
+  // read-fetch-advance is atomic against seeks and lag reads.
+  mutable RankedMutex mu_{lock_rank::kConsumer};
+  std::vector<uint64_t> offsets_ LOGLENS_GUARDED_BY(mu_);
+  uint64_t consumed_ LOGLENS_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace loglens

@@ -1,0 +1,39 @@
+#include "common/lock_rank.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace loglens {
+namespace lock_rank {
+namespace internal {
+
+// The messages name both ranks so the failing nesting is identifiable from
+// the abort line alone; docs/STATIC_ANALYSIS.md maps ranks back to mutexes.
+
+void rank_violation_abort(int acquiring, int held) {
+  std::fprintf(stderr,
+               "loglens lock rank violation: acquiring rank %d while holding "
+               "rank %d (acquire order must be strictly increasing)\n",
+               acquiring, held);
+  std::abort();
+}
+
+void rank_overflow_abort(int acquiring) {
+  std::fprintf(stderr,
+               "loglens lock rank overflow: acquiring rank %d with %d locks "
+               "already held\n",
+               acquiring, 16);
+  std::abort();
+}
+
+void rank_release_abort(int releasing) {
+  std::fprintf(stderr,
+               "loglens lock rank error: releasing rank %d that this thread "
+               "does not hold\n",
+               releasing);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace lock_rank
+}  // namespace loglens

@@ -1,0 +1,76 @@
+// Clang thread-safety (capability) analysis macros.
+//
+// These wrap the Clang `-Wthread-safety` attributes so the concurrent core
+// can state its locking discipline as compile-time facts: which fields a
+// mutex guards (LOGLENS_GUARDED_BY), which methods must be called with a
+// lock held (LOGLENS_REQUIRES), and which RAII types acquire/release a
+// capability (LOGLENS_ACQUIRE / LOGLENS_RELEASE / LOGLENS_SCOPED_CAPABILITY).
+// Under Clang the static analysis enforces them (CI builds the tree with
+// `-Wthread-safety -Werror=thread-safety`; see docs/STATIC_ANALYSIS.md); on
+// other compilers every macro expands to nothing.
+//
+// libstdc++'s std::mutex / std::lock_guard carry no attributes, so the
+// analysis cannot see them. Annotated classes therefore hold a RankedMutex
+// (common/lock_rank.h) — itself a LOGLENS_CAPABILITY — and lock it with
+// RankedMutexLock, the annotated scoped guard.
+#pragma once
+
+#if defined(__clang__) && !defined(SWIG)
+#define LOGLENS_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define LOGLENS_THREAD_ANNOTATION(x)  // no-op on non-Clang compilers
+#endif
+
+// Declares a class to be a capability (a lock). The string names the
+// capability kind in diagnostics, conventionally "mutex".
+#define LOGLENS_CAPABILITY(x) LOGLENS_THREAD_ANNOTATION(capability(x))
+
+// Declares an RAII class whose constructor acquires a capability and whose
+// destructor releases it (std::lock_guard-shaped types).
+#define LOGLENS_SCOPED_CAPABILITY LOGLENS_THREAD_ANNOTATION(scoped_lockable)
+
+// Field attribute: reads and writes require holding `x`.
+#define LOGLENS_GUARDED_BY(x) LOGLENS_THREAD_ANNOTATION(guarded_by(x))
+
+// Pointer field attribute: the pointed-to data requires holding `x` (the
+// pointer itself is unguarded).
+#define LOGLENS_PT_GUARDED_BY(x) LOGLENS_THREAD_ANNOTATION(pt_guarded_by(x))
+
+// Function attribute: the caller must hold the listed capabilities.
+#define LOGLENS_REQUIRES(...) \
+  LOGLENS_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+// Function attribute: the caller must NOT hold the listed capabilities
+// (the function acquires them itself; catches self-deadlock).
+#define LOGLENS_EXCLUDES(...) \
+  LOGLENS_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+// Function attribute: the function acquires the capability and returns
+// without releasing it (lock functions, scoped-guard constructors).
+#define LOGLENS_ACQUIRE(...) \
+  LOGLENS_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+// Function attribute: the function releases the capability (unlock
+// functions, scoped-guard destructors).
+#define LOGLENS_RELEASE(...) \
+  LOGLENS_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+// Function attribute: acquires the capability iff the return value equals
+// the first argument (try_lock).
+#define LOGLENS_TRY_ACQUIRE(...) \
+  LOGLENS_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+// Function attribute: returns a reference to the named capability, letting
+// accessor-exposed mutexes participate in the analysis.
+#define LOGLENS_RETURN_CAPABILITY(x) \
+  LOGLENS_THREAD_ANNOTATION(lock_returned(x))
+
+// Asserts at runtime that the capability is held, telling the analysis so
+// (for code reachable only with the lock held where the proof is dynamic).
+#define LOGLENS_ASSERT_CAPABILITY(x) \
+  LOGLENS_THREAD_ANNOTATION(assert_capability(x))
+
+// Escape hatch: disables the analysis for one function. Use only where the
+// locking pattern is deliberately irregular, with a comment saying why.
+#define LOGLENS_NO_THREAD_SAFETY_ANALYSIS \
+  LOGLENS_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -35,19 +35,19 @@ FaultInjector::Site& FaultInjector::site_locked(const std::string& name) {
 }
 
 void FaultInjector::arm(const std::string& site, FaultSpec spec) {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   Site& s = site_locked(site);
   s.spec = spec;
   s.armed = true;
 }
 
 void FaultInjector::disarm(const std::string& site) {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   site_locked(site).armed = false;
 }
 
 void FaultInjector::disarm_all() {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   for (auto& [_, s] : sites_) s.armed = false;
 }
 
@@ -55,7 +55,7 @@ FaultAction FaultInjector::check(const std::string& site) {
   FaultAction fired = FaultAction::kNone;
   int64_t delay_ms = 0;
   {
-    std::lock_guard lock(mu_);
+    RankedMutexLock lock(mu_);
     Site& s = site_locked(site);
     if (!s.armed || s.triggered >= s.spec.max_triggers) {
       return FaultAction::kNone;
@@ -83,13 +83,13 @@ void FaultInjector::hit(const std::string& site) {
 }
 
 uint64_t FaultInjector::triggered(const std::string& site) const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   auto it = sites_.find(site);
   return it == sites_.end() ? 0 : it->second.triggered;
 }
 
 uint64_t FaultInjector::total_triggered() const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   uint64_t total = 0;
   for (const auto& [_, s] : sites_) total += s.triggered;
   return total;

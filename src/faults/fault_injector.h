@@ -22,11 +22,12 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 
+#include "common/lock_rank.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "metrics/metrics.h"
 
 namespace loglens {
@@ -79,23 +80,23 @@ class FaultInjector {
 
   // Arms (or replaces) the spec for a site. Arming resets neither the site's
   // RNG stream nor its trigger count, so re-arming mid-run is well-defined.
-  void arm(const std::string& site, FaultSpec spec);
-  void disarm(const std::string& site);
-  void disarm_all();
+  void arm(const std::string& site, FaultSpec spec) LOGLENS_EXCLUDES(mu_);
+  void disarm(const std::string& site) LOGLENS_EXCLUDES(mu_);
+  void disarm_all() LOGLENS_EXCLUDES(mu_);
 
   // Consults a site. Returns the action that fired (kNone when the site is
   // disarmed, the dice miss, or max_triggers is spent). kDelay performs the
   // sleep before returning; kThrow and kTornWrite are returned for the
   // caller to act on (use hit() when "act" just means "throw").
-  FaultAction check(const std::string& site);
+  FaultAction check(const std::string& site) LOGLENS_EXCLUDES(mu_);
 
   // check(), but kThrow raises FaultError here. For call sites with no
   // status channel (partition tasks).
-  void hit(const std::string& site);
+  void hit(const std::string& site) LOGLENS_EXCLUDES(mu_);
 
   // Fired-fault counts, for assertions.
-  uint64_t triggered(const std::string& site) const;
-  uint64_t total_triggered() const;
+  uint64_t triggered(const std::string& site) const LOGLENS_EXCLUDES(mu_);
+  uint64_t total_triggered() const LOGLENS_EXCLUDES(mu_);
 
  private:
   struct Site {
@@ -107,12 +108,14 @@ class FaultInjector {
     explicit Site(uint64_t seed) : rng(seed) {}
   };
 
-  Site& site_locked(const std::string& name);
+  Site& site_locked(const std::string& name) LOGLENS_REQUIRES(mu_);
 
   const uint64_t seed_;
   MetricsRegistry* metrics_;
-  mutable std::mutex mu_;
-  std::map<std::string, Site> sites_;
+  // Ranked inside the broker so hot paths may consult sites while a broker
+  // operation is in flight; metrics fire after this lock is released.
+  mutable RankedMutex mu_{lock_rank::kFaults};
+  std::map<std::string, Site> sites_ LOGLENS_GUARDED_BY(mu_);
 };
 
 }  // namespace loglens

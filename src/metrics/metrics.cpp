@@ -166,7 +166,6 @@ M& MetricsRegistry::lookup(std::map<Key, std::unique_ptr<M>>& families,
                            const std::string& name, MetricLabels labels,
                            const std::string& help) {
   std::sort(labels.begin(), labels.end());
-  std::lock_guard lock(mu_);
   Key key{name, std::move(labels)};
   auto it = families.find(key);
   if (it == families.end()) {
@@ -178,23 +177,26 @@ M& MetricsRegistry::lookup(std::map<Key, std::unique_ptr<M>>& families,
 
 Counter& MetricsRegistry::counter(const std::string& name, MetricLabels labels,
                                   const std::string& help) {
+  RankedMutexLock lock(mu_);
   return lookup(counters_, name, std::move(labels), help);
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name, MetricLabels labels,
                               const std::string& help) {
+  RankedMutexLock lock(mu_);
   return lookup(gauges_, name, std::move(labels), help);
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name,
                                       MetricLabels labels,
                                       const std::string& help) {
+  RankedMutexLock lock(mu_);
   return lookup(histograms_, name, std::move(labels), help);
 }
 
 void MetricsRegistry::record_span(std::string name, uint64_t start_us,
                                   uint64_t duration_us) {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   SpanRecord rec{std::move(name), start_us, duration_us};
   if (spans_.size() < kSpanRing) {
     spans_.push_back(std::move(rec));
@@ -205,7 +207,7 @@ void MetricsRegistry::record_span(std::string name, uint64_t start_us,
 }
 
 std::vector<SpanRecord> MetricsRegistry::recent_spans() const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(spans_.size());
   for (size_t i = 0; i < spans_.size(); ++i) {
@@ -215,12 +217,16 @@ std::vector<SpanRecord> MetricsRegistry::recent_spans() const {
 }
 
 std::string MetricsRegistry::render_prometheus() const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   std::ostringstream out;
-  auto header = [&](const std::string& name, const char* type,
-                    const std::string* last) {
+  // `help` is passed in rather than captured: the Clang analysis treats a
+  // lambda body as a separate function, so reading the guarded help_ map
+  // inside one would (rightly) fail the capability check.
+  auto header = [&out](const std::map<std::string, std::string>& help,
+                       const std::string& name, const char* type,
+                       const std::string* last) {
     if (last != nullptr && *last == name) return;
-    if (auto it = help_.find(name); it != help_.end()) {
+    if (auto it = help.find(name); it != help.end()) {
       out << "# HELP " << name << " " << it->second << "\n";
     }
     out << "# TYPE " << name << " " << type << "\n";
@@ -228,19 +234,19 @@ std::string MetricsRegistry::render_prometheus() const {
 
   std::string last;
   for (const auto& [key, c] : counters_) {
-    header(key.name, "counter", &last);
+    header(help_, key.name, "counter", &last);
     last = key.name;
     out << key.name << render_labels(key.labels) << " " << c->value() << "\n";
   }
   last.clear();
   for (const auto& [key, g] : gauges_) {
-    header(key.name, "gauge", &last);
+    header(help_, key.name, "gauge", &last);
     last = key.name;
     out << key.name << render_labels(key.labels) << " " << g->value() << "\n";
   }
   last.clear();
   for (const auto& [key, h] : histograms_) {
-    header(key.name, "summary", &last);
+    header(help_, key.name, "summary", &last);
     last = key.name;
     Histogram::Snapshot s = h->snapshot();
     const std::pair<const char*, double> quantiles[] = {
@@ -260,7 +266,7 @@ std::string MetricsRegistry::render_prometheus() const {
 }
 
 Json MetricsRegistry::snapshot_json() const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   JsonArray counters;
   for (const auto& [key, c] : counters_) {
     JsonObject obj;
@@ -312,7 +318,7 @@ Json MetricsRegistry::snapshot_json() const {
 }
 
 void MetricsRegistry::reset() {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   for (auto& [_, c] : counters_) c->reset();
   for (auto& [_, g] : gauges_) g->reset();
   for (auto& [_, h] : histograms_) h->reset();

@@ -29,11 +29,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 #include "json/json.h"
 
 namespace loglens {
@@ -125,26 +126,27 @@ class MetricsRegistry {
   // Looks up or creates a metric. References stay valid for the registry's
   // lifetime; `help` is kept from the first registration of a name.
   Counter& counter(const std::string& name, MetricLabels labels = {},
-                   const std::string& help = "");
+                   const std::string& help = "") LOGLENS_EXCLUDES(mu_);
   Gauge& gauge(const std::string& name, MetricLabels labels = {},
-               const std::string& help = "");
+               const std::string& help = "") LOGLENS_EXCLUDES(mu_);
   Histogram& histogram(const std::string& name, MetricLabels labels = {},
-                       const std::string& help = "");
+                       const std::string& help = "") LOGLENS_EXCLUDES(mu_);
 
   // Tracing-span ring buffer (newest last). Completion is rare (per batch /
   // per stage, never per message), so a mutex is fine here.
-  void record_span(std::string name, uint64_t start_us, uint64_t duration_us);
-  std::vector<SpanRecord> recent_spans() const;
+  void record_span(std::string name, uint64_t start_us, uint64_t duration_us)
+      LOGLENS_EXCLUDES(mu_);
+  std::vector<SpanRecord> recent_spans() const LOGLENS_EXCLUDES(mu_);
 
   // Prometheus text exposition: counters and gauges as single samples,
   // histograms as summaries (quantile series + _sum + _count).
-  std::string render_prometheus() const;
+  std::string render_prometheus() const LOGLENS_EXCLUDES(mu_);
 
   // Structured snapshot of every metric plus the span ring.
-  Json snapshot_json() const;
+  Json snapshot_json() const LOGLENS_EXCLUDES(mu_);
 
   // Zeroes every metric in place (handles stay valid) and clears spans.
-  void reset();
+  void reset() LOGLENS_EXCLUDES(mu_);
 
  private:
   struct Key {
@@ -159,17 +161,22 @@ class MetricsRegistry {
   template <typename M>
   M& lookup(std::map<Key, std::unique_ptr<M>>& familes,
             const std::string& name, MetricLabels labels,
-            const std::string& help);
+            const std::string& help) LOGLENS_REQUIRES(mu_);
 
   static constexpr size_t kSpanRing = 256;
 
-  mutable std::mutex mu_;
-  std::map<Key, std::unique_ptr<Counter>> counters_;
-  std::map<Key, std::unique_ptr<Gauge>> gauges_;
-  std::map<Key, std::unique_ptr<Histogram>> histograms_;
-  std::map<std::string, std::string> help_;
-  std::vector<SpanRecord> spans_;  // ring, oldest at spans_begin_
-  size_t spans_begin_ = 0;
+  // kMetrics is the innermost rank: every subsystem registers metrics while
+  // holding its own lock (e.g. the broker resolving per-topic counters), so
+  // nothing may be acquired beyond this one.
+  mutable RankedMutex mu_{lock_rank::kMetrics};
+  std::map<Key, std::unique_ptr<Counter>> counters_ LOGLENS_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Gauge>> gauges_ LOGLENS_GUARDED_BY(mu_);
+  std::map<Key, std::unique_ptr<Histogram>> histograms_
+      LOGLENS_GUARDED_BY(mu_);
+  std::map<std::string, std::string> help_ LOGLENS_GUARDED_BY(mu_);
+  // Span ring, oldest at spans_begin_.
+  std::vector<SpanRecord> spans_ LOGLENS_GUARDED_BY(mu_);
+  size_t spans_begin_ LOGLENS_GUARDED_BY(mu_) = 0;
 };
 
 // Resolves an optional registry pointer to a usable registry.

@@ -15,6 +15,10 @@
 // heartbeat per active source carrying the extrapolated timestamp. The
 // engine's custom partitioner then fans each heartbeat out to every
 // partition (engine.cpp), which triggers the open-state sweep.
+//
+// Thread-safety contract: unsynchronized by design — tick()/tick_advance()
+// are driven from a single caller (the service's control flow or a test).
+// The broker produce/fetch calls inside are themselves thread-safe.
 #pragma once
 
 #include <cstdint>

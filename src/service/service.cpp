@@ -341,7 +341,7 @@ Status LogLensService::restore_internal(const std::string& path,
 }
 
 Status LogLensService::recover() {
-  std::lock_guard lock(recover_mu_);
+  RankedMutexLock lock(recover_mu_);
   if (options_.checkpoint_path.empty()) {
     return Status::Error("no checkpoint_path configured");
   }

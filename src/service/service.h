@@ -15,12 +15,13 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "broker/broker.h"
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 #include "faults/fault_injector.h"
 #include "service/agent.h"
 #include "service/heartbeat.h"
@@ -111,7 +112,7 @@ class LogLensService {
   // the sink skips ahead past any post-checkpoint output (the replay
   // re-emits it). Called by the supervisor thread when a runner fails; also
   // callable directly (e.g. chaos tests simulating a hard crash).
-  Status recover();
+  Status recover() LOGLENS_EXCLUDES(recover_mu_);
 
   // True while either job runner is parked on a fatal batch.
   bool failed() const {
@@ -160,7 +161,10 @@ class LogLensService {
   // Crash supervisor (see ServiceOptions::supervise).
   std::thread supervisor_;
   std::atomic<bool> supervising_{false};
-  std::mutex recover_mu_;  // serializes recover() callers
+  // Serializes recover() callers. The outermost rank in the hierarchy:
+  // recovery drives engines, the broker, consumers, and the stores while
+  // holding it, so it must be acquired before any of their locks.
+  RankedMutex recover_mu_{lock_rank::kServiceRecover};
   std::atomic<uint64_t> recoveries_{0};
   Counter* recoveries_total_ = nullptr;
 };

@@ -6,7 +6,7 @@
 namespace loglens {
 
 uint64_t DocumentStore::insert(Json doc) {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   uint64_t id = docs_.size();
   if (doc.is_object()) {
     for (const auto& [k, v] : doc.as_object()) {
@@ -20,12 +20,16 @@ uint64_t DocumentStore::insert(Json doc) {
 }
 
 std::optional<Json> DocumentStore::get(uint64_t id) const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   if (id >= docs_.size()) return std::nullopt;
   return docs_[id];
 }
 
-bool DocumentStore::matches_locked(const Json& doc, const Query& q) const {
+namespace {
+
+// Pure predicate over one document — touches no store state, so it needs no
+// lock (the caller passes a reference it obtained under the store's mutex).
+bool matches(const Json& doc, const Query& q) {
   for (const auto& c : q.clauses) {
     const Json* v = doc.find(c.field);
     if (v == nullptr) return false;
@@ -40,8 +44,10 @@ bool DocumentStore::matches_locked(const Json& doc, const Query& q) const {
   return true;
 }
 
+}  // namespace
+
 std::vector<Json> DocumentStore::query(const Query& q) const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   std::vector<Json> out;
 
   // If a term clause exists, drive the scan from the smallest posting list.
@@ -57,19 +63,21 @@ std::vector<Json> DocumentStore::query(const Query& q) const {
     }
   }
 
-  auto consider = [&](uint64_t id) {
+  // The guarded docs_ reads stay in this function body (where the analysis
+  // sees the lock); the lambda only sees the already-fetched document.
+  auto consider = [&out, &q](const Json& doc) {
     if (out.size() >= q.limit) return false;
-    if (matches_locked(docs_[id], q)) out.push_back(docs_[id]);
+    if (matches(doc, q)) out.push_back(doc);
     return out.size() < q.limit;
   };
 
   if (postings != nullptr) {
     for (uint64_t id : *postings) {
-      if (!consider(id)) break;
+      if (!consider(docs_[id])) break;
     }
   } else {
     for (uint64_t id = 0; id < docs_.size(); ++id) {
-      if (!consider(id)) break;
+      if (!consider(docs_[id])) break;
     }
   }
   return out;
@@ -82,18 +90,18 @@ size_t DocumentStore::count(const Query& q) const {
 }
 
 size_t DocumentStore::size() const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   return docs_.size();
 }
 
 void DocumentStore::clear() {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   docs_.clear();
   term_index_.clear();
 }
 
 Status DocumentStore::save_jsonl(const std::string& path) const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   std::ofstream out(path);
   if (!out) return Status::Error("cannot open for writing: " + path);
   std::string line;

@@ -9,13 +9,14 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "json/json.h"
 
 namespace loglens {
@@ -57,30 +58,32 @@ class DocumentStore {
   DocumentStore& operator=(const DocumentStore&) = delete;
 
   // Inserts a document (must be a JSON object) and returns its id.
-  uint64_t insert(Json doc);
+  uint64_t insert(Json doc) LOGLENS_EXCLUDES(mu_);
 
-  std::optional<Json> get(uint64_t id) const;
+  std::optional<Json> get(uint64_t id) const LOGLENS_EXCLUDES(mu_);
 
   // Returns copies of documents satisfying every clause, in insertion order.
-  std::vector<Json> query(const Query& q) const;
-  size_t count(const Query& q) const;
+  std::vector<Json> query(const Query& q) const LOGLENS_EXCLUDES(mu_);
+  size_t count(const Query& q) const LOGLENS_EXCLUDES(mu_);
 
-  size_t size() const;
-  void clear();
+  size_t size() const LOGLENS_EXCLUDES(mu_);
+  void clear() LOGLENS_EXCLUDES(mu_);
 
-  // One JSON object per line.
-  Status save_jsonl(const std::string& path) const;
-  Status load_jsonl(const std::string& path);
+  // One JSON object per line. load_jsonl inserts line by line (taking the
+  // lock per document), so a concurrent reader sees a growing store, never
+  // a torn one.
+  Status save_jsonl(const std::string& path) const LOGLENS_EXCLUDES(mu_);
+  Status load_jsonl(const std::string& path) LOGLENS_EXCLUDES(mu_);
 
  private:
-  bool matches_locked(const Json& doc, const Query& q) const;
-
-  mutable std::mutex mu_;
-  std::vector<Json> docs_;
+  // Recovery reads/writes stores while holding the service lock (and the
+  // anomaly rebuild follows a broker fetch), so storage ranks inside both.
+  mutable RankedMutex mu_{lock_rank::kStorage};
+  std::vector<Json> docs_ LOGLENS_GUARDED_BY(mu_);
   // field -> value -> doc ids; maintained for top-level string fields.
   std::unordered_map<std::string,
                      std::unordered_map<std::string, std::vector<uint64_t>>>
-      term_index_;
+      term_index_ LOGLENS_GUARDED_BY(mu_);
 };
 
 }  // namespace loglens

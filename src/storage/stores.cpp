@@ -30,7 +30,7 @@ std::vector<std::string> LogStore::fetch(std::string_view source,
 }
 
 int ModelStore::put(std::string_view name, Json blob) {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   int version = 0;
   for (const auto& e : entries_) {
     if (e.name == name) version = std::max(version, e.version);
@@ -43,7 +43,7 @@ int ModelStore::put(std::string_view name, Json blob) {
 
 std::optional<ModelStore::Entry> ModelStore::latest(
     std::string_view name) const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   if (std::find(deleted_.begin(), deleted_.end(), name) != deleted_.end()) {
     return std::nullopt;
   }
@@ -59,7 +59,7 @@ std::optional<ModelStore::Entry> ModelStore::latest(
 
 std::optional<ModelStore::Entry> ModelStore::version(std::string_view name,
                                                      int version) const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   for (const auto& e : entries_) {
     if (e.name == name && e.version == version) return e;
   }
@@ -67,14 +67,14 @@ std::optional<ModelStore::Entry> ModelStore::version(std::string_view name,
 }
 
 void ModelStore::remove(std::string_view name) {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   if (std::find(deleted_.begin(), deleted_.end(), name) == deleted_.end()) {
     deleted_.emplace_back(name);
   }
 }
 
 std::vector<std::string> ModelStore::names() const {
-  std::lock_guard lock(mu_);
+  RankedMutexLock lock(mu_);
   std::vector<std::string> out;
   for (const auto& e : entries_) {
     if (std::find(out.begin(), out.end(), e.name) != out.end()) continue;

@@ -3,11 +3,12 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 #include "storage/anomaly.h"
 #include "storage/document_store.h"
 
@@ -46,21 +47,25 @@ class ModelStore {
   };
 
   // Stores a new version of `name`; returns the version number (1-based).
-  int put(std::string_view name, Json blob);
+  int put(std::string_view name, Json blob) LOGLENS_EXCLUDES(mu_);
 
   // Latest version, or nullopt if the model does not exist / was deleted.
-  std::optional<Entry> latest(std::string_view name) const;
-  std::optional<Entry> version(std::string_view name, int version) const;
+  std::optional<Entry> latest(std::string_view name) const
+      LOGLENS_EXCLUDES(mu_);
+  std::optional<Entry> version(std::string_view name, int version) const
+      LOGLENS_EXCLUDES(mu_);
 
   // Marks the model deleted (latest() stops returning it).
-  void remove(std::string_view name);
+  void remove(std::string_view name) LOGLENS_EXCLUDES(mu_);
 
-  std::vector<std::string> names() const;
+  std::vector<std::string> names() const LOGLENS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
-  std::vector<std::string> deleted_;
+  // Same storage tier as DocumentStore: written under the service's
+  // recovery lock, never while holding anything ranked deeper.
+  mutable RankedMutex mu_{lock_rank::kStorage};
+  std::vector<Entry> entries_ LOGLENS_GUARDED_BY(mu_);
+  std::vector<std::string> deleted_ LOGLENS_GUARDED_BY(mu_);
 };
 
 // Anomalies awaiting human validation (Anomaly Storage).

@@ -19,8 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 
 namespace loglens {
 
@@ -46,11 +48,15 @@ class Broadcast : public BroadcastBase {
 
   // Worker-side getValue() for one partition. Returns the partition's cached
   // copy on version match; otherwise pulls from the driver and re-caches.
-  std::shared_ptr<const T> value(size_t partition) {
+  // The cache and driver locks are never nested (the first cache probe is
+  // released before the driver pull) — the distinct kBroadcastDriver /
+  // kBroadcastCache ranks verify that stays true.
+  std::shared_ptr<const T> value(size_t partition)
+      LOGLENS_EXCLUDES(driver_mu_) {
     Cache& c = caches_[partition];
     const uint64_t current = version_.load(std::memory_order_acquire);
     {
-      std::lock_guard lock(c.mu);
+      RankedMutexLock lock(c.mu);
       if (c.cached != nullptr && c.version == current) {
         hits_.fetch_add(1, std::memory_order_relaxed);
         return c.cached;
@@ -59,12 +65,12 @@ class Broadcast : public BroadcastBase {
     std::shared_ptr<const T> fresh;
     uint64_t fresh_version;
     {
-      std::lock_guard lock(driver_mu_);
+      RankedMutexLock lock(driver_mu_);
       fresh = driver_value_;
       fresh_version = version_.load(std::memory_order_acquire);
     }
     pulls_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard lock(c.mu);
+    RankedMutexLock lock(c.mu);
     c.cached = fresh;
     c.version = fresh_version;
     return fresh;
@@ -73,8 +79,8 @@ class Broadcast : public BroadcastBase {
   // Driver-side rebroadcast: swap the value and bump the version, which
   // logically invalidates every partition cache. Call via
   // StreamEngine::enqueue_control so it lands between micro-batches.
-  void update(T value) {
-    std::lock_guard lock(driver_mu_);
+  void update(T value) LOGLENS_EXCLUDES(driver_mu_) {
+    RankedMutexLock lock(driver_mu_);
     driver_value_ = std::make_shared<const T>(std::move(value));
     version_.fetch_add(1, std::memory_order_release);
   }
@@ -85,13 +91,15 @@ class Broadcast : public BroadcastBase {
 
  private:
   struct Cache {
-    std::mutex mu;
-    std::shared_ptr<const T> cached;
-    uint64_t version = 0;
+    RankedMutex mu{lock_rank::kBroadcastCache};
+    std::shared_ptr<const T> cached LOGLENS_GUARDED_BY(mu);
+    uint64_t version LOGLENS_GUARDED_BY(mu) = 0;
   };
 
-  std::mutex driver_mu_;
-  std::shared_ptr<const T> driver_value_;
+  // Taken by control ops running under the engine's control phase, pinning
+  // kEngineControl < kBroadcastDriver.
+  RankedMutex driver_mu_{lock_rank::kBroadcastDriver};
+  std::shared_ptr<const T> driver_value_ LOGLENS_GUARDED_BY(driver_mu_);
   std::atomic<uint64_t> version_{0};
   std::vector<Cache> caches_;
   std::atomic<uint64_t> pulls_{0};

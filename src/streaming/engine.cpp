@@ -65,7 +65,7 @@ StreamEngine::StreamEngine(EngineOptions options, const TaskFactory& factory)
 }
 
 void StreamEngine::enqueue_control(std::function<void()> op) {
-  std::lock_guard lock(control_mu_);
+  RankedMutexLock lock(control_mu_);
   pending_controls_.push_back(std::move(op));
 }
 
@@ -105,7 +105,8 @@ void StreamEngine::run_partition(size_t p, std::vector<Message>& input,
       // from inside process() may leave a partial state mutation behind;
       // the detector task's dedup guard and idempotent parser make the
       // retry safe (docs/FAULTS.md).
-      if (!guarded(kFaultSiteTaskProcess, [&] { tasks_[p]->process(m, ctx); })) {
+      if (!guarded(kFaultSiteTaskProcess,
+                   [&] { tasks_[p]->process(m, ctx); })) {
         outcome.dead_letters.push_back(std::move(m));
       }
     }
@@ -123,19 +124,27 @@ void StreamEngine::run_partition(size_t p, std::vector<Message>& input,
 }
 
 BatchResult StreamEngine::run_batch(std::vector<Message> input) {
-  std::lock_guard run_lock(run_mu_);
+  RankedMutexLock run_lock(run_mu_);
   BatchResult result;
-  result.batch_number = ++batch_number_;
+  result.batch_number =
+      batch_number_.fetch_add(1, std::memory_order_relaxed) + 1;
   result.input_records = input.size();
 
-  // Control operations land between micro-batches, serialized.
+  // Control operations land between micro-batches, serialized by run_mu_.
+  // The queue is swapped out and drained *outside* control_mu_: an op that
+  // calls back into enqueue_control (a model instruction scheduling a
+  // follow-up rebroadcast) must not deadlock on the queue lock. Ops that
+  // land during the drain simply wait for the next batch.
   {
-    std::lock_guard lock(control_mu_);
-    for (auto& op : pending_controls_) {
+    std::vector<std::function<void()>> ops;
+    {
+      RankedMutexLock lock(control_mu_);
+      ops.swap(pending_controls_);
+    }
+    for (auto& op : ops) {
       op();
       ++result.control_ops_applied;
     }
-    pending_controls_.clear();
   }
 
   // Route. Heartbeats are duplicated to every partition (custom

@@ -22,10 +22,11 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "broker/message.h"
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 #include "faults/fault_injector.h"
 #include "metrics/metrics.h"
 #include "streaming/broadcast.h"
@@ -111,20 +112,25 @@ class StreamEngine {
   StreamEngine(EngineOptions options, const TaskFactory& factory);
 
   // Runs one micro-batch synchronously.
-  BatchResult run_batch(std::vector<Message> input);
+  BatchResult run_batch(std::vector<Message> input)
+      LOGLENS_EXCLUDES(run_mu_, control_mu_);
 
   // Queues a control operation to run (serialized) before the next batch.
-  void enqueue_control(std::function<void()> op);
+  // Safe to call from anywhere, including from inside another control op
+  // (the engine drains the queue outside control_mu_).
+  void enqueue_control(std::function<void()> op) LOGLENS_EXCLUDES(control_mu_);
 
   // Creates a broadcast variable sized for this engine's partitions.
   template <typename T>
   std::shared_ptr<Broadcast<T>> create_broadcast(T value) {
-    return std::make_shared<Broadcast<T>>(next_broadcast_id_++,
-                                          std::move(value), options_.partitions);
+    return std::make_shared<Broadcast<T>>(
+        next_broadcast_id_++, std::move(value), options_.partitions);
   }
 
   size_t partitions() const { return options_.partitions; }
-  uint64_t batches_run() const { return batch_number_; }
+  uint64_t batches_run() const {
+    return batch_number_.load(std::memory_order_relaxed);
+  }
 
   // Direct access for tests and the dashboard (e.g. open-state counters).
   PartitionTask& task(size_t partition) { return *tasks_[partition]; }
@@ -163,11 +169,20 @@ class StreamEngine {
   std::vector<Counter*> partition_records_;
   std::vector<Histogram*> partition_task_us_;
 
-  std::mutex control_mu_;
-  std::vector<std::function<void()>> pending_controls_;
+  // Guards only the pending queue. Queued ops run *outside* this lock (but
+  // under run_mu_), so an op may re-enqueue follow-up work without
+  // self-deadlocking; ops that rebroadcast then take the broadcast driver
+  // lock, pinning kEngineControl < kBroadcastDriver.
+  RankedMutex control_mu_{lock_rank::kEngineControl};
+  std::vector<std::function<void()>> pending_controls_
+      LOGLENS_GUARDED_BY(control_mu_);
 
-  std::mutex run_mu_;  // serializes run_batch callers
-  uint64_t batch_number_ = 0;
+  // Serializes run_batch callers; held across the pool submit/wait, pinning
+  // kEngineRun < kThreadPool.
+  RankedMutex run_mu_{lock_rank::kEngineRun};
+  // Monotonic batch counter: written under run_mu_, read lock-free by
+  // batches_run() (dashboard/monitoring threads), hence atomic.
+  std::atomic<uint64_t> batch_number_{0};
   std::atomic<uint64_t> next_broadcast_id_{1};
 };
 

@@ -44,13 +44,13 @@ void JobRunner::stop() {
 }
 
 std::string JobRunner::last_error() const {
-  std::lock_guard lock(error_mu_);
+  RankedMutexLock lock(error_mu_);
   return last_error_;
 }
 
 void JobRunner::clear_failure() {
   {
-    std::lock_guard lock(error_mu_);
+    RankedMutexLock lock(error_mu_);
     last_error_.clear();
   }
   failed_.store(false);
@@ -58,7 +58,7 @@ void JobRunner::clear_failure() {
 
 void JobRunner::mark_failed(const char* what) {
   {
-    std::lock_guard lock(error_mu_);
+    RankedMutexLock lock(error_mu_);
     last_error_ = what;
   }
   failed_.store(true);

@@ -10,11 +10,12 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 
 #include "broker/broker.h"
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 #include "json/json.h"
 #include "metrics/metrics.h"
 #include "streaming/engine.h"
@@ -71,13 +72,13 @@ class JobRunner {
   // returns early, and a supervisor (LogLensService::recover) is expected
   // to restore state and call clear_failure() before resuming.
   bool failed() const { return failed_.load(); }
-  std::string last_error() const;
-  void clear_failure();
+  std::string last_error() const LOGLENS_EXCLUDES(error_mu_);
+  void clear_failure() LOGLENS_EXCLUDES(error_mu_);
 
   // Offset checkpointing passthrough (call only while the job is stopped):
   // what the service records in a checkpoint, and how recovery rewinds the
   // job to it for at-least-once redelivery.
-  const std::vector<uint64_t>& consumer_offsets() const {
+  std::vector<uint64_t> consumer_offsets() const {
     return consumer_.offsets();
   }
   void seek(const std::vector<uint64_t>& offsets) { consumer_.seek(offsets); }
@@ -90,7 +91,7 @@ class JobRunner {
   void loop();
   void process_batch(std::vector<Message> batch);
   void produce_with_retry(const std::string& topic, Message message);
-  void mark_failed(const char* what);
+  void mark_failed(const char* what) LOGLENS_EXCLUDES(error_mu_);
 
   Broker& broker_;
   StreamEngine& engine_;
@@ -101,8 +102,10 @@ class JobRunner {
   std::atomic<bool> failed_{false};
   std::atomic<uint64_t> batches_{0};
   std::atomic<uint64_t> records_in_{0};
-  mutable std::mutex error_mu_;
-  std::string last_error_;
+  // Near-leaf: held only around the error-string copy, never across calls
+  // into other subsystems (metrics counters fire outside it).
+  mutable RankedMutex error_mu_{lock_rank::kJobState};
+  std::string last_error_ LOGLENS_GUARDED_BY(error_mu_);
 
   Counter* batches_total_ = nullptr;
   Counter* records_total_ = nullptr;

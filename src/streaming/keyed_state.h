@@ -13,6 +13,12 @@
 // and heartbeats to a sweep over the whole map. (The sequence detector
 // predates this facility and manages its own map with identical semantics;
 // new stateful stages should build on this one.)
+//
+// Thread-safety contract: deliberately unsynchronized. A StateMap belongs to
+// exactly one PartitionTask, and the engine runs each partition's task on
+// one worker at a time with a barrier per batch — so no lock (and no
+// annotation) is needed here. Sharing a StateMap across partitions would
+// break that contract; use a guarded structure instead.
 #pragma once
 
 #include <cstdint>

@@ -12,7 +12,7 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard lock(mu_);
+    RankedMutexLock lock(mu_);
     stop_ = true;
   }
   work_cv_.notify_all();
@@ -21,23 +21,31 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::submit(std::function<void()> task) {
   {
-    std::lock_guard lock(mu_);
+    RankedMutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
   work_cv_.notify_one();
 }
 
+// The waits below use explicit loops rather than the predicate overload:
+// the thread-safety analysis checks a predicate lambda as a separate
+// function, where the guarded reads would not see the lock held here.
+
 void ThreadPool::wait_idle() {
-  std::unique_lock lock(mu_);
-  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+  RankedMutexLock lock(mu_);
+  while (!(queue_.empty() && in_flight_ == 0)) {
+    idle_cv_.wait(lock);
+  }
 }
 
 void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      RankedMutexLock lock(mu_);
+      while (!stop_ && queue_.empty()) {
+        work_cv_.wait(lock);
+      }
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -45,7 +53,7 @@ void ThreadPool::worker_loop() {
     }
     task();
     {
-      std::lock_guard lock(mu_);
+      RankedMutexLock lock(mu_);
       --in_flight_;
       if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
     }

@@ -6,9 +6,11 @@
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
 
 namespace loglens {
 
@@ -21,22 +23,24 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   // Enqueues a task; tasks may run on any worker thread.
-  void submit(std::function<void()> task);
+  void submit(std::function<void()> task) LOGLENS_EXCLUDES(mu_);
 
   // Blocks until every submitted task has finished.
-  void wait_idle();
+  void wait_idle() LOGLENS_EXCLUDES(mu_);
 
   size_t size() const { return workers_.size(); }
 
  private:
-  void worker_loop();
+  void worker_loop() LOGLENS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable idle_cv_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  // The engine submits and waits while holding run_mu_ (kEngineRun), so the
+  // pool ranks inside it. Tasks run with no pool lock held.
+  RankedMutex mu_{lock_rank::kThreadPool};
+  std::condition_variable_any work_cv_;
+  std::condition_variable_any idle_cv_;
+  std::deque<std::function<void()>> queue_ LOGLENS_GUARDED_BY(mu_);
+  size_t in_flight_ LOGLENS_GUARDED_BY(mu_) = 0;
+  bool stop_ LOGLENS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> workers_;
 };
 

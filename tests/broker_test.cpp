@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
 
@@ -309,6 +310,48 @@ TEST(Consumer, SeekGrowsOffsetVectorWhenNeeded) {
   consumer.seek({1, 2, 3, 4});  // more entries than partitions: kept
   ASSERT_GE(consumer.offsets().size(), 4u);
   EXPECT_EQ(consumer.offsets()[3], 4u);
+}
+
+// Regression: Consumer's offset table used to be unsynchronized, so a
+// monitor thread calling lag()/offsets()/caught_up() raced the driver
+// thread's poll() — including a vector resize (partition growth) under the
+// reader's feet. The consumer now guards the table; this test drives both
+// sides hard enough for TSan (CI leg) to flag any regression.
+TEST(Consumer, MonitoringIsSafeWhileDriverPolls) {
+  Broker broker;
+  // Created before the topic exists: the first polls run with a 1-slot
+  // offset table, and the table resizes to 4 mid-run once the topic appears
+  // — the exact window the old race lived in.
+  Consumer consumer(broker, "t");
+
+  std::atomic<bool> stop{false};
+  uint64_t drained = 0;
+  std::thread driver([&] {
+    while (!stop.load()) {
+      drained += consumer.poll(16).size();
+    }
+    drained += consumer.poll(SIZE_MAX).size();
+  });
+  std::thread monitor([&] {
+    while (!stop.load()) {
+      (void)consumer.lag();
+      (void)consumer.offsets();
+      (void)consumer.caught_up();
+      (void)consumer.consumed();
+    }
+  });
+
+  ASSERT_TRUE(broker.create_topic("t", 4).ok());
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_TRUE(broker.produce("t", msg("k", "v", -1), i % 4).ok());
+  }
+  stop.store(true);
+  driver.join();
+  monitor.join();
+  EXPECT_EQ(drained, 2000u);
+  EXPECT_EQ(consumer.consumed(), 2000u);
+  EXPECT_TRUE(consumer.caught_up());
+  EXPECT_EQ(consumer.lag(), 0u);
 }
 
 }  // namespace

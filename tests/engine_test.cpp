@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <map>
+#include <thread>
 
 namespace loglens {
 namespace {
@@ -174,6 +176,46 @@ TEST(Engine, EmptyBatchIsFine) {
   BatchResult r = engine.run_batch({});
   EXPECT_EQ(r.input_records, 0u);
   EXPECT_TRUE(r.outputs.empty());
+}
+
+// Regression: control ops used to run while holding the queue lock, so an
+// op that enqueued a follow-up (a model instruction scheduling another
+// rebroadcast) self-deadlocked. The engine now drains a swapped-out copy
+// outside the lock; the follow-up lands in the *next* batch.
+TEST(Engine, ControlOpMayEnqueueFollowUp) {
+  StreamEngine engine = make_engine(2);
+  std::atomic<int> first{0};
+  std::atomic<int> second{0};
+  engine.enqueue_control([&] {
+    ++first;
+    engine.enqueue_control([&] { ++second; });
+  });
+  BatchResult r1 = engine.run_batch({});
+  EXPECT_EQ(r1.control_ops_applied, 1u);
+  EXPECT_EQ(first.load(), 1);
+  EXPECT_EQ(second.load(), 0);
+  BatchResult r2 = engine.run_batch({});
+  EXPECT_EQ(r2.control_ops_applied, 1u);
+  EXPECT_EQ(second.load(), 1);
+}
+
+// Regression: batches_run() is read from monitoring threads while run_batch
+// advances the counter — the counter is atomic now; TSan would flag the old
+// plain uint64_t here.
+TEST(Engine, BatchesRunReadableWhileRunning) {
+  StreamEngine engine = make_engine(2);
+  std::atomic<bool> stop{false};
+  uint64_t observed = 0;
+  std::thread reader([&] {
+    while (!stop.load()) observed = std::max(observed, engine.batches_run());
+  });
+  for (int i = 0; i < 50; ++i) {
+    engine.run_batch({msg("k", std::to_string(i))});
+  }
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(engine.batches_run(), 50u);
+  EXPECT_LE(observed, 50u);
 }
 
 }  // namespace

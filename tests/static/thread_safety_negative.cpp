@@ -1,0 +1,40 @@
+// Negative compile test for the thread-safety gate.
+//
+// This TU is deliberately WRONG: it touches guarded state without holding
+// the guarding mutex. It is not part of any CMake target — tools/check.sh
+// --static-only compiles it with Clang and asserts that
+// -Werror=thread-safety REJECTS it (and that it still parses cleanly, since
+// an unrelated syntax error would fake a pass). If this file ever compiles
+// under the gate, the gate is broken.
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
+namespace loglens {
+
+class Guarded {
+ public:
+  // BAD: reads counter_ without mu_ — the analysis must flag this.
+  int racy_read() const { return counter_; }
+
+  // BAD: claims to exclude mu_ but writes guarded state anyway.
+  void racy_write(int v) LOGLENS_EXCLUDES(mu_) { counter_ = v; }
+
+  // Good variant, proving the TU is otherwise well-formed.
+  int locked_read() const LOGLENS_EXCLUDES(mu_) {
+    RankedMutexLock lock(mu_);
+    return counter_;
+  }
+
+ private:
+  mutable RankedMutex mu_{lock_rank::kMetrics};
+  int counter_ LOGLENS_GUARDED_BY(mu_) = 0;
+};
+
+int negative_fixture_entry() {
+  Guarded g;
+  g.racy_write(1);
+  return g.racy_read() + g.locked_read();
+}
+
+}  // namespace loglens

@@ -1,18 +1,26 @@
 #!/usr/bin/env bash
-# Tier-1 gate plus a sanitizer pass:
+# Tier-1 gate plus a sanitizer pass and a static-analysis pass:
 #   1. regular build + full ctest (the suite every PR must keep green)
 #   2. sanitizer build + ctest (catches lifetime/race bugs the regular
 #      build hides)
+#   3. --static-only: project lint, Clang -Werror=thread-safety over the
+#      whole tree, the negative thread-safety compile test, and clang-tidy
+#      on the concurrent core (docs/STATIC_ANALYSIS.md)
 #
 # Usage: tools/check.sh [--skip-asan] [--skip-sanitizer] [--sanitizer-only]
+#                       [--static-only]
 #   --skip-sanitizer  run only the regular pass
 #   --skip-asan       skip the sanitizer pass only when it would be ASan; a
 #                     pass explicitly requested via LOGLENS_SANITIZE=thread
 #                     still runs
 #   --sanitizer-only  run only the sanitizer pass (the CI matrix legs)
+#   --static-only     run only the static gates (no tests). Lint always
+#                     runs; the Clang steps are skipped with a notice when
+#                     no clang++ is on PATH (they are enforced in CI).
 #
 # Environment:
-#   LOGLENS_SANITIZE       sanitizer for the second pass (default: address)
+#   LOGLENS_SANITIZE       sanitizer for the second pass (default: address;
+#                          thread and undefined are the other CI legs)
 #   LOGLENS_CTEST_TIMEOUT  default per-test timeout in seconds, propagated to
 #                          ctest (the sanitizer pass gets 3x — instrumented
 #                          binaries are that much slower). Tests with their
@@ -20,6 +28,8 @@
 #   LOGLENS_CMAKE_ARGS     extra arguments for every cmake configure, e.g.
 #                          "-DCMAKE_CXX_COMPILER_LAUNCHER=ccache
 #                           -DLOGLENS_WERROR=ON"
+#   LOGLENS_CLANGXX        clang++ binary for the static pass (default:
+#                          clang++ from PATH)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -28,12 +38,14 @@ sanitizer="${LOGLENS_SANITIZE:-address}"
 
 run_regular=1
 run_sanitizer=1
+run_static=0
 for arg in "$@"; do
   case "$arg" in
     --skip-sanitizer) run_sanitizer=0 ;;
     --skip-asan)
       if [[ "$sanitizer" == "address" ]]; then run_sanitizer=0; fi ;;
     --sanitizer-only) run_regular=0 ;;
+    --static-only) run_static=1; run_regular=0; run_sanitizer=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -50,6 +62,48 @@ san_ctest_args=("${ctest_args[@]}")
 if [[ -n "${LOGLENS_CTEST_TIMEOUT:-}" ]]; then
   ctest_args+=(--timeout "$LOGLENS_CTEST_TIMEOUT")
   san_ctest_args+=(--timeout "$((LOGLENS_CTEST_TIMEOUT * 3))")
+fi
+
+if [[ "$run_static" == 1 ]]; then
+  echo "== static: project lint =="
+  python3 "$repo/tools/lint.py" --self-test
+  python3 "$repo/tools/lint.py"
+
+  clangxx="${LOGLENS_CLANGXX:-clang++}"
+  if command -v "$clangxx" >/dev/null 2>&1; then
+    echo "== static: clang -Werror=thread-safety build =="
+    cmake -B "$repo/build-tsa" -S "$repo" \
+          -DCMAKE_CXX_COMPILER="$clangxx" -DLOGLENS_THREAD_SAFETY=ON \
+          "${cmake_args[@]}" >/dev/null
+    cmake --build "$repo/build-tsa" -j "$jobs"
+
+    echo "== static: negative thread-safety compile test =="
+    # The deliberately mis-annotated TU must be REJECTED by the gate...
+    if "$clangxx" -std=c++20 -fsyntax-only -I "$repo/src" \
+         -Wthread-safety -Werror=thread-safety \
+         "$repo/tests/static/thread_safety_negative.cpp" 2>/dev/null; then
+      echo "FAIL: thread_safety_negative.cpp compiled under the gate" >&2
+      exit 1
+    fi
+    # ...while being well-formed without it (a syntax error would fake the
+    # rejection above).
+    "$clangxx" -std=c++20 -fsyntax-only -I "$repo/src" \
+      "$repo/tests/static/thread_safety_negative.cpp"
+    echo "negative test OK: gate rejects the mis-annotated TU"
+
+    if command -v clang-tidy >/dev/null 2>&1; then
+      echo "== static: clang-tidy (concurrent core) =="
+      cmake -B "$repo/build-tsa" -S "$repo" \
+            -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+      mapfile -t tidy_files < <(
+        ls "$repo"/src/{broker,streaming,metrics,faults,service,storage}/*.cpp)
+      clang-tidy -p "$repo/build-tsa" --quiet "${tidy_files[@]}"
+    else
+      echo "== static: clang-tidy not found; skipped (enforced in CI) =="
+    fi
+  else
+    echo "== static: $clangxx not found; Clang gates skipped (enforced in CI) =="
+  fi
 fi
 
 if [[ "$run_regular" == 1 ]]; then

@@ -1,0 +1,253 @@
+#!/usr/bin/env python3
+"""Project linter: fast, dependency-free checks that run before any build.
+
+Checks (see docs/STATIC_ANALYSIS.md):
+  1. Concurrent-core locking discipline. Files under the concurrent core
+     (src/broker, src/streaming, src/metrics, src/faults, src/service,
+     src/storage) must not declare naked std::mutex members or lock with
+     std::lock_guard / std::unique_lock / std::scoped_lock — they use
+     RankedMutex / RankedMutexLock (common/lock_rank.h) so that both the
+     Clang thread-safety analysis and the runtime lock-rank checker can see
+     every acquisition. std::condition_variable (non-_any) is banned for the
+     same reason: it only accepts std::unique_lock<std::mutex>.
+  2. Header hygiene: every header starts its directives with #pragma once;
+     no parent-relative ("../") includes anywhere.
+  3. Annotation hygiene: a file using LOGLENS_GUARDED_BY/REQUIRES/... must
+     include common/thread_annotations.h directly, so the attributes never
+     depend on transitive includes.
+
+Usage:
+  tools/lint.py              lint the repo (exit 1 on any violation)
+  tools/lint.py FILE...      lint specific files
+  tools/lint.py --self-test  verify the linter flags seeded violations
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Directories whose code must use RankedMutex/RankedMutexLock. common/ is
+# exempt (lock_rank.h itself wraps std::mutex); parsing/models are
+# single-threaded by contract.
+CONCURRENT_CORE = (
+    "src/broker",
+    "src/streaming",
+    "src/metrics",
+    "src/faults",
+    "src/service",
+    "src/storage",
+)
+
+EXEMPT = ("src/common/lock_rank.h",)
+
+BANNED_IN_CORE = (
+    (
+        re.compile(r"\bstd::mutex\b"),
+        "std::mutex: use RankedMutex (common/lock_rank.h) so the lock has a "
+        "rank and the Clang analysis can see it",
+    ),
+    (
+        re.compile(r"\bstd::(lock_guard|unique_lock|scoped_lock)\b"),
+        "std::lock_guard/unique_lock/scoped_lock: use RankedMutexLock",
+    ),
+    (
+        re.compile(r"\bstd::condition_variable\b(?!_any)"),
+        "std::condition_variable: use std::condition_variable_any, which "
+        "can wait on a RankedMutexLock",
+    ),
+)
+
+ANNOTATION = re.compile(
+    r"\bLOGLENS_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|RELEASE|"
+    r"TRY_ACQUIRE|CAPABILITY|SCOPED_CAPABILITY|ASSERT_CAPABILITY|"
+    r"RETURN_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS)\b"
+)
+
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_comments(text):
+    """Returns (lineno, code) pairs with // and /* */ comments blanked."""
+    out = []
+    in_block = False
+    for i, line in enumerate(text.splitlines(), start=1):
+        code = line
+        if in_block:
+            end = code.find("*/")
+            if end < 0:
+                out.append((i, ""))
+                continue
+            code = " " * (end + 2) + code[end + 2 :]
+            in_block = False
+        while True:
+            start = code.find("/*")
+            if start < 0:
+                break
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block = True
+                break
+            code = code[:start] + " " * (end + 2 - start) + code[end + 2 :]
+        code = LINE_COMMENT.sub("", code)
+        out.append((i, code))
+    return out
+
+
+def in_concurrent_core(rel):
+    if rel in EXEMPT:
+        return False
+    return any(rel == d or rel.startswith(d + "/") for d in CONCURRENT_CORE)
+
+
+def lint_text(text, rel):
+    """Lints one file's contents under its repo-relative path."""
+    problems = []
+    lines = strip_comments(text)
+
+    if in_concurrent_core(rel):
+        for lineno, code in lines:
+            for pattern, why in BANNED_IN_CORE:
+                if pattern.search(code):
+                    problems.append(f"{rel}:{lineno}: {why}")
+
+    if rel.endswith(".h"):
+        directives = [
+            (n, c.strip()) for n, c in lines if c.strip().startswith("#")
+        ]
+        if not directives or directives[0][1] != "#pragma once":
+            problems.append(
+                f"{rel}:1: header must open its directives with #pragma once"
+            )
+
+    for lineno, code in lines:
+        if re.search(r'#\s*include\s+"\.\./', code):
+            problems.append(
+                f"{rel}:{lineno}: parent-relative include; include project "
+                "headers by their src/-relative path"
+            )
+
+    if ANNOTATION.search(text) and rel != "src/common/thread_annotations.h":
+        if '#include "common/thread_annotations.h"' not in text:
+            problems.append(
+                f"{rel}:1: uses LOGLENS_ thread-safety annotations without "
+                'including "common/thread_annotations.h"'
+            )
+    return problems
+
+
+def repo_files():
+    files = []
+    for root in ("src", "tests", "bench", "examples", "tools"):
+        top = REPO / root
+        if top.is_dir():
+            files.extend(sorted(top.rglob("*.h")))
+            files.extend(sorted(top.rglob("*.cpp")))
+    return files
+
+
+def run(paths):
+    problems = []
+    for path in paths:
+        rel = path.resolve().relative_to(REPO).as_posix()
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as e:
+            problems.append(f"{rel}:0: unreadable: {e}")
+            continue
+        problems.extend(lint_text(text, rel))
+    for p in problems:
+        print(p)
+    if problems:
+        print(f"lint: {len(problems)} problem(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+SELF_TEST_CASES = [
+    # (pretend repo-relative path, contents, expected problem substring;
+    #  None = must lint clean)
+    (
+        "src/broker/fixture.h",
+        "#pragma once\n#include <mutex>\nstruct S { std::mutex mu_; };\n",
+        "std::mutex",
+    ),
+    (
+        "src/streaming/fixture.cpp",
+        "void f() { std::lock_guard lock(mu_); }\n",
+        "RankedMutexLock",
+    ),
+    (
+        "src/metrics/fixture.h",
+        "#pragma once\nstd::condition_variable cv_;\n",
+        "condition_variable_any",
+    ),
+    (
+        "src/service/fixture.h",
+        "// no pragma once\n#include <string>\n",
+        "#pragma once",
+    ),
+    (
+        "src/common/fixture.h",
+        '#pragma once\n#include "../broker/broker.h"\n',
+        "parent-relative",
+    ),
+    (
+        "src/faults/fixture.h",
+        "#pragma once\nint x_ LOGLENS_GUARDED_BY(mu_);\n",
+        "thread_annotations.h",
+    ),
+    # Commented-out code must not trip the core bans.
+    (
+        "src/broker/fixture_comment.cpp",
+        "// std::mutex in prose\n/* std::lock_guard lock(mu_); */\n",
+        None,
+    ),
+    # Negative control: idiomatic code must pass clean.
+    (
+        "src/broker/fixture_ok.h",
+        "#pragma once\n"
+        '#include "common/lock_rank.h"\n'
+        '#include "common/thread_annotations.h"\n'
+        "namespace loglens {\n"
+        "struct S {\n"
+        "  RankedMutex mu_{1};\n"
+        "  int n_ LOGLENS_GUARDED_BY(mu_) = 0;\n"
+        "};\n"
+        "}  // namespace loglens\n",
+        None,
+    ),
+]
+
+
+def self_test():
+    failures = 0
+    for rel, contents, expect in SELF_TEST_CASES:
+        problems = lint_text(contents, rel)
+        if expect is None:
+            if problems:
+                print(f"self-test FAIL: {rel} should be clean, got {problems}")
+                failures += 1
+        elif not any(expect in p for p in problems):
+            print(
+                f"self-test FAIL: {rel} should flag '{expect}', got {problems}"
+            )
+            failures += 1
+    if failures:
+        return 1
+    print(f"lint self-test: {len(SELF_TEST_CASES)} fixture(s) OK")
+    return 0
+
+
+def main(argv):
+    if "--self-test" in argv:
+        return self_test()
+    if argv:
+        return run(Path(a) for a in argv)
+    return run(repo_files())
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
