@@ -1,16 +1,54 @@
-// Efficient state management (Section V-B): per-log and per-heartbeat cost
-// as a function of the number of simultaneously open events. The heartbeat
-// sweep enumerates every open state (the paper's getParentStateMap walk), so
-// its cost is linear in open events — this bench quantifies the constant.
-#include <benchmark/benchmark.h>
+// Efficient state management (Section V-B): detector cost as a function of
+// simultaneously open events, exercising the deadline index.
+//
+// The paper's heartbeat sweep enumerates every open state (the
+// getParentStateMap walk), making each sweep O(open). The deadline index
+// makes it O(expired · log open): a heartbeat that expires nothing is a
+// single heap-top comparison no matter how many events are open, and an
+// expiry-heavy schedule pays per EXPIRED event, not per OPEN event. Stages
+// measure both at 100k and at 1M open events and fail the run (exit 1) if
+// the cost is not flat — an O(open) regression shows up as a ~10x rate drop
+// between the two sizes, far beyond the enforced bound.
+//
+// Writes BENCH_detector.json (same shape as BENCH_parser.json; gated in CI
+// by tools/bench_compare.py):
+//   detector_heartbeat_steady_100k  no-op sweeps/sec over 100k open events
+//   detector_heartbeat_steady_1m    no-op sweeps/sec over 1M open events
+//   detector_expiry_sweep_100k      expired events/sec, fixed expiry rate,
+//                                   ~100k events open throughout
+//   detector_expiry_sweep_1m        same schedule with ~1M open
+//   detector_on_log_1m_open         tracked logs/sec against 1M open events
+//   detector_eviction_churn         logs/sec with every log past the
+//                                   max_open_events bound evicting one event
+//
+// For scale: the pre-index detector swept ~120 ms per heartbeat at 100k
+// open events (O(open)), putting a 1M sweep past one second — versus
+// millions of no-op sweeps/sec here.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "automata/detector.h"
+#include "bench/bench_util.h"
 #include "common/rng.h"
+#include "json/json.h"
 
 namespace loglens {
 namespace {
 
-SequenceModel wide_model() {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// max_duration bounds how long an event may stay open; kKeepOpenForever
+// parks deadlines far past every heartbeat the steady stages send.
+constexpr int64_t kKeepOpenForever = 1'000'000'000'000;
+
+SequenceModel wide_model(int64_t max_duration_ms) {
   SequenceModel m;
   m.id_fields = {{1, "F"}, {2, "F"}, {3, "F"}};
   Automaton a;
@@ -18,10 +56,10 @@ SequenceModel wide_model() {
   a.begin_patterns = {1};
   a.end_patterns = {3};
   a.states[1] = {1, 1, 1};
-  a.states[2] = {2, 1, 4};
+  a.states[2] = {2, 0, 1'000'000};
   a.states[3] = {3, 1, 1};
   a.min_duration_ms = 0;
-  a.max_duration_ms = 1'000'000'000;  // keep everything open
+  a.max_duration_ms = max_duration_ms;
   m.automata.push_back(a);
   return m;
 }
@@ -35,44 +73,188 @@ ParsedLog elog(int pattern, const std::string& id, int64_t ts) {
   return log;
 }
 
-void BM_OnLogWithOpenStates(benchmark::State& state) {
-  const auto open = static_cast<size_t>(state.range(0));
-  SequenceDetector det(wide_model());
-  for (size_t i = 0; i < open; ++i) {
-    det.on_log(elog(1, "ev" + std::to_string(i), 1000 + (int64_t)i), "s");
+// Opens `n` events with staggered first timestamps starting at `base_ts`.
+void open_events(SequenceDetector& det, size_t n, int64_t base_ts) {
+  for (size_t i = 0; i < n; ++i) {
+    det.on_log(elog(1, "ev" + std::to_string(i), base_ts + (int64_t)i), "s");
   }
-  Rng rng(3);
-  for (auto _ : state) {
-    std::string id = "ev" + std::to_string(rng.below(open));
-    benchmark::DoNotOptimize(det.on_log(elog(2, id, 5000), "s"));
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
-BENCHMARK(BM_OnLogWithOpenStates)
-    ->Arg(1000)->Arg(10000)->Arg(100000);
 
-void BM_HeartbeatSweep(benchmark::State& state) {
-  const auto open = static_cast<size_t>(state.range(0));
-  for (auto _ : state) {
-    state.PauseTiming();
-    SequenceDetector det(wide_model());
-    for (size_t i = 0; i < open; ++i) {
-      det.on_log(elog(1, "ev" + std::to_string(i), 1000), "s");
-    }
-    state.ResumeTiming();
-    // Sweep that expires nothing (the common steady-state case)...
-    benchmark::DoNotOptimize(det.on_heartbeat(2000));
-    // ...and one that expires everything.
-    benchmark::DoNotOptimize(det.on_heartbeat(INT64_MAX / 2));
+struct StageResult {
+  std::string stage;
+  double msgs_per_sec = 0;
+};
+
+StageResult steady_heartbeats(size_t open, const char* stage) {
+  SequenceDetector det(wide_model(kKeepOpenForever));
+  open_events(det, open, 1'000);
+  det.on_heartbeat(2'000);  // warm
+
+  const int sweeps = 200'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < sweeps; ++i) {
+    det.on_heartbeat(2'000 + i);
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(open));
+  const double secs = seconds_since(t0);
+
+  StageResult r;
+  r.stage = stage;
+  r.msgs_per_sec = static_cast<double>(sweeps) / secs;
+  std::printf("%s: %d no-op sweeps over %zu open events in %.3fs = "
+              "%.0f sweeps/sec (%.0f ns/sweep)\n",
+              stage, sweeps, det.open_events(), secs, r.msgs_per_sec,
+              secs / sweeps * 1e9);
+  return r;
 }
-BENCHMARK(BM_HeartbeatSweep)
-    ->Arg(1000)->Arg(10000)->Arg(100000)
-    ->Unit(benchmark::kMillisecond);
+
+// Fixed expiry rate regardless of open count: each round opens `chunk` new
+// events and advances the heartbeat clock just far enough to expire the
+// `chunk` oldest, so ~`open` events stay open throughout. Rate is expired
+// events/sec; with the deadline index it depends on the expiry rate (plus a
+// log factor), not on `open`.
+StageResult expiry_sweeps(size_t open, const char* stage) {
+  const int64_t max_duration = 1'000'000;
+  DetectorOptions opts;
+  // Out-bound the 1M population + in-flight chunk: expiry must be the only
+  // thing removing events, or the default max_open_events bound silently
+  // evicts the oldest (earliest-deadline) events before the sweep sees them.
+  opts.max_open_events = open * 2;
+  SequenceDetector det(wide_model(max_duration), opts);
+  open_events(det, open, 1'000);  // deadlines: 1'001'000 + i
+
+  const size_t chunk = 2'000;
+  const int rounds = 25;
+  size_t expired = 0;
+  size_t next_id = open;
+  int64_t next_ts = 1'000 + static_cast<int64_t>(open);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < rounds; ++round) {
+    for (size_t i = 0; i < chunk; ++i) {
+      det.on_log(elog(1, "ev" + std::to_string(next_id++), next_ts++), "s");
+    }
+    const size_t before = det.open_events();
+    det.on_heartbeat(max_duration + 1'000 +
+                     static_cast<int64_t>((round + 1) * chunk) + 1);
+    expired += before - det.open_events();
+  }
+  const double secs = seconds_since(t0);
+
+  StageResult r;
+  r.stage = stage;
+  r.msgs_per_sec = static_cast<double>(expired) / secs;
+  std::printf("%s: %zu expiries across %d sweeps (~%zu open) in %.3fs = "
+              "%.0f expired/sec\n",
+              stage, expired, rounds, det.open_events(), secs,
+              r.msgs_per_sec);
+  return r;
+}
+
+StageResult on_log_hot(size_t open) {
+  SequenceDetector det(wide_model(kKeepOpenForever));
+  open_events(det, open, 1'000);
+
+  Rng rng(3);
+  const int logs = 300'000;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < logs; ++i) {
+    // Mid-state log for an existing event: hash lookup + append; first_ts
+    // is unchanged, so the deadline entry is reused, not re-pushed.
+    det.on_log(elog(2, "ev" + std::to_string(rng.below(open)), 5'000), "s");
+  }
+  const double secs = seconds_since(t0);
+
+  StageResult r;
+  r.stage = "detector_on_log_1m_open";
+  r.msgs_per_sec = static_cast<double>(logs) / secs;
+  std::printf("%s: %d logs against %zu open events in %.3fs = "
+              "%.0f msgs/sec\n",
+              r.stage.c_str(), logs, det.open_events(), secs, r.msgs_per_sec);
+  return r;
+}
+
+StageResult eviction_churn() {
+  DetectorOptions opts;
+  opts.max_open_events = 10'000;
+  SequenceDetector det(wide_model(kKeepOpenForever), opts);
+  open_events(det, opts.max_open_events, 1'000);
+
+  const int logs = 100'000;
+  size_t evictions = 0;
+  int64_t ts = 1'000 + static_cast<int64_t>(opts.max_open_events);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < logs; ++i) {
+    // Every new event pushes the population past the bound: one heap-pop
+    // eviction (plus the anomaly report) per log — the worst case.
+    auto out = det.on_log(elog(1, "nv" + std::to_string(i), ts++), "s");
+    evictions += out.size();
+  }
+  const double secs = seconds_since(t0);
+
+  StageResult r;
+  r.stage = "detector_eviction_churn";
+  r.msgs_per_sec = static_cast<double>(logs) / secs;
+  std::printf("%s: %d logs / %zu evictions in %.3fs = %.0f msgs/sec\n",
+              r.stage.c_str(), logs, evictions, secs, r.msgs_per_sec);
+  return r;
+}
+
+void write_bench_json(const std::vector<StageResult>& results) {
+  JsonObject root;
+  root.emplace_back("benchmark", Json("bench_open_states"));
+  JsonArray stages;
+  for (const auto& r : results) {
+    JsonObject obj;
+    obj.emplace_back("stage", Json(r.stage));
+    obj.emplace_back("msgs_per_sec", Json(r.msgs_per_sec));
+    stages.push_back(Json(std::move(obj)));
+  }
+  root.emplace_back("stages", Json(std::move(stages)));
+  std::ofstream out("BENCH_detector.json");
+  out << Json(std::move(root)).dump() << "\n";
+}
+
+// Flatness gate: `big` ran with 10x the open events of `small`. The deadline
+// index makes both rates roughly equal; the old O(open) sweep would divide
+// the big rate by ~10 (steady) or worse (expiry, which also pays the walk).
+// The 4x bound forgives cache effects at 1M events while still being far
+// tighter than any linear regression.
+bool flat_enough(const StageResult& small, const StageResult& big) {
+  const double ratio = small.msgs_per_sec / big.msgs_per_sec;
+  const bool ok = ratio < 4.0;
+  std::printf("flatness %s vs %s: %.2fx slower at 10x open events — %s\n",
+              big.stage.c_str(), small.stage.c_str(), ratio,
+              ok ? "flat" : "NOT FLAT (O(open) regression?)");
+  return ok;
+}
 
 }  // namespace
 }  // namespace loglens
 
-BENCHMARK_MAIN();
+int main() {
+  using loglens::StageResult;
+  const double scale = loglens::bench::scale_or(1.0);
+  const size_t small = static_cast<size_t>(100'000 * scale);
+  const size_t big = static_cast<size_t>(1'000'000 * scale);
+
+  std::vector<StageResult> results;
+  loglens::bench::print_header("detector open-state benchmarks");
+  const StageResult steady_small =
+      loglens::steady_heartbeats(small, "detector_heartbeat_steady_100k");
+  const StageResult steady_big =
+      loglens::steady_heartbeats(big, "detector_heartbeat_steady_1m");
+  const StageResult expiry_small =
+      loglens::expiry_sweeps(small, "detector_expiry_sweep_100k");
+  const StageResult expiry_big =
+      loglens::expiry_sweeps(big, "detector_expiry_sweep_1m");
+  results.push_back(steady_small);
+  results.push_back(steady_big);
+  results.push_back(expiry_small);
+  results.push_back(expiry_big);
+  results.push_back(loglens::on_log_hot(big));
+  results.push_back(loglens::eviction_churn());
+  loglens::write_bench_json(results);
+
+  bool ok = loglens::flat_enough(steady_small, steady_big);
+  ok = loglens::flat_enough(expiry_small, expiry_big) && ok;
+  return ok ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <utility>
 
 namespace loglens {
 
@@ -16,10 +17,20 @@ bool SequenceDetector::pattern_known(int pattern_id) const {
   return false;
 }
 
+const std::vector<int>& SequenceDetector::observed_patterns(
+    const OpenEvent& event) const {
+  observed_scratch_.clear();
+  for (const auto& [pid, _] : event.logs) observed_scratch_.push_back(pid);
+  std::sort(observed_scratch_.begin(), observed_scratch_.end());
+  observed_scratch_.erase(
+      std::unique(observed_scratch_.begin(), observed_scratch_.end()),
+      observed_scratch_.end());
+  return observed_scratch_;
+}
+
 const Automaton* SequenceDetector::candidate_for(
     const OpenEvent& event) const {
-  std::set<int> observed;
-  for (const auto& [pid, _] : event.logs) observed.insert(pid);
+  const std::vector<int>& observed = observed_patterns(event);
   const Automaton* best = nullptr;
   for (const auto& a : model_.automata) {
     bool contains_all = std::all_of(
@@ -34,6 +45,31 @@ const Automaton* SequenceDetector::candidate_for(
   return best;
 }
 
+Anomaly make_eviction_anomaly(const std::string& event_id,
+                              const std::string& source,
+                              const std::vector<std::string>& raws,
+                              int automaton_id, int64_t event_last_ts,
+                              int64_t close_time_ms, size_t open_events,
+                              size_t max_open_events, int64_t deadline_ms) {
+  Anomaly a;
+  a.type = AnomalyType::kOpenStateEvicted;
+  a.severity = "medium";
+  a.reason = "open events exceeded the max_open_events bound (" +
+             std::to_string(max_open_events) +
+             "); evicted the event with the earliest expiry deadline before "
+             "it reached an end state";
+  a.timestamp_ms = event_last_ts >= 0 ? event_last_ts : close_time_ms;
+  a.source = source;
+  a.event_id = event_id;
+  a.automaton_id = automaton_id;
+  a.logs = raws;
+  a.details = Json(JsonObject{
+      {"open_events", Json(static_cast<int64_t>(open_events))},
+      {"max_open_events", Json(static_cast<int64_t>(max_open_events))},
+      {"deadline_ms", Json(deadline_ms)}});
+  return a;
+}
+
 std::vector<Anomaly> SequenceDetector::validate(const std::string& event_id,
                                                 const OpenEvent& event,
                                                 bool at_end,
@@ -46,8 +82,7 @@ std::vector<Anomaly> SequenceDetector::validate(const std::string& event_id,
   // were removed from the model; silently drop (Table V semantics).
   const Automaton* automaton = candidate_for(event);
   if (automaton == nullptr) {
-    std::set<int> observed;
-    for (const auto& [pid, _] : event.logs) observed.insert(pid);
+    const std::vector<int>& observed = observed_patterns(event);
     size_t best_overlap = 0;
     for (const auto& a : model_.automata) {
       size_t overlap = 0;
@@ -107,12 +142,26 @@ std::vector<Anomaly> SequenceDetector::validate(const std::string& event_id,
              {"expired", Json(!at_end)}}));
   }
 
-  std::map<int, int> occurrences;
-  for (const auto& [pid, _] : event.logs) ++occurrences[pid];
+  // Occurrence counts in a flat, reusable vector indexed by pattern ID (a
+  // per-validation std::map allocated a node per distinct pattern). Touched
+  // slots are zeroed before returning, so the scratch stays warm.
+  for (const auto& [pid, _] : event.logs) {
+    if (pid < 0) continue;  // flat index cannot host negative IDs
+    if (static_cast<size_t>(pid) >= occ_counts_.size()) {
+      occ_counts_.resize(static_cast<size_t>(pid) + 1, 0);
+    }
+    if (occ_counts_[static_cast<size_t>(pid)]++ == 0) {
+      occ_touched_.push_back(pid);
+    }
+  }
+  auto occurrence_count = [this](int pid) {
+    return pid >= 0 && static_cast<size_t>(pid) < occ_counts_.size()
+               ? occ_counts_[static_cast<size_t>(pid)]
+               : 0;
+  };
 
   for (const auto& [pid, rule] : automaton->states) {
-    auto it = occurrences.find(pid);
-    int count = it == occurrences.end() ? 0 : it->second;
+    const int count = occurrence_count(pid);
     if (count == 0) {
       if (rule.min_occurrences >= 1 &&
           !automaton->end_patterns.contains(pid) &&
@@ -136,6 +185,9 @@ std::vector<Anomaly> SequenceDetector::validate(const std::string& event_id,
                            {"count", Json(static_cast<int64_t>(count))}}));
     }
   }
+
+  for (int pid : occ_touched_) occ_counts_[static_cast<size_t>(pid)] = 0;
+  occ_touched_.clear();
 
   if (begin_ok && end_ok && event.first_ts >= 0 && event.last_ts >= 0) {
     int64_t duration = event.last_ts - event.first_ts;
@@ -166,6 +218,132 @@ std::vector<Anomaly> SequenceDetector::validate(const std::string& event_id,
   return out;
 }
 
+int64_t SequenceDetector::compute_deadline(const OpenEvent& event,
+                                           const Automaton* candidate) const {
+  if (event.first_ts < 0) return kNoDeadline;
+  if (candidate != nullptr) return event.first_ts + candidate->max_duration_ms;
+  return event.last_ts + options_.default_timeout_ms;
+}
+
+void SequenceDetector::push_entry(int64_t deadline, uint64_t generation,
+                                  std::string id) {
+  heap_.push_back(DeadlineEntry{deadline, generation, std::move(id)});
+  std::push_heap(heap_.begin(), heap_.end(),
+                 [](const DeadlineEntry& a, const DeadlineEntry& b) {
+                   // Min-heap over (deadline, id): `a` sorts after `b`.
+                   if (a.deadline != b.deadline) return a.deadline > b.deadline;
+                   return a.id > b.id;
+                 });
+}
+
+SequenceDetector::DeadlineEntry SequenceDetector::pop_entry() {
+  std::pop_heap(heap_.begin(), heap_.end(),
+                [](const DeadlineEntry& a, const DeadlineEntry& b) {
+                  if (a.deadline != b.deadline) return a.deadline > b.deadline;
+                  return a.id > b.id;
+                });
+  DeadlineEntry e = std::move(heap_.back());
+  heap_.pop_back();
+  return e;
+}
+
+void SequenceDetector::index_event(const std::string& id, OpenEvent& event,
+                                   int64_t deadline, bool is_new) {
+  if (is_new) {
+    event.deadline = deadline;
+    if (deadline == kNoDeadline) {
+      no_deadline_.insert(id);
+    } else {
+      event.generation = ++generation_counter_;
+      push_entry(deadline, event.generation, id);
+      maybe_compact();
+    }
+    return;
+  }
+  if (deadline == event.deadline) return;
+  if (event.deadline == kNoDeadline) {
+    // First timestamped log: the event graduates from the no-deadline set
+    // into the heap. (first_ts never unsets, so the reverse cannot happen.)
+    auto it = no_deadline_.find(id);
+    if (it != no_deadline_.end()) no_deadline_.erase(it);
+  }
+  // Fresh detector-wide generation: every older heap entry for this event —
+  // including any left by a previous incarnation of the same ID — is stale.
+  event.generation = ++generation_counter_;
+  event.deadline = deadline;
+  push_entry(deadline, event.generation, id);
+  maybe_compact();
+}
+
+void SequenceDetector::maybe_compact() {
+  // Lazy deletion lets stale entries pile up (one per deadline change).
+  // Rebuild once they outnumber live entries 2:1, which bounds heap memory
+  // at O(open events) amortized.
+  const size_t live = open_.size() - no_deadline_.size();
+  if (heap_.size() > 64 && heap_.size() > 2 * live) rebuild_index();
+}
+
+void SequenceDetector::rebuild_index() {
+  ++stats_.heap_rebuilds;
+  heap_.clear();
+  no_deadline_.clear();
+  heap_.reserve(open_.size());
+  for (auto& [id, event] : open_) {
+    event.generation = ++generation_counter_;
+    event.deadline = compute_deadline(event, candidate_for(event));
+    if (event.deadline == kNoDeadline) {
+      no_deadline_.insert(id);
+    } else {
+      heap_.push_back(DeadlineEntry{event.deadline, event.generation, id});
+    }
+  }
+  std::make_heap(heap_.begin(), heap_.end(),
+                 [](const DeadlineEntry& a, const DeadlineEntry& b) {
+                   if (a.deadline != b.deadline) return a.deadline > b.deadline;
+                   return a.id > b.id;
+                 });
+}
+
+std::vector<Anomaly> SequenceDetector::maybe_evict(int64_t close_time_ms) {
+  if (open_.size() <= options_.max_open_events) return {};
+  // Victim: earliest deadline, ties by smallest ID; events that can never
+  // expire (no timestamp) go first — they would otherwise pin memory.
+  OpenMap::iterator victim = open_.end();
+  if (!no_deadline_.empty()) {
+    victim = open_.find(*no_deadline_.begin());
+  } else {
+    while (!heap_.empty()) {
+      const DeadlineEntry& top = heap_.front();
+      auto it = open_.find(top.id);
+      if (it == open_.end() || it->second.generation != top.generation) {
+        ++stats_.stale_pops;
+        pop_entry();
+        continue;
+      }
+      victim = it;
+      pop_entry();
+      break;
+    }
+  }
+  if (victim == open_.end()) return {};  // unreachable if invariants hold
+
+  const OpenEvent& event = victim->second;
+  const Automaton* candidate = candidate_for(event);
+  std::vector<Anomaly> out;
+  out.push_back(make_eviction_anomaly(
+      victim->first, event.source, event.raws,
+      candidate != nullptr ? candidate->id : -1, event.last_ts, close_time_ms,
+      open_.size(), options_.max_open_events,
+      event.deadline == kNoDeadline ? -1 : event.deadline));
+  if (event.deadline == kNoDeadline) {
+    auto it = no_deadline_.find(victim->first);
+    if (it != no_deadline_.end()) no_deadline_.erase(it);
+  }
+  open_.erase(victim);
+  ++stats_.evicted;
+  return out;
+}
+
 std::vector<Anomaly> SequenceDetector::on_log(const ParsedLog& log,
                                               std::string_view source) {
   ++stats_.logs_seen;
@@ -187,7 +365,8 @@ std::vector<Anomaly> SequenceDetector::on_log(const ParsedLog& log,
   const std::string& event_id = id_value->as_string();
 
   ++stats_.logs_tracked;
-  OpenEvent& event = open_[event_id];
+  auto [map_it, inserted] = open_.try_emplace(event_id);
+  OpenEvent& event = map_it->second;
   if (event.logs.empty()) {
     event.source = std::string(source);
   }
@@ -214,57 +393,74 @@ std::vector<Anomaly> SequenceDetector::on_log(const ParsedLog& log,
   if (candidate != nullptr &&
       candidate->end_patterns.contains(log.pattern_id)) {
     ++stats_.events_closed;
-    auto node = open_.extract(event_id);
+    auto node = open_.extract(map_it);  // heap entries go stale with it
+    if (node.mapped().deadline == kNoDeadline) {
+      auto it = no_deadline_.find(node.key());
+      if (it != no_deadline_.end()) no_deadline_.erase(it);
+    }
     return validate(node.key(), node.mapped(), /*at_end=*/true,
                     log.timestamp_ms);
   }
 
-  // Memory bound: evict the stalest open event.
-  if (open_.size() > options_.max_open_events) {
-    auto oldest = open_.begin();
-    for (auto it = open_.begin(); it != open_.end(); ++it) {
-      if (it->second.last_ts < oldest->second.last_ts) oldest = it;
-    }
-    open_.erase(oldest);
-    ++stats_.evicted;
-  }
-  return {};
+  index_event(map_it->first, event, compute_deadline(event, candidate),
+              inserted);
+
+  // Memory bound: evict (and report) the earliest-deadline open event.
+  return maybe_evict(log.timestamp_ms);
 }
 
 std::vector<Anomaly> SequenceDetector::on_heartbeat(int64_t log_time_ms) {
   ++stats_.heartbeats;
+  // Pop actually-expired entries only; everything still open stays
+  // untouched, so the sweep is O(expired · log n) — the paper's linear
+  // getParentStateMap() walk is gone.
+  std::vector<std::pair<std::string, OpenEvent>> expired;
+  while (!heap_.empty() && heap_.front().deadline < log_time_ms) {
+    DeadlineEntry top = pop_entry();
+    auto it = open_.find(top.id);
+    if (it == open_.end() || it->second.generation != top.generation) {
+      ++stats_.stale_pops;
+      continue;
+    }
+    ++stats_.events_expired;
+    expired.emplace_back(std::move(top.id), std::move(it->second));
+    open_.erase(it);
+  }
+  if (expired.empty()) return {};
+  // Report in event-ID order, exactly as an in-order sweep would.
+  std::sort(expired.begin(), expired.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   std::vector<Anomaly> out;
-  for (auto it = open_.begin(); it != open_.end();) {
-    const OpenEvent& event = it->second;
-    const Automaton* candidate = candidate_for(event);
-    int64_t deadline;
-    if (candidate != nullptr) {
-      deadline = event.first_ts + candidate->max_duration_ms;
-    } else {
-      deadline = event.last_ts + options_.default_timeout_ms;
-    }
-    if (event.first_ts >= 0 && log_time_ms > deadline) {
-      ++stats_.events_expired;
-      auto anomalies =
-          validate(it->first, event, /*at_end=*/false, log_time_ms);
-      out.insert(out.end(), anomalies.begin(), anomalies.end());
-      it = open_.erase(it);
-    } else {
-      ++it;
-    }
+  for (const auto& [id, event] : expired) {
+    auto anomalies = validate(id, event, /*at_end=*/false, log_time_ms);
+    out.insert(out.end(), std::make_move_iterator(anomalies.begin()),
+               std::make_move_iterator(anomalies.end()));
   }
   return out;
 }
 
 void SequenceDetector::update_model(SequenceModel model) {
   model_ = std::move(model);
+  // Learned max-durations (and candidate attribution) changed under every
+  // open event; recompute all deadlines and rebuild the index so heartbeat
+  // semantics match a detector that had run under the new model all along.
+  rebuild_index();
 }
 
 Json SequenceDetector::snapshot_state() const {
+  // Deterministic order (by event ID) regardless of hash-map iteration, so
+  // equal states serialize to equal bytes. No index state is written: the
+  // deadlines are a function of (events, model) and restore recomputes them.
+  std::vector<const OpenMap::value_type*> entries;
+  entries.reserve(open_.size());
+  for (const auto& kv : open_) entries.push_back(&kv);
+  std::sort(entries.begin(), entries.end(),
+            [](const auto* a, const auto* b) { return a->first < b->first; });
   JsonArray events;
-  for (const auto& [id, event] : open_) {
+  for (const auto* kv : entries) {
+    const OpenEvent& event = kv->second;
     JsonObject e;
-    e.emplace_back("id", Json(id));
+    e.emplace_back("id", Json(kv->first));
     e.emplace_back("source", Json(event.source));
     e.emplace_back("first_ts", Json(event.first_ts));
     e.emplace_back("last_ts", Json(event.last_ts));
@@ -292,7 +488,7 @@ Status SequenceDetector::restore_state(const Json& j) {
   if (events == nullptr || !events->is_array()) {
     return Status::Error("state snapshot missing open_events");
   }
-  std::map<std::string, OpenEvent> restored;
+  OpenMap restored;
   for (const auto& e : events->as_array()) {
     if (!e.is_object()) return Status::Error("open event not an object");
     std::string id(e.get_string("id"));
@@ -320,7 +516,10 @@ Status SequenceDetector::restore_state(const Json& j) {
     }
     restored[std::move(id)] = std::move(event);
   }
+  // Commit point: nothing above touched detector state, so a malformed
+  // snapshot (e.g. the chaos test's torn checkpoint) leaves it intact.
   open_ = std::move(restored);
+  rebuild_index();
   return Status::Ok();
 }
 

@@ -8,21 +8,43 @@
 // (expired — reported as a missing-end anomaly, which is exactly the class
 // of anomaly that is *undetectable without heartbeats*, Figure 5).
 //
+// Open state is indexed two ways:
+//   - a hash map (heterogeneous string_view lookup, no per-log key
+//     allocation) from event ID to the accumulated OpenEvent, and
+//   - a deadline index: a lazy-deletion min-heap of
+//     (expiry_deadline, generation, event_id) entries ordered by
+//     (deadline, id). Every mutation that changes an event's deadline bumps
+//     its generation and pushes a fresh entry; superseded entries stay in
+//     the heap and are discarded when popped (stale pops). Heartbeats
+//     therefore pop only actually-expired events — O(expired · log n)
+//     instead of the paper's O(open) getParentStateMap() walk — and the
+//     max_open_events bound evicts the earliest-deadline event (the one
+//     that would expire soonest) instead of scanning.
+// Events none of whose logs carried a timestamp cannot expire; they live in
+// a small ordered side set and are evicted first, smallest ID first.
+// Invariant: every timestamped open event has exactly one live heap entry
+// (generation matches), holding its current deadline. See DESIGN.md §5.
+//
 // All timing uses log time: timestamps embedded in logs and in heartbeat
 // messages. The detector never reads the wall clock.
 //
 // `update_model` swaps the rule set while *preserving open state* — the
-// dynamic model update of Section V-A / Table V. Events whose patterns no
-// longer belong to any automaton silently stop producing anomalies.
+// dynamic model update of Section V-A / Table V. Learned max-durations may
+// change, so every deadline is recomputed and the heap rebuilt. Events whose
+// patterns no longer belong to any automaton silently stop producing
+// anomalies. `restore_state` rebuilds the index the same way, so
+// snapshot/restore keeps identical expiry semantics.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <set>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "automata/model.h"
+#include "common/hash.h"
 #include "storage/anomaly.h"
 
 namespace loglens {
@@ -39,7 +61,8 @@ struct DetectorOptions {
   bool sort_by_log_time = true;
   // Raw log lines kept per open event for anomaly reports.
   size_t max_logs_per_event = 32;
-  // Memory bound on simultaneously open events (oldest evicted silently).
+  // Memory bound on simultaneously open events. The earliest-deadline event
+  // is evicted and reported as an OPEN_STATE_EVICTED anomaly.
   size_t max_open_events = 1'000'000;
 };
 
@@ -49,8 +72,25 @@ struct DetectorStats {
   uint64_t events_closed = 0;    // closed by end-state arrival
   uint64_t events_expired = 0;   // closed by heartbeat expiry
   uint64_t heartbeats = 0;
-  uint64_t evicted = 0;
+  uint64_t evicted = 0;          // evicted by the max_open_events bound
+  // Deadline-index internals (not part of the detection semantics; the
+  // differential test compares everything above, none of the below).
+  uint64_t stale_pops = 0;       // superseded heap entries discarded
+  uint64_t heap_rebuilds = 0;    // full index rebuilds (compaction,
+                                 // update_model, restore_state)
 };
+
+// Builds the OPEN_STATE_EVICTED anomaly reported when the max_open_events
+// bound drops an open event. Shared with the test-only reference detector so
+// the differential harness can require byte-identical eviction reports while
+// still computing the victim and timing independently. `deadline_ms` is -1
+// for events that had no timestamped log.
+Anomaly make_eviction_anomaly(const std::string& event_id,
+                              const std::string& source,
+                              const std::vector<std::string>& raws,
+                              int automaton_id, int64_t event_last_ts,
+                              int64_t close_time_ms, size_t open_events,
+                              size_t max_open_events, int64_t deadline_ms);
 
 class SequenceDetector {
  public:
@@ -61,20 +101,27 @@ class SequenceDetector {
                               std::string_view source = "");
 
   // Feeds a heartbeat carrying the current log time; expires overdue open
-  // events and returns their anomalies.
+  // events and returns their anomalies (ordered by event ID, as if swept in
+  // ID order). Cost: O(expired · log open), not O(open).
   std::vector<Anomaly> on_heartbeat(int64_t log_time_ms);
 
-  // Swaps the model without touching open state (Section V-A).
+  // Swaps the model without touching open state (Section V-A). Deadlines
+  // depend on learned max-durations, so the deadline index is rebuilt.
   void update_model(SequenceModel model);
 
   // Checkpointing (extension): serialize/restore the open-event state, so a
   // terminated service can resume without losing in-flight events — the
   // failure mode Section V-A warns about ("all the state data is lost").
+  // Snapshots are deterministic (events ordered by ID) and carry no index
+  // state; restore_state recomputes every deadline and rebuilds the heap.
+  // On error the detector is left unchanged.
   Json snapshot_state() const;
   Status restore_state(const Json& j);
 
   const SequenceModel& model() const { return model_; }
   size_t open_events() const { return open_.size(); }
+  // Live + stale entries currently held by the deadline heap.
+  size_t deadline_index_size() const { return heap_.size(); }
   const DetectorStats& stats() const { return stats_; }
 
  private:
@@ -84,11 +131,42 @@ class SequenceDetector {
     int64_t first_ts = -1;
     int64_t last_ts = -1;
     std::string source;
+    // Current expiry deadline (kNoDeadline while no log carried a
+    // timestamp) and the generation of the live heap entry holding it.
+    // Generations are drawn from a detector-wide counter, never reused:
+    // event IDs recur (close + reopen under the same ID), and a per-event
+    // counter restarting at 0 would let a stale entry from the previous
+    // incarnation match the new one and expire it at the old deadline.
+    int64_t deadline = 0;
+    uint64_t generation = 0;
   };
+
+  // Sentinel deadline for events that cannot expire (no timestamp yet).
+  static constexpr int64_t kNoDeadline = INT64_MAX;
+
+  struct DeadlineEntry {
+    int64_t deadline = 0;
+    uint64_t generation = 0;
+    std::string id;
+  };
+
+  struct TransparentHash {
+    using is_transparent = void;
+    size_t operator()(std::string_view s) const {
+      return static_cast<size_t>(fnv1a(s));
+    }
+  };
+
+  using OpenMap =
+      std::unordered_map<std::string, OpenEvent, TransparentHash,
+                         std::equal_to<>>;
 
   // The automaton whose state set contains every observed pattern; smallest
   // state set wins, then lowest id. Null when none qualifies.
   const Automaton* candidate_for(const OpenEvent& event) const;
+
+  // Distinct pattern IDs of the event's logs, sorted (reused scratch).
+  const std::vector<int>& observed_patterns(const OpenEvent& event) const;
 
   // Closes the event and emits rule-violation anomalies. `at_end` is true
   // when closing was triggered by an end-state log (vs expiry/flush).
@@ -98,10 +176,47 @@ class SequenceDetector {
 
   bool pattern_known(int pattern_id) const;
 
+  // Deadline the heartbeat sweep enforces for this event under the current
+  // model (kNoDeadline when the event has no timestamped log).
+  int64_t compute_deadline(const OpenEvent& event,
+                           const Automaton* candidate) const;
+
+  // Records a deadline change: bumps the generation, pushes a fresh heap
+  // entry (or files the event in the no-deadline set), and compacts the
+  // heap when stale entries dominate.
+  void index_event(const std::string& id, OpenEvent& event, int64_t deadline,
+                   bool is_new);
+  void push_entry(int64_t deadline, uint64_t generation, std::string id);
+  DeadlineEntry pop_entry();
+  // Drops every heap/set entry and re-indexes all open events (used by
+  // update_model, restore_state, and heap compaction).
+  void rebuild_index();
+  void maybe_compact();
+
+  // Enforces max_open_events: evicts the earliest-deadline event (ties by
+  // smallest ID; events with no deadline go first) and reports it.
+  std::vector<Anomaly> maybe_evict(int64_t close_time_ms);
+
   SequenceModel model_;
   DetectorOptions options_;
-  std::map<std::string, OpenEvent> open_;
+  OpenMap open_;
+  // Lazy-deletion min-heap over (deadline, id); std::push_heap/pop_heap on
+  // a vector so rebuild_index can reconstruct it in O(n).
+  std::vector<DeadlineEntry> heap_;
+  // Events that cannot expire (no timestamped log yet), ordered by ID so
+  // eviction picks deterministically.
+  std::set<std::string, std::less<>> no_deadline_;
+  // Source of heap-entry generations (see OpenEvent::generation).
+  uint64_t generation_counter_ = 0;
   DetectorStats stats_;
+
+  // Reused validation scratch: occurrence counts indexed by pattern ID
+  // (touched slots zeroed after each validation) and the sorted distinct
+  // observed-pattern set. Keeps the per-close path allocation-free once
+  // warm — see tests/detector_allocation_test.cpp.
+  std::vector<int> occ_counts_;
+  std::vector<int> occ_touched_;
+  mutable std::vector<int> observed_scratch_;
 };
 
 }  // namespace loglens

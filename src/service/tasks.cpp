@@ -205,9 +205,16 @@ DetectorTask::DetectorTask(std::shared_ptr<ModelBroadcast> model,
   events_expired_total_ =
       &registry.counter("loglens_detector_events_expired_total", labels,
                         "Events expired by heartbeat sweeps");
-  evicted_total_ =
-      &registry.counter("loglens_detector_evicted_total", labels,
-                        "Open events evicted by the memory bound");
+  evicted_total_ = &registry.counter(
+      "loglens_detector_open_evictions_total", labels,
+      "Open events evicted by the max_open_events bound (each also emits an "
+      "OPEN_STATE_EVICTED anomaly)");
+  stale_pops_total_ = &registry.counter(
+      "loglens_detector_stale_pops_total", labels,
+      "Superseded deadline-heap entries discarded by lazy deletion");
+  heap_rebuilds_total_ = &registry.counter(
+      "loglens_detector_heap_rebuilds_total", labels,
+      "Deadline-index rebuilds (compaction, model update, restore)");
   anomalies_total_ =
       &registry.counter("loglens_detector_anomalies_total", labels,
                         "Anomalies emitted by the stateful stage");
@@ -216,6 +223,9 @@ DetectorTask::DetectorTask(std::shared_ptr<ModelBroadcast> model,
       "Redelivered messages skipped by the at-least-once dedup guard");
   open_events_ = &registry.gauge("loglens_detector_open_events", labels,
                                  "Open events held at the last batch end");
+  deadline_heap_size_ = &registry.gauge(
+      "loglens_detector_deadline_heap_size", labels,
+      "Deadline-heap entries (live + stale) at the last batch end");
 }
 
 void DetectorTask::refresh_model(size_t partition) {
@@ -242,8 +252,13 @@ void DetectorTask::sync_stats() {
   events_expired_total_->inc(
       stat_delta(stats.events_expired, synced_.events_expired));
   evicted_total_->inc(stat_delta(stats.evicted, synced_.evicted));
+  stale_pops_total_->inc(stat_delta(stats.stale_pops, synced_.stale_pops));
+  heap_rebuilds_total_->inc(
+      stat_delta(stats.heap_rebuilds, synced_.heap_rebuilds));
   synced_ = stats;
   open_events_->set(static_cast<int64_t>(detector_->open_events()));
+  deadline_heap_size_->set(
+      static_cast<int64_t>(detector_->deadline_index_size()));
 }
 
 void DetectorTask::on_batch_end(TaskContext& /*ctx*/) { sync_stats(); }

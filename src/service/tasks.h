@@ -138,9 +138,12 @@ class DetectorTask : public PartitionTask {
   Counter* events_closed_total_ = nullptr;
   Counter* events_expired_total_ = nullptr;
   Counter* evicted_total_ = nullptr;
+  Counter* stale_pops_total_ = nullptr;
+  Counter* heap_rebuilds_total_ = nullptr;
   Counter* anomalies_total_ = nullptr;
   Counter* dedup_skipped_total_ = nullptr;
   Gauge* open_events_ = nullptr;
+  Gauge* deadline_heap_size_ = nullptr;
   DetectorStats synced_;
 };
 

@@ -16,6 +16,7 @@ std::string_view anomaly_type_name(AnomalyType t) {
     case AnomalyType::kUnknownTransition: return "UNKNOWN_TRANSITION";
     case AnomalyType::kKeywordAlert: return "KEYWORD_ALERT";
     case AnomalyType::kValueOutOfRange: return "VALUE_OUT_OF_RANGE";
+    case AnomalyType::kOpenStateEvicted: return "OPEN_STATE_EVICTED";
   }
   return "UNPARSED_LOG";
 }
@@ -26,7 +27,7 @@ bool anomaly_type_from_name(std::string_view name, AnomalyType& out) {
         AnomalyType::kMissingEndState, AnomalyType::kMissingIntermediateState,
         AnomalyType::kOccurrenceViolation, AnomalyType::kDurationViolation,
         AnomalyType::kUnknownTransition, AnomalyType::kKeywordAlert,
-        AnomalyType::kValueOutOfRange}) {
+        AnomalyType::kValueOutOfRange, AnomalyType::kOpenStateEvicted}) {
     if (anomaly_type_name(t) == name) {
       out = t;
       return true;

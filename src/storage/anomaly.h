@@ -26,6 +26,8 @@ enum class AnomalyType {
   kUnknownTransition,         // extension: unseen consecutive state pair
   kKeywordAlert,              // extension: severity keyword (stateless)
   kValueOutOfRange,           // extension: KPI outside learned range
+  kOpenStateEvicted,          // open event dropped by the memory bound
+                              // before reaching an end state
 };
 
 std::string_view anomaly_type_name(AnomalyType t);

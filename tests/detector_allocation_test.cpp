@@ -1,0 +1,149 @@
+// Allocation contract for the detector hot paths, mirroring
+// tests/parser_allocation_test.cpp's counting operator new.
+//
+// Two claims underwritten here:
+//  - A heartbeat that expires nothing performs ZERO heap allocations, at any
+//    open-event count. (The pre-deadline-index sweep walked every open event
+//    and ran candidate attribution per event, allocating a std::set node per
+//    distinct pattern per event per heartbeat.)
+//  - A close cycle's steady-state allocation count is INDEPENDENT of how
+//    many distinct patterns the event observed. (Validation used to build a
+//    std::map<int,int> of occurrence counts — one node allocation per
+//    distinct pattern per validation; it now reuses flat vectors indexed by
+//    pattern ID.)
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/detector.h"
+
+namespace {
+std::atomic<uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace loglens {
+namespace {
+
+constexpr int kMidPatterns = 32;
+
+// One automaton: begin 1, end 2, mid patterns 3 .. 3+kMidPatterns-1, every
+// occurrence bound loose and the duration bound huge, so a well-formed
+// begin → mids → end cycle emits no anomalies (anomaly strings would
+// allocate and drown the signal being measured).
+SequenceModel wide_model() {
+  SequenceModel m;
+  Automaton a;
+  a.id = 1;
+  a.begin_patterns = {1};
+  a.end_patterns = {2};
+  for (int pid : {1, 2}) {
+    a.states[pid] = StateRule{pid, 0, 1'000};
+  }
+  for (int i = 0; i < kMidPatterns; ++i) {
+    const int pid = 3 + i;
+    a.states[pid] = StateRule{pid, 0, 1'000};
+  }
+  a.min_duration_ms = 0;
+  a.max_duration_ms = 1'000'000'000;
+  m.automata.push_back(std::move(a));
+  for (const auto& [pid, _] : m.automata[0].states) m.id_fields[pid] = "F";
+  return m;
+}
+
+// Event IDs and raw lines stay under the SSO bound so string content never
+// hits the heap — what remains is node/vector traffic, the thing under test.
+ParsedLog make_log(int pattern, const std::string& id, int64_t ts) {
+  ParsedLog log;
+  log.pattern_id = pattern;
+  log.timestamp_ms = ts;
+  log.fields.emplace_back("F", Json(id));
+  log.raw = "p" + std::to_string(pattern) + " " + id;
+  return log;
+}
+
+TEST(DetectorAllocationTest, NoOpHeartbeatIsAllocationFree) {
+  SequenceDetector det(wide_model(), {});
+  // Many open events, none anywhere near its deadline.
+  for (int i = 0; i < 512; ++i) {
+    det.on_log(make_log(1, "e" + std::to_string(i), 1'000 + i), "alloc");
+  }
+  ASSERT_EQ(det.open_events(), 512u);
+  ASSERT_TRUE(det.on_heartbeat(2'000).empty());  // warm
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < 100; ++rep) {
+    ASSERT_TRUE(det.on_heartbeat(2'000 + rep).empty());
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(after - before, 0u)
+      << "expected zero allocations across 100 no-op heartbeats over "
+      << det.open_events() << " open events";
+  EXPECT_EQ(det.open_events(), 512u);
+}
+
+// Runs `cycles` clean close cycles (begin, kMidPatterns mid logs, end) and
+// returns the allocation count. `distinct` selects the variant: the mid logs
+// either repeat one pattern or use kMidPatterns different ones.
+uint64_t run_cycles(SequenceDetector& det, bool distinct, int cycles) {
+  std::vector<ParsedLog> cycle;
+  int64_t ts = 10'000;
+  cycle.push_back(make_log(1, "e", ts++));
+  for (int i = 0; i < kMidPatterns; ++i) {
+    cycle.push_back(make_log(distinct ? 3 + i : 3, "e", ts++));
+  }
+  cycle.push_back(make_log(2, "e", ts++));
+
+  const uint64_t before = g_allocations.load(std::memory_order_relaxed);
+  for (int rep = 0; rep < cycles; ++rep) {
+    for (const auto& log : cycle) {
+      EXPECT_TRUE(det.on_log(log, "alloc").empty())
+          << "cycle must emit no anomalies";
+    }
+  }
+  const uint64_t after = g_allocations.load(std::memory_order_relaxed);
+  EXPECT_EQ(det.open_events(), 0u);
+  return after - before;
+}
+
+TEST(DetectorAllocationTest, CloseCycleCostIndependentOfDistinctPatterns) {
+  SequenceModel model = wide_model();
+  SequenceDetector repeat_det(model, {});
+  SequenceDetector distinct_det(model, {});
+
+  // Warm both: sizes the occurrence scratch, observed-pattern scratch,
+  // per-event vectors, and the deadline heap to steady-state capacity.
+  run_cycles(repeat_det, /*distinct=*/false, 50);
+  run_cycles(distinct_det, /*distinct=*/true, 50);
+
+  const uint64_t repeat_allocs = run_cycles(repeat_det, false, 200);
+  const uint64_t distinct_allocs = run_cycles(distinct_det, true, 200);
+  // 1 distinct mid pattern vs kMidPatterns of them: identical allocation
+  // traffic. A per-distinct-pattern node anywhere in the close path would
+  // show up as ~kMidPatterns extra allocations per cycle.
+  EXPECT_EQ(distinct_allocs, repeat_allocs)
+      << "close-cycle allocations scale with distinct pattern count";
+}
+
+}  // namespace
+}  // namespace loglens

@@ -1,0 +1,558 @@
+// Differential harness for the deadline-indexed detector.
+//
+// `ReferenceSequenceDetector` below is the pre-deadline-index implementation
+// kept alive as an executable specification: ordered-map open state, a full
+// linear scan per heartbeat, an O(n) scan per eviction, and a per-validation
+// std::map of occurrence counts. It shares NO state-management code with the
+// production `SequenceDetector` — only the anomaly formatting helpers — so
+// the two can disagree wherever the deadline index (lazy deletion,
+// generations, rebuild-on-restore, heap eviction) has a bug.
+//
+// Seeded random traces drive both implementations through interleaved event
+// IDs, out-of-order and missing timestamps, unknown patterns, non-monotonic
+// heartbeat schedules, mid-stream model updates, snapshot/restore swaps, and
+// forced evictions. Every operation must produce byte-identical anomaly
+// streams (serialized JSON), and the runs must agree on open-event counts,
+// semantic stats, and final snapshot bytes.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "automata/detector.h"
+#include "common/rng.h"
+
+namespace loglens {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference implementation (linear scans everywhere).
+// ---------------------------------------------------------------------------
+
+class ReferenceSequenceDetector {
+ public:
+  explicit ReferenceSequenceDetector(SequenceModel model,
+                                     DetectorOptions options = {})
+      : model_(std::move(model)), options_(options) {}
+
+  std::vector<Anomaly> on_log(const ParsedLog& log, std::string_view source) {
+    ++stats_.logs_seen;
+    auto field_it = model_.id_fields.find(log.pattern_id);
+    if (field_it == model_.id_fields.end()) return {};
+    if (!pattern_known(log.pattern_id)) return {};
+    const Json* id_value = nullptr;
+    for (const auto& [k, v] : log.fields) {
+      if (k == field_it->second) {
+        id_value = &v;
+        break;
+      }
+    }
+    if (id_value == nullptr || !id_value->is_string() ||
+        id_value->as_string().empty()) {
+      return {};
+    }
+    const std::string& event_id = id_value->as_string();
+
+    ++stats_.logs_tracked;
+    OpenEvent& event = open_[event_id];
+    if (event.logs.empty()) event.source = std::string(source);
+    std::pair<int, int64_t> entry{log.pattern_id, log.timestamp_ms};
+    if (options_.sort_by_log_time && log.timestamp_ms >= 0) {
+      auto pos = std::upper_bound(
+          event.logs.begin(), event.logs.end(), entry,
+          [](const auto& a, const auto& b) { return a.second < b.second; });
+      event.logs.insert(pos, entry);
+    } else {
+      event.logs.push_back(entry);
+    }
+    if (log.timestamp_ms >= 0) {
+      if (event.first_ts < 0 || log.timestamp_ms < event.first_ts) {
+        event.first_ts = log.timestamp_ms;
+      }
+      if (log.timestamp_ms > event.last_ts) event.last_ts = log.timestamp_ms;
+    }
+    if (event.raws.size() < options_.max_logs_per_event) {
+      event.raws.push_back(log.raw);
+    }
+
+    const Automaton* candidate = candidate_for(event);
+    if (candidate != nullptr &&
+        candidate->end_patterns.contains(log.pattern_id)) {
+      ++stats_.events_closed;
+      auto node = open_.extract(event_id);
+      return validate(node.key(), node.mapped(), /*at_end=*/true,
+                      log.timestamp_ms);
+    }
+
+    // Eviction spec: earliest deadline first, ties by smallest ID; events
+    // that can never expire (no timestamped log) go before everything.
+    std::vector<Anomaly> out;
+    if (open_.size() > options_.max_open_events) {
+      auto victim = open_.end();
+      bool victim_timeless = false;
+      int64_t victim_deadline = 0;
+      for (auto it = open_.begin(); it != open_.end(); ++it) {
+        const bool timeless = it->second.first_ts < 0;
+        const int64_t dl = timeless ? -1 : deadline_of(it->second);
+        // Map iteration is ascending by ID, so strict comparisons keep the
+        // smallest ID among ties.
+        if (victim == open_.end() || (timeless && !victim_timeless) ||
+            (timeless == victim_timeless && dl < victim_deadline)) {
+          victim = it;
+          victim_timeless = timeless;
+          victim_deadline = dl;
+        }
+      }
+      const Automaton* victim_candidate = candidate_for(victim->second);
+      out.push_back(make_eviction_anomaly(
+          victim->first, victim->second.source, victim->second.raws,
+          victim_candidate != nullptr ? victim_candidate->id : -1,
+          victim->second.last_ts, log.timestamp_ms, open_.size(),
+          options_.max_open_events,
+          victim_timeless ? -1 : victim_deadline));
+      open_.erase(victim);
+      ++stats_.evicted;
+    }
+    return out;
+  }
+
+  std::vector<Anomaly> on_heartbeat(int64_t log_time_ms) {
+    ++stats_.heartbeats;
+    std::vector<Anomaly> out;
+    for (auto it = open_.begin(); it != open_.end();) {
+      const OpenEvent& event = it->second;
+      if (event.first_ts >= 0 && log_time_ms > deadline_of(event)) {
+        ++stats_.events_expired;
+        auto anomalies =
+            validate(it->first, event, /*at_end=*/false, log_time_ms);
+        out.insert(out.end(), anomalies.begin(), anomalies.end());
+        it = open_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    return out;
+  }
+
+  void update_model(SequenceModel model) { model_ = std::move(model); }
+
+  Json snapshot_state() const {
+    JsonArray events;
+    for (const auto& [id, event] : open_) {
+      JsonObject e;
+      e.emplace_back("id", Json(id));
+      e.emplace_back("source", Json(event.source));
+      e.emplace_back("first_ts", Json(event.first_ts));
+      e.emplace_back("last_ts", Json(event.last_ts));
+      JsonArray logs;
+      for (const auto& [pid, ts] : event.logs) {
+        JsonArray pair;
+        pair.emplace_back(static_cast<int64_t>(pid));
+        pair.emplace_back(ts);
+        logs.emplace_back(Json(std::move(pair)));
+      }
+      e.emplace_back("logs", Json(std::move(logs)));
+      JsonArray raws;
+      for (const auto& r : event.raws) raws.emplace_back(r);
+      e.emplace_back("raws", Json(std::move(raws)));
+      events.emplace_back(Json(std::move(e)));
+    }
+    JsonObject obj;
+    obj.emplace_back("open_events", Json(std::move(events)));
+    return Json(std::move(obj));
+  }
+
+  Status restore_state(const Json& j) {
+    if (!j.is_object()) return Status::Error("state snapshot not an object");
+    const Json* events = j.find("open_events");
+    if (events == nullptr || !events->is_array()) {
+      return Status::Error("state snapshot missing open_events");
+    }
+    std::map<std::string, OpenEvent> restored;
+    for (const auto& e : events->as_array()) {
+      if (!e.is_object()) return Status::Error("open event not an object");
+      std::string id(e.get_string("id"));
+      if (id.empty()) return Status::Error("open event missing id");
+      OpenEvent event;
+      event.source = std::string(e.get_string("source"));
+      event.first_ts = e.get_int("first_ts", -1);
+      event.last_ts = e.get_int("last_ts", -1);
+      if (const Json* logs = e.find("logs");
+          logs != nullptr && logs->is_array()) {
+        for (const auto& pair : logs->as_array()) {
+          if (!pair.is_array() || pair.as_array().size() != 2) {
+            return Status::Error("open event log entry malformed");
+          }
+          event.logs.emplace_back(
+              static_cast<int>(pair.as_array()[0].as_int()),
+              pair.as_array()[1].as_int());
+        }
+      }
+      if (const Json* raws = e.find("raws");
+          raws != nullptr && raws->is_array()) {
+        for (const auto& r : raws->as_array()) {
+          if (r.is_string()) event.raws.push_back(r.as_string());
+        }
+      }
+      restored[std::move(id)] = std::move(event);
+    }
+    open_ = std::move(restored);
+    return Status::Ok();
+  }
+
+  size_t open_events() const { return open_.size(); }
+  const DetectorStats& stats() const { return stats_; }
+
+ private:
+  struct OpenEvent {
+    std::vector<std::pair<int, int64_t>> logs;
+    std::vector<std::string> raws;
+    int64_t first_ts = -1;
+    int64_t last_ts = -1;
+    std::string source;
+  };
+
+  bool pattern_known(int pattern_id) const {
+    for (const auto& a : model_.automata) {
+      if (a.states.contains(pattern_id)) return true;
+    }
+    return false;
+  }
+
+  int64_t deadline_of(const OpenEvent& event) const {
+    const Automaton* candidate = candidate_for(event);
+    if (candidate != nullptr) {
+      return event.first_ts + candidate->max_duration_ms;
+    }
+    return event.last_ts + options_.default_timeout_ms;
+  }
+
+  const Automaton* candidate_for(const OpenEvent& event) const {
+    std::set<int> observed;
+    for (const auto& [pid, _] : event.logs) observed.insert(pid);
+    const Automaton* best = nullptr;
+    for (const auto& a : model_.automata) {
+      bool contains_all = std::all_of(
+          observed.begin(), observed.end(),
+          [&a](int pid) { return a.states.contains(pid); });
+      if (!contains_all) continue;
+      if (best == nullptr || a.states.size() < best->states.size() ||
+          (a.states.size() == best->states.size() && a.id < best->id)) {
+        best = &a;
+      }
+    }
+    return best;
+  }
+
+  std::vector<Anomaly> validate(const std::string& event_id,
+                                const OpenEvent& event, bool at_end,
+                                int64_t close_time) {
+    std::vector<Anomaly> out;
+    if (event.logs.empty()) return out;
+    const Automaton* automaton = candidate_for(event);
+    if (automaton == nullptr) {
+      std::set<int> observed;
+      for (const auto& [pid, _] : event.logs) observed.insert(pid);
+      size_t best_overlap = 0;
+      for (const auto& a : model_.automata) {
+        size_t overlap = 0;
+        for (int pid : observed) {
+          if (a.states.contains(pid)) ++overlap;
+        }
+        if (overlap > best_overlap) {
+          best_overlap = overlap;
+          automaton = &a;
+        }
+      }
+      if (automaton == nullptr || best_overlap == 0) return out;
+    }
+
+    const int64_t anomaly_time =
+        at_end || event.last_ts < 0 ? close_time : event.last_ts;
+    auto emit = [&](AnomalyType type, std::string severity, std::string reason,
+                    Json details = Json(JsonObject{})) {
+      Anomaly a;
+      a.type = type;
+      a.severity = std::move(severity);
+      a.reason = std::move(reason);
+      a.timestamp_ms = anomaly_time;
+      a.source = event.source;
+      a.event_id = event_id;
+      a.automaton_id = automaton->id;
+      a.logs = event.raws;
+      a.details = std::move(details);
+      out.push_back(std::move(a));
+    };
+
+    const int first_pattern = event.logs.front().first;
+    const int last_pattern = event.logs.back().first;
+    const bool begin_ok = automaton->begin_patterns.contains(first_pattern);
+    const bool end_ok =
+        at_end && automaton->end_patterns.contains(last_pattern);
+
+    if (!begin_ok) {
+      emit(AnomalyType::kMissingBeginState, "high",
+           "event starts with pattern " + std::to_string(first_pattern) +
+               ", which is not a begin state of automaton " +
+               std::to_string(automaton->id),
+           Json(JsonObject{{"first_pattern",
+                            Json(static_cast<int64_t>(first_pattern))}}));
+    }
+    if (!end_ok) {
+      emit(AnomalyType::kMissingEndState, "high",
+           at_end
+               ? "event ends with pattern " + std::to_string(last_pattern) +
+                     ", which is not an end state"
+               : "event expired without reaching an end state of automaton " +
+                     std::to_string(automaton->id),
+           Json(JsonObject{
+               {"last_pattern", Json(static_cast<int64_t>(last_pattern))},
+               {"expired", Json(!at_end)}}));
+    }
+
+    std::map<int, int> occurrences;
+    for (const auto& [pid, _] : event.logs) ++occurrences[pid];
+
+    for (const auto& [pid, rule] : automaton->states) {
+      auto it = occurrences.find(pid);
+      int count = it == occurrences.end() ? 0 : it->second;
+      if (count == 0) {
+        if (rule.min_occurrences >= 1 &&
+            !automaton->end_patterns.contains(pid) &&
+            !automaton->begin_patterns.contains(pid)) {
+          emit(AnomalyType::kMissingIntermediateState, "high",
+               "state for pattern " + std::to_string(pid) +
+                   " never occurred (min occurrence " +
+                   std::to_string(rule.min_occurrences) + ")",
+               Json(JsonObject{
+                   {"pattern_id", Json(static_cast<int64_t>(pid))}}));
+        }
+        continue;
+      }
+      if (count < rule.min_occurrences || count > rule.max_occurrences) {
+        emit(AnomalyType::kOccurrenceViolation, "medium",
+             "pattern " + std::to_string(pid) + " occurred " +
+                 std::to_string(count) + " times, outside [" +
+                 std::to_string(rule.min_occurrences) + ", " +
+                 std::to_string(rule.max_occurrences) + "]",
+             Json(JsonObject{{"pattern_id", Json(static_cast<int64_t>(pid))},
+                             {"count", Json(static_cast<int64_t>(count))}}));
+      }
+    }
+
+    if (begin_ok && end_ok && event.first_ts >= 0 && event.last_ts >= 0) {
+      int64_t duration = event.last_ts - event.first_ts;
+      if (duration < automaton->min_duration_ms ||
+          duration > automaton->max_duration_ms) {
+        emit(AnomalyType::kDurationViolation, "medium",
+             "event duration " + std::to_string(duration) + " ms outside [" +
+                 std::to_string(automaton->min_duration_ms) + ", " +
+                 std::to_string(automaton->max_duration_ms) + "] ms",
+             Json(JsonObject{{"duration_ms", Json(duration)}}));
+      }
+    }
+
+    if (options_.check_transitions && !automaton->transitions.empty()) {
+      std::set<std::pair<int, int>> reported;
+      for (size_t i = 1; i < event.logs.size(); ++i) {
+        std::pair<int, int> edge{event.logs[i - 1].first,
+                                 event.logs[i].first};
+        if (!automaton->transitions.contains(edge) &&
+            reported.insert(edge).second) {
+          emit(AnomalyType::kUnknownTransition, "low",
+               "transition " + std::to_string(edge.first) + " -> " +
+                   std::to_string(edge.second) + " never seen in training",
+               Json(JsonObject{
+                   {"from", Json(static_cast<int64_t>(edge.first))},
+                   {"to", Json(static_cast<int64_t>(edge.second))}}));
+        }
+      }
+    }
+    return out;
+  }
+
+  SequenceModel model_;
+  DetectorOptions options_;
+  std::map<std::string, OpenEvent> open_;
+  DetectorStats stats_;
+};
+
+// ---------------------------------------------------------------------------
+// Trace generation.
+// ---------------------------------------------------------------------------
+
+// Patterns for automaton i live at base i*10: begin = base, middles, end =
+// base + size - 1. Pattern 99 is id-mapped but unknown to every automaton;
+// pattern 77 has no id field at all.
+SequenceModel random_model(Rng& rng) {
+  SequenceModel m;
+  const size_t n_automata = 1 + rng.below(3);
+  for (size_t i = 0; i < n_automata; ++i) {
+    Automaton a;
+    a.id = static_cast<int>(i) + 1;
+    const int base = (static_cast<int>(i) + 1) * 10;
+    const int size = 2 + static_cast<int>(rng.below(4));  // 2..5 states
+    a.begin_patterns = {base};
+    a.end_patterns = {base + size - 1};
+    for (int s = 0; s < size; ++s) {
+      StateRule rule;
+      rule.pattern_id = base + s;
+      rule.min_occurrences = static_cast<int>(rng.below(2));  // 0 or 1
+      rule.max_occurrences =
+          rule.min_occurrences + 1 + static_cast<int>(rng.below(2));
+      a.states[base + s] = rule;
+      if (s > 0) a.transitions.insert({base + s - 1, base + s});
+    }
+    a.min_duration_ms = 0;
+    a.max_duration_ms = rng.range(150, 2200);
+    m.automata.push_back(std::move(a));
+  }
+  for (const auto& a : m.automata) {
+    for (const auto& [pid, _] : a.states) m.id_fields[pid] = "F";
+  }
+  m.id_fields[99] = "F";
+  return m;
+}
+
+ParsedLog trace_log(int pattern, const std::string& id, int64_t ts) {
+  ParsedLog log;
+  log.pattern_id = pattern;
+  log.timestamp_ms = ts;
+  if (pattern != 77) log.fields.emplace_back("F", Json(id));
+  log.raw = "p" + std::to_string(pattern) + " " + id;
+  return log;
+}
+
+std::string dump_all(const std::vector<Anomaly>& anomalies) {
+  std::string out;
+  for (const auto& a : anomalies) {
+    out += a.to_json().dump();
+    out += '\n';
+  }
+  return out;
+}
+
+void run_seed(uint64_t seed) {
+  Rng rng(seed);
+  DetectorOptions opts;
+  opts.check_transitions = rng.chance(0.5);
+  opts.default_timeout_ms = rng.range(300, 2000);
+  if (rng.chance(0.4)) {
+    opts.max_open_events = 3 + rng.below(6);  // force evictions
+  }
+  SequenceModel model = random_model(rng);
+  SequenceDetector optimized(model, opts);
+  ReferenceSequenceDetector reference(model, opts);
+
+  std::vector<int> patterns;
+  for (const auto& a : model.automata) {
+    for (const auto& [pid, _] : a.states) patterns.push_back(pid);
+  }
+
+  int64_t now = 10'000;
+  const size_t ops = 140;
+  for (size_t op = 0; op < ops; ++op) {
+    SCOPED_TRACE("seed " + std::to_string(seed) + " op " +
+                 std::to_string(op));
+    now += rng.below(60);
+    const uint64_t roll = rng.below(100);
+    if (roll < 72) {
+      // A log: usually a model pattern, sometimes unknown (99) or id-less
+      // (77); timestamps jittered, sometimes far in the past, sometimes
+      // absent entirely.
+      int pattern;
+      const uint64_t p = rng.below(100);
+      if (p < 88) {
+        pattern = patterns[rng.below(patterns.size())];
+      } else if (p < 94) {
+        pattern = 99;
+      } else {
+        pattern = 77;
+      }
+      std::string id = "ev" + std::to_string(rng.below(12));
+      int64_t ts;
+      const uint64_t t = rng.below(100);
+      if (t < 70) {
+        ts = now + static_cast<int64_t>(rng.below(400));
+      } else if (t < 85) {
+        ts = now - rng.range(0, 3000);  // out of order
+      } else if (t < 95) {
+        ts = -1;  // no timestamp
+      } else {
+        ts = now + rng.range(2000, 8000);  // far future
+      }
+      ParsedLog log = trace_log(pattern, id, ts);
+      auto a = optimized.on_log(log, "difftest");
+      auto b = reference.on_log(log, "difftest");
+      ASSERT_EQ(dump_all(a), dump_all(b));
+    } else if (roll < 85) {
+      // Heartbeat; occasionally carrying an earlier clock than the last.
+      int64_t hb = rng.chance(0.15) ? now - rng.range(0, 5000)
+                                    : now + static_cast<int64_t>(
+                                                rng.below(2500));
+      auto a = optimized.on_heartbeat(hb);
+      auto b = reference.on_heartbeat(hb);
+      ASSERT_EQ(dump_all(a), dump_all(b));
+    } else if (roll < 92) {
+      // Dynamic model update: tweak learned durations or swap in a freshly
+      // generated rule set (Section V-A / Table V semantics).
+      if (rng.chance(0.5)) {
+        for (auto& a : model.automata) {
+          a.max_duration_ms = rng.range(100, 2500);
+        }
+      } else {
+        model = random_model(rng);
+      }
+      optimized.update_model(model);
+      reference.update_model(model);
+    } else if (roll < 97) {
+      // Snapshot/restore swap: both detectors resume from their own
+      // snapshot in a fresh instance (deadline index rebuilt from scratch).
+      Json snap_a = optimized.snapshot_state();
+      Json snap_b = reference.snapshot_state();
+      ASSERT_EQ(snap_a.dump(), snap_b.dump());
+      optimized = SequenceDetector(model, opts);
+      reference = ReferenceSequenceDetector(model, opts);
+      ASSERT_TRUE(optimized.restore_state(snap_a).ok());
+      ASSERT_TRUE(reference.restore_state(snap_b).ok());
+    }
+    ASSERT_EQ(optimized.open_events(), reference.open_events());
+  }
+
+  // Flush: everything with a timestamp expires at once. Events that never
+  // saw a timestamped log can never expire (by design) and stay open in
+  // both implementations.
+  auto a = optimized.on_heartbeat(INT64_MAX / 2);
+  auto b = reference.on_heartbeat(INT64_MAX / 2);
+  ASSERT_EQ(dump_all(a), dump_all(b)) << "flush mismatch, seed " << seed;
+  ASSERT_EQ(optimized.open_events(), reference.open_events());
+
+  // Semantic stats agree (index internals — stale pops, rebuilds — are
+  // intentionally excluded: the reference has no index).
+  const DetectorStats& sa = optimized.stats();
+  const DetectorStats& sb = reference.stats();
+  EXPECT_EQ(sa.logs_seen, sb.logs_seen) << "seed " << seed;
+  EXPECT_EQ(sa.logs_tracked, sb.logs_tracked) << "seed " << seed;
+  EXPECT_EQ(sa.events_closed, sb.events_closed) << "seed " << seed;
+  EXPECT_EQ(sa.events_expired, sb.events_expired) << "seed " << seed;
+  EXPECT_EQ(sa.heartbeats, sb.heartbeats) << "seed " << seed;
+  EXPECT_EQ(sa.evicted, sb.evicted) << "seed " << seed;
+
+  ASSERT_EQ(optimized.snapshot_state().dump(),
+            reference.snapshot_state().dump());
+}
+
+TEST(DetectorDifferential, OptimizedMatchesReferenceAcrossSeeds) {
+  for (uint64_t seed = 1; seed <= 1200; ++seed) {
+    run_seed(seed);
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "differential divergence at seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace loglens

@@ -204,6 +204,91 @@ TEST(Detector, EvictionBoundsOpenStates) {
   EXPECT_GT(det.stats().evicted, 0u);
 }
 
+TEST(Detector, EvictionReportsAnomalyAndPicksEarliestDeadline) {
+  DetectorOptions opts;
+  opts.max_open_events = 2;
+  SequenceDetector det(simple_model(), opts);
+  EXPECT_TRUE(det.on_log(elog(1, "b", 2000), "src").empty());
+  EXPECT_TRUE(det.on_log(elog(1, "a", 1000), "src").empty());
+  // Third open event exceeds the bound: "a" has the earliest deadline
+  // (first_ts 1000 + max duration 500) and must be the one reported.
+  auto anomalies = det.on_log(elog(1, "c", 3000), "src");
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kOpenStateEvicted);
+  EXPECT_EQ(anomalies[0].event_id, "a");
+  EXPECT_EQ(anomalies[0].automaton_id, 1);
+  EXPECT_EQ(anomalies[0].timestamp_ms, 1000);  // the event's own log time
+  EXPECT_EQ(anomalies[0].details.get_int("deadline_ms", 0), 1500);
+  EXPECT_EQ(det.open_events(), 2u);
+  EXPECT_EQ(det.stats().evicted, 1u);
+  // The evicted event is gone: a later heartbeat expires only b and c.
+  auto expired = det.on_heartbeat(1'000'000);
+  size_t missing_end = 0;
+  for (const auto& a : expired) {
+    EXPECT_NE(a.event_id, "a");
+    if (a.type == AnomalyType::kMissingEndState) ++missing_end;
+  }
+  EXPECT_EQ(missing_end, 2u);
+}
+
+TEST(Detector, EvictionPrefersEventsThatCanNeverExpire) {
+  DetectorOptions opts;
+  opts.max_open_events = 2;
+  SequenceDetector det(simple_model(), opts);
+  // An event whose only log carries no timestamp has no expiry deadline; it
+  // would pin memory forever, so the bound takes it first.
+  EXPECT_TRUE(det.on_log(elog(1, "timeless", -1), "src").empty());
+  EXPECT_TRUE(det.on_log(elog(1, "fresh", 5000), "src").empty());
+  auto anomalies = det.on_log(elog(1, "newer", 6000), "src");
+  ASSERT_EQ(anomalies.size(), 1u);
+  EXPECT_EQ(anomalies[0].type, AnomalyType::kOpenStateEvicted);
+  EXPECT_EQ(anomalies[0].event_id, "timeless");
+  EXPECT_EQ(anomalies[0].details.get_int("deadline_ms", 0), -1);
+}
+
+TEST(Detector, ModelUpdateRecomputesDeadlines) {
+  SequenceDetector det(simple_model());
+  feed(det, {elog(1, "e1", 1000)});
+  // Under the learned max duration (500) the event is not yet overdue.
+  EXPECT_TRUE(det.on_heartbeat(1400).empty());
+  // A model update that tightens the duration bound moves the deadline
+  // earlier; the same heartbeat time now expires the event.
+  SequenceModel tight = simple_model();
+  tight.automata[0].max_duration_ms = 100;
+  det.update_model(tight);
+  auto expired = det.on_heartbeat(1400);
+  ASSERT_FALSE(expired.empty());
+  EXPECT_EQ(expired[0].type, AnomalyType::kMissingEndState);
+  EXPECT_EQ(det.open_events(), 0u);
+}
+
+TEST(Detector, SupersededDeadlinesAreDiscardedLazily) {
+  SequenceDetector det(simple_model());
+  feed(det, {elog(2, "e1", 2000)});
+  // An out-of-order earlier log pulls first_ts back, changing the deadline;
+  // the superseded heap entry is discarded as a stale pop on the next sweep.
+  feed(det, {elog(2, "e1", 1000)});
+  EXPECT_GE(det.deadline_index_size(), 2u);
+  auto expired = det.on_heartbeat(1'000'000);
+  ASSERT_FALSE(expired.empty());
+  EXPECT_EQ(det.stats().stale_pops, 1u);
+  EXPECT_EQ(det.deadline_index_size(), 0u);
+}
+
+TEST(Detector, DeadlineHeapCompactsUnderChurn) {
+  SequenceDetector det(simple_model());
+  // 200 deadline changes on a single open event (each out-of-order log
+  // moves first_ts earlier). Lazy deletion would hold 200 entries; the
+  // compaction bound keeps the heap within a constant factor of the one
+  // live event.
+  for (int i = 0; i < 200; ++i) {
+    feed(det, {elog(2, "e1", 100'000 - i * 10)});
+  }
+  EXPECT_EQ(det.open_events(), 1u);
+  EXPECT_GT(det.stats().heap_rebuilds, 0u);
+  EXPECT_LE(det.deadline_index_size(), 64u);
+}
+
 TEST(Detector, AnomalyCarriesAssociatedLogs) {
   SequenceDetector det(simple_model());
   auto anomalies = feed(det, {elog(2, "e1", 1000), elog(3, "e1", 1210)});

@@ -8,7 +8,7 @@
 #      on the concurrent core (docs/STATIC_ANALYSIS.md)
 #
 # Usage: tools/check.sh [--skip-asan] [--skip-sanitizer] [--sanitizer-only]
-#                       [--static-only]
+#                       [--static-only] [--coverage]
 #   --skip-sanitizer  run only the regular pass
 #   --skip-asan       skip the sanitizer pass only when it would be ASan; a
 #                     pass explicitly requested via LOGLENS_SANITIZE=thread
@@ -17,6 +17,13 @@
 #   --static-only     run only the static gates (no tests). Lint always
 #                     runs; the Clang steps are skipped with a notice when
 #                     no clang++ is on PATH (they are enforced in CI).
+#   --coverage        run only the coverage pass: instrumented build
+#                     (-DLOGLENS_COVERAGE=ON) + ctest, then
+#                     tools/coverage_report.py renders coverage-html/ and
+#                     enforces the src/automata/ line-coverage floor. Use
+#                     clang via LOGLENS_CMAKE_ARGS for the llvm-cov
+#                     annotated-source report (the CI coverage job does);
+#                     GCC builds fall back to gcov aggregation.
 #
 # Environment:
 #   LOGLENS_SANITIZE       sanitizer for the second pass (default: address;
@@ -39,6 +46,7 @@ sanitizer="${LOGLENS_SANITIZE:-address}"
 run_regular=1
 run_sanitizer=1
 run_static=0
+run_coverage=0
 for arg in "$@"; do
   case "$arg" in
     --skip-sanitizer) run_sanitizer=0 ;;
@@ -46,6 +54,7 @@ for arg in "$@"; do
       if [[ "$sanitizer" == "address" ]]; then run_sanitizer=0; fi ;;
     --sanitizer-only) run_regular=0 ;;
     --static-only) run_static=1; run_regular=0; run_sanitizer=0 ;;
+    --coverage) run_coverage=1; run_regular=0; run_sanitizer=0 ;;
     *) echo "unknown argument: $arg" >&2; exit 2 ;;
   esac
 done
@@ -111,6 +120,20 @@ if [[ "$run_regular" == 1 ]]; then
   cmake -B "$repo/build" -S "$repo" "${cmake_args[@]}" >/dev/null
   cmake --build "$repo/build" -j "$jobs"
   ctest --test-dir "$repo/build" "${ctest_args[@]}"
+fi
+
+if [[ "$run_coverage" == 1 ]]; then
+  echo "== coverage: instrumented build + ctest + report =="
+  covdir="$repo/build-coverage"
+  cmake -B "$covdir" -S "$repo" -DLOGLENS_COVERAGE=ON \
+        "${cmake_args[@]}" >/dev/null
+  cmake --build "$covdir" -j "$jobs"
+  # Unique per-process profile files so concurrently running (clang-
+  # instrumented) tests never clobber one default.profraw; harmless for GCC.
+  LLVM_PROFILE_FILE="$covdir/profraw/%p.profraw" \
+    ctest --test-dir "$covdir" "${ctest_args[@]}"
+  python3 "$repo/tools/coverage_report.py" --build-dir "$covdir" \
+    --html-dir "$repo/coverage-html"
 fi
 
 if [[ "$run_sanitizer" == 1 ]]; then

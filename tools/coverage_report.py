@@ -1,0 +1,207 @@
+#!/usr/bin/env python3
+"""Aggregate coverage from a LOGLENS_COVERAGE build and gate on it.
+
+Usage: coverage_report.py --build-dir BUILD [--filter src/automata/]
+                          [--threshold 95.0] [--html-dir DIR]
+
+Two instrumentation modes, auto-detected from what the build left behind:
+
+- **llvm** (Clang, -fprofile-instr-generate): the build directory holds
+  ``*.profraw`` files (run ctest with ``LLVM_PROFILE_FILE=<dir>/%p.profraw``
+  so concurrent test processes do not clobber one file). They are merged
+  with llvm-profdata and exported per-file with llvm-cov across every test
+  binary; ``--html-dir`` gets the full ``llvm-cov show`` annotated-source
+  report. This is the CI mode.
+- **gcov** (GCC, --coverage): the build directory holds ``*.gcda`` note
+  files next to each object. Each is exported with ``gcov --json-format
+  --stdout`` and line counts are merged across translation units (headers
+  appear in many TUs). ``--html-dir`` gets a self-contained summary table.
+  This is the local-fallback mode — the container toolchain's llvm-cov
+  cannot read GCC 12 .gcno files.
+
+The gate: aggregate line coverage over files matching ``--filter`` must be
+at least ``--threshold`` percent, else exit 1. The default threshold is the
+value measured when the deadline-index test suite landed; refresh it
+deliberately when coverage moves, like bench/baseline.json.
+"""
+
+import argparse
+import glob
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+
+def find_tool(names):
+    for name in names:
+        path = shutil.which(name)
+        if path:
+            return path
+    return None
+
+
+def list_test_binaries(build_dir):
+    """Executables under <build>/tests (the ctest suite)."""
+    out = []
+    tests_dir = os.path.join(build_dir, "tests")
+    for entry in sorted(os.listdir(tests_dir)) if os.path.isdir(tests_dir) else []:
+        path = os.path.join(tests_dir, entry)
+        if os.path.isfile(path) and os.access(path, os.X_OK):
+            out.append(path)
+    return out
+
+
+def collect_llvm(build_dir, html_dir):
+    """Returns {source_path: (covered, total)} from llvm source-based data."""
+    profraws = glob.glob(os.path.join(build_dir, "**", "*.profraw"),
+                         recursive=True)
+    if not profraws:
+        return None
+    profdata_tool = find_tool(["llvm-profdata", "llvm-profdata-14",
+                               "llvm-profdata-15", "llvm-profdata-16"])
+    cov_tool = find_tool(["llvm-cov", "llvm-cov-14", "llvm-cov-15",
+                          "llvm-cov-16"])
+    if not profdata_tool or not cov_tool:
+        print("coverage: found .profraw but no llvm-profdata/llvm-cov",
+              file=sys.stderr)
+        sys.exit(2)
+    binaries = list_test_binaries(build_dir)
+    if not binaries:
+        print("coverage: no test binaries under", build_dir, file=sys.stderr)
+        sys.exit(2)
+
+    profdata = os.path.join(build_dir, "coverage.profdata")
+    subprocess.run([profdata_tool, "merge", "-sparse", *profraws,
+                    "-o", profdata], check=True)
+
+    objects = [binaries[0]]
+    for b in binaries[1:]:
+        objects += ["-object", b]
+    export = subprocess.run(
+        [cov_tool, "export", "-instr-profile", profdata, *objects,
+         "-skip-functions"],
+        check=True, capture_output=True, text=True)
+    doc = json.loads(export.stdout)
+    lines = {}
+    for data in doc.get("data", []):
+        for f in data.get("files", []):
+            summary = f.get("summary", {}).get("lines", {})
+            lines[f.get("filename", "")] = (
+                int(summary.get("covered", 0)), int(summary.get("count", 0)))
+
+    if html_dir:
+        subprocess.run(
+            [cov_tool, "show", "-format=html", f"-output-dir={html_dir}",
+             "-instr-profile", profdata, *objects],
+            check=True)
+        print(f"coverage: HTML report at {html_dir}/index.html")
+    return lines
+
+
+def collect_gcov(build_dir, html_dir, filter_substr):
+    """Returns {source_path: (covered, total)} by merging gcov JSON exports."""
+    gcdas = glob.glob(os.path.join(build_dir, "**", "*.gcda"), recursive=True)
+    if not gcdas:
+        return None
+    gcov_tool = find_tool(["gcov", "gcov-12", "gcov-13"])
+    if not gcov_tool:
+        print("coverage: found .gcda but no gcov", file=sys.stderr)
+        sys.exit(2)
+
+    # line hit counts merged across every TU that compiled the line.
+    counts = {}  # file -> {line: count}
+    for gcda in gcdas:
+        proc = subprocess.run(
+            [gcov_tool, "--json-format", "--stdout", gcda],
+            capture_output=True, text=True, cwd=build_dir)
+        if proc.returncode != 0:
+            continue
+        for chunk in proc.stdout.splitlines():
+            if not chunk.strip():
+                continue
+            try:
+                doc = json.loads(chunk)
+            except json.JSONDecodeError:
+                continue
+            for f in doc.get("files", []):
+                name = os.path.normpath(f.get("file", ""))
+                per_file = counts.setdefault(name, {})
+                for line in f.get("lines", []):
+                    n = line.get("line_number")
+                    per_file[n] = per_file.get(n, 0) + int(line.get("count", 0))
+
+    lines = {}
+    for name, per_file in counts.items():
+        covered = sum(1 for c in per_file.values() if c > 0)
+        lines[name] = (covered, len(per_file))
+
+    if html_dir:
+        os.makedirs(html_dir, exist_ok=True)
+        rows = []
+        for name in sorted(lines):
+            if filter_substr not in name:
+                continue
+            covered, total = lines[name]
+            pct = 100.0 * covered / total if total else 100.0
+            rows.append(f"<tr><td>{name}</td><td>{covered}/{total}</td>"
+                        f"<td>{pct:.1f}%</td></tr>")
+        with open(os.path.join(html_dir, "index.html"), "w") as fh:
+            fh.write("<!DOCTYPE html><html><head><title>loglens coverage"
+                     "</title></head><body><h1>Line coverage (gcov mode)"
+                     "</h1><table border='1' cellpadding='4'>"
+                     "<tr><th>file</th><th>lines</th><th>coverage</th></tr>"
+                     + "".join(rows) + "</table></body></html>\n")
+        print(f"coverage: HTML summary at {html_dir}/index.html")
+    return lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--filter", default="src/automata/",
+                        help="path substring selecting the gated files")
+    # Floor pinned when the deadline-index suite landed: 99.2% measured for
+    # src/automata/ (gcov mode), held at 97 for llvm/gcov line-counting
+    # differences.
+    parser.add_argument("--threshold", type=float, default=97.0,
+                        help="minimum aggregate line coverage percent")
+    parser.add_argument("--html-dir", default=None,
+                        help="write an HTML report here")
+    args = parser.parse_args()
+
+    lines = collect_llvm(args.build_dir, args.html_dir)
+    if lines is None:
+        lines = collect_gcov(args.build_dir, args.html_dir, args.filter)
+    if lines is None:
+        print("coverage: no .profraw or .gcda under", args.build_dir,
+              "— was the build configured with -DLOGLENS_COVERAGE=ON "
+              "and ctest run?", file=sys.stderr)
+        sys.exit(2)
+
+    covered = total = 0
+    print(f"line coverage for files matching '{args.filter}':")
+    for name in sorted(lines):
+        if args.filter not in name.replace("\\", "/"):
+            continue
+        c, t = lines[name]
+        covered += c
+        total += t
+        pct = 100.0 * c / t if t else 100.0
+        print(f"  {name}: {c}/{t} ({pct:.1f}%)")
+    if total == 0:
+        print("coverage: no instrumented lines matched the filter",
+              file=sys.stderr)
+        sys.exit(2)
+    pct = 100.0 * covered / total
+    print(f"aggregate: {covered}/{total} = {pct:.2f}% "
+          f"(threshold {args.threshold:.2f}%)")
+    if pct < args.threshold:
+        print("coverage gate FAILED", file=sys.stderr)
+        sys.exit(1)
+    print("coverage gate passed")
+
+
+if __name__ == "__main__":
+    main()
