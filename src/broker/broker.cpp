@@ -3,6 +3,9 @@
 #include <chrono>
 #include <thread>
 
+#include "common/clock.h"
+#include "trace/trace.h"
+
 namespace loglens {
 
 namespace {
@@ -73,6 +76,23 @@ Status Broker::produce(const std::string& topic, Message message,
       produce_backoff(attempt);
     }
   }
+  if (trace::enabled()) {
+    // Stamp trace identity at the pipeline edge: inherit the producer's
+    // context (so a batch's outputs chain to the span that made them) or
+    // start a fresh trace for un-instrumented producers. Redelivered /
+    // re-produced messages keep their identity, but the enqueue timestamp
+    // is per-produce — queue wait is a property of this append.
+    if (message.trace_id == 0) {
+      const trace::TraceContext& ctx = trace::current();
+      if (ctx.trace_id != 0) {
+        message.trace_id = ctx.trace_id;
+        message.parent_span = ctx.span_id;
+      } else {
+        message.trace_id = trace::new_trace_id();
+      }
+    }
+    message.enqueue_us = trace_clock::now_us();
+  }
   RankedMutexLock lock(mu_);
   TopicData& data = topic_data_locked(topic, 1);
   auto& parts = data.partitions;
@@ -136,8 +156,8 @@ std::vector<Message> Broker::fetch_blocking(const std::string& topic,
     return {};
   }
   RankedMutexLock lock(mu_);
-  auto deadline = std::chrono::steady_clock::now() +
-                  std::chrono::milliseconds(timeout_ms);
+  const uint64_t deadline_us =
+      trace_clock::now_us() + static_cast<uint64_t>(timeout_ms) * 1000;
   // Explicit wait loop (not the predicate overload): the analysis checks a
   // predicate lambda as its own function, where the guarded reads would not
   // be covered by the lock held here.
@@ -148,7 +168,13 @@ std::vector<Message> Broker::fetch_blocking(const std::string& topic,
         ready_it->second.partitions[partition].size() > offset) {
       break;
     }
-    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+    const uint64_t now_us = trace_clock::now_us();
+    if (now_us >= deadline_us) break;
+    if (cv_.wait_for(lock, std::chrono::microseconds(
+                               deadline_us - now_us)) ==
+        std::cv_status::timeout) {
+      break;
+    }
   }
   std::vector<Message> out;
   auto it = topics_.find(topic);

@@ -28,8 +28,17 @@ struct Message {
   // dedup guard compares these (see docs/FAULTS.md). -1 = unassigned.
   int64_t seq = -1;
 
-  // Equality is content equality; seq is delivery metadata (a redelivered
-  // copy of a message is still the same message).
+  // Trace metadata (trace/trace.h), stamped by Broker::produce: the trace
+  // this message belongs to (inherited from the producer's TraceContext, or
+  // fresh at the pipeline edge), the producer-side span downstream work
+  // parents to, and the produce timestamp that lets the consumer attribute
+  // queue wait. Like seq, redelivery preserves them. 0 = untraced.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
+  uint64_t enqueue_us = 0;
+
+  // Equality is content equality; seq and the trace fields are delivery
+  // metadata (a redelivered copy of a message is still the same message).
   friend bool operator==(const Message& a, const Message& b) {
     return a.key == b.key && a.value == b.value &&
            a.timestamp_ms == b.timestamp_ms && a.tag == b.tag &&

@@ -1,0 +1,50 @@
+#pragma once
+
+// Monotonic-microsecond clock shim. Every timestamp on the hot path (spans,
+// queue-wait stamps, contention samples, batch timers) funnels through
+// trace_clock::now_us() so tests can substitute a deterministic source and
+// the lint gate can ban direct std::chrono::steady_clock::now() calls in
+// src/ (tools/lint.py). This header is the one place in src/ allowed to name
+// steady_clock.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace loglens {
+namespace trace_clock {
+
+using NowFn = uint64_t (*)();
+
+namespace internal {
+
+inline std::atomic<NowFn>& source() {
+  static std::atomic<NowFn> fn{nullptr};
+  return fn;
+}
+
+inline uint64_t real_now_us() {
+  static const auto kEpoch = std::chrono::steady_clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - kEpoch)
+          .count());
+}
+
+}  // namespace internal
+
+// Microseconds since process start (monotonic), or whatever the installed
+// test source returns.
+inline uint64_t now_us() {
+  NowFn fn = internal::source().load(std::memory_order_relaxed);
+  return fn != nullptr ? fn() : internal::real_now_us();
+}
+
+// Test hook: install a fake time source (nullptr restores the real clock).
+// Not meant for production code; swaps take effect on the next now_us().
+inline void set_source(NowFn fn) {
+  internal::source().store(fn, std::memory_order_relaxed);
+}
+
+}  // namespace trace_clock
+}  // namespace loglens

@@ -23,16 +23,20 @@
 //
 //   kServiceRecover < kEngineRun < kEngineControl < kBroadcastDriver,
 //   kBroadcastCache < kThreadPool < kConsumerGroup, kConsumer < kBroker
-//   < kFaults < kStorage < kJobState < kMetrics
+//   < kFaults < kStorage < kJobState < kMetrics < kTrace
 //
-// Metrics is the innermost rank because every subsystem may bump a counter
-// while holding its own lock; the service's recovery lock is the outermost
-// because recovery drives the whole pipeline (engines, broker, stores).
+// Trace is the innermost rank because the metrics registry drains the span
+// collector (kTrace) while holding its own mutex (kMetrics), and every
+// subsystem may bump a counter while holding its own lock; the service's
+// recovery lock is the outermost because recovery drives the whole pipeline
+// (engines, broker, stores).
 #pragma once
 
 #include <cstdint>
 #include <mutex>
+#include <vector>
 
+#include "common/clock.h"
 #include "common/thread_annotations.h"
 
 // LOGLENS_LOCK_RANK_CHECKS: 1 compiles the rank bookkeeping in, 0 makes
@@ -55,6 +59,16 @@
 #endif
 #endif
 
+// LOGLENS_MUTEX_PROFILE: 1 makes every contended RankedMutex acquisition
+// record a wait-time sample against its rank (lock_rank::contention_profile
+// below). Uncontended acquisitions pay one try_lock — nothing else — so the
+// profile is cheap enough to leave on wherever rank checks are on, and CI's
+// bench-smoke forces it on in Release (-DLOGLENS_MUTEX_PROFILE=ON) so the
+// throughput benchmark doubles as a contention census.
+#ifndef LOGLENS_MUTEX_PROFILE
+#define LOGLENS_MUTEX_PROFILE LOGLENS_LOCK_RANK_CHECKS
+#endif
+
 namespace loglens {
 
 namespace lock_rank {
@@ -74,10 +88,34 @@ inline constexpr int kBroker = 700;           // Broker::mu_
 inline constexpr int kFaults = 750;           // FaultInjector::mu_
 inline constexpr int kStorage = 800;          // DocumentStore / ModelStore
 inline constexpr int kJobState = 850;         // JobRunner::error_mu_
-inline constexpr int kMetrics = 900;          // MetricsRegistry::mu_ (leaf)
+inline constexpr int kMetrics = 900;          // MetricsRegistry::mu_
+inline constexpr int kTrace = 950;            // SpanCollector::mu_ (leaf)
 
 // True when this build performs rank checking (tests branch on it).
 constexpr bool checks_enabled() { return LOGLENS_LOCK_RANK_CHECKS != 0; }
+
+// True when contended acquisitions record wait-time samples.
+constexpr bool profiling_enabled() { return LOGLENS_MUTEX_PROFILE != 0; }
+
+// One row of the contention profile: how often a mutex of this rank was
+// contended (lock() found it held) and how long those waits took.
+struct ContentionStat {
+  int rank = 0;
+  const char* name = "";
+  uint64_t contended = 0;
+  uint64_t wait_us_total = 0;
+  uint64_t wait_us_max = 0;
+};
+
+// Rows with at least one contended acquisition, outermost rank first.
+// Always linkable; empty unless profiling_enabled().
+std::vector<ContentionStat> contention_profile();
+
+// Zeroes every contention counter (bench / test isolation).
+void contention_reset();
+
+// Human name for a rank constant ("kBroker"), or "other" for unknown ranks.
+const char* rank_name(int rank);
 
 namespace internal {
 
@@ -87,6 +125,11 @@ namespace internal {
 [[noreturn]] void rank_violation_abort(int acquiring, int held);
 [[noreturn]] void rank_overflow_abort(int acquiring);
 [[noreturn]] void rank_release_abort(int releasing);
+
+// Files one contended-acquisition sample. Out-of-line and unconditionally
+// defined (lock_rank.cpp) — only the call site is compiled out when
+// profiling is off.
+void record_contention(int rank, uint64_t wait_us);
 
 }  // namespace internal
 
@@ -160,7 +203,18 @@ class LOGLENS_CAPABILITY("mutex") RankedMutex {
 #if LOGLENS_LOCK_RANK_CHECKS
     lock_rank::internal::note_acquire(rank_);
 #endif
+#if LOGLENS_MUTEX_PROFILE
+    // Contention probe: an uncontended acquisition is one try_lock; a
+    // contended one additionally times the blocking wait.
+    if (!mu_.try_lock()) {
+      const uint64_t t0 = trace_clock::now_us();
+      mu_.lock();
+      lock_rank::internal::record_contention(rank_,
+                                             trace_clock::now_us() - t0);
+    }
+#else
     mu_.lock();
+#endif
   }
 
   void unlock() LOGLENS_RELEASE() {

@@ -194,25 +194,71 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
   return lookup(histograms_, name, std::move(labels), help);
 }
 
+const Histogram* MetricsRegistry::find_histogram(const std::string& name,
+                                                 MetricLabels labels) const {
+  std::sort(labels.begin(), labels.end());
+  RankedMutexLock lock(mu_);
+  auto it = histograms_.find(Key{name, std::move(labels)});
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
 void MetricsRegistry::record_span(std::string name, uint64_t start_us,
                                   uint64_t duration_us) {
-  RankedMutexLock lock(mu_);
-  SpanRecord rec{std::move(name), start_us, duration_us};
-  if (spans_.size() < kSpanRing) {
-    spans_.push_back(std::move(rec));
-  } else {
-    spans_[spans_begin_] = std::move(rec);
-    spans_begin_ = (spans_begin_ + 1) % kSpanRing;
+  if (!trace::enabled()) return;
+  trace::Span span;
+  span.name = std::move(name);
+  span.start_us = start_us;
+  span.duration_us = duration_us;
+  const trace::TraceContext& ctx = trace::current();
+  span.trace_id = ctx.trace_id;
+  span.parent_id = ctx.span_id;
+  span.batch = ctx.batch;
+  span.span_id = trace::new_span_id();
+  span.tid = trace::current_tid();
+  span_collector_.record(std::move(span));
+}
+
+void MetricsRegistry::record_span(trace::Span span) {
+  if (!trace::enabled()) return;
+  span_collector_.record(std::move(span));
+}
+
+void MetricsRegistry::drain_spans_locked() const {
+  std::vector<trace::Span> drained = span_collector_.drain();
+  if (drained.empty()) return;
+  // Per-thread buffers drain in per-thread FIFO order; interleave them by
+  // start time so readers see one coherent timeline.
+  std::stable_sort(drained.begin(), drained.end(),
+                   [](const trace::Span& a, const trace::Span& b) {
+                     return a.start_us < b.start_us;
+                   });
+  for (auto& span : drained) trace_spans_.push_back(std::move(span));
+  if (trace_spans_.size() > kTraceRing) {
+    trace_spans_.erase(
+        trace_spans_.begin(),
+        trace_spans_.begin() +
+            static_cast<ptrdiff_t>(trace_spans_.size() - kTraceRing));
   }
 }
 
 std::vector<SpanRecord> MetricsRegistry::recent_spans() const {
   RankedMutexLock lock(mu_);
+  drain_spans_locked();
+  const size_t n = std::min(trace_spans_.size(), kSpanRing);
   std::vector<SpanRecord> out;
-  out.reserve(spans_.size());
-  for (size_t i = 0; i < spans_.size(); ++i) {
-    out.push_back(spans_[(spans_begin_ + i) % spans_.size()]);
+  out.reserve(n);
+  for (size_t i = trace_spans_.size() - n; i < trace_spans_.size(); ++i) {
+    const trace::Span& span = trace_spans_[i];
+    out.push_back(SpanRecord{span.name, span.start_us, span.duration_us});
   }
+  return out;
+}
+
+std::vector<trace::Span> MetricsRegistry::take_trace_spans() {
+  RankedMutexLock lock(mu_);
+  drain_spans_locked();
+  std::vector<trace::Span> out;
+  out.swap(trace_spans_);
   return out;
 }
 
@@ -299,9 +345,11 @@ Json MetricsRegistry::snapshot_json() const {
     obj.emplace_back("p99", Json(s.p99));
     histograms.push_back(Json(std::move(obj)));
   }
+  drain_spans_locked();
   JsonArray spans;
-  for (size_t i = 0; i < spans_.size(); ++i) {
-    const SpanRecord& rec = spans_[(spans_begin_ + i) % spans_.size()];
+  const size_t window = std::min(trace_spans_.size(), kSpanRing);
+  for (size_t i = trace_spans_.size() - window; i < trace_spans_.size(); ++i) {
+    const trace::Span& rec = trace_spans_[i];
     JsonObject obj;
     obj.emplace_back("name", Json(rec.name));
     obj.emplace_back("start_us", Json(static_cast<int64_t>(rec.start_us)));
@@ -322,8 +370,8 @@ void MetricsRegistry::reset() {
   for (auto& [_, c] : counters_) c->reset();
   for (auto& [_, g] : gauges_) g->reset();
   for (auto& [_, h] : histograms_) h->reset();
-  spans_.clear();
-  spans_begin_ = 0;
+  drain_spans_locked();  // pull pending spans out of the buffers, then drop
+  trace_spans_.clear();
 }
 
 }  // namespace loglens

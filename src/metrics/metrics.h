@@ -17,8 +17,9 @@
 // for the registry's lifetime, so hot paths resolve handles once (at task
 // construction) and then only touch atomics. The registry renders as
 // Prometheus text exposition (`render_prometheus`) and as a JSON snapshot
-// (`snapshot_json`), and keeps a small ring buffer of completed tracing
-// spans (see timer.h) for per-stage latency forensics.
+// (`snapshot_json`), and retains completed tracing spans (trace/trace.h)
+// for per-stage latency forensics: the hot path files spans into per-thread
+// lock-free buffers, and readers drain them on demand.
 //
 // Metric naming convention (see docs/OBSERVABILITY.md):
 //   loglens_<subsystem>_<quantity>[_total|_us]
@@ -36,6 +37,7 @@
 #include "common/lock_rank.h"
 #include "common/thread_annotations.h"
 #include "json/json.h"
+#include "trace/trace.h"
 
 namespace loglens {
 
@@ -106,7 +108,9 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
-// One completed tracing span (see ScopedSpan in timer.h).
+// One completed tracing span in the legacy dashboard shape (see ScopedSpan
+// in timer.h). Full spans — with trace/parent ids — live in trace::Span;
+// this is the projection recent_spans()/snapshot_json() keep exposing.
 struct SpanRecord {
   std::string name;
   uint64_t start_us = 0;  // steady time since process start
@@ -132,11 +136,32 @@ class MetricsRegistry {
   Histogram& histogram(const std::string& name, MetricLabels labels = {},
                        const std::string& help = "") LOGLENS_EXCLUDES(mu_);
 
-  // Tracing-span ring buffer (newest last). Completion is rare (per batch /
-  // per stage, never per message), so a mutex is fine here.
-  void record_span(std::string name, uint64_t start_us, uint64_t duration_us)
+  // Read-only lookup (nullptr when the family was never registered) for
+  // renderers that must not create empty series as a side effect.
+  const Histogram* find_histogram(const std::string& name,
+                                  MetricLabels labels = {}) const
       LOGLENS_EXCLUDES(mu_);
+
+  // Files a completed span into the calling thread's lock-free buffer
+  // (trace::SpanCollector) — no mutex on this path. The simple overload
+  // inherits trace/parent ids from trace::current() and allocates a fresh
+  // span id; the trace::Span overload is for callers that pre-allocated
+  // ids to parent child spans under. Both are no-ops while tracing is
+  // disabled (trace::set_enabled).
+  void record_span(std::string name, uint64_t start_us, uint64_t duration_us);
+  void record_span(trace::Span span);
+
+  // Newest spans (≤ kSpanRing, oldest first), drained from every thread's
+  // buffer. Same shape the dashboard has always consumed.
   std::vector<SpanRecord> recent_spans() const LOGLENS_EXCLUDES(mu_);
+
+  // Drains and moves out every retained span (full trace form, ≤ kTraceRing,
+  // sorted by start time). The trace report and bench profile consume this.
+  std::vector<trace::Span> take_trace_spans() LOGLENS_EXCLUDES(mu_);
+
+  // Spans lost to full per-thread buffers since construction; a non-zero
+  // value means reports under-count and readers should drain more often.
+  uint64_t spans_dropped() const { return span_collector_.dropped(); }
 
   // Prometheus text exposition: counters and gauges as single samples,
   // histograms as summaries (quantile series + _sum + _count).
@@ -163,20 +188,28 @@ class MetricsRegistry {
             const std::string& name, MetricLabels labels,
             const std::string& help) LOGLENS_REQUIRES(mu_);
 
+  // Dashboard window (recent_spans / snapshot_json keep exposing at most
+  // this many) and the full retention cap for take_trace_spans().
   static constexpr size_t kSpanRing = 256;
+  static constexpr size_t kTraceRing = 65536;
 
-  // kMetrics is the innermost rank: every subsystem registers metrics while
-  // holding its own lock (e.g. the broker resolving per-topic counters), so
-  // nothing may be acquired beyond this one.
+  // Moves freshly buffered spans from the collector into trace_spans_,
+  // oldest dropped beyond kTraceRing.
+  void drain_spans_locked() const LOGLENS_REQUIRES(mu_);
+
+  // Metrics registration holds its own lock while resolving handles (e.g.
+  // the broker resolving per-topic counters), so only kTrace — the span
+  // collector drained under mu_ — may be acquired beyond this one.
   mutable RankedMutex mu_{lock_rank::kMetrics};
   std::map<Key, std::unique_ptr<Counter>> counters_ LOGLENS_GUARDED_BY(mu_);
   std::map<Key, std::unique_ptr<Gauge>> gauges_ LOGLENS_GUARDED_BY(mu_);
   std::map<Key, std::unique_ptr<Histogram>> histograms_
       LOGLENS_GUARDED_BY(mu_);
   std::map<std::string, std::string> help_ LOGLENS_GUARDED_BY(mu_);
-  // Span ring, oldest at spans_begin_.
-  std::vector<SpanRecord> spans_ LOGLENS_GUARDED_BY(mu_);
-  size_t spans_begin_ LOGLENS_GUARDED_BY(mu_) = 0;
+  // Per-thread lock-free buffers (hot path) and the drained, time-ordered
+  // retention ring readers consume.
+  mutable trace::SpanCollector span_collector_;
+  mutable std::vector<trace::Span> trace_spans_ LOGLENS_GUARDED_BY(mu_);
 };
 
 // Resolves an optional registry pointer to a usable registry.

@@ -2,66 +2,56 @@
 //
 // `ScopedTimer` records an elapsed-microseconds sample into a Histogram on
 // destruction — wrap a hot-path section in one and the latency distribution
-// shows up in the registry. `ScopedSpan` additionally files a named
-// SpanRecord into the registry's ring buffer; spans are for coarse stages
-// (a micro-batch, a heartbeat sweep, a model rebroadcast), never for
-// per-message work.
+// shows up in the registry. `ScopedSpan` additionally files a named span
+// into the registry's per-thread buffers (inheriting the thread's current
+// TraceContext); spans are for coarse stages (a micro-batch, a heartbeat
+// sweep, a model rebroadcast), never for per-message work.
 #pragma once
 
-#include <chrono>
 #include <cstdint>
 #include <string>
 #include <utility>
 
+#include "common/clock.h"
 #include "metrics/metrics.h"
 
 namespace loglens {
 
-// Microseconds on the steady clock since process start (well, since the
-// first call — only differences matter).
-inline uint64_t steady_now_us() {
-  static const auto kEpoch = std::chrono::steady_clock::now();
-  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::microseconds>(
-                                   std::chrono::steady_clock::now() - kEpoch)
-                                   .count());
-}
+// Microseconds on the (mockable) monotonic clock since process start.
+// Kept as the metrics-facing name for the trace_clock shim.
+inline uint64_t steady_now_us() { return trace_clock::now_us(); }
 
 class ScopedTimer {
  public:
   explicit ScopedTimer(Histogram* histogram)
-      : histogram_(histogram), start_(std::chrono::steady_clock::now()) {}
+      : histogram_(histogram), start_us_(trace_clock::now_us()) {}
   ScopedTimer(const ScopedTimer&) = delete;
   ScopedTimer& operator=(const ScopedTimer&) = delete;
   ~ScopedTimer() {
     if (histogram_ != nullptr) histogram_->record(elapsed_us());
   }
 
-  uint64_t elapsed_us() const {
-    return static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::microseconds>(
-            std::chrono::steady_clock::now() - start_)
-            .count());
-  }
+  uint64_t elapsed_us() const { return trace_clock::now_us() - start_us_; }
 
  private:
   Histogram* histogram_;
-  std::chrono::steady_clock::time_point start_;
+  uint64_t start_us_;
 };
 
 class ScopedSpan {
  public:
   // `histogram` is optional: pass one to get the span's duration into a
-  // latency distribution as well as the trace ring.
+  // latency distribution as well as the trace buffers.
   ScopedSpan(MetricsRegistry* registry, std::string name,
              Histogram* histogram = nullptr)
       : registry_(registry),
         name_(std::move(name)),
         histogram_(histogram),
-        start_us_(steady_now_us()) {}
+        start_us_(trace_clock::now_us()) {}
   ScopedSpan(const ScopedSpan&) = delete;
   ScopedSpan& operator=(const ScopedSpan&) = delete;
   ~ScopedSpan() {
-    uint64_t duration = steady_now_us() - start_us_;
+    uint64_t duration = trace_clock::now_us() - start_us_;
     if (histogram_ != nullptr) histogram_->record(duration);
     if (registry_ != nullptr) {
       registry_->record_span(std::move(name_), start_us_, duration);

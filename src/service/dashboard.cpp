@@ -45,6 +45,45 @@ std::string Dashboard::render_metrics() const {
 
 Json Dashboard::metrics_snapshot() const { return metrics_->snapshot_json(); }
 
+std::string Dashboard::render_stage_latency() const {
+  std::ostringstream out;
+  out << "stage latency (trace-derived, us)\n";
+  const char* stages[] = {"parser", "detector"};
+  // Histogram family -> which label key the stage value rides under (jobs
+  // label queue_wait/publish with "job"; engines label route/pool_wait and
+  // batch duration with "stage").
+  const std::pair<const char*, const char*> rows[] = {
+      {"loglens_trace_queue_wait_us", "job"},
+      {"loglens_engine_batch_duration_us", "stage"},
+      {"loglens_trace_route_us", "stage"},
+      {"loglens_trace_pool_wait_us", "stage"},
+      {"loglens_trace_publish_us", "job"},
+  };
+  bool any = false;
+  for (const char* stage : stages) {
+    bool header = false;
+    for (const auto& [family, label] : rows) {
+      const Histogram* h =
+          metrics_->find_histogram(family, {{label, stage}});
+      if (h == nullptr || h->count() == 0) continue;
+      if (!header) {
+        out << "  " << stage << ":\n";
+        header = true;
+        any = true;
+      }
+      Histogram::Snapshot snap = h->snapshot();
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "    %-34s p50 %10.0f  p99 %10.0f  (n=%llu)\n", family,
+                    snap.p50, snap.p99,
+                    static_cast<unsigned long long>(snap.count));
+      out << line;
+    }
+  }
+  if (!any) out << "  no batches traced yet\n";
+  return out.str();
+}
+
 std::string Dashboard::render_timeline(int64_t from_ms, int64_t to_ms,
                                        int64_t bucket_ms) const {
   std::ostringstream out;

@@ -33,6 +33,11 @@ class Dashboard {
   // The same data as a machine-readable JSON snapshot (plus recent spans).
   Json metrics_snapshot() const;
 
+  // Trace-derived stage-latency table: per-hop p50/p99 (queue wait, batch
+  // duration, routing, pool wait, publish) from the tracing histograms the
+  // jobs and engines record. Rows appear once a stage has processed a batch.
+  std::string render_stage_latency() const;
+
   // Anomaly-count-per-bucket timeline over [from_ms, to_ms]; the text bar
   // chart that surfaces temporal anomaly clusters.
   std::string render_timeline(int64_t from_ms, int64_t to_ms,

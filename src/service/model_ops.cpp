@@ -1,5 +1,7 @@
 #include "service/model_ops.h"
 
+#include "common/clock.h"
+
 namespace loglens {
 
 ModelBuilder::ModelBuilder(BuildOptions options)
@@ -7,10 +9,9 @@ ModelBuilder::ModelBuilder(BuildOptions options)
 
 BuildResult ModelBuilder::build(
     const std::vector<std::string>& training_lines) const {
-  using Clock = std::chrono::steady_clock;
   BuildResult result;
   result.training_logs = training_lines.size();
-  auto t0 = Clock::now();
+  const uint64_t t0 = trace_clock::now_us();
 
   auto pre = Preprocessor::create(options_.preprocessor);
   if (!pre.ok()) pre = Preprocessor::create({});
@@ -22,11 +23,11 @@ BuildResult ModelBuilder::build(
     tokenized.push_back(preprocessor.process(line));
   }
 
-  auto t1 = Clock::now();
+  const uint64_t t1 = trace_clock::now_us();
   PatternDiscoverer discoverer(options_.discovery, preprocessor.classifier());
   result.model.patterns = discoverer.discover(tokenized);
-  auto t2 = Clock::now();
-  result.discovery_seconds = std::chrono::duration<double>(t2 - t1).count();
+  const uint64_t t2 = trace_clock::now_us();
+  result.discovery_seconds = static_cast<double>(t2 - t1) / 1e6;
 
   // Parse the training corpus with the discovered model to feed the
   // sequence learner (and as a sanity check: everything should parse).
@@ -56,7 +57,7 @@ BuildResult ModelBuilder::build(
   }
 
   result.total_seconds =
-      std::chrono::duration<double>(Clock::now() - t0).count();
+      static_cast<double>(trace_clock::now_us() - t0) / 1e6;
   return result;
 }
 

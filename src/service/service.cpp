@@ -4,7 +4,9 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/clock.h"
 #include "common/hash.h"
+#include "trace/trace.h"
 
 namespace loglens {
 
@@ -144,10 +146,28 @@ void LogLensService::supervisor_loop() {
 void LogLensService::sink_drain() {
   for (auto batch = anomaly_sink_.poll(4096); !batch.empty();
        batch = anomaly_sink_.poll(4096)) {
+    // The store-side terminus of the trace: absorb this batch under the
+    // context of the message that produced it, so the sink span chains to
+    // the detector's pipeline span.
+    trace::TraceContext ctx;
+    const uint64_t start_us = trace_clock::now_us();
+    if (trace::enabled()) {
+      for (const auto& m : batch) {
+        if (m.trace_id != 0) {
+          ctx.trace_id = m.trace_id;
+          ctx.span_id = m.parent_span;
+          break;
+        }
+      }
+    }
+    trace::ContextScope scope(ctx);
     for (const auto& m : batch) {
       auto a = anomaly_from_message(m);
       if (a.ok()) anomaly_store_.add(a.value());
     }
+    registry_or_global(options_.metrics)
+        .record_span("sink.flush", start_us,
+                     trace_clock::now_us() - start_us);
   }
 }
 

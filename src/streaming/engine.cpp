@@ -4,8 +4,10 @@
 #include <chrono>
 #include <thread>
 
+#include "common/clock.h"
 #include "common/hash.h"
 #include "metrics/timer.h"
+#include "trace/trace.h"
 
 namespace loglens {
 
@@ -50,6 +52,12 @@ StreamEngine::StreamEngine(EngineOptions options, const TaskFactory& factory)
   barrier_wait_us_ = &registry_->histogram(
       "loglens_engine_barrier_wait_us", stage,
       "Time a finished partition waited at the end-of-batch barrier");
+  route_us_ = &registry_->histogram(
+      "loglens_trace_route_us", stage,
+      "Time spent routing a batch's messages to partitions");
+  pool_wait_us_ = &registry_->histogram(
+      "loglens_trace_pool_wait_us", stage,
+      "Delay between pool submit and a partition task starting");
   partition_records_.reserve(options_.partitions);
   partition_task_us_.reserve(options_.partitions);
   for (size_t p = 0; p < options_.partitions; ++p) {
@@ -70,9 +78,29 @@ void StreamEngine::enqueue_control(std::function<void()> op) {
 }
 
 void StreamEngine::run_partition(size_t p, std::vector<Message>& input,
-                                 TaskContext& ctx,
-                                 PartitionOutcome& outcome) {
-  auto task_start = std::chrono::steady_clock::now();
+                                 TaskContext& ctx, PartitionOutcome& outcome,
+                                 const trace::TraceContext& batch_ctx,
+                                 uint64_t exec_span, uint64_t submitted_us) {
+  const uint64_t task_start = trace_clock::now_us();
+  pool_wait_us_->record(task_start - submitted_us);
+  const bool traced = trace::enabled() && batch_ctx.trace_id != 0;
+  trace::TraceContext task_ctx = batch_ctx;
+  if (traced) {
+    trace::Span wait;
+    wait.trace_id = batch_ctx.trace_id;
+    wait.span_id = trace::new_span_id();
+    wait.parent_id = exec_span;
+    wait.batch = batch_ctx.batch;
+    wait.start_us = submitted_us;
+    wait.duration_us = task_start - submitted_us;
+    wait.tid = trace::current_tid();
+    wait.name = options_.stage + ".pool_wait";
+    registry_->record_span(std::move(wait));
+    task_ctx.span_id = trace::new_span_id();  // the <stage>.task span below
+  }
+  // Spans the task itself records (and messages it produces) parent to the
+  // per-partition task span via the thread-local context.
+  trace::ContextScope scope(task_ctx);
   // Retries `fn` (optionally preceded by an injected fault at `site`) with
   // capped exponential backoff; false when the attempt budget is spent.
   auto guarded = [&](const char* site, auto&& fn) {
@@ -117,10 +145,19 @@ void StreamEngine::run_partition(size_t p, std::vector<Message>& input,
       outcome.fatal = true;
     }
   }
-  outcome.task_us = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now() - task_start)
-          .count());
+  outcome.task_us = trace_clock::now_us() - task_start;
+  if (traced) {
+    trace::Span task;
+    task.trace_id = task_ctx.trace_id;
+    task.span_id = task_ctx.span_id;
+    task.parent_id = exec_span;
+    task.batch = task_ctx.batch;
+    task.start_us = task_start;
+    task.duration_us = outcome.task_us;
+    task.tid = trace::current_tid();
+    task.name = options_.stage + ".task";
+    registry_->record_span(std::move(task));
+  }
 }
 
 BatchResult StreamEngine::run_batch(std::vector<Message> input) {
@@ -130,12 +167,41 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
       batch_number_.fetch_add(1, std::memory_order_relaxed) + 1;
   result.input_records = input.size();
 
+  // Trace identity for this batch: the `<stage>.batch` span (whole call)
+  // parents to the caller's context — the job's pipeline span when the
+  // engine runs deployed — and the phase spans below parent to the batch.
+  const uint64_t batch_start_us = trace_clock::now_us();
+  const bool traced = trace::enabled();
+  const uint64_t caller_span = trace::current().span_id;
+  trace::TraceContext batch_ctx;
+  if (traced) {
+    const trace::TraceContext& caller = trace::current();
+    batch_ctx.trace_id =
+        caller.trace_id != 0 ? caller.trace_id : trace::new_trace_id();
+    batch_ctx.span_id = trace::new_span_id();
+    batch_ctx.batch = static_cast<int64_t>(result.batch_number);
+  }
+  auto file_span = [&](const char* phase, uint64_t span_id, uint64_t parent,
+                       uint64_t start_us, uint64_t duration_us) {
+    trace::Span span;
+    span.trace_id = batch_ctx.trace_id;
+    span.span_id = span_id;
+    span.parent_id = parent;
+    span.batch = batch_ctx.batch;
+    span.start_us = start_us;
+    span.duration_us = duration_us;
+    span.tid = trace::current_tid();
+    span.name = options_.stage + phase;
+    registry_->record_span(std::move(span));
+  };
+
   // Control operations land between micro-batches, serialized by run_mu_.
   // The queue is swapped out and drained *outside* control_mu_: an op that
   // calls back into enqueue_control (a model instruction scheduling a
   // follow-up rebroadcast) must not deadlock on the queue lock. Ops that
   // land during the drain simply wait for the next batch.
   {
+    const uint64_t control_start = trace_clock::now_us();
     std::vector<std::function<void()>> ops;
     {
       RankedMutexLock lock(control_mu_);
@@ -145,10 +211,15 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
       op();
       ++result.control_ops_applied;
     }
+    if (traced) {
+      file_span(".control", trace::new_span_id(), batch_ctx.span_id,
+                control_start, trace_clock::now_us() - control_start);
+    }
   }
 
   // Route. Heartbeats are duplicated to every partition (custom
   // partitioner); everything else follows the configured partitioner.
+  const uint64_t route_start = trace_clock::now_us();
   const size_t n = options_.partitions;
   std::vector<std::vector<Message>> per_partition(n);
   for (auto& m : input) {
@@ -159,6 +230,12 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
       per_partition[p].push_back(std::move(m));
     }
   }
+  const uint64_t route_end = trace_clock::now_us();
+  route_us_->record(route_end - route_start);
+  if (traced) {
+    file_span(".route", trace::new_span_id(), batch_ctx.span_id, route_start,
+              route_end - route_start);
+  }
 
   // Parallel section with end-of-batch barrier. Each worker stamps its own
   // slot of `task_us` (no contention); histograms are fed after the barrier.
@@ -168,21 +245,23 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
     contexts.emplace_back(p, result.batch_number);
   }
   std::vector<PartitionOutcome> outcomes(n);
-  const uint64_t span_start = steady_now_us();
-  auto start = std::chrono::steady_clock::now();
+  const uint64_t exec_span = traced ? trace::new_span_id() : 0;
+  const uint64_t span_start = trace_clock::now_us();
   for (size_t p = 0; p < n; ++p) {
-    pool_.submit([this, p, &per_partition, &contexts, &outcomes] {
-      run_partition(p, per_partition[p], contexts[p], outcomes[p]);
+    const uint64_t submitted_us = trace_clock::now_us();
+    pool_.submit([this, p, &per_partition, &contexts, &outcomes, &batch_ctx,
+                  exec_span, submitted_us] {
+      run_partition(p, per_partition[p], contexts[p], outcomes[p], batch_ctx,
+                    exec_span, submitted_us);
     });
   }
   pool_.wait_idle();
-  auto end = std::chrono::steady_clock::now();
-  result.elapsed_ms =
-      std::chrono::duration<double, std::milli>(end - start).count();
-
-  const auto elapsed_us = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(end - start)
-          .count());
+  const uint64_t exec_end = trace_clock::now_us();
+  const uint64_t elapsed_us = exec_end - span_start;
+  result.elapsed_ms = static_cast<double>(elapsed_us) / 1000.0;
+  if (traced) {
+    file_span(".exec", exec_span, batch_ctx.span_id, span_start, elapsed_us);
+  }
   batches_total_->inc();
   records_total_->inc(result.input_records);
   control_ops_total_->inc(result.control_ops_applied);
@@ -205,13 +284,19 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
   batch_skew_us_->record(max_task - min_task);
   task_retries_total_->inc(result.task_retries);
   dead_letters_total_->inc(result.dead_letters.size());
-  registry_->record_span(options_.stage + ".batch", span_start, elapsed_us);
   if (fatal) {
+    // Record the batch span before escalating so the trace shows the failed
+    // batch (its missing .collect phase marks it as aborted).
+    if (traced) {
+      file_span(".batch", batch_ctx.span_id, caller_span, batch_start_us,
+                trace_clock::now_us() - batch_start_us);
+    }
     throw FaultError("stage '" + options_.stage +
                      "' failed a batch: partition task did not finish after " +
                      std::to_string(options_.task_max_attempts) + " attempts");
   }
 
+  const uint64_t collect_start = trace_clock::now_us();
   size_t total_outputs = 0;
   for (auto& ctx : contexts) total_outputs += ctx.outputs().size();
   outputs_total_->inc(total_outputs);
@@ -225,6 +310,13 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
                             std::make_move_iterator(outs.begin()),
                             std::make_move_iterator(outs.end()));
     }
+  }
+  if (traced) {
+    const uint64_t now_us = trace_clock::now_us();
+    file_span(".collect", trace::new_span_id(), batch_ctx.span_id,
+              collect_start, now_us - collect_start);
+    file_span(".batch", batch_ctx.span_id, caller_span, batch_start_us,
+              now_us - batch_start_us);
   }
   return result;
 }

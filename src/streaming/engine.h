@@ -148,8 +148,14 @@ class StreamEngine {
   // Executes one partition's share of a batch with the retry/dead-letter
   // policy of EngineOptions. Never throws (fatal failures are reported
   // through the outcome so they cross the thread-pool boundary safely).
+  // `batch_ctx` is the batch's trace context (installed on the worker
+  // thread for the task's duration), `exec_span` the parallel section's
+  // span id, `submitted_us` the pool-submit timestamp that pins the
+  // pool-wait span.
   void run_partition(size_t partition, std::vector<Message>& input,
-                     TaskContext& ctx, PartitionOutcome& outcome);
+                     TaskContext& ctx, PartitionOutcome& outcome,
+                     const trace::TraceContext& batch_ctx, uint64_t exec_span,
+                     uint64_t submitted_us);
 
   EngineOptions options_;
   ThreadPool pool_;
@@ -166,6 +172,8 @@ class StreamEngine {
   Histogram* batch_duration_us_ = nullptr;
   Histogram* batch_skew_us_ = nullptr;
   Histogram* barrier_wait_us_ = nullptr;
+  Histogram* route_us_ = nullptr;
+  Histogram* pool_wait_us_ = nullptr;
   std::vector<Counter*> partition_records_;
   std::vector<Histogram*> partition_task_us_;
 

@@ -2,6 +2,9 @@
 
 #include <chrono>
 
+#include "common/clock.h"
+#include "trace/trace.h"
+
 namespace loglens {
 
 JobRunner::JobRunner(Broker& broker, StreamEngine& engine, JobOptions options)
@@ -29,6 +32,13 @@ JobRunner::JobRunner(Broker& broker, StreamEngine& engine, JobOptions options)
   input_lag_ = &registry.gauge(
       "loglens_job_input_lag", labels,
       "Messages buffered on the input topic behind this job");
+  queue_wait_us_ = &registry.histogram(
+      "loglens_trace_queue_wait_us", labels,
+      "Oldest message's wait on the input topic before its batch started");
+  publish_us_ = &registry.histogram(
+      "loglens_trace_publish_us", labels,
+      "Time publishing a batch's outputs (and dead letters) to the broker");
+  registry_ = &registry;
 }
 
 JobRunner::~JobRunner() { stop(); }
@@ -100,12 +110,73 @@ void JobRunner::produce_with_retry(const std::string& topic, Message message) {
 }
 
 void JobRunner::process_batch(std::vector<Message> batch) {
+  // Open this batch's pipeline span: its trace identity comes from the
+  // first traced input message (so the producing stage's pipeline span is
+  // this one's parent — parser.pipeline chains into detector.pipeline), and
+  // the oldest enqueue timestamp pins the queue-wait component. The scope
+  // installed below makes the engine's batch span a child and stamps every
+  // published output with this span as parent.
+  const uint64_t dequeue_us = trace_clock::now_us();
+  const bool traced = trace::enabled();
+  trace::TraceContext pipeline_ctx;
+  uint64_t upstream_span = 0;
+  uint64_t queue_start_us = dequeue_us;
+  if (traced) {
+    for (const Message& m : batch) {
+      if (pipeline_ctx.trace_id == 0 && m.trace_id != 0) {
+        pipeline_ctx.trace_id = m.trace_id;
+        upstream_span = m.parent_span;
+      }
+      if (m.enqueue_us != 0 && m.enqueue_us < queue_start_us) {
+        queue_start_us = m.enqueue_us;
+      }
+    }
+    if (pipeline_ctx.trace_id == 0) {
+      pipeline_ctx.trace_id = trace::new_trace_id();
+    }
+    pipeline_ctx.span_id = trace::new_span_id();
+  }
+  trace::ContextScope scope(pipeline_ctx);
+  auto file_span = [&](const char* suffix, uint64_t span_id, uint64_t parent,
+                       int64_t batch_number, uint64_t start_us,
+                       uint64_t duration_us) {
+    trace::Span span;
+    span.trace_id = pipeline_ctx.trace_id;
+    span.span_id = span_id;
+    span.parent_id = parent;
+    span.batch = batch_number;
+    span.start_us = start_us;
+    span.duration_us = duration_us;
+    span.tid = trace::current_tid();
+    span.name = options_.name + suffix;
+    registry_->record_span(std::move(span));
+  };
+
   records_in_.fetch_add(batch.size());
   records_total_->inc(batch.size());
-  BatchResult result = engine_.run_batch(std::move(batch));
+  queue_wait_us_->record(dequeue_us - queue_start_us);
+  BatchResult result;
+  try {
+    result = engine_.run_batch(std::move(batch));
+  } catch (...) {
+    // Fatal batch: still record the pipeline span (the trace shows the
+    // aborted batch) before the failure escalates to the supervisor.
+    if (traced) {
+      file_span(".pipeline", pipeline_ctx.span_id, upstream_span,
+                static_cast<int64_t>(engine_.batches_run()), dequeue_us,
+                trace_clock::now_us() - dequeue_us);
+    }
+    throw;
+  }
+  const auto batch_number = static_cast<int64_t>(result.batch_number);
+  if (traced) {
+    file_span(".queue_wait", trace::new_span_id(), pipeline_ctx.span_id,
+              batch_number, queue_start_us, dequeue_us - queue_start_us);
+  }
   uint64_t batches = batches_.fetch_add(1) + 1;
   batches_total_->inc();
   input_lag_->set(static_cast<int64_t>(consumer_.lag()));
+  const uint64_t publish_start_us = trace_clock::now_us();
   for (auto& m : result.dead_letters) {
     dead_letters_total_->inc();
     if (!options_.dead_letter_topic.empty()) {
@@ -116,6 +187,15 @@ void JobRunner::process_batch(std::vector<Message> batch) {
     for (auto& m : result.outputs) {
       produce_with_retry(options_.output_topic, std::move(m));
     }
+  }
+  const uint64_t publish_end_us = trace_clock::now_us();
+  publish_us_->record(publish_end_us - publish_start_us);
+  if (traced) {
+    file_span(".publish", trace::new_span_id(), pipeline_ctx.span_id,
+              batch_number, publish_start_us,
+              publish_end_us - publish_start_us);
+    file_span(".pipeline", pipeline_ctx.span_id, upstream_span, batch_number,
+              dequeue_us, publish_end_us - dequeue_us);
   }
   if (options_.metrics_report_every > 0 &&
       batches % options_.metrics_report_every == 0) {

@@ -107,6 +107,7 @@ class JobRunner {
   mutable RankedMutex error_mu_{lock_rank::kJobState};
   std::string last_error_ LOGLENS_GUARDED_BY(error_mu_);
 
+  MetricsRegistry* registry_ = nullptr;
   Counter* batches_total_ = nullptr;
   Counter* records_total_ = nullptr;
   Counter* reports_total_ = nullptr;
@@ -114,6 +115,8 @@ class JobRunner {
   Counter* dead_letters_total_ = nullptr;
   Counter* produce_retries_total_ = nullptr;
   Gauge* input_lag_ = nullptr;
+  Histogram* queue_wait_us_ = nullptr;
+  Histogram* publish_us_ = nullptr;
 };
 
 }  // namespace loglens

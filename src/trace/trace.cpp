@@ -1,0 +1,140 @@
+#include "trace/trace.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+namespace loglens {
+namespace trace {
+
+namespace {
+
+bool enabled_from_env() {
+  const char* value = std::getenv("LOGLENS_TRACE");
+  if (value == nullptr) return true;
+  return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
+         std::strcmp(value, "false") != 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{enabled_from_env()};
+  return flag;
+}
+
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+std::atomic<uint64_t> g_next_generation{1};
+std::atomic<uint32_t> g_next_tid{1};
+
+thread_local TraceContext tls_context;
+
+// Thread-local map from collector generation to that collector's buffer
+// for this thread. A plain vector: a thread touches very few collectors
+// (the global registry plus per-test ones), and generations are never
+// reused, so a stale entry can only miss, never alias.
+struct BufferRef {
+  uint64_t generation;
+  SpanBuffer* buffer;
+};
+thread_local std::vector<BufferRef> tls_buffers;
+
+}  // namespace
+
+bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  enabled_flag().store(on, std::memory_order_relaxed);
+}
+
+uint64_t new_trace_id() {
+  return g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t new_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t current_tid() {
+  thread_local uint32_t tid =
+      g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+const TraceContext& current() { return tls_context; }
+
+ContextScope::ContextScope(const TraceContext& ctx) : saved_(tls_context) {
+  tls_context = ctx;
+}
+
+ContextScope::~ContextScope() { tls_context = saved_; }
+
+SpanBuffer::SpanBuffer(size_t capacity)
+    : slots_(capacity), mask_(capacity - 1) {
+  // Power-of-two capacity so head/tail wrap with a mask.
+}
+
+bool SpanBuffer::push(Span span) {
+  const size_t tail = tail_.load(std::memory_order_relaxed);
+  const size_t head = head_.load(std::memory_order_acquire);
+  if (tail - head >= slots_.size()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[tail & mask_] = std::move(span);
+  tail_.store(tail + 1, std::memory_order_release);
+  return true;
+}
+
+void SpanBuffer::drain_into(std::vector<Span>& out) {
+  const size_t tail = tail_.load(std::memory_order_acquire);
+  size_t head = head_.load(std::memory_order_relaxed);
+  for (; head != tail; ++head) {
+    out.push_back(std::move(slots_[head & mask_]));
+  }
+  head_.store(head, std::memory_order_release);
+}
+
+SpanCollector::SpanCollector(size_t buffer_capacity)
+    : buffer_capacity_(buffer_capacity),
+      generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+SpanCollector::~SpanCollector() = default;
+
+SpanBuffer* SpanCollector::buffer_for_this_thread() {
+  for (const BufferRef& ref : tls_buffers) {
+    if (ref.generation == generation_) return ref.buffer;
+  }
+  auto buffer = std::make_unique<SpanBuffer>(buffer_capacity_);
+  SpanBuffer* raw = buffer.get();
+  {
+    RankedMutexLock lock(mu_);
+    buffers_.push_back(std::move(buffer));
+  }
+  tls_buffers.push_back({generation_, raw});
+  return raw;
+}
+
+void SpanCollector::record(Span span) {
+  buffer_for_this_thread()->push(std::move(span));
+}
+
+std::vector<Span> SpanCollector::drain() {
+  std::vector<Span> out;
+  RankedMutexLock lock(mu_);
+  for (auto& buffer : buffers_) {
+    buffer->drain_into(out);
+  }
+  return out;
+}
+
+uint64_t SpanCollector::dropped() const {
+  uint64_t total = 0;
+  RankedMutexLock lock(mu_);
+  for (const auto& buffer : buffers_) {
+    total += buffer->dropped();
+  }
+  return total;
+}
+
+}  // namespace trace
+}  // namespace loglens

@@ -1,0 +1,149 @@
+#pragma once
+
+// Batch-level pipeline tracing (docs/OBSERVABILITY.md).
+//
+// Every message batch gets a TraceContext — trace id, parent span id, batch
+// number — stamped at produce time and carried through broker → consumer →
+// engine task queue → thread pool → parser/detector jobs → anomaly store.
+// Each hop records a Span (name, parent, start, duration, thread) into a
+// per-thread lock-free ring (SpanBuffer); the metrics registry drains the
+// rings on read (SpanCollector::drain), so the hot path never takes a lock
+// to record a span.
+//
+// Propagation is thread-local: the code that owns a batch installs its
+// context with ContextScope, and everything downstream — span recording,
+// Broker::produce stamping — picks it up from current(). That keeps the
+// instrumentation out of function signatures and means un-instrumented
+// call paths simply start fresh traces instead of breaking.
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/lock_rank.h"
+#include "common/thread_annotations.h"
+
+namespace loglens {
+namespace trace {
+
+// Identifies the trace a piece of work belongs to and the span that caused
+// it. Zero ids mean "not traced" / "no parent".
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  // the span new work should parent to
+  int64_t batch = -1;    // batch number, -1 before any engine sees it
+};
+
+// Tracing master switch. Seeded once from the LOGLENS_TRACE environment
+// variable ("0"/"off"/"false" disable; anything else — including unset —
+// enables). When off, record() and produce-time stamping are no-ops and the
+// pipeline runs within noise of an untraced build (the CI overhead gate
+// keeps that honest).
+bool enabled();
+void set_enabled(bool on);
+
+// Process-unique, never-zero id generators (plain counters: ids only need
+// to be unique within a run, and counters keep traces deterministic).
+uint64_t new_trace_id();
+uint64_t new_span_id();
+
+// Small dense index for the calling thread, stable for its lifetime; used
+// as the `tid` in exported traces so Perfetto groups spans by thread.
+uint32_t current_tid();
+
+// The calling thread's current context (zeroed when none is installed).
+const TraceContext& current();
+
+// RAII: installs `ctx` as the thread's current context, restoring the
+// previous one on destruction. Scopes nest.
+class ContextScope {
+ public:
+  explicit ContextScope(const TraceContext& ctx);
+  ~ContextScope();
+
+  ContextScope(const ContextScope&) = delete;
+  ContextScope& operator=(const ContextScope&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+// One recorded hop. `name` identifies the hop ("parser.task",
+// "detector.queue_wait", ...); ids tie it into the trace tree.
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  int64_t batch = -1;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  uint32_t tid = 0;
+  std::string name;
+};
+
+// Fixed-capacity single-producer single-consumer span ring. The owning
+// thread pushes with a release store of the tail; the draining thread owns
+// the head. A full ring drops the newest span and counts it — tracing must
+// never block or grow the hot path.
+class SpanBuffer {
+ public:
+  static constexpr size_t kDefaultCapacity = 8192;  // power of two
+
+  explicit SpanBuffer(size_t capacity = kDefaultCapacity);
+
+  // Producer side (owning thread only). Returns false on drop.
+  bool push(Span span);
+
+  // Consumer side (one drainer at a time). Appends drained spans to `out`.
+  void drain_into(std::vector<Span>& out);
+
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  size_t capacity() const { return slots_.size(); }
+
+ private:
+  std::vector<Span> slots_;
+  const size_t mask_;
+  std::atomic<size_t> head_{0};  // next slot to drain (consumer-owned)
+  std::atomic<size_t> tail_{0};  // next slot to fill (producer-owned)
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// Owns one SpanBuffer per recording thread. record() is lock-free after a
+// thread's first span (the buffer pointer is cached thread-locally, keyed
+// by a process-unique collector generation so a stale cache entry from a
+// destroyed collector can never alias a new one). The registry calls
+// drain() under its own mutex; writers must not outlive the collector —
+// the same lifetime contract as the registry's metric handles.
+class SpanCollector {
+ public:
+  explicit SpanCollector(size_t buffer_capacity = SpanBuffer::kDefaultCapacity);
+  ~SpanCollector();
+
+  SpanCollector(const SpanCollector&) = delete;
+  SpanCollector& operator=(const SpanCollector&) = delete;
+
+  // Files a span into the calling thread's buffer (creating it on first
+  // use). Safe from any thread, concurrently with drain().
+  void record(Span span);
+
+  // Moves every buffered span out, in per-thread FIFO order.
+  std::vector<Span> drain();
+
+  // Total spans dropped across all buffers (rings full).
+  uint64_t dropped() const;
+
+ private:
+  SpanBuffer* buffer_for_this_thread();
+
+  const size_t buffer_capacity_;
+  const uint64_t generation_;
+  mutable RankedMutex mu_{lock_rank::kTrace};
+  std::vector<std::unique_ptr<SpanBuffer>> buffers_ LOGLENS_GUARDED_BY(mu_);
+};
+
+}  // namespace trace
+}  // namespace loglens

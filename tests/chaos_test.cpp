@@ -20,8 +20,10 @@
 
 #include "datagen/datasets.h"
 #include "faults/fault_injector.h"
+#include "metrics/metrics.h"
 #include "service/service.h"
 #include "streaming/job.h"
+#include "trace/trace.h"
 
 namespace loglens {
 namespace {
@@ -197,6 +199,64 @@ TEST(ChaosTest, RecoverRewindsToCheckpointAndConverges) {
                  .value();
   }
   EXPECT_GT(dedup, 0u);
+  std::remove(path.c_str());
+}
+
+// Crash recovery must not sever the trace tree: batches redelivered after
+// recover() carry their original trace identity, so every detector pipeline
+// span that has a parent still chains to a parser pipeline span, and the
+// whole run records spans without overflowing the per-thread buffers.
+TEST(ChaosTest, TraceIdentitySurvivesRecoveryReplay) {
+  const bool was_enabled = trace::enabled();
+  trace::set_enabled(true);
+
+  Dataset d = make_d1(0.05);
+  std::string path = temp_path("loglens_chaos_trace_recover.json");
+  MetricsRegistry registry;
+  ServiceOptions opts;
+  opts.build.discovery = recommended_discovery("D1");
+  opts.metrics = &registry;
+  opts.checkpoint_path = path;
+  LogLensService service(opts);
+  service.train(d.training);
+  Agent agent = service.make_agent("D1");
+
+  const size_t half = d.testing.size() / 2;
+  agent.replay({d.testing.begin(), d.testing.begin() + half});
+  service.drain();
+  ASSERT_TRUE(service.checkpoint(path).ok());
+  agent.replay({d.testing.begin() + half, d.testing.end()});
+  service.drain();
+  ASSERT_TRUE(service.recover().ok());
+  // The rewound tail is redelivered and re-traced on the replayed drain.
+  service.drain();
+  service.heartbeat_advance(kDayMs);
+  service.drain();
+  EXPECT_EQ(detected_ids(service.anomalies()), d.anomalous_event_ids);
+
+  auto spans = registry.take_trace_spans();
+  std::set<uint64_t> parser_pipeline_ids;
+  size_t detector_pipelines = 0;
+  size_t chained = 0;
+  for (const auto& span : spans) {
+    if (span.name == "parser.pipeline") parser_pipeline_ids.insert(span.span_id);
+  }
+  for (const auto& span : spans) {
+    if (span.name != "detector.pipeline") continue;
+    ++detector_pipelines;
+    if (span.parent_id != 0) {
+      ++chained;
+      EXPECT_EQ(parser_pipeline_ids.count(span.parent_id), 1u)
+          << "detector pipeline parented to a span that is not a parser "
+             "pipeline";
+    }
+  }
+  EXPECT_GT(parser_pipeline_ids.size(), 0u);
+  EXPECT_GT(detector_pipelines, 0u);
+  EXPECT_GT(chained, 0u) << "no detector batch chained to a parser batch";
+  EXPECT_EQ(registry.spans_dropped(), 0u);
+
+  trace::set_enabled(was_enabled);
   std::remove(path.c_str());
 }
 

@@ -1,0 +1,131 @@
+// Concurrency contract of the per-thread span buffers: many writer threads
+// record spans lock-free while a drainer concurrently pulls them out; no
+// span may be lost (drained + dropped == pushed) and each thread's spans
+// must drain in the order it pushed them. Run under TSan in CI, this is
+// also the data-race proof for the SPSC ring's acquire/release protocol.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "metrics/metrics.h"
+#include "trace/trace.h"
+
+namespace loglens {
+namespace {
+
+class TraceConcurrencyTest : public ::testing::Test {
+ protected:
+  TraceConcurrencyTest() : was_enabled_(trace::enabled()) {
+    trace::set_enabled(true);
+  }
+  ~TraceConcurrencyTest() override { trace::set_enabled(was_enabled_); }
+
+ private:
+  bool was_enabled_;
+};
+
+TEST_F(TraceConcurrencyTest, WritersAndDrainerNeverLoseSpans) {
+  constexpr size_t kWriters = 4;
+  constexpr uint64_t kSpansPerWriter = 20000;
+
+  trace::SpanCollector collector;
+  std::atomic<bool> writers_done{false};
+  std::vector<trace::Span> drained;
+
+  // Concurrent drainer: keeps pulling while writers push, then one final
+  // drain after they finish so nothing is left buffered.
+  std::thread drainer([&] {
+    while (!writers_done.load(std::memory_order_acquire)) {
+      auto got = collector.drain();
+      drained.insert(drained.end(), got.begin(), got.end());
+      std::this_thread::yield();
+    }
+    auto got = collector.drain();
+    drained.insert(drained.end(), got.begin(), got.end());
+  });
+
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&collector, w] {
+      for (uint64_t i = 0; i < kSpansPerWriter; ++i) {
+        trace::Span span;
+        span.trace_id = w + 1;   // writer index
+        span.span_id = i + 1;    // per-writer sequence number
+        span.start_us = i;
+        span.duration_us = 1;
+        span.name = "w";
+        collector.record(std::move(span));
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  writers_done.store(true, std::memory_order_release);
+  drainer.join();
+
+  EXPECT_EQ(drained.size() + collector.dropped(), kWriters * kSpansPerWriter);
+
+  // Per-writer FIFO: with drop-newest, each writer's drained sequence must
+  // be a strictly increasing prefix-with-gaps-only-at-the-tail... more
+  // precisely, strictly increasing (order) and gap-free up to the drops
+  // (the ring refuses the newest span, it never reorders or overwrites).
+  std::map<uint64_t, uint64_t> last_seq;
+  std::map<uint64_t, uint64_t> seen;
+  for (const trace::Span& span : drained) {
+    auto it = last_seq.find(span.trace_id);
+    if (it != last_seq.end()) {
+      EXPECT_LT(it->second, span.span_id)
+          << "writer " << span.trace_id << " drained out of order";
+    }
+    last_seq[span.trace_id] = span.span_id;
+    ++seen[span.trace_id];
+  }
+  ASSERT_EQ(seen.size(), kWriters);
+}
+
+TEST_F(TraceConcurrencyTest, RegistrySpanPathIsRaceFreeUnderReaders) {
+  MetricsRegistry registry;
+  constexpr size_t kWriters = 3;
+  constexpr uint64_t kSpansPerWriter = 5000;
+
+  std::atomic<bool> stop{false};
+  // Reader thread exercises every drain entry point concurrently with the
+  // lock-free writers.
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      (void)registry.recent_spans();
+      (void)registry.snapshot_json();
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  std::atomic<uint64_t> pushed{0};
+  for (size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&registry, &pushed] {
+      for (uint64_t i = 0; i < kSpansPerWriter; ++i) {
+        registry.record_span("hop", i, 1);
+        pushed.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  // recent_spans/snapshot_json only *window* the retained ring — they never
+  // consume — and the push count stays below the 65536 retention cap, so
+  // every span must either be retained or counted in spans_dropped().
+  auto rest = registry.take_trace_spans();
+  EXPECT_EQ(rest.size() + registry.spans_dropped(),
+            pushed.load(std::memory_order_relaxed));
+  EXPECT_EQ(registry.take_trace_spans().size(), 0u);
+}
+
+}  // namespace
+}  // namespace loglens

@@ -105,7 +105,7 @@ if [[ "$run_static" == 1 ]]; then
       cmake -B "$repo/build-tsa" -S "$repo" \
             -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
       mapfile -t tidy_files < <(
-        ls "$repo"/src/{broker,streaming,metrics,faults,service,storage}/*.cpp)
+        ls "$repo"/src/{broker,streaming,metrics,faults,service,storage,trace}/*.cpp)
       clang-tidy -p "$repo/build-tsa" --quiet "${tidy_files[@]}"
     else
       echo "== static: clang-tidy not found; skipped (enforced in CI) =="

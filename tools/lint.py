@@ -15,6 +15,10 @@ Checks (see docs/STATIC_ANALYSIS.md):
   3. Annotation hygiene: a file using LOGLENS_GUARDED_BY/REQUIRES/... must
      include common/thread_annotations.h directly, so the attributes never
      depend on transitive includes.
+  4. Clock discipline: src/ code must not call std::chrono::steady_clock
+     directly — it reads loglens::trace_clock (common/clock.h), the mockable
+     time source every span timestamp and timer goes through. Only the shim
+     itself touches the real clock.
 
 Usage:
   tools/lint.py              lint the repo (exit 1 on any violation)
@@ -38,6 +42,7 @@ CONCURRENT_CORE = (
     "src/faults",
     "src/service",
     "src/storage",
+    "src/trace",
 )
 
 EXEMPT = ("src/common/lock_rank.h",)
@@ -58,6 +63,11 @@ BANNED_IN_CORE = (
         "can wait on a RankedMutexLock",
     ),
 )
+
+# The only file in src/ allowed to name the real steady clock: the shim that
+# wraps it behind a swappable source.
+CLOCK_SHIM = "src/common/clock.h"
+STEADY_CLOCK = re.compile(r"\bsteady_clock\b")
 
 ANNOTATION = re.compile(
     r"\bLOGLENS_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|RELEASE|"
@@ -129,6 +139,15 @@ def lint_text(text, rel):
                 "headers by their src/-relative path"
             )
 
+    if rel.startswith("src/") and rel != CLOCK_SHIM:
+        for lineno, code in lines:
+            if STEADY_CLOCK.search(code):
+                problems.append(
+                    f"{rel}:{lineno}: steady_clock outside the clock shim; "
+                    "use trace_clock::now_us() (common/clock.h) so tests can "
+                    "mock time and spans share one timebase"
+                )
+
     if ANNOTATION.search(text) and rel != "src/common/thread_annotations.h":
         if '#include "common/thread_annotations.h"' not in text:
             problems.append(
@@ -198,6 +217,43 @@ SELF_TEST_CASES = [
         "src/faults/fixture.h",
         "#pragma once\nint x_ LOGLENS_GUARDED_BY(mu_);\n",
         "thread_annotations.h",
+    ),
+    # The trace subsystem is part of the concurrent core.
+    (
+        "src/trace/fixture.h",
+        "#pragma once\n#include <mutex>\nstruct S { std::mutex mu_; };\n",
+        "std::mutex",
+    ),
+    # The real clock is banned in src/ outside the shim...
+    (
+        "src/streaming/fixture_clock.cpp",
+        "void f() { auto t = std::chrono::steady_clock::now(); }\n",
+        "steady_clock",
+    ),
+    # ...including mentions via using-declarations in non-core src/ dirs...
+    (
+        "src/parser/fixture_clock.h",
+        "#pragma once\nusing Clock = std::chrono::steady_clock;\n",
+        "steady_clock",
+    ),
+    # ...but fine in the shim itself, in comments, and outside src/.
+    (
+        "src/common/clock.h",
+        "#pragma once\n"
+        "inline long now() {\n"
+        "  return std::chrono::steady_clock::now().time_since_epoch().count();"
+        "\n}\n",
+        None,
+    ),
+    (
+        "src/broker/fixture_clock_comment.cpp",
+        "// steady_clock is banned here\nint x;\n",
+        None,
+    ),
+    (
+        "bench/fixture_clock.cpp",
+        "auto t0 = std::chrono::steady_clock::now();\n",
+        None,
     ),
     # Commented-out code must not trip the core bans.
     (

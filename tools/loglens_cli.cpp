@@ -36,10 +36,19 @@
 //   loglens demo
 //       Self-contained demonstration on a generated dataset.
 //
+//   loglens trace [<model.json> <logs.log>]
+//       Run the pipeline with batch tracing on and print the stage
+//       breakdown report (where each batch's latency went: queue wait,
+//       routing, parallel execution, publish) plus the lock-contention
+//       profile, and export a Chrome trace-event JSON file loadable in
+//       Perfetto (--trace-out, default loglens_trace.json). Without
+//       arguments it traces the generated benchmark workload.
+//
 // Flags (must precede the subcommand):
 //   --max-dist <d>     clustering threshold for discover/train (default 0.3)
 //   --ranges           learn/check KPI field ranges
 //   --keywords         learn/check severity keywords
+//   --trace-out <f>    trace-event JSON path for `trace`
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -47,10 +56,13 @@
 #include <string>
 #include <vector>
 
+#include "common/lock_rank.h"
 #include "datagen/datasets.h"
 #include "grok/edit.h"
 #include "service/dashboard.h"
 #include "service/service.h"
+#include "trace/report.h"
+#include "trace/trace.h"
 
 namespace loglens {
 namespace {
@@ -60,18 +72,21 @@ struct CliOptions {
   bool ranges = false;
   bool keywords = false;
   bool json = false;
+  std::string trace_out = "loglens_trace.json";
 };
 
 int usage() {
   std::fprintf(stderr,
                "usage: loglens [--max-dist D] [--ranges] [--keywords] "
-               "[--json] <discover|train|parse|detect|dashboard|demo> "
+               "[--json] [--trace-out F] "
+               "<discover|train|parse|detect|dashboard|trace|demo> "
                "[args...]\n"
                "  discover  <training.log>\n"
                "  train     <training.log> <model.json>\n"
                "  parse     <model.json> <logs.log>\n"
                "  detect    <model.json> <logs.log>\n"
                "  dashboard <model.json> <logs.log>\n"
+               "  trace     [<model.json> <logs.log>]\n"
                "  show      <model.json>\n"
                "  edit      <model.json> <op> [args...]\n"
                "  demo\n");
@@ -238,7 +253,8 @@ int cmd_dashboard(const CliOptions& cli, const std::string& model_path,
   if (cli.json) {
     std::printf("%s\n", dashboard.metrics_snapshot().dump().c_str());
   } else {
-    std::printf("%s\n%s", dashboard.render().c_str(),
+    std::printf("%s\n%s\n%s", dashboard.render().c_str(),
+                dashboard.render_stage_latency().c_str(),
                 dashboard.render_metrics().c_str());
   }
   return 0;
@@ -360,6 +376,84 @@ int cmd_demo() {
   return 0;
 }
 
+int cmd_trace(const CliOptions& cli, const std::string& model_path,
+              const std::string& logs_path) {
+  // The service reports into the global registry; start it clean so the
+  // report covers exactly this run.
+  MetricsRegistry& registry = MetricsRegistry::global();
+  registry.reset();
+  trace::set_enabled(true);
+  lock_rank::contention_reset();
+
+  if (model_path.empty()) {
+    // No inputs: trace the generated benchmark workload (the same D1 shape
+    // bench_pipeline_throughput measures).
+    Dataset d1 = make_d1(0.1);
+    ServiceOptions opts;
+    opts.build.discovery = recommended_discovery("D1");
+    LogLensService service(opts);
+    service.train(d1.training);
+    Agent agent = service.make_agent("bench");
+    agent.replay(d1.testing);
+    service.drain();
+  } else {
+    auto model = read_model(model_path);
+    if (!model.ok()) {
+      std::fprintf(stderr, "error: %s\n", model.status().message().c_str());
+      return 1;
+    }
+    auto lines = read_lines(logs_path);
+    if (!lines.ok()) {
+      std::fprintf(stderr, "error: %s\n", lines.status().message().c_str());
+      return 1;
+    }
+    ServiceOptions opts;
+    opts.build = build_options(cli);
+    LogLensService service(opts);
+    service.models().deploy(service.model_name(), model.value());
+    Agent agent = service.make_agent(logs_path);
+    agent.replay(lines.value());
+    service.drain();
+  }
+
+  std::vector<trace::Span> spans = registry.take_trace_spans();
+  trace::Report report =
+      trace::build_report(spans, registry.spans_dropped());
+  std::printf("%s", trace::format_report(report).c_str());
+
+  if (!lock_rank::profiling_enabled()) {
+    std::printf(
+        "\ncontention profile: compiled out "
+        "(rebuild with -DLOGLENS_MUTEX_PROFILE=ON)\n");
+  } else {
+    auto profile = lock_rank::contention_profile();
+    if (profile.empty()) {
+      std::printf("\ncontention profile: no contended acquisitions\n");
+    } else {
+      std::printf("\ncontention profile (per lock rank):\n");
+      std::printf("  %-18s %10s %14s %12s\n", "rank", "contended",
+                  "wait total", "wait max");
+      for (const auto& stat : profile) {
+        std::printf("  %-18s %10llu %11.2f ms %9.2f ms\n", stat.name,
+                    static_cast<unsigned long long>(stat.contended),
+                    static_cast<double>(stat.wait_us_total) / 1000.0,
+                    static_cast<double>(stat.wait_us_max) / 1000.0);
+      }
+    }
+  }
+
+  std::ofstream out(cli.trace_out);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot write %s\n", cli.trace_out.c_str());
+    return 1;
+  }
+  out << trace::chrome_trace_json(spans).dump() << "\n";
+  std::printf(
+      "\nwrote %zu span(s) to %s (open in Perfetto or chrome://tracing)\n",
+      spans.size(), cli.trace_out.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace loglens
 
@@ -380,6 +474,9 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[arg], "--max-dist") == 0 && arg + 1 < argc) {
       cli.max_dist = std::atof(argv[arg + 1]);
       arg += 2;
+    } else if (std::strcmp(argv[arg], "--trace-out") == 0 && arg + 1 < argc) {
+      cli.trace_out = argv[arg + 1];
+      arg += 2;
     } else {
       return usage();
     }
@@ -395,6 +492,11 @@ int main(int argc, char** argv) {
   }
   if (cmd == "dashboard" && need(2)) {
     return cmd_dashboard(cli, argv[arg], argv[arg + 1]);
+  }
+  if (cmd == "trace") {
+    if (need(2)) return cmd_trace(cli, argv[arg], argv[arg + 1]);
+    if (need(0) && argc - arg == 0) return cmd_trace(cli, "", "");
+    return usage();
   }
   if (cmd == "show" && need(1)) return cmd_show(argv[arg]);
   if (cmd == "edit" && need(2)) return cmd_edit(argv[arg], argc, argv, arg + 1);
