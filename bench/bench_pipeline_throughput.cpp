@@ -12,7 +12,7 @@
 //                                tracing-overhead gate)
 //   BENCH_pipeline.json          stage throughput with tracing on (same
 //                                shape; CI bounds the notrace->traced drop
-//                                at 5% via tools/bench_compare.py)
+//                                via tools/bench_compare.py)
 //   BENCH_pipeline_profile.json  the trace-derived attribution: per-stage
 //                                latency breakdown (queue wait / control /
 //                                route / exec / collect / publish), span

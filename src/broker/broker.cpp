@@ -1,6 +1,7 @@
 #include "broker/broker.h"
 
 #include <chrono>
+#include <limits>
 #include <thread>
 
 #include "common/clock.h"
@@ -14,6 +15,10 @@ namespace {
 constexpr int kProduceMaxAttempts = 5;
 constexpr int64_t kProduceBackoffCapMs = 8;
 
+// Sentinel offset for wait_for_data: no partition can ever exceed it, so an
+// entry holding it is effectively unwatched.
+constexpr uint64_t kIgnorePartition = std::numeric_limits<uint64_t>::max();
+
 void produce_backoff(int attempt) {
   int64_t ms = std::min<int64_t>(kProduceBackoffCapMs, 1LL << (attempt - 1));
   std::this_thread::sleep_for(std::chrono::milliseconds(ms));
@@ -25,7 +30,10 @@ Broker::TopicData& Broker::topic_data_locked(const std::string& topic,
   auto it = topics_.find(topic);
   if (it == topics_.end()) {
     it = topics_.emplace(topic, TopicData{}).first;
-    it->second.partitions.resize(partitions);
+    it->second.partitions.reserve(partitions);
+    for (size_t p = 0; p < partitions; ++p) {
+      it->second.partitions.push_back(std::make_unique<Partition>());
+    }
     MetricLabels labels{{"topic", topic}};
     it->second.produced =
         &metrics_->counter("loglens_broker_messages_produced_total", labels,
@@ -33,12 +41,27 @@ Broker::TopicData& Broker::topic_data_locked(const std::string& topic,
     it->second.fetched =
         &metrics_->counter("loglens_broker_messages_fetched_total", labels,
                            "Messages returned by fetches per topic");
+    it->second.batch_produces =
+        &metrics_->counter("loglens_broker_batch_produces_total", labels,
+                           "produce_batch calls that appended messages");
     metrics_
         ->gauge("loglens_broker_topics", {},
                 "Topics that exist on this broker")
         .set(static_cast<int64_t>(topics_.size()));
   }
   return it->second;
+}
+
+Broker::TopicData* Broker::resolve_topic(const std::string& topic,
+                                         size_t partitions) {
+  RankedMutexLock lock(mu_);
+  return &topic_data_locked(topic, partitions);
+}
+
+const Broker::TopicData* Broker::find_topic(const std::string& topic) const {
+  RankedMutexLock lock(mu_);
+  auto it = topics_.find(topic);
+  return it == topics_.end() ? nullptr : &it->second;
 }
 
 Status Broker::create_topic(const std::string& topic, size_t partitions) {
@@ -56,46 +79,64 @@ Status Broker::create_topic(const std::string& topic, size_t partitions) {
   return Status::Ok();
 }
 
+bool Broker::produce_fault_retries(const std::string& topic) {
+  if (faults_ == nullptr) return true;
+  // Client-style producer retries: absorb injected append failures here so
+  // every producer call site inherits resilience. The loop runs before any
+  // broker lock (the backoff sleep must not serialize other producers).
+  for (int attempt = 1;
+       faults_->check(kFaultSiteProduce) == FaultAction::kThrow; ++attempt) {
+    if (attempt >= kProduceMaxAttempts) return false;
+    metrics_
+        ->counter("loglens_broker_produce_retries_total", {{"topic", topic}},
+                  "Produce attempts that were retried")
+        .inc();
+    produce_backoff(attempt);
+  }
+  return true;
+}
+
+void Broker::stamp_trace(Message& message) {
+  if (!trace::enabled()) return;
+  // Stamp trace identity at the pipeline edge: inherit the producer's
+  // context (so a batch's outputs chain to the span that made them) or
+  // start a fresh trace for un-instrumented producers. Redelivered /
+  // re-produced messages keep their identity, but the enqueue timestamp
+  // is per-produce — queue wait is a property of this append.
+  if (message.trace_id == 0) {
+    const trace::TraceContext& ctx = trace::current();
+    if (ctx.trace_id != 0) {
+      message.trace_id = ctx.trace_id;
+      message.parent_span = ctx.span_id;
+    } else {
+      message.trace_id = trace::new_trace_id();
+    }
+  }
+  message.enqueue_us = trace_clock::now_us();
+}
+
+void Broker::notify_waiters() const {
+  // Pairs with the waiter's register-then-recheck in wait_for_data: the
+  // end-offset publish (sequenced before this load) and the waiter count
+  // are both seq_cst, so either this produce observes the waiter here or
+  // the waiter observes the new end offset on its post-registration
+  // recheck. The uncontended produce pays exactly this one load.
+  if (waiters_.load(std::memory_order_seq_cst) == 0) return;
+  // Empty critical section: a waiter that saw no data but has not yet
+  // parked still holds wait_mu_; acquiring it here means every registered
+  // waiter is inside wait() (or past its recheck) when we notify.
+  { RankedMutexLock lock(wait_mu_); }
+  wait_cv_.notify_all();
+}
+
 Status Broker::produce(const std::string& topic, Message message,
                        std::optional<size_t> partition) {
-  if (faults_ != nullptr) {
-    // Client-style producer retries: absorb injected append failures here so
-    // every producer call site inherits resilience. The loop runs before the
-    // broker lock (the backoff sleep must not serialize other producers).
-    for (int attempt = 1; faults_->check(kFaultSiteProduce) ==
-                          FaultAction::kThrow;
-         ++attempt) {
-      if (attempt >= kProduceMaxAttempts) {
-        return Status::Error("produce to '" + topic +
-                             "' failed after retries");
-      }
-      metrics_
-          ->counter("loglens_broker_produce_retries_total",
-                    {{"topic", topic}}, "Produce attempts that were retried")
-          .inc();
-      produce_backoff(attempt);
-    }
+  if (!produce_fault_retries(topic)) {
+    return Status::Error("produce to '" + topic + "' failed after retries");
   }
-  if (trace::enabled()) {
-    // Stamp trace identity at the pipeline edge: inherit the producer's
-    // context (so a batch's outputs chain to the span that made them) or
-    // start a fresh trace for un-instrumented producers. Redelivered /
-    // re-produced messages keep their identity, but the enqueue timestamp
-    // is per-produce — queue wait is a property of this append.
-    if (message.trace_id == 0) {
-      const trace::TraceContext& ctx = trace::current();
-      if (ctx.trace_id != 0) {
-        message.trace_id = ctx.trace_id;
-        message.parent_span = ctx.span_id;
-      } else {
-        message.trace_id = trace::new_trace_id();
-      }
-    }
-    message.enqueue_us = trace_clock::now_us();
-  }
-  RankedMutexLock lock(mu_);
-  TopicData& data = topic_data_locked(topic, 1);
-  auto& parts = data.partitions;
+  stamp_trace(message);
+  TopicData* data = resolve_topic(topic, 1);
+  auto& parts = data->partitions;
   size_t p;
   if (partition.has_value()) {
     if (*partition >= parts.size()) {
@@ -105,103 +146,215 @@ Status Broker::produce(const std::string& topic, Message message,
   } else {
     p = message.key.empty() ? 0 : fnv1a(message.key) % parts.size();
   }
-  if (message.seq < 0) {
-    message.seq = static_cast<int64_t>(parts[p].size());
+  Partition& part = *parts[p];
+  {
+    RankedMutexLock lock(part.mu);
+    if (message.seq < 0) {
+      message.seq = static_cast<int64_t>(part.log.size());
+    }
+    part.log.push_back(std::move(message));
+    part.end.store(part.log.size(), std::memory_order_seq_cst);
   }
-  parts[p].push_back(std::move(message));
-  data.produced->inc();
-  cv_.notify_all();
+  data->produced->inc();
+  notify_waiters();
   return Status::Ok();
 }
 
-bool Broker::fetch_fault() const {
+Status Broker::produce_batch(const std::string& topic,
+                             std::vector<Message> batch,
+                             std::vector<Message>* failed) {
+  if (batch.empty()) return Status::Ok();
+  TopicData* data = resolve_topic(topic, 1);
+  const size_t nparts = data->partitions.size();
+  // The per-message produce semantics (fault retries, trace stamping, key
+  // hashing) stay exactly per-message; only the partition append is grouped.
+  size_t nfailed = 0;
+  size_t appended = 0;
+  if (nparts == 1) {
+    // Single-partition fast path: no routing pass. Retries and stamping
+    // run per message (compacting over any failures), then one lock
+    // appends the survivors in order.
+    size_t keep = 0;
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!produce_fault_retries(topic)) {
+        if (failed != nullptr) failed->push_back(std::move(batch[i]));
+        ++nfailed;
+        continue;
+      }
+      stamp_trace(batch[i]);
+      if (keep != i) batch[keep] = std::move(batch[i]);
+      ++keep;
+    }
+    if (keep > 0) {
+      Partition& part = *data->partitions[0];
+      RankedMutexLock lock(part.mu);
+      part.log.reserve(part.log.size() + keep);
+      for (size_t i = 0; i < keep; ++i) {
+        Message& m = batch[i];
+        if (m.seq < 0) m.seq = static_cast<int64_t>(part.log.size());
+        part.log.push_back(std::move(m));
+      }
+      part.end.store(part.log.size(), std::memory_order_seq_cst);
+      appended = keep;
+    }
+  } else {
+    std::vector<std::vector<size_t>> route(nparts);
+    for (size_t i = 0; i < batch.size(); ++i) {
+      if (!produce_fault_retries(topic)) {
+        if (failed != nullptr) failed->push_back(std::move(batch[i]));
+        ++nfailed;
+        continue;
+      }
+      stamp_trace(batch[i]);
+      const Message& m = batch[i];
+      route[m.key.empty() ? 0 : fnv1a(m.key) % nparts].push_back(i);
+    }
+    for (size_t p = 0; p < nparts; ++p) {
+      if (route[p].empty()) continue;
+      Partition& part = *data->partitions[p];
+      RankedMutexLock lock(part.mu);
+      part.log.reserve(part.log.size() + route[p].size());
+      for (size_t i : route[p]) {
+        Message& m = batch[i];
+        if (m.seq < 0) m.seq = static_cast<int64_t>(part.log.size());
+        part.log.push_back(std::move(m));
+      }
+      part.end.store(part.log.size(), std::memory_order_seq_cst);
+      appended += route[p].size();
+    }
+  }
+  if (appended > 0) {
+    data->produced->inc(static_cast<uint64_t>(appended));
+    data->batch_produces->inc();
+    notify_waiters();
+  }
+  if (nfailed > 0) {
+    return Status::Error("produce_batch to '" + topic + "': " +
+                         std::to_string(nfailed) +
+                         " message(s) failed after retries");
+  }
+  return Status::Ok();
+}
+
+bool Broker::fetch_fault(const std::string& topic) const {
   if (faults_ == nullptr) return false;
   // kDelay already slept inside check() (a stalled broker); kThrow maps to
   // a transient empty result the caller's next poll retries.
-  return faults_->check(kFaultSiteFetch) == FaultAction::kThrow;
+  if (faults_->check(kFaultSiteFetch) != FaultAction::kThrow) return false;
+  metrics_
+      ->counter("loglens_broker_fetch_errors_total", {{"topic", topic}},
+                "Fetches failed transiently (injected)")
+      .inc();
+  return true;
+}
+
+std::vector<Message> Broker::copy_out(const TopicData& data, size_t partition,
+                                      uint64_t offset, size_t max) {
+  const Partition& part = *data.partitions[partition];
+  std::vector<Message> out;
+  RankedMutexLock lock(part.mu);
+  const uint64_t end = part.log.size();
+  if (offset >= end || max == 0) return out;
+  const uint64_t take = std::min<uint64_t>(end - offset, max);
+  out.reserve(take);
+  for (uint64_t i = offset; i < offset + take; ++i) {
+    out.push_back(part.log[i]);
+  }
+  data.fetched->inc(out.size());
+  return out;
 }
 
 std::vector<Message> Broker::fetch(const std::string& topic, size_t partition,
                                    uint64_t offset, size_t max) const {
-  if (fetch_fault()) {
-    metrics_
-        ->counter("loglens_broker_fetch_errors_total", {{"topic", topic}},
-                  "Fetches failed transiently (injected)")
-        .inc();
-    return {};
-  }
-  RankedMutexLock lock(mu_);
-  std::vector<Message> out;
-  auto it = topics_.find(topic);
-  if (it == topics_.end() || partition >= it->second.partitions.size()) {
-    return out;
-  }
-  const auto& log = it->second.partitions[partition];
-  for (uint64_t i = offset; i < log.size() && out.size() < max; ++i) {
-    out.push_back(log[i]);
-  }
-  if (!out.empty()) it->second.fetched->inc(out.size());
-  return out;
+  if (fetch_fault(topic)) return {};
+  const TopicData* data = find_topic(topic);
+  if (data == nullptr || partition >= data->partitions.size()) return {};
+  return copy_out(*data, partition, offset, max);
 }
 
 std::vector<Message> Broker::fetch_blocking(const std::string& topic,
                                             size_t partition, uint64_t offset,
                                             size_t max,
                                             int64_t timeout_ms) const {
-  if (fetch_fault()) {
-    metrics_
-        ->counter("loglens_broker_fetch_errors_total", {{"topic", topic}},
-                  "Fetches failed transiently (injected)")
-        .inc();
-    return {};
-  }
-  RankedMutexLock lock(mu_);
+  // Fault check once at entry (like a connection-level error); the re-fetch
+  // after each wakeup is internal and must not re-roll the dice.
+  if (fetch_fault(topic)) return {};
   const uint64_t deadline_us =
-      trace_clock::now_us() + static_cast<uint64_t>(timeout_ms) * 1000;
-  // Explicit wait loop (not the predicate overload): the analysis checks a
-  // predicate lambda as its own function, where the guarded reads would not
-  // be covered by the lock held here.
+      trace_clock::now_us() +
+      (timeout_ms > 0 ? static_cast<uint64_t>(timeout_ms) * 1000 : 0);
   for (;;) {
-    auto ready_it = topics_.find(topic);
-    if (ready_it != topics_.end() &&
-        partition < ready_it->second.partitions.size() &&
-        ready_it->second.partitions[partition].size() > offset) {
-      break;
+    const TopicData* data = find_topic(topic);
+    if (data != nullptr && partition < data->partitions.size()) {
+      auto out = copy_out(*data, partition, offset, max);
+      if (!out.empty()) return out;
     }
     const uint64_t now_us = trace_clock::now_us();
-    if (now_us >= deadline_us) break;
-    if (cv_.wait_for(lock, std::chrono::microseconds(
-                               deadline_us - now_us)) ==
-        std::cv_status::timeout) {
-      break;
+    if (now_us >= deadline_us) return {};
+    // Watch only the requested partition; sibling partitions are pinned to
+    // the ignore sentinel so their traffic cannot spin this wait.
+    const size_t nparts = data == nullptr ? 0 : data->partitions.size();
+    std::vector<uint64_t> offsets(std::max(nparts, partition + 1),
+                                  kIgnorePartition);
+    offsets[partition] = offset;
+    (void)wait_for_data(
+        topic, offsets,
+        static_cast<int64_t>((deadline_us - now_us + 999) / 1000));
+  }
+}
+
+bool Broker::wait_for_data(const std::string& topic,
+                           const std::vector<uint64_t>& offsets,
+                           int64_t timeout_ms) const {
+  auto has_data = [&]() {
+    const TopicData* data = find_topic(topic);
+    if (data == nullptr) return false;
+    for (size_t p = 0; p < data->partitions.size(); ++p) {
+      const uint64_t off = p < offsets.size() ? offsets[p] : 0;
+      if (data->partitions[p]->end.load(std::memory_order_seq_cst) > off) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (has_data()) return true;
+  if (timeout_ms <= 0) return false;
+  const uint64_t deadline_us =
+      trace_clock::now_us() + static_cast<uint64_t>(timeout_ms) * 1000;
+  // Register, then recheck: a produce that published its end offset before
+  // reading waiters_ == 0 is caught by the recheck below (both sides
+  // seq_cst); one that read waiters_ > 0 takes wait_mu_ and notifies.
+  waiters_.fetch_add(1, std::memory_order_seq_cst);
+  bool ready = false;
+  {
+    RankedMutexLock lock(wait_mu_);
+    for (;;) {
+      // Explicit wait loop (not the predicate overload): the analysis
+      // checks a predicate lambda as its own function, and the topic
+      // re-resolve inside has_data takes mu_ — legal here only because
+      // kBrokerWait < kBroker.
+      if (has_data()) {
+        ready = true;
+        break;
+      }
+      const uint64_t now_us = trace_clock::now_us();
+      if (now_us >= deadline_us) break;
+      wait_cv_.wait_for(lock,
+                        std::chrono::microseconds(deadline_us - now_us));
     }
   }
-  std::vector<Message> out;
-  auto it = topics_.find(topic);
-  if (it == topics_.end() || partition >= it->second.partitions.size()) {
-    return out;
-  }
-  const auto& log = it->second.partitions[partition];
-  for (uint64_t i = offset; i < log.size() && out.size() < max; ++i) {
-    out.push_back(log[i]);
-  }
-  if (!out.empty()) it->second.fetched->inc(out.size());
-  return out;
+  waiters_.fetch_sub(1, std::memory_order_seq_cst);
+  return ready;
 }
 
 size_t Broker::partition_count(const std::string& topic) const {
-  RankedMutexLock lock(mu_);
-  auto it = topics_.find(topic);
-  return it == topics_.end() ? 0 : it->second.partitions.size();
+  const TopicData* data = find_topic(topic);
+  return data == nullptr ? 0 : data->partitions.size();
 }
 
 uint64_t Broker::end_offset(const std::string& topic, size_t partition) const {
-  RankedMutexLock lock(mu_);
-  auto it = topics_.find(topic);
-  if (it == topics_.end() || partition >= it->second.partitions.size()) {
-    return 0;
-  }
-  return it->second.partitions[partition].size();
+  const TopicData* data = find_topic(topic);
+  if (data == nullptr || partition >= data->partitions.size()) return 0;
+  return data->partitions[partition]->end.load(std::memory_order_acquire);
 }
 
 std::vector<std::string> Broker::topics() const {
@@ -252,40 +405,87 @@ size_t ConsumerGroup::members() const {
   return member_count_;
 }
 
-Consumer::Consumer(Broker& broker, std::string topic)
+Consumer::Consumer(Broker& broker, std::string topic,
+                   MetricsRegistry* metrics)
     : broker_(broker), topic_(std::move(topic)) {
   offsets_.resize(std::max<size_t>(1, broker_.partition_count(topic_)), 0);
+  if (metrics != nullptr) {
+    MetricLabels labels{{"topic", topic_}};
+    queue_depth_ = &metrics->gauge(
+        "loglens_consumer_queue_depth", labels,
+        "Messages buffered on the broker past this consumer's offsets");
+    commits_total_ = &metrics->counter(
+        "loglens_consumer_offset_commits_total", labels,
+        "Batched offset commits (one per non-empty poll)");
+    committed_records_total_ = &metrics->counter(
+        "loglens_consumer_committed_records_total", labels,
+        "Messages covered by batched offset commits");
+  }
 }
 
 std::vector<Message> Consumer::poll(size_t max) {
-  RankedMutexLock lock(mu_);
-  if (offsets_.size() < broker_.partition_count(topic_)) {
-    offsets_.resize(broker_.partition_count(topic_), 0);
-  }
   std::vector<Message> out;
-  for (size_t p = 0; p < offsets_.size() && out.size() < max; ++p) {
-    auto batch =
-        broker_.fetch(topic_, p, offsets_[p], max - out.size());
-    offsets_[p] += batch.size();
-    consumed_ += batch.size();
-    for (auto& m : batch) out.push_back(std::move(m));
+  {
+    RankedMutexLock lock(mu_);
+    if (offsets_.size() < broker_.partition_count(topic_)) {
+      offsets_.resize(broker_.partition_count(topic_), 0);
+    }
+    for (size_t p = 0; p < offsets_.size() && out.size() < max; ++p) {
+      auto batch = broker_.fetch(topic_, p, offsets_[p], max - out.size());
+      // Batched offset commit: the whole fetch advances this partition's
+      // offset once, inside one critical section — not one bookkeeping
+      // write per message.
+      offsets_[p] += batch.size();
+      consumed_ += batch.size();
+      if (out.empty()) {
+        out = std::move(batch);
+      } else {
+        out.reserve(out.size() + batch.size());
+        for (auto& m : batch) out.push_back(std::move(m));
+      }
+    }
   }
+  if (!out.empty() && commits_total_ != nullptr) {
+    commits_total_->inc();
+    committed_records_total_->inc(out.size());
+  }
+  update_queue_depth();
   return out;
 }
 
-std::vector<Message> Consumer::poll_blocking(size_t max, int64_t timeout_ms) {
-  auto out = poll(max);
-  if (!out.empty()) return out;
-  // Block on partition 0's growth as a wakeup signal, then re-poll all. The
-  // blocking fetch runs unlocked so lag()/offsets() monitoring never stalls
-  // behind the wait.
-  uint64_t offset0;
-  {
-    RankedMutexLock lock(mu_);
-    offset0 = offsets_.empty() ? 0 : offsets_[0];
+std::vector<Message> Consumer::poll_blocking(size_t max, int64_t timeout_ms,
+                                             size_t min_messages) {
+  if (max == 0) return {};
+  if (min_messages == 0) min_messages = 1;
+  if (min_messages > max) min_messages = max;
+  const uint64_t deadline_us =
+      trace_clock::now_us() +
+      (timeout_ms > 0 ? static_cast<uint64_t>(timeout_ms) * 1000 : 0);
+  std::vector<Message> out = poll(max);
+  // Accumulate toward the low watermark: park on the broker's waiter CV
+  // (woken by a produce to any partition, not a timeout sweep) and drain
+  // again, until either min_messages are in hand or the deadline passes.
+  // The wait runs unlocked, so lag()/offsets() monitoring never stalls
+  // behind it.
+  while (out.size() < min_messages) {
+    const uint64_t now_us = trace_clock::now_us();
+    if (now_us >= deadline_us) break;
+    std::vector<uint64_t> offsets;
+    {
+      RankedMutexLock lock(mu_);
+      offsets = offsets_;
+    }
+    (void)broker_.wait_for_data(
+        topic_, offsets,
+        static_cast<int64_t>((deadline_us - now_us + 999) / 1000));
+    auto more = poll(max - out.size());
+    if (out.empty()) {
+      out = std::move(more);
+    } else {
+      for (auto& m : more) out.push_back(std::move(m));
+    }
   }
-  (void)broker_.fetch_blocking(topic_, 0, offset0, 1, timeout_ms);
-  return poll(max);
+  return out;
 }
 
 uint64_t Consumer::consumed() const {
@@ -322,6 +522,11 @@ uint64_t Consumer::lag() const {
     if (end > offset) total += end - offset;
   }
   return total;
+}
+
+void Consumer::update_queue_depth() {
+  if (queue_depth_ == nullptr) return;
+  queue_depth_->set(static_cast<int64_t>(lag()));
 }
 
 }  // namespace loglens

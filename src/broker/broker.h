@@ -7,11 +7,23 @@
 // components rely on: named topics, a fixed partition count per topic,
 // strictly ordered append-only partitions, offset-based consumption, and
 // blocking polls with timeouts. Everything is in-process and thread-safe.
+//
+// Hot-path layout: the topic map is guarded by a registry mutex (kBroker)
+// that appends and fetches touch only to resolve a stable TopicData pointer;
+// each partition then carries its own mutex (kBrokerPartition), so producers
+// and consumers of different partitions never contend, and a whole batch
+// crosses one partition lock once (`produce_batch`/`fetch`). Blocking reads
+// park on a broker-wide condition variable (kBrokerWait) that producers only
+// signal when a waiter is registered — the uncontended produce pays one
+// relaxed atomic load for it. Partition end offsets are additionally
+// published as atomics so lag monitors read them without any lock.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -56,11 +68,22 @@ class Broker {
                  std::optional<size_t> partition = std::nullopt)
       LOGLENS_EXCLUDES(mu_);
 
+  // Batch append: routes every message exactly like produce() (key hash,
+  // seq stamping, trace stamping, per-message fault retries) but groups the
+  // appends so each touched partition is locked once per call instead of
+  // once per message. Messages whose produce-fault retry budget is spent
+  // are moved into `*failed` (appended; never silently dropped) when it is
+  // non-null, and the Status reports how many failed. Delivery order within
+  // a partition follows batch order.
+  Status produce_batch(const std::string& topic, std::vector<Message> batch,
+                       std::vector<Message>* failed = nullptr)
+      LOGLENS_EXCLUDES(mu_);
+
   // Copies up to `max` messages from [offset, ...) of a partition. Returns
   // fewer (possibly zero) when the partition is short. Injected fetch faults
   // surface as a delay (broker stall) or an empty result (transient fetch
   // error; offsets are caller-held, so the caller's next poll retries) —
-  // never an exception.
+  // never an exception. Only the one partition's mutex is taken.
   std::vector<Message> fetch(const std::string& topic, size_t partition,
                              uint64_t offset, size_t max) const
       LOGLENS_EXCLUDES(mu_);
@@ -72,35 +95,85 @@ class Broker {
                                       size_t max, int64_t timeout_ms) const
       LOGLENS_EXCLUDES(mu_);
 
+  // Blocks until any partition p of `topic` has end_offset > offsets[p]
+  // (true), or `timeout_ms` elapses (false). Partitions beyond the offsets
+  // vector count as offset 0; a topic that does not exist yet simply waits
+  // (its first produce wakes the waiter). This is the condition-variable
+  // wakeup the prefetching Consumer parks on instead of sleep-polling.
+  bool wait_for_data(const std::string& topic,
+                     const std::vector<uint64_t>& offsets,
+                     int64_t timeout_ms) const LOGLENS_EXCLUDES(mu_);
+
   size_t partition_count(const std::string& topic) const LOGLENS_EXCLUDES(mu_);
   uint64_t end_offset(const std::string& topic, size_t partition) const
       LOGLENS_EXCLUDES(mu_);
   std::vector<std::string> topics() const LOGLENS_EXCLUDES(mu_);
 
  private:
+  // One partition: an append-only ordered log under its own lock, with the
+  // end offset mirrored in an atomic (published after the append) so
+  // monitors and blocked waiters read progress without taking the lock.
+  struct Partition {
+    mutable RankedMutex mu{lock_rank::kBrokerPartition};
+    std::vector<Message> log LOGLENS_GUARDED_BY(mu);
+    std::atomic<uint64_t> end{0};
+  };
+
   struct TopicData {
-    std::vector<std::vector<Message>> partitions;
+    // Fixed at creation; unique_ptr slots keep Partition addresses stable,
+    // so callers may hold a Partition* after releasing mu_.
+    std::vector<std::unique_ptr<Partition>> partitions;
     // Per-topic rate counters, resolved once at topic creation.
     Counter* produced = nullptr;
     Counter* fetched = nullptr;
+    Counter* batch_produces = nullptr;
   };
 
   TopicData& topic_data_locked(const std::string& topic, size_t partitions)
       LOGLENS_REQUIRES(mu_);
+  // Resolves (creating on demand) the topic and returns a stable pointer;
+  // topics are never deleted, so the pointer outlives the lock.
+  TopicData* resolve_topic(const std::string& topic, size_t partitions)
+      LOGLENS_EXCLUDES(mu_);
+  // Read-only resolve: nullptr when the topic does not exist.
+  const TopicData* find_topic(const std::string& topic) const
+      LOGLENS_EXCLUDES(mu_);
+  // Copies [offset, offset+max) of one partition under that partition's
+  // lock only, bumping the topic fetch counter.
+  static std::vector<Message> copy_out(const TopicData& data, size_t partition,
+                                       uint64_t offset, size_t max);
+  // Runs the client-style produce retry loop against the produce fault
+  // site; false when the retry budget is exhausted (message undeliverable).
+  bool produce_fault_retries(const std::string& topic) LOGLENS_EXCLUDES(mu_);
+  // Stamps trace identity at the pipeline edge (no-op when tracing is off).
+  static void stamp_trace(Message& message);
+  // Wakes blocked waiters iff any are registered (one relaxed load when
+  // none are).
+  void notify_waiters() const LOGLENS_EXCLUDES(wait_mu_);
   // Consults the fetch fault site; true when this fetch should fail empty.
-  // Runs before mu_ is taken (the injected delay must not stall the broker).
-  bool fetch_fault() const LOGLENS_EXCLUDES(mu_);
+  // Runs before any lock is taken (the injected delay must not stall the
+  // broker).
+  bool fetch_fault(const std::string& topic) const;
 
   MetricsRegistry* metrics_;
   FaultInjector* faults_ = nullptr;
-  // Consumers (kConsumer) and groups (kConsumerGroup) fetch while holding
-  // their own locks, and topic creation registers metrics (kMetrics) under
-  // this one — hence kConsumer* < kBroker < kMetrics.
+  // Topic registry only: held to find/create topics and resolve partition
+  // pointers, never across an append or a copy-out. Consumers (kConsumer)
+  // and groups (kConsumerGroup) resolve topics while holding their own
+  // locks, and topic creation registers metrics (kMetrics) under this one —
+  // hence kConsumer* < kBroker < kMetrics.
   mutable RankedMutex mu_{lock_rank::kBroker};
+  std::map<std::string, TopicData> topics_ LOGLENS_GUARDED_BY(mu_);
+
+  // Blocking-read rendezvous. Waiters register themselves (waiters_), then
+  // re-check partition end atomics under wait_mu_; producers take wait_mu_
+  // empty-handed (kBrokerWait < kBroker lets a waiter re-resolve topics
+  // while registered) and only when waiters_ > 0.
   // _any: the plain std::condition_variable only accepts
   // std::unique_lock<std::mutex>, which the analysis cannot see.
-  mutable std::condition_variable_any cv_;
-  std::map<std::string, TopicData> topics_ LOGLENS_GUARDED_BY(mu_);
+  mutable RankedMutex wait_mu_{lock_rank::kBrokerWait};
+  mutable std::condition_variable_any wait_cv_;
+  mutable std::atomic<int> waiters_{0};
 };
 
 // Coordinated consumption: members of one group share a topic's partitions
@@ -138,14 +211,28 @@ class ConsumerGroup {
 // topic (a single-member consumer group). Thread-safe: the job runner polls
 // from its driver thread while monitoring threads read lag()/offsets(), so
 // the offset table is guarded by its own (kConsumer-ranked) mutex.
+//
+// poll_blocking is the backpressure-aware prefetch path: it parks on the
+// broker's waiter condition variable (woken by a produce to *any*
+// partition, not a timeout sweep) and keeps accumulating until the low
+// watermark `min_messages` is reached or the deadline passes — batch
+// formation under load, low latency when traffic is thin. The consumer
+// never buffers internally, so `max` is the high watermark on memory it
+// holds per poll. When constructed with a registry it exports
+// `loglens_consumer_queue_depth{topic=...}` (lag after each poll) and
+// offset-commit counters (one commit per non-empty poll — batched, not
+// per-message).
 class Consumer {
  public:
-  Consumer(Broker& broker, std::string topic);
+  Consumer(Broker& broker, std::string topic,
+           MetricsRegistry* metrics = nullptr);
 
   // Round-robins over partitions, advancing offsets; returns up to `max`
-  // messages (empty when caught up).
+  // messages (empty when caught up). Offsets advance once per poll under a
+  // single critical section — the batched offset commit.
   std::vector<Message> poll(size_t max) LOGLENS_EXCLUDES(mu_);
-  std::vector<Message> poll_blocking(size_t max, int64_t timeout_ms)
+  std::vector<Message> poll_blocking(size_t max, int64_t timeout_ms,
+                                     size_t min_messages = 1)
       LOGLENS_EXCLUDES(mu_);
 
   // Total messages consumed so far.
@@ -165,6 +252,9 @@ class Consumer {
   void seek(const std::vector<uint64_t>& offsets) LOGLENS_EXCLUDES(mu_);
 
  private:
+  // Re-reads lag and updates the queue-depth gauge (no-op without metrics).
+  void update_queue_depth() LOGLENS_EXCLUDES(mu_);
+
   Broker& broker_;
   std::string topic_;
   // Held while fetching (kConsumer < kBroker) so a poll's
@@ -172,6 +262,10 @@ class Consumer {
   mutable RankedMutex mu_{lock_rank::kConsumer};
   std::vector<uint64_t> offsets_ LOGLENS_GUARDED_BY(mu_);
   uint64_t consumed_ LOGLENS_GUARDED_BY(mu_) = 0;
+  // Optional observability (resolved once at construction).
+  Gauge* queue_depth_ = nullptr;
+  Counter* commits_total_ = nullptr;
+  Counter* committed_records_total_ = nullptr;
 };
 
 }  // namespace loglens

@@ -2,9 +2,21 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 namespace loglens {
+
+// Base of the typed in-process payload fast path. Stage boundaries ship
+// structured records (parsed logs, anomalies) as a refcounted immutable
+// object attached to the Message, so a consumer in the same process reads
+// the producer's object instead of re-parsing `value` — and every broker
+// fetch copies one shared_ptr instead of a serialized string. The JSON
+// `value` remains the durable wire form (see service/wire.h for the
+// concrete payload types and the JSON fallback rules).
+struct MessagePayload {
+  virtual ~MessagePayload() = default;
+};
 
 // Control-channel tags (the paper routes heartbeats on the same data channel
 // "with a specific tag to indicate that it is a heartbeat message").
@@ -36,6 +48,11 @@ struct Message {
   uint64_t trace_id = 0;
   uint64_t parent_span = 0;
   uint64_t enqueue_us = 0;
+
+  // Optional typed payload (immutable, shared across fetched copies). When
+  // set, `value` may be empty — readers go through the wire.h decoders,
+  // which prefer the payload and fall back to parsing `value`.
+  std::shared_ptr<const MessagePayload> payload;
 
   // Equality is content equality; seq and the trace fields are delivery
   // metadata (a redelivered copy of a message is still the same message).

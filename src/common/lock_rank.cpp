@@ -30,7 +30,9 @@ Slot g_slots[] = {
     {kThreadPool, "kThreadPool"},
     {kConsumerGroup, "kConsumerGroup"},
     {kConsumer, "kConsumer"},
+    {kBrokerWait, "kBrokerWait"},
     {kBroker, "kBroker"},
+    {kBrokerPartition, "kBrokerPartition"},
     {kFaults, "kFaults"},
     {kStorage, "kStorage"},
     {kJobState, "kJobState"},

@@ -22,8 +22,9 @@
 // full table with the nestings that pin each value):
 //
 //   kServiceRecover < kEngineRun < kEngineControl < kBroadcastDriver,
-//   kBroadcastCache < kThreadPool < kConsumerGroup, kConsumer < kBroker
-//   < kFaults < kStorage < kJobState < kMetrics < kTrace
+//   kBroadcastCache < kThreadPool < kConsumerGroup, kConsumer < kBrokerWait
+//   < kBroker < kBrokerPartition < kFaults < kStorage < kJobState
+//   < kMetrics < kTrace
 //
 // Trace is the innermost rank because the metrics registry drains the span
 // collector (kTrace) while holding its own mutex (kMetrics), and every
@@ -84,7 +85,11 @@ inline constexpr int kBroadcastCache = 410;   // Broadcast<T>::Cache::mu
 inline constexpr int kThreadPool = 500;       // ThreadPool::mu_
 inline constexpr int kConsumerGroup = 600;    // ConsumerGroup::mu_
 inline constexpr int kConsumer = 650;         // Consumer::mu_
-inline constexpr int kBroker = 700;           // Broker::mu_
+// Below kBroker: a blocked waiter re-resolves the topic (kBroker) each time
+// it wakes, so the waiter mutex must be acquirable first.
+inline constexpr int kBrokerWait = 690;       // Broker::wait_mu_
+inline constexpr int kBroker = 700;           // Broker::mu_ (topic map)
+inline constexpr int kBrokerPartition = 710;  // Broker Partition::mu
 inline constexpr int kFaults = 750;           // FaultInjector::mu_
 inline constexpr int kStorage = 800;          // DocumentStore / ModelStore
 inline constexpr int kJobState = 850;         // JobRunner::error_mu_

@@ -63,11 +63,32 @@ std::string format_canonical(int64_t epoch_millis) {
 
 void format_canonical_to(int64_t epoch_millis, std::string& out) {
   const CivilTime t = from_epoch_millis(epoch_millis);
-  char buf[32];
-  int n = std::snprintf(buf, sizeof(buf), "%04d/%02d/%02d %02d:%02d:%02d.%03d",
-                        t.year, t.month, t.day, t.hour, t.minute, t.second,
-                        t.millis);
-  out.assign(buf, static_cast<size_t>(n));
+  // Hand-rolled "%04d/%02d/%02d %02d:%02d:%02d.%03d": this runs once per
+  // parsed log line, and snprintf re-parses the format string every call.
+  char buf[23];
+  auto put2 = [](char* p, int v) {
+    p[0] = static_cast<char>('0' + v / 10);
+    p[1] = static_cast<char>('0' + v % 10);
+  };
+  const int y = t.year;
+  buf[0] = static_cast<char>('0' + (y / 1000) % 10);
+  buf[1] = static_cast<char>('0' + (y / 100) % 10);
+  buf[2] = static_cast<char>('0' + (y / 10) % 10);
+  buf[3] = static_cast<char>('0' + y % 10);
+  buf[4] = '/';
+  put2(buf + 5, t.month);
+  buf[7] = '/';
+  put2(buf + 8, t.day);
+  buf[10] = ' ';
+  put2(buf + 11, t.hour);
+  buf[13] = ':';
+  put2(buf + 14, t.minute);
+  buf[16] = ':';
+  put2(buf + 17, t.second);
+  buf[19] = '.';
+  put2(buf + 20, t.millis / 10);
+  buf[22] = static_cast<char>('0' + t.millis % 10);
+  out.assign(buf, sizeof(buf));
 }
 
 bool is_leap_year(int year) {

@@ -50,6 +50,60 @@ int generality(Datatype t) {
   return 3;
 }
 
+namespace {
+
+// Hand-rolled scanners for the three Table I token regexes. classify() runs
+// once per token of every log line — the single hottest call in the
+// pipeline — and each of these patterns is regular enough that a direct
+// scan beats the regex VM by an order of magnitude while matching the exact
+// same language (the VM versions remain the executable spec; the classifier
+// equivalence tests cross-check the two).
+
+inline bool is_alpha(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+inline bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+// [a-zA-Z]+
+bool scan_word(std::string_view t) {
+  if (t.empty()) return false;
+  for (char c : t) {
+    if (!is_alpha(c)) return false;
+  }
+  return true;
+}
+
+// -?[0-9]+(\.[0-9]+)?
+bool scan_number(std::string_view t) {
+  size_t i = 0;
+  if (i < t.size() && t[i] == '-') ++i;
+  const size_t int_start = i;
+  while (i < t.size() && is_digit(t[i])) ++i;
+  if (i == int_start) return false;
+  if (i == t.size()) return true;
+  if (t[i] != '.') return false;
+  const size_t frac_start = ++i;
+  while (i < t.size() && is_digit(t[i])) ++i;
+  return i > frac_start && i == t.size();
+}
+
+// [0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}\.[0-9]{1,3}
+bool scan_ip(std::string_view t) {
+  size_t i = 0;
+  for (int group = 0; group < 4; ++group) {
+    const size_t start = i;
+    while (i < t.size() && i - start < 3 && is_digit(t[i])) ++i;
+    if (i == start) return false;
+    if (group < 3) {
+      if (i >= t.size() || t[i] != '.') return false;
+      ++i;
+    }
+  }
+  return i == t.size();
+}
+
+}  // namespace
+
 DatatypeClassifier::DatatypeClassifier()
     : word_(Regex::compile_or_die("[a-zA-Z]+")),
       number_(Regex::compile_or_die("-?[0-9]+(\\.[0-9]+)?")),
@@ -57,17 +111,25 @@ DatatypeClassifier::DatatypeClassifier()
           "[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}\\.[0-9]{1,3}")) {}
 
 Datatype DatatypeClassifier::classify(std::string_view token) const {
-  if (word_.full_match(token)) return Datatype::kWord;
-  if (number_.full_match(token)) return Datatype::kNumber;
-  if (ip_.full_match(token)) return Datatype::kIp;
+  // First-byte dispatch: a token can only be WORD if it starts with a
+  // letter, and only NUMBER/IP if it starts with a digit or '-'.
+  if (token.empty()) return Datatype::kNotSpace;
+  const char c0 = token.front();
+  if (is_alpha(c0)) {
+    return scan_word(token) ? Datatype::kWord : Datatype::kNotSpace;
+  }
+  if (is_digit(c0) || c0 == '-') {
+    if (scan_number(token)) return Datatype::kNumber;
+    if (scan_ip(token)) return Datatype::kIp;
+  }
   return Datatype::kNotSpace;
 }
 
 bool DatatypeClassifier::matches(std::string_view token, Datatype type) const {
   switch (type) {
-    case Datatype::kWord: return word_.full_match(token);
-    case Datatype::kNumber: return number_.full_match(token);
-    case Datatype::kIp: return ip_.full_match(token);
+    case Datatype::kWord: return scan_word(token);
+    case Datatype::kNumber: return scan_number(token);
+    case Datatype::kIp: return scan_ip(token);
     case Datatype::kNotSpace:
       return !token.empty() &&
              token.find_first_of(" \t\r\n") == std::string_view::npos;

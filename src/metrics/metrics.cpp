@@ -73,23 +73,23 @@ void Counter::reset() {
 }
 
 size_t Histogram::bucket_of(uint64_t v) {
-  if (v < 4) return static_cast<size_t>(v);
-  size_t m = static_cast<size_t>(std::bit_width(v)) - 1;  // >= 2
-  size_t sub = static_cast<size_t>((v >> (m - 2)) & 3);
-  return 4 + (m - 2) * 4 + sub;
+  if (v < 16) return static_cast<size_t>(v);
+  size_t m = static_cast<size_t>(std::bit_width(v)) - 1;  // >= 4
+  size_t sub = static_cast<size_t>((v >> (m - 4)) & 15);
+  return 16 + (m - 4) * 16 + sub;
 }
 
 uint64_t Histogram::bucket_lo(size_t b) {
-  if (b < 4) return b;
-  size_t m = (b - 4) / 4 + 2;
-  uint64_t sub = (b - 4) % 4;
-  return (uint64_t{1} << m) + sub * (uint64_t{1} << (m - 2));
+  if (b < 16) return b;
+  size_t m = (b - 16) / 16 + 4;
+  uint64_t sub = (b - 16) % 16;
+  return (uint64_t{1} << m) + sub * (uint64_t{1} << (m - 4));
 }
 
 uint64_t Histogram::bucket_width(size_t b) {
-  if (b < 4) return 1;
-  size_t m = (b - 4) / 4 + 2;
-  return uint64_t{1} << (m - 2);
+  if (b < 16) return 1;
+  size_t m = (b - 16) / 16 + 4;
+  return uint64_t{1} << (m - 4);
 }
 
 void Histogram::record(uint64_t value) {

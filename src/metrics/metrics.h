@@ -8,7 +8,7 @@
 //               atomics so concurrent partition workers never contend on
 //               one cell. Reads sum the shards.
 //   Gauge     — a point-in-time int64 (open states, consumer lag).
-//   Histogram — fixed-bucket log-scale (4 sub-buckets per power of two,
+//   Histogram — fixed-bucket log-scale (16 sub-buckets per power of two,
 //               ≤ 12.5% relative bucket width) with lock-free recording
 //               and p50/p90/p95/p99 snapshots.
 //
@@ -93,9 +93,13 @@ class Histogram {
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   void reset();
 
-  // Bucket layout: values 0..3 get exact buckets; above that, each power of
-  // two [2^m, 2^(m+1)) splits into 4 equal sub-buckets.
-  static constexpr size_t kBuckets = 4 + 62 * 4;
+  // Bucket layout: values 0..15 get exact buckets; above that, each power
+  // of two [2^m, 2^(m+1)) splits into 16 equal sub-buckets, bounding the
+  // relative error of an interpolated percentile to ~6% of the value. (The
+  // earlier 4-sub-bucket layout put ~33%-wide buckets under tail
+  // percentiles: a batch-latency p99 interpolated to exactly 65536 — a
+  // bucket edge, not a measurement.)
+  static constexpr size_t kBuckets = 16 + 60 * 16;
   static size_t bucket_of(uint64_t v);
   static uint64_t bucket_lo(size_t b);
   static uint64_t bucket_width(size_t b);

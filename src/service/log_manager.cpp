@@ -14,10 +14,15 @@ size_t LogManager::pump() {
     if (options_.archive) {
       store_.add(m.source, m.value, m.timestamp_ms);
     }
-    broker_.produce(options_.output_topic, std::move(m));
   }
-  forwarded_ += batch.size();
-  return batch.size();
+  const size_t n = batch.size();
+  if (n > 0) {
+    // Forward as one batch: one partition-lock crossing per pump, not per
+    // log line.
+    (void)broker_.produce_batch(options_.output_topic, std::move(batch));
+  }
+  forwarded_ += n;
+  return n;
 }
 
 size_t LogManager::drain() {

@@ -183,7 +183,9 @@ void ParserTask::process(const Message& message, TaskContext& ctx) {
       }
     }
   }
-  emit(parsed_to_message(parsed, std::move(key), message.source));
+  // Moving the scratch ParsedLog into the payload is safe: the next
+  // parse_into fully rewrites it (emit_fields resizes, raw/ids reassigned).
+  emit(parsed_to_message(std::move(parsed_), std::move(key), message.source));
 }
 
 DetectorTask::DetectorTask(std::shared_ptr<ModelBroadcast> model,
@@ -288,6 +290,10 @@ void DetectorTask::process(const Message& message, TaskContext& ctx) {
   std::vector<Anomaly> anomalies;
   if (message.tag == kTagHeartbeat) {
     anomalies = detector_->on_heartbeat(message.timestamp_ms);
+  } else if (const ParsedLog* view = parsed_payload_view(message)) {
+    // Typed-payload fast path: read the parser's ParsedLog in place — no
+    // JSON parse, no field copies.
+    anomalies = detector_->on_log(*view, message.source);
   } else {
     auto parsed = parsed_from_message(message);
     if (!parsed.ok()) return;  // malformed payloads are dropped

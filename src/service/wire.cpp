@@ -2,26 +2,41 @@
 
 namespace loglens {
 
-Message parsed_to_message(const ParsedLog& log, std::string key,
-                          std::string source) {
-  JsonObject obj;
-  obj.emplace_back("pattern_id", Json(static_cast<int64_t>(log.pattern_id)));
-  obj.emplace_back("ts", Json(log.timestamp_ms));
-  obj.emplace_back("raw", Json(log.raw));
-  JsonObject fields;
-  for (const auto& [k, v] : log.fields) fields.emplace_back(k, v);
-  obj.emplace_back("fields", Json(std::move(fields)));
+namespace {
 
+Message parsed_envelope(const ParsedLog& log, std::string key,
+                        std::string source) {
   Message m;
   m.key = std::move(key);
-  m.value = Json(std::move(obj)).dump();
   m.timestamp_ms = log.timestamp_ms;
   m.tag = kTagData;
   m.source = std::move(source);
   return m;
 }
 
+}  // namespace
+
+Message parsed_to_message(ParsedLog&& log, std::string key,
+                          std::string source) {
+  Message m = parsed_envelope(log, std::move(key), std::move(source));
+  m.payload = std::make_shared<const ParsedPayload>(std::move(log));
+  return m;
+}
+
+Message parsed_to_message(const ParsedLog& log, std::string key,
+                          std::string source) {
+  Message m = parsed_envelope(log, std::move(key), std::move(source));
+  m.payload = std::make_shared<const ParsedPayload>(log);
+  return m;
+}
+
+const ParsedLog* parsed_payload_view(const Message& m) {
+  auto* p = dynamic_cast<const ParsedPayload*>(m.payload.get());
+  return p == nullptr ? nullptr : &p->log;
+}
+
 StatusOr<ParsedLog> parsed_from_message(const Message& m) {
+  if (const ParsedLog* log = parsed_payload_view(m)) return *log;
   auto j = Json::parse(m.value);
   if (!j.ok()) return StatusOr<ParsedLog>(j.status());
   const Json& obj = j.value();
@@ -43,10 +58,17 @@ Message anomaly_to_message(const Anomaly& anomaly) {
   m.timestamp_ms = anomaly.timestamp_ms;
   m.tag = kTagAnomaly;
   m.source = anomaly.source;
+  m.payload = std::make_shared<const AnomalyPayload>(anomaly);
   return m;
 }
 
+const Anomaly* anomaly_payload_view(const Message& m) {
+  auto* p = dynamic_cast<const AnomalyPayload*>(m.payload.get());
+  return p == nullptr ? nullptr : &p->anomaly;
+}
+
 StatusOr<Anomaly> anomaly_from_message(const Message& m) {
+  if (const Anomaly* a = anomaly_payload_view(m)) return *a;
   auto j = Json::parse(m.value);
   if (!j.ok()) return StatusOr<Anomaly>(j.status());
   return Anomaly::from_json(j.value());

@@ -222,12 +222,19 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
   const uint64_t route_start = trace_clock::now_us();
   const size_t n = options_.partitions;
   std::vector<std::vector<Message>> per_partition(n);
-  for (auto& m : input) {
-    if (m.tag == kTagHeartbeat) {
-      for (size_t p = 0; p < n; ++p) per_partition[p].push_back(m);
-    } else {
-      size_t p = options_.partitioner(m, n) % n;
-      per_partition[p].push_back(std::move(m));
+  if (n == 1) {
+    // Single-partition fast path: everything (heartbeats included) lands on
+    // partition 0, so the whole batch moves as one vector — no per-message
+    // routing work, no reallocation.
+    per_partition[0] = std::move(input);
+  } else {
+    for (auto& m : input) {
+      if (m.tag == kTagHeartbeat) {
+        for (size_t p = 0; p < n; ++p) per_partition[p].push_back(m);
+      } else {
+        size_t p = options_.partitioner(m, n) % n;
+        per_partition[p].push_back(std::move(m));
+      }
     }
   }
   const uint64_t route_end = trace_clock::now_us();
@@ -247,15 +254,28 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
   std::vector<PartitionOutcome> outcomes(n);
   const uint64_t exec_span = traced ? trace::new_span_id() : 0;
   const uint64_t span_start = trace_clock::now_us();
-  for (size_t p = 0; p < n; ++p) {
+  if (n == 1) {
+    // Single-partition fast path: run the task inline on the driver — it
+    // would only block at the barrier anyway — saving one thread handoff
+    // per batch, the dominant cost of small batches (and of every batch on
+    // a single-core host). Multi-partition batches keep every task on the
+    // pool: with `workers` pool threads that is the stage's whole
+    // concurrency contract (workers=1 means serial partitions, which fault
+    // tests rely on to sequence injected failures deterministically).
     const uint64_t submitted_us = trace_clock::now_us();
-    pool_.submit([this, p, &per_partition, &contexts, &outcomes, &batch_ctx,
-                  exec_span, submitted_us] {
-      run_partition(p, per_partition[p], contexts[p], outcomes[p], batch_ctx,
-                    exec_span, submitted_us);
-    });
+    run_partition(0, per_partition[0], contexts[0], outcomes[0], batch_ctx,
+                  exec_span, submitted_us);
+  } else {
+    for (size_t p = 0; p < n; ++p) {
+      const uint64_t submitted_us = trace_clock::now_us();
+      pool_.submit([this, p, &per_partition, &contexts, &outcomes, &batch_ctx,
+                    exec_span, submitted_us] {
+        run_partition(p, per_partition[p], contexts[p], outcomes[p],
+                      batch_ctx, exec_span, submitted_us);
+      });
+    }
+    pool_.wait_idle();
   }
-  pool_.wait_idle();
   const uint64_t exec_end = trace_clock::now_us();
   const uint64_t elapsed_us = exec_end - span_start;
   result.elapsed_ms = static_cast<double>(elapsed_us) / 1000.0;

@@ -11,7 +11,8 @@ JobRunner::JobRunner(Broker& broker, StreamEngine& engine, JobOptions options)
     : broker_(broker),
       engine_(engine),
       options_(std::move(options)),
-      consumer_(broker, options_.input_topic) {
+      consumer_(broker, options_.input_topic,
+                &registry_or_global(options_.metrics)) {
   MetricsRegistry& registry = registry_or_global(options_.metrics);
   MetricLabels labels{{"job", options_.name}};
   batches_total_ = &registry.counter("loglens_job_batches_total", labels,
@@ -177,14 +178,22 @@ void JobRunner::process_batch(std::vector<Message> batch) {
   batches_total_->inc();
   input_lag_->set(static_cast<int64_t>(consumer_.lag()));
   const uint64_t publish_start_us = trace_clock::now_us();
-  for (auto& m : result.dead_letters) {
-    dead_letters_total_->inc();
+  if (!result.dead_letters.empty()) {
+    dead_letters_total_->inc(result.dead_letters.size());
     if (!options_.dead_letter_topic.empty()) {
-      (void)broker_.produce(options_.dead_letter_topic, std::move(m));
+      (void)broker_.produce_batch(options_.dead_letter_topic,
+                                  std::move(result.dead_letters));
     }
   }
-  if (!options_.output_topic.empty()) {
-    for (auto& m : result.outputs) {
+  if (!options_.output_topic.empty() && !result.outputs.empty()) {
+    // Batched publish: the whole batch crosses each output partition's lock
+    // once. Messages whose broker-side retry budget is spent come back in
+    // `undeliverable` and take the per-message retry/dead-letter slow path.
+    std::vector<Message> undeliverable;
+    (void)broker_.produce_batch(options_.output_topic,
+                                std::move(result.outputs), &undeliverable);
+    for (auto& m : undeliverable) {
+      produce_retries_total_->inc();
       produce_with_retry(options_.output_topic, std::move(m));
     }
   }
@@ -218,7 +227,8 @@ void JobRunner::loop() {
       continue;
     }
     auto batch =
-        consumer_.poll_blocking(options_.batch_size, options_.poll_timeout_ms);
+        consumer_.poll_blocking(options_.batch_size, options_.poll_timeout_ms,
+                                options_.poll_min_batch);
     if (batch.empty()) continue;
     try {
       process_batch(std::move(batch));

@@ -27,6 +27,11 @@ struct JobOptions {
   std::string output_topic;  // empty: outputs are dropped
   size_t batch_size = 1024;
   int64_t poll_timeout_ms = 20;
+  // Low watermark for the blocking poll: the driver keeps accumulating
+  // until this many messages are in hand (or the poll times out), so a
+  // trickle of input still forms real batches instead of batch-per-message
+  // churn. 1 = wake on the first message (lowest latency).
+  size_t poll_min_batch = 1;
   // Observability. `name` labels this job's metrics; when
   // `metrics_report_every` > 0, a kTagMetrics message with a JSON health
   // report is produced to `metrics_topic` every N batches.

@@ -166,6 +166,38 @@ StatusOr<TimestampFormat> TimestampFormat::compile(std::string_view format) {
   }
   out.first_min_len_ = min_len;
   out.first_max_len_ = max_len;
+  out.first_all_digits_ = true;
+  for (const auto& e : first) {
+    const bool numeric =
+        e.kind == Element::Kind::kYear4 || e.kind == Element::Kind::kYear2 ||
+        e.kind == Element::Kind::kMonthNum || e.kind == Element::Kind::kDay ||
+        e.kind == Element::Kind::kHour24 || e.kind == Element::Kind::kHour12 ||
+        e.kind == Element::Kind::kMinute || e.kind == Element::Kind::kSecond ||
+        e.kind == Element::Kind::kMillis ||
+        (e.kind == Element::Kind::kLiteral &&
+         std::isdigit(static_cast<unsigned char>(e.literal)) != 0);
+    if (!numeric) {
+      out.first_all_digits_ = false;
+      break;
+    }
+  }
+  // First non-digit literal reachable through numeric elements only: until
+  // a name/AM-PM element intervenes, every matched character before the
+  // literal is a digit, so the literal pins the token's first non-digit.
+  for (const auto& e : first) {
+    const bool numeric =
+        e.kind == Element::Kind::kYear4 || e.kind == Element::Kind::kYear2 ||
+        e.kind == Element::Kind::kMonthNum || e.kind == Element::Kind::kDay ||
+        e.kind == Element::Kind::kHour24 || e.kind == Element::Kind::kHour12 ||
+        e.kind == Element::Kind::kMinute || e.kind == Element::Kind::kSecond ||
+        e.kind == Element::Kind::kMillis;
+    if (numeric) continue;
+    if (e.kind == Element::Kind::kLiteral &&
+        std::isdigit(static_cast<unsigned char>(e.literal)) == 0) {
+      out.first_sep_ = e.literal;
+    }
+    break;
+  }
   const auto& fe = first.front();
   out.first_is_digit_ =
       fe.kind != Element::Kind::kMonthName3 &&

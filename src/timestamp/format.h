@@ -43,6 +43,30 @@ class TimestampFormat {
   // and token length bounds. Used before running the full structural match.
   bool first_token_plausible(std::string_view token) const;
 
+  // True when the first element of the first token is numeric (recognizer
+  // buckets formats by first-byte class so a token only meets formats of
+  // its own class).
+  bool first_is_digit() const { return first_is_digit_; }
+
+  // True when a token consisting solely of digits could match this format's
+  // first token — i.e. every first-token element is numeric or a digit
+  // literal ("d MMM yyyy ..." qualifies: its first token is a bare day).
+  bool first_token_can_be_all_digits() const { return first_all_digits_; }
+
+  // First-token length bounds, exposed so the recognizer can index formats
+  // by token length instead of probing each one.
+  size_t first_min_len() const { return first_min_len_; }
+  size_t first_max_len() const { return first_max_len_; }
+
+  // For digit-leading formats: the first non-digit literal of the first
+  // token ('/', '-', '.', ':'), or 0 when the first token has none before
+  // any non-literal element. If a digit-led token matches this format, the
+  // elements before that literal consume only digits, so the token's first
+  // non-digit character must BE the literal — a one-character test that
+  // rules out an IP ("10.0.0.5", first non-digit '.') against every slash-
+  // and colon-separated format without a structural match.
+  char first_sep() const { return first_sep_; }
+
  private:
   struct Element {
     enum class Kind {
@@ -67,6 +91,8 @@ class TimestampFormat {
   std::string text_;
   std::vector<std::vector<Element>> token_elements_;
   bool first_is_digit_ = false;   // first element of first token is numeric
+  bool first_all_digits_ = false;  // first token may be all digits
+  char first_sep_ = 0;  // first non-digit literal of the first token, or 0
   size_t first_min_len_ = 0;
   size_t first_max_len_ = 0;
   bool has_year_ = false;

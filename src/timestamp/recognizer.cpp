@@ -102,6 +102,21 @@ TimestampRecognizer::TimestampRecognizer(RecognizerOptions options,
     auto compiled = TimestampFormat::compile(f);
     if (!compiled.ok()) std::abort();  // predefined formats must compile
     formats_.push_back(std::move(compiled.value()));
+    index_format(formats_.size() - 1);
+  }
+}
+
+void TimestampRecognizer::index_format(size_t fi) {
+  const TimestampFormat& f = formats_[fi];
+  if (!f.first_is_digit()) {
+    alpha_first_.push_back(fi);
+    return;
+  }
+  if (f.first_max_len() >= digit_first_by_len_.size()) {
+    digit_first_by_len_.resize(f.first_max_len() + 1);
+  }
+  for (size_t len = f.first_min_len(); len <= f.first_max_len(); ++len) {
+    digit_first_by_len_[len].push_back(fi);
   }
 }
 
@@ -109,6 +124,7 @@ Status TimestampRecognizer::add_format(std::string_view format) {
   auto compiled = TimestampFormat::compile(format);
   if (!compiled.ok()) return compiled.status();
   formats_.push_back(std::move(compiled.value()));
+  index_format(formats_.size() - 1);
   return Status::Ok();
 }
 
@@ -118,12 +134,22 @@ bool TimestampRecognizer::keyword_filter_pass(std::string_view token) const {
   if (std::isdigit(static_cast<unsigned char>(token[0])) != 0) return true;
   // Otherwise the token must begin with a month or weekday keyword.
   if (token.size() < 3) return false;
-  char a = ascii_lower(token[0]);
-  char b = ascii_lower(token[1]);
-  char c = ascii_lower(token[2]);
   static constexpr const char* kKeywords[] = {
       "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep",
       "oct", "nov", "dec", "mon", "tue", "wed", "thu", "fri", "sat", "sun"};
+  char a = ascii_lower(token[0]);
+  if (a < 'a' || a > 'z') return false;
+  // First-letter bitmask over the 19 keywords: the typical word token
+  // ("user", "error", ...) is rejected in one shift instead of walking the
+  // whole list three characters at a time.
+  static constexpr uint32_t kFirstLetters = [] {
+    uint32_t mask = 0;
+    for (const char* k : kKeywords) mask |= 1u << (k[0] - 'a');
+    return mask;
+  }();
+  if (((kFirstLetters >> (a - 'a')) & 1u) == 0) return false;
+  char b = ascii_lower(token[1]);
+  char c = ascii_lower(token[2]);
   for (const char* k : kKeywords) {
     if (a == k[0] && b == k[1] && c == k[2]) return true;
   }
@@ -143,18 +169,39 @@ std::optional<TimestampMatch> TimestampRecognizer::match_at(
     const std::vector<std::string_view>& tokens, size_t index) {
   ++stats_.calls;
   std::string_view first = tokens[index];
+  const bool starts_digit =
+      !first.empty() &&
+      std::isdigit(static_cast<unsigned char>(first[0])) != 0;
+  // For digit-led tokens, the first non-digit character (0 when the token
+  // is purely digits). A format whose first token has a literal separator
+  // can only match when that separator IS this character — see
+  // TimestampFormat::first_sep. This is what rejects the bulk of
+  // digit-leading non-timestamp tokens (IPs, versions, counters) without a
+  // structural match attempt.
+  char sep = 0;
+  if (starts_digit) {
+    for (char c : first) {
+      if (c < '0' || c > '9') {
+        sep = c;
+        break;
+      }
+    }
+  }
   if (options_.use_filter && !keyword_filter_pass(first)) {
     ++stats_.filtered_out;
     return std::nullopt;
   }
+  auto plausible = [&](const TimestampFormat& f) {
+    if (!options_.use_filter) return true;
+    if (!f.first_token_plausible(first)) return false;
+    return !starts_digit || f.first_sep() == 0 || f.first_sep() == sep;
+  };
 
   // Cache pass: formats that matched recently, most recent first.
   if (options_.use_cache) {
     for (size_t ci = 0; ci < cache_.size(); ++ci) {
       size_t fi = cache_[ci];
-      if (options_.use_filter && !formats_[fi].first_token_plausible(first)) {
-        continue;
-      }
+      if (!plausible(formats_[fi])) continue;
       if (auto m = try_format(tokens, index, fi)) {
         ++stats_.cache_hits;
         // Move to front.
@@ -165,15 +212,32 @@ std::optional<TimestampMatch> TimestampRecognizer::match_at(
     }
   }
 
-  // Linear scan over non-cached formats.
-  for (size_t fi = 0; fi < formats_.size(); ++fi) {
+  // Linear scan over non-cached formats. With the prefilter on, only the
+  // bucket matching the token's leading byte class is walked (a digit-led
+  // token can never open a month-name format, and vice versa), and digit
+  // buckets are further keyed by token length.
+  static const std::vector<size_t> kNone;
+  const std::vector<size_t>* pool = nullptr;
+  std::vector<size_t> all;
+  if (options_.use_filter) {
+    if (starts_digit) {
+      pool = first.size() < digit_first_by_len_.size()
+                 ? &digit_first_by_len_[first.size()]
+                 : &kNone;
+    } else {
+      pool = &alpha_first_;
+    }
+  } else {
+    all.resize(formats_.size());
+    for (size_t fi = 0; fi < formats_.size(); ++fi) all[fi] = fi;
+    pool = &all;
+  }
+  for (size_t fi : *pool) {
     if (options_.use_cache &&
         std::find(cache_.begin(), cache_.end(), fi) != cache_.end()) {
       continue;
     }
-    if (options_.use_filter && !formats_[fi].first_token_plausible(first)) {
-      continue;
-    }
+    if (!plausible(formats_[fi])) continue;
     if (auto m = try_format(tokens, index, fi)) {
       if (options_.use_cache) {
         cache_.insert(cache_.begin(), fi);

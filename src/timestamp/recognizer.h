@@ -63,10 +63,21 @@ class TimestampRecognizer {
   bool keyword_filter_pass(std::string_view token) const;
   std::optional<TimestampMatch> try_format(
       const std::vector<std::string_view>& tokens, size_t index, size_t fi);
+  // Files format `fi` into the first-byte-class scan lists below.
+  void index_format(size_t fi);
 
   RecognizerOptions options_;
   std::vector<TimestampFormat> formats_;
   std::vector<size_t> cache_;  // format indices, most-recently-matched first
+  // Linear-scan candidates, bucketed by the first token's leading byte
+  // class. Digit-led formats are further indexed by first-token length
+  // (digit_first_by_len_[L] holds every format whose first token can be L
+  // chars), so a digit-led log token meets only the handful of formats its
+  // length admits — not all 69 digit-led predefined formats. Alpha-led
+  // formats stay a flat list: the keyword prefilter already rejects most
+  // word tokens outright.
+  std::vector<std::vector<size_t>> digit_first_by_len_;
+  std::vector<size_t> alpha_first_;
   RecognizerStats stats_;
 };
 

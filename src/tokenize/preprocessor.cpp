@@ -23,7 +23,9 @@ Preprocessor::Preprocessor(PreprocessorOptions options,
                            std::vector<CompiledRule> rules)
     : options_(std::move(options)),
       rules_(std::move(rules)),
-      recognizer_(options_.timestamp, options_.timestamp_formats) {}
+      recognizer_(options_.timestamp, options_.timestamp_formats) {
+  for (unsigned char c : options_.delimiters) is_delim_[c] = true;
+}
 
 TokenizedLog Preprocessor::process(std::string_view raw) {
   TokenizedLog out;
@@ -37,32 +39,45 @@ void Preprocessor::process_into(std::string_view raw, TokenizedLog& out) {
 
   // 1. Delimiter split. 2. Split rules (one pass; a rule's output pieces are
   // not re-fed through the rules, matching the paper's single rewrite step).
-  // Piece slots keep their string capacity from previous logs.
-  size_t np = 0;
-  auto add_piece = [&](std::string_view sv) {
-    if (np == pieces_.size()) pieces_.emplace_back();
-    pieces_[np++].assign(sv);
-  };
-  for_each_split_any(raw, options_.delimiters, [&](std::string_view tok) {
-    const CompiledRule* hit = nullptr;
-    for (const auto& rule : rules_) {
-      if (rule.match.full_match(tok)) {
-        hit = &rule;
-        break;
+  //
+  // With no split rules (the common config) every token is a view into
+  // out.raw — the one copy of the line made above — so the split allocates
+  // and copies nothing. With rules, tokens are materialized into piece
+  // slots (which keep their capacity across logs) because a rewrite has no
+  // backing storage in the line; views are built only after every piece is
+  // in place, since growing pieces_ would move SSO string bytes out from
+  // under earlier views.
+  views_.clear();
+  if (rules_.empty()) {
+    for_each_delimited(out.raw,
+                       [&](std::string_view tok) { views_.push_back(tok); });
+  } else {
+    size_t np = 0;
+    auto add_piece = [&](std::string_view sv) {
+      if (np == pieces_.size()) pieces_.emplace_back();
+      pieces_[np++].assign(sv);
+    };
+    for_each_delimited(out.raw, [&](std::string_view tok) {
+      const CompiledRule* hit = nullptr;
+      for (const auto& rule : rules_) {
+        if (rule.match.full_match(tok)) {
+          hit = &rule;
+          break;
+        }
       }
-    }
-    if (hit == nullptr) {
-      add_piece(tok);
-      return;
-    }
-    std::string rewritten = hit->match.replace_all(tok, hit->rewrite);
-    for_each_split_any(rewritten, " ", add_piece);
-  });
+      if (hit == nullptr) {
+        add_piece(tok);
+        return;
+      }
+      std::string rewritten = hit->match.replace_all(tok, hit->rewrite);
+      for_each_split_any(rewritten, " ", add_piece);
+    });
+    for (size_t i = 0; i < np; ++i) views_.push_back(pieces_[i]);
+  }
 
   // 3+4. Timestamp recognition, then datatype classification. Token slots
-  // are reused the same way, with a trailing resize dropping leftovers.
-  views_.clear();
-  for (size_t i = 0; i < np; ++i) views_.push_back(pieces_[i]);
+  // are reused across logs, with a trailing resize dropping leftovers.
+  const size_t np = views_.size();
 
   size_t nt = 0;
   auto next_token = [&]() -> Token& {
@@ -80,7 +95,7 @@ void Preprocessor::process_into(std::string_view raw, TokenizedLog& out) {
       continue;
     }
     Token& t = next_token();
-    t.text.assign(pieces_[i]);
+    t.text.assign(views_[i]);
     t.type = classifier_.classify(views_[i]);
     ++i;
   }

@@ -15,6 +15,7 @@
 // "logs from the same source use the same formats" locality.
 #pragma once
 
+#include <array>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -72,12 +73,30 @@ class Preprocessor {
 
   Preprocessor(PreprocessorOptions options, std::vector<CompiledRule> rules);
 
+  // Splits `text` on the delimiter table, invoking fn(token) per piece.
+  template <typename Fn>
+  void for_each_delimited(std::string_view text, Fn&& fn) const {
+    size_t start = 0;
+    for (size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() ||
+          is_delim_[static_cast<unsigned char>(text[i])]) {
+        if (i > start) fn(text.substr(start, i - start));
+        start = i + 1;
+      }
+    }
+  }
+
   PreprocessorOptions options_;
   std::vector<CompiledRule> rules_;
   TimestampRecognizer recognizer_;
   DatatypeClassifier classifier_;
-  // process_into scratch: piece strings keep their capacity across logs;
-  // views_ aliases them for the timestamp recognizer.
+  // Byte-indexed delimiter membership, so the per-character split test is
+  // one load instead of a find() over the delimiter string.
+  std::array<bool, 256> is_delim_ = {};
+  // process_into scratch. views_ holds the split tokens — views into the
+  // log's out.raw copy when no split rules are configured, views into
+  // pieces_ (whose string slots keep their capacity across logs) when
+  // rewrites force materialization.
   std::vector<std::string> pieces_;
   std::vector<std::string_view> views_;
 };

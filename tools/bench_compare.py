@@ -1,20 +1,33 @@
 #!/usr/bin/env python3
-"""Compare a benchmark run against the committed baseline.
+"""Compare a benchmark run against the committed baseline — or update it.
 
-Usage: bench_compare.py BASELINE.json CURRENT.json [--threshold 0.25]
-                        [--require STAGE]...
+Usage:
+  bench_compare.py BASELINE.json CURRENT.json [options]
 
-Both files are the BENCH_*.json a benchmark binary writes (bench/baseline.json
-holds the union of every gated stage; stages the current binary does not emit
-are skipped). The check fails (exit 1) when any stage's msgs_per_sec drops
-more than ``threshold`` below the baseline. Stages present in only one file
-are reported but do not fail the check (the benchmark may grow stages between
-commits) — except stages named with ``--require``, which must appear in the
-current run so a silently-dropped gate cannot pass. Speedups only update the
-printed report.
+Compare mode (default): the check fails (exit 1) when any stage's
+msgs_per_sec drops more than ``--threshold`` below the baseline, when an
+absolute ``--min-rate``/``--max-p99-us`` gate is violated, or when a
+``--require``'d stage is missing from the current run. Every failure is one
+line naming the stage, the metric, the observed value, the required value,
+and their ratio, so a red CI log reads without opening either JSON file:
 
-CI keeps the baseline honest: refresh bench/baseline.json deliberately when
-a PR moves throughput, rather than letting it drift.
+  FAIL parser msgs_per_sec: observed 310,000 < required 375,000 (ratio 0.83)
+
+Stages present in only one file are reported but do not fail the check (the
+benchmark may grow stages between commits) — except ``--require``'d stages,
+which must appear so a silently-dropped gate cannot pass. Speedups never
+fail; refresh the baseline deliberately when a PR moves throughput:
+
+  bench_compare.py bench/baseline.json BENCH_pipeline_notrace.json \
+      --update-baseline
+
+Update mode rewrites BASELINE.json in place, merging by stage name: stages
+in the current run replace their baseline entry wholesale (all metrics, not
+just msgs_per_sec); baseline stages the current run does not emit are kept,
+so one bench binary's refresh never erases another's gates.
+
+``--markdown FILE`` appends a baseline-vs-current table to FILE (use
+$GITHUB_STEP_SUMMARY in CI); "-" writes it to stdout.
 """
 
 import argparse
@@ -22,20 +35,85 @@ import json
 import sys
 
 
-def load_stages(path):
+def load_doc(path):
     with open(path) as fh:
-        doc = json.load(fh)
-    stages = {}
+        return json.load(fh)
+
+
+def stage_map(doc):
+    """stage name -> full stage dict, keeping every metric the bench wrote."""
+    out = {}
     for stage in doc.get("stages", []):
         name = stage.get("stage")
-        rate = stage.get("msgs_per_sec")
-        if name is not None and isinstance(rate, (int, float)) and rate > 0:
-            stages[name] = float(rate)
-    return stages
+        if name is not None:
+            out[name] = stage
+    return out
+
+
+def rate_of(stage):
+    rate = stage.get("msgs_per_sec")
+    return float(rate) if isinstance(rate, (int, float)) and rate > 0 else None
+
+
+def parse_gate(values, flag):
+    """['STAGE=VALUE', ...] -> {stage: value}, with a clear error."""
+    gates = {}
+    for item in values:
+        stage, sep, value = item.partition("=")
+        if not sep or not stage:
+            raise SystemExit(f"error: {flag} expects STAGE=VALUE, got '{item}'")
+        try:
+            gates[stage] = float(value)
+        except ValueError:
+            raise SystemExit(f"error: {flag} {stage}: '{value}' is not a "
+                             f"number")
+    return gates
+
+
+def fail_line(stage, metric, observed, op, required):
+    ratio = observed / required if required else float("inf")
+    return (f"FAIL {stage} {metric}: observed {observed:,.0f} {op} "
+            f"required {required:,.0f} (ratio {ratio:.2f})")
+
+
+def update_baseline(baseline_path, baseline_doc, current):
+    merged = stage_map(baseline_doc)
+    replaced = sorted(set(merged) & set(current))
+    added = sorted(set(current) - set(merged))
+    merged.update(current)
+    baseline_doc["stages"] = [merged[name] for name in sorted(merged)]
+    with open(baseline_path, "w") as fh:
+        json.dump(baseline_doc, fh, indent=1)
+        fh.write("\n")
+    for name in replaced:
+        print(f"  {name}: baseline updated")
+    for name in added:
+        print(f"  {name}: new baseline stage")
+    print(f"baseline written: {baseline_path} ({len(merged)} stages)")
+
+
+def markdown_table(baseline, current):
+    lines = ["| stage | baseline msgs/s | current msgs/s | delta | p99 (us) |",
+             "|---|---|---|---|---|"]
+    for name in sorted(set(baseline) | set(current)):
+        base = rate_of(baseline.get(name, {}))
+        cur = rate_of(current.get(name, {}))
+        delta = (f"{(cur - base) / base:+.1%}"
+                 if base is not None and cur is not None else "-")
+        p99 = current.get(name, {}).get("p99_batch_latency_us")
+        lines.append("| {} | {} | {} | {} | {} |".format(
+            name,
+            f"{base:,.0f}" if base is not None else "-",
+            f"{cur:,.0f}" if cur is not None else "-",
+            delta,
+            f"{p99:,.0f}" if isinstance(p99, (int, float)) else "-"))
+    return "\n".join(lines)
 
 
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("baseline")
     parser.add_argument("current")
     parser.add_argument("--threshold", type=float, default=0.25,
@@ -43,40 +121,99 @@ def main():
     parser.add_argument("--require", action="append", default=[],
                         metavar="STAGE",
                         help="stage that must be present in the current run")
+    parser.add_argument("--only", action="append", default=[],
+                        metavar="STAGE",
+                        help="restrict the comparison to these stages (lets "
+                             "one invocation per stage apply different "
+                             "thresholds)")
+    parser.add_argument("--min-rate", action="append", default=[],
+                        metavar="STAGE=RATE",
+                        help="absolute msgs_per_sec floor for a stage")
+    parser.add_argument("--max-p99-us", action="append", default=[],
+                        metavar="STAGE=US",
+                        help="absolute p99_batch_latency_us ceiling for a "
+                             "stage")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite BASELINE.json, merging the current "
+                             "run's stages in by name")
+    parser.add_argument("--markdown", metavar="FILE",
+                        help="append a baseline-vs-current markdown table to "
+                             "FILE ('-' for stdout)")
     args = parser.parse_args()
 
-    baseline = load_stages(args.baseline)
-    current = load_stages(args.current)
-    if not baseline:
+    min_rates = parse_gate(args.min_rate, "--min-rate")
+    max_p99s = parse_gate(args.max_p99_us, "--max-p99-us")
+
+    baseline_doc = load_doc(args.baseline)
+    baseline = stage_map(baseline_doc)
+    current = stage_map(load_doc(args.current))
+    if args.only:
+        keep = set(args.only)
+        baseline = {k: v for k, v in baseline.items() if k in keep}
+        current = {k: v for k, v in current.items() if k in keep}
+    if not baseline and not args.update_baseline:
         print(f"error: no stages in baseline {args.baseline}", file=sys.stderr)
         return 2
 
-    failed = False
+    if args.update_baseline:
+        update_baseline(args.baseline, baseline_doc, current)
+        return 0
+
+    failures = []
     for name in args.require:
         if name not in current:
-            print(f"  {name}: REQUIRED stage missing from current run",
-                  file=sys.stderr)
-            failed = True
+            failures.append(
+                f"FAIL {name}: REQUIRED stage missing from current run")
     for name in sorted(baseline):
         if name not in current:
             print(f"  {name}: missing from current run (skipped)")
             continue
-        base, cur = baseline[name], current[name]
+        base, cur = rate_of(baseline[name]), rate_of(current[name])
+        if base is None or cur is None:
+            continue
         delta = (cur - base) / base
         floor = base * (1.0 - args.threshold)
         verdict = "ok" if cur >= floor else "REGRESSION"
-        if cur < floor:
-            failed = True
         print(f"  {name}: {cur:,.0f} msgs/s vs baseline {base:,.0f} "
               f"({delta:+.1%}) [{verdict}]")
+        if cur < floor:
+            failures.append(fail_line(name, "msgs_per_sec", cur, "<", floor))
     for name in sorted(set(current) - set(baseline)):
-        print(f"  {name}: new stage, {current[name]:,.0f} msgs/s (no baseline)")
+        cur = rate_of(current[name])
+        if cur is not None:
+            print(f"  {name}: new stage, {cur:,.0f} msgs/s (no baseline)")
 
-    if failed:
-        print(f"FAIL: throughput regressed more than "
-              f"{args.threshold:.0%} on at least one stage", file=sys.stderr)
+    for name, floor in sorted(min_rates.items()):
+        cur = rate_of(current.get(name, {}))
+        if cur is None:
+            failures.append(
+                f"FAIL {name} msgs_per_sec: stage missing, --min-rate gate "
+                f"unmet")
+        elif cur < floor:
+            failures.append(fail_line(name, "msgs_per_sec", cur, "<", floor))
+    for name, ceiling in sorted(max_p99s.items()):
+        p99 = current.get(name, {}).get("p99_batch_latency_us")
+        if not isinstance(p99, (int, float)):
+            failures.append(
+                f"FAIL {name} p99_batch_latency_us: stage or metric missing, "
+                f"--max-p99-us gate unmet")
+        elif p99 > ceiling:
+            failures.append(
+                fail_line(name, "p99_batch_latency_us", p99, ">", ceiling))
+
+    if args.markdown:
+        table = markdown_table(baseline, current)
+        if args.markdown == "-":
+            print(table)
+        else:
+            with open(args.markdown, "a") as fh:
+                fh.write(table + "\n")
+
+    for line in failures:
+        print(line, file=sys.stderr)
+    if failures:
         return 1
-    print("bench smoke: within threshold")
+    print("bench compare: all gates pass")
     return 0
 
 
