@@ -1,5 +1,7 @@
 #include "baseline/logstash_parser.h"
 
+#include <cstdio>
+
 #include "common/strings.h"
 
 namespace loglens {
@@ -67,8 +69,18 @@ LogstashParser::LogstashParser(const std::vector<GrokPattern>& model) {
   for (const auto& p : model) {
     Compiled c;
     c.pattern_id = p.id();
-    auto re = Regex::compile(pattern_to_regex(p));
-    if (!re.ok()) continue;  // skip uncompilable (should not happen)
+    std::string source = pattern_to_regex(p);
+    auto re = Regex::compile(source);
+    if (!re.ok()) {
+      // A drop silently shrinks the baseline and skews Table IV; make it
+      // loud and countable instead of invisible.
+      std::fprintf(stderr,
+                   "loglens: logstash baseline dropped pattern %d "
+                   "(regex %s): %s\n",
+                   p.id(), source.c_str(), re.status().message().c_str());
+      ++stats_.patterns_dropped;
+      continue;
+    }
     c.regex = std::move(re.value());
     for (const auto& t : p.tokens()) {
       if (t.is_field) c.field_names.push_back(t.field.name);

@@ -26,6 +26,12 @@ struct LogstashStats {
   uint64_t logs = 0;
   uint64_t unparsed = 0;
   uint64_t regex_attempts = 0;
+  // Model patterns whose generated regex failed to compile at construction.
+  // Each drop silently shrinks the baseline's pattern set — skewing the
+  // Table IV comparison — so it is logged to stderr and counted here for
+  // tests to assert zero. A property of construction, not of a measurement
+  // window: reset_stats() preserves it.
+  uint64_t patterns_dropped = 0;
 };
 
 class LogstashParser {
@@ -39,7 +45,11 @@ class LogstashParser {
   static std::string pattern_to_regex(const GrokPattern& pattern);
 
   const LogstashStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = {}; }
+  void reset_stats() {
+    const uint64_t dropped = stats_.patterns_dropped;
+    stats_ = {};
+    stats_.patterns_dropped = dropped;
+  }
   size_t pattern_count() const { return compiled_.size(); }
 
   // Resident bytes of the compiled regex set (memory experiment).

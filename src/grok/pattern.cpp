@@ -100,11 +100,10 @@ bool is_wildcard(const GrokToken& pt) {
   return pt.is_field && pt.field.type == Datatype::kAnyData;
 }
 
-// Single-token predicate for literals and non-ANYDATA fields. Depends only
-// on the log token, never on its position — the property that makes the
-// single-backtrack wildcard scan below complete.
-bool token_matches(const GrokToken& pt, const Token& tok,
-                   const DatatypeClassifier& classifier) {
+}  // namespace
+
+bool grok_token_matches(const GrokToken& pt, const Token& tok,
+                        const DatatypeClassifier& classifier) {
   if (!pt.is_field) return tok.text == pt.literal;
   if (pt.field.type == Datatype::kDateTime) {
     return tok.type == Datatype::kDateTime;
@@ -112,8 +111,6 @@ bool token_matches(const GrokToken& pt, const Token& tok,
   return tok.type != Datatype::kDateTime &&
          classifier.matches(tok.text, pt.field.type);
 }
-
-}  // namespace
 
 bool GrokPattern::match_tokens(const std::vector<Token>& tokens,
                                const DatatypeClassifier& classifier,
@@ -139,7 +136,7 @@ bool GrokPattern::match_tokens(const std::vector<Token>& tokens,
     if (n != m) return false;
     for (size_t i = 0; i < m; ++i) {
       ++scratch.steps;
-      if (!token_matches(tokens_[i], tokens[i], classifier)) return false;
+      if (!grok_token_matches(tokens_[i], tokens[i], classifier)) return false;
       starts[i] = static_cast<uint32_t>(i);
     }
     return true;
@@ -149,7 +146,7 @@ bool GrokPattern::match_tokens(const std::vector<Token>& tokens,
   const size_t limit = n - tail_len;  // wildcard region is tokens[0, limit)
   for (size_t k = 0; k < tail_len; ++k) {
     ++scratch.steps;
-    if (!token_matches(tokens_[tail + k], tokens[limit + k], classifier)) {
+    if (!grok_token_matches(tokens_[tail + k], tokens[limit + k], classifier)) {
       return false;
     }
     starts[tail + k] = static_cast<uint32_t>(limit + k);
@@ -176,7 +173,7 @@ bool GrokPattern::match_tokens(const std::vector<Token>& tokens,
         ++pi;
         continue;
       }
-      if (ti < limit && token_matches(pt, tokens[ti], classifier)) {
+      if (ti < limit && grok_token_matches(pt, tokens[ti], classifier)) {
         starts[pi] = static_cast<uint32_t>(ti);
         ++pi;
         ++ti;

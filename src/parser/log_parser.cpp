@@ -18,10 +18,12 @@ Json ParsedLog::to_json() const {
 
 LogParser::LogParser(std::vector<GrokPattern> model,
                      const DatatypeClassifier& classifier,
-                     IndexMode index_mode, size_t index_capacity)
+                     IndexMode index_mode, size_t index_capacity,
+                     SetMatchMode set_match)
     : classifier_(classifier),
       index_mode_(index_mode),
-      index_capacity_(std::max<size_t>(1, index_capacity)) {
+      index_capacity_(std::max<size_t>(1, index_capacity)),
+      set_match_mode_(set_match) {
   patterns_.reserve(model.size());
   for (auto& p : model) {
     IndexedPattern ip;
@@ -29,6 +31,18 @@ LogParser::LogParser(std::vector<GrokPattern> model,
     ip.generality = p.generality_score();
     ip.pattern = std::move(p);
     patterns_.push_back(std::move(ip));
+  }
+  if (set_match_mode_ == SetMatchMode::kAuto) {
+    std::vector<GrokPattern> pats;
+    std::vector<std::vector<Datatype>> sigs;
+    pats.reserve(patterns_.size());
+    sigs.reserve(patterns_.size());
+    for (const auto& ip : patterns_) {
+      pats.push_back(ip.pattern);
+      sigs.push_back(ip.signature);
+    }
+    token_matcher_ = GrokSetMatcher::compile_tokens(pats);
+    sig_matcher_ = GrokSetMatcher::compile_signatures(sigs);
   }
 }
 
@@ -43,10 +57,22 @@ const std::vector<uint32_t>& LogParser::candidate_group(
   ++stats_.groups_built;
   IndexEntry entry;
   entry.sig.assign(sig.begin(), sig.end());
-  for (uint32_t pi = 0; pi < patterns_.size(); ++pi) {
-    ++stats_.signature_comparisons;
-    if (signature_match(sig, patterns_[pi].signature)) {
-      entry.group.push_back(pi);
+  // One signature-level walk decides Algorithm 1 membership for every
+  // pattern at once — the index-miss cost drops from O(patterns) DPs to
+  // ~O(signature length). The walk makes the same per-pattern membership
+  // decisions the DP loop would, so it contributes the same
+  // signature_comparisons count; only its cost differs.
+  if (set_match_mode_ == SetMatchMode::kAuto &&
+      sig_matcher_.match_signature(sig, set_scratch_)) {
+    stats_.signature_comparisons += patterns_.size();
+    entry.group.assign(set_scratch_.result.begin(), set_scratch_.result.end());
+  } else {
+    if (set_match_mode_ == SetMatchMode::kAuto) ++stats_.set_fallbacks;
+    for (uint32_t pi = 0; pi < patterns_.size(); ++pi) {
+      ++stats_.signature_comparisons;
+      if (signature_match(sig, patterns_[pi].signature)) {
+        entry.group.push_back(pi);
+      }
     }
   }
   // "Patterns are sorted in the ascending order of datatype's generality and
@@ -81,12 +107,49 @@ bool LogParser::match_core(const TokenizedLog& log, ParsedLog& out) {
 
   const GrokPattern* matched = nullptr;
   if (index_mode_ == IndexMode::kEnabled) {
-    for (uint32_t pi : candidate_group(sig_scratch_)) {
-      ++stats_.match_attempts;
-      if (patterns_[pi].pattern.match_into(log.tokens, classifier_,
-                                           &out.fields, match_scratch_)) {
-        matched = &patterns_[pi].pattern;
-        break;
+    const std::vector<uint32_t>& group = candidate_group(sig_scratch_);
+    bool scanned = false;
+    if (set_match_mode_ == SetMatchMode::kAuto &&
+        group.size() >= set_scan_min_group_) {
+      // One token-level walk decides which candidates actually match; the
+      // capture pass then runs on just the first group-ordered one of them
+      // — the same pattern the linear scan would have stopped at, because
+      // the walk is exact (grok_token_matches on both sides).
+      if (token_matcher_.match_tokens(log.tokens, classifier_, set_scratch_)) {
+        ++stats_.set_walks;
+        stats_.set_candidates += set_scratch_.result.size();
+        if (set_scratch_.prefilter_hit) ++stats_.set_prefilter_hits;
+        last_walk_candidates_ = set_scratch_.result.size();
+        scanned = true;
+        for (uint32_t pi : group) {
+          if (!std::binary_search(set_scratch_.result.begin(),
+                                  set_scratch_.result.end(), pi)) {
+            continue;
+          }
+          ++stats_.match_attempts;
+          if (patterns_[pi].pattern.match_into(log.tokens, classifier_,
+                                               &out.fields, match_scratch_)) {
+            matched = &patterns_[pi].pattern;
+          } else {
+            // Should be unreachable (the walk said this pattern matches).
+            // Stay safe: fall through to the full linear scan.
+            scanned = false;
+            ++stats_.set_fallbacks;
+          }
+          break;
+        }
+      } else {
+        ++stats_.set_fallbacks;
+      }
+    }
+    if (!scanned && matched == nullptr) {
+      for (uint32_t pi : group) {
+        ++stats_.match_attempts;
+        if (patterns_[pi].pattern.match_into(log.tokens, classifier_,
+                                             &out.fields, match_scratch_)) {
+          matched = &patterns_[pi].pattern;
+          break;
+        }
       }
     }
   } else {
@@ -134,6 +197,7 @@ ParseOutcome LogParser::parse(const TokenizedLog& log) {
 
 size_t LogParser::resident_bytes() const {
   size_t total = sizeof(*this);
+  total += sig_matcher_.resident_bytes() + token_matcher_.resident_bytes();
   for (const auto& ip : patterns_) {
     total += sizeof(ip) + ip.signature.capacity() * sizeof(Datatype);
     for (const auto& t : ip.pattern.tokens()) {

@@ -35,6 +35,7 @@
 
 #include "grok/datatype.h"
 #include "grok/pattern.h"
+#include "grok/set_matcher.h"
 #include "grok/token.h"
 #include "json/json.h"
 #include "parser/signature.h"
@@ -63,22 +64,47 @@ struct ParserStats {
   uint64_t index_hits = 0;
   uint64_t groups_built = 0;
   uint64_t index_evictions = 0;
-  // Pattern comparisons: Algorithm 1 runs during group building plus (in
-  // naive mode) the per-pattern model scan every log pays. This is the
-  // quantity the O(mn) -> O(n) claim is about.
+  // Pattern comparisons: Algorithm 1 membership decisions during group
+  // building (one per pattern per build, whether they were computed by the
+  // per-pattern DP loop or by one set-matcher walk) plus (in naive mode) the
+  // per-pattern model scan every log pays. This is the quantity the
+  // O(mn) -> O(n) claim is about.
   uint64_t signature_comparisons = 0;
   uint64_t match_attempts = 0;
+  // Set-level matcher (grok/set_matcher.h) activity. A walk decides the
+  // matchability of every candidate in one pass; `set_candidates` counts the
+  // patterns those walks reported matching (the capture pass then runs on
+  // exactly one of them), `set_prefilter_hits` the walks where some log
+  // token hit the pattern literal alphabet, and `set_fallbacks` the times a
+  // walk overflowed its active-set cap (or a defensive mismatch occurred)
+  // and the linear per-pattern scan ran instead.
+  uint64_t set_walks = 0;
+  uint64_t set_candidates = 0;
+  uint64_t set_prefilter_hits = 0;
+  uint64_t set_fallbacks = 0;
 };
 
 enum class IndexMode { kEnabled, kDisabled };
+
+// kAuto: build the set-level matchers and use them on the index-miss path
+// (signature walk builds the candidate group) and, for groups of at least
+// set_scan_min_group patterns, on the match scan (token walk picks the one
+// candidate the capture pass runs on). kDisabled: always scan linearly — the
+// ablation baseline the differential tests compare against byte-for-byte.
+enum class SetMatchMode { kAuto, kDisabled };
 
 class LogParser {
  public:
   static constexpr size_t kDefaultIndexCapacity = 1u << 16;
 
+  // Groups smaller than this are scanned linearly: with one or two
+  // candidates the walk cannot beat just trying them.
+  static constexpr size_t kDefaultSetScanMinGroup = 3;
+
   LogParser(std::vector<GrokPattern> model, const DatatypeClassifier& classifier,
             IndexMode index_mode = IndexMode::kEnabled,
-            size_t index_capacity = kDefaultIndexCapacity);
+            size_t index_capacity = kDefaultIndexCapacity,
+            SetMatchMode set_match = SetMatchMode::kAuto);
 
   // Parses one preprocessed log.
   ParseOutcome parse(const TokenizedLog& log);
@@ -101,6 +127,15 @@ class LogParser {
 
   size_t index_size() const { return index_map_.size(); }
   size_t index_capacity() const { return index_capacity_; }
+
+  // Candidate count reported by the most recent token walk; meaningful only
+  // when stats().set_walks moved during the last parse (the metrics layer
+  // observes it into the loglens_grok_set_candidates histogram).
+  size_t last_walk_candidates() const { return last_walk_candidates_; }
+
+  // Test/bench hook: group-size floor below which the match scan stays
+  // linear (see kDefaultSetScanMinGroup). 0 forces the walk everywhere.
+  void set_set_scan_min_group(size_t n) { set_scan_min_group_ = n; }
 
   // Approximate resident bytes of the model + index (memory experiment),
   // including the index's hash-bucket array and per-entry node overhead.
@@ -153,9 +188,18 @@ class LogParser {
                      SigEq>
       index_map_;
   ParserStats stats_;
+  // Set-level matchers compiled once from the model (empty in
+  // SetMatchMode::kDisabled): signature-level for group building on index
+  // misses, token-level for the match scan over large groups.
+  SetMatchMode set_match_mode_;
+  size_t set_scan_min_group_ = kDefaultSetScanMinGroup;
+  size_t last_walk_candidates_ = 0;
+  GrokSetMatcher sig_matcher_;
+  GrokSetMatcher token_matcher_;
   // Per-instance scratch reused across parse calls (hot-path contract).
   std::vector<Datatype> sig_scratch_;
   GrokMatchScratch match_scratch_;
+  GrokSetScratch set_scratch_;
 };
 
 }  // namespace loglens

@@ -534,7 +534,11 @@ bool Regex::run(std::string_view text, size_t start, bool anchored_end,
   marks.assign(loop_count_, RegexMatch::kUnset);
   undo.clear();
   stack.clear();
-  if (m != nullptr) m->budget_exhausted = false;
+  // run() only ever *sets* m->budget_exhausted. Clearing it here would let a
+  // later start position that fails cleanly (within budget) erase the record
+  // of an earlier exhausted attempt, turning "unknown" into "genuine
+  // no-match" for the whole search. The public entry points reset the flag
+  // once per call, so it is sticky across the attempts of that call.
 
   uint32_t pc = 0;
   size_t sp = start;
@@ -654,6 +658,7 @@ bool Regex::run(std::string_view text, size_t start, bool anchored_end,
 }
 
 bool Regex::full_match(std::string_view text, RegexMatch& m) const {
+  m.budget_exhausted = false;
   return run(text, 0, /*anchored_end=*/true, &m);
 }
 
@@ -662,6 +667,7 @@ bool Regex::full_match(std::string_view text) const {
 }
 
 bool Regex::search(std::string_view text, RegexMatch& m) const {
+  m.budget_exhausted = false;
   for (size_t start = 0; start <= text.size(); ++start) {
     if (run(text, start, /*anchored_end=*/false, &m)) return true;
     // A pattern anchored with '^' can only ever match at 0; the kBegin
@@ -678,22 +684,29 @@ bool Regex::search(std::string_view text) const {
 }
 
 std::string Regex::replace_all(std::string_view text,
-                               std::string_view replacement) const {
+                               std::string_view replacement,
+                               bool* budget_exhausted) const {
+  if (budget_exhausted != nullptr) *budget_exhausted = false;
   std::string out;
   size_t pos = 0;
-  RegexMatch m;
+  bool exhausted = false;
   while (pos <= text.size()) {
-    std::string_view rest = text.substr(pos);
+    // Match against the *full* text with an absolute start offset, never a
+    // remainder substring: anchors see real positions, so '^' matches only
+    // at offset 0 and '$' only at the true end of input (replace_all of
+    // "^a" on "aaa" rewrites one 'a', not all three).
     RegexMatch local;
     bool found = false;
-    for (size_t start = 0; start <= rest.size(); ++start) {
-      if (run(rest, start, false, &local)) {
+    for (size_t start = pos; start <= text.size(); ++start) {
+      if (run(text, start, /*anchored_end=*/false, &local)) {
         found = true;
         break;
       }
     }
+    // Sticky across this scan's start positions (run() never clears it).
+    exhausted |= local.budget_exhausted;
     if (!found) break;
-    out.append(rest.substr(0, local.begin));
+    out.append(text.substr(pos, local.begin - pos));
     // Expand the replacement template.
     for (size_t i = 0; i < replacement.size(); ++i) {
       char c = replacement[i];
@@ -707,10 +720,10 @@ std::string Regex::replace_all(std::string_view text,
         if (d >= '0' && d <= '9') {
           size_t g = static_cast<size_t>(d - '0');
           if (g == 0) {
-            out.append(rest.substr(local.begin, local.end - local.begin));
+            out.append(text.substr(local.begin, local.end - local.begin));
           } else if (g - 1 < local.groups.size() &&
                      local.groups[g - 1].first != RegexMatch::kUnset) {
-            out.append(rest.substr(local.groups[g - 1].first,
+            out.append(text.substr(local.groups[g - 1].first,
                                    local.groups[g - 1].second -
                                        local.groups[g - 1].first));
           }
@@ -720,14 +733,17 @@ std::string Regex::replace_all(std::string_view text,
       }
       out.push_back(c);
     }
-    size_t advance = local.end > local.begin ? local.end : local.begin + 1;
-    if (local.end == local.begin && local.begin < rest.size()) {
-      out.push_back(rest[local.begin]);  // avoid infinite loop on empty match
+    if (local.end > local.begin) {
+      pos = local.end;
+    } else {
+      if (local.begin < text.size()) {
+        out.push_back(text[local.begin]);  // avoid infinite loop: empty match
+      }
+      pos = local.begin + 1;
     }
-    pos += advance;
-    if (local.end == local.begin && local.begin == rest.size()) break;
   }
-  out.append(text.substr(pos));
+  if (pos < text.size()) out.append(text.substr(pos));
+  if (budget_exhausted != nullptr) *budget_exhausted = exhausted;
   return out;
 }
 

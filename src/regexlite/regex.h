@@ -42,8 +42,12 @@ struct RegexMatch {
   // npos/npos when the group did not participate.
   static constexpr size_t kUnset = static_cast<size_t>(-1);
   std::vector<std::pair<size_t, size_t>> groups;
-  // True when the last attempt gave up because the VM step budget ran out
-  // (the result is then "unknown", reported as no-match).
+  // True when any attempt of the last full_match/search call gave up because
+  // the VM step budget ran out (the result is then "unknown", reported as
+  // no-match). Sticky across the start-position attempts of one call: a
+  // search that exhausts the budget at an early start and fails cleanly at
+  // every later start still reports exhaustion. Reset at the top of each
+  // full_match/search call, never inside an attempt.
   bool budget_exhausted = false;
 
   std::string_view group_text(std::string_view subject, size_t index) const {
@@ -74,8 +78,14 @@ class Regex {
 
   // Replaces every non-overlapping match with `replacement`, where $1..$9
   // refer to capture groups and $0 to the whole match ($$ emits '$').
-  std::string replace_all(std::string_view text,
-                          std::string_view replacement) const;
+  // Matching is performed against the full text with a start offset, so
+  // '^' matches only at offset 0 and '$' only at the true end of input —
+  // never at the seams left by earlier replacements. If any scan exhausts
+  // the step budget, the remaining text is left unreplaced and
+  // *budget_exhausted (when non-null) is set so the caller can tell the
+  // truncated result from a clean completion.
+  std::string replace_all(std::string_view text, std::string_view replacement,
+                          bool* budget_exhausted = nullptr) const;
 
   const std::string& pattern() const { return pattern_; }
   size_t group_count() const { return group_count_; }

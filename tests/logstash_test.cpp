@@ -108,6 +108,34 @@ TEST_F(LogstashTest, AgreesWithLogLensParserOnParseability) {
   }
 }
 
+TEST_F(LogstashTest, NoPatternsDroppedAtConstruction) {
+  // Every generated regex must compile: a drop silently shrinks the baseline
+  // pattern set and skews the Table IV comparison. Cover all field datatypes
+  // plus meta-heavy literals.
+  auto patterns = model({
+      "%{WORD:a} %{NUMBER:b} %{IP:c} %{NOTSPACE:d}",
+      "%{DATETIME:t} %{ANYDATA:rest}",
+      "(0): q.x [a] {b} * + ? | ^ $ %{NUMBER:n}",
+  });
+  LogstashParser parser(patterns);
+  EXPECT_EQ(parser.stats().patterns_dropped, 0u);
+  EXPECT_EQ(parser.pattern_count() + parser.stats().patterns_dropped,
+            patterns.size());
+}
+
+TEST_F(LogstashTest, ResetStatsPreservesPatternsDropped) {
+  // patterns_dropped is a property of construction, not of a measurement
+  // window, so reset_stats() must keep it while zeroing the counters.
+  LogstashParser parser(model({"%{WORD:a} %{NUMBER:b}"}));
+  parser.parse(pre_.process("hello 42"));
+  ASSERT_EQ(parser.stats().logs, 1u);
+  const uint64_t dropped = parser.stats().patterns_dropped;
+  parser.reset_stats();
+  EXPECT_EQ(parser.stats().logs, 0u);
+  EXPECT_EQ(parser.stats().regex_attempts, 0u);
+  EXPECT_EQ(parser.stats().patterns_dropped, dropped);
+}
+
 TEST_F(LogstashTest, ResidentBytesGrowWithPatterns) {
   LogstashParser small(model({"%{WORD:a}"}));
   LogstashParser large(model({"%{WORD:a} %{NUMBER:b} %{IP:c} x y z",

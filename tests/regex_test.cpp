@@ -210,6 +210,59 @@ TEST(RegexBudget, GenuineNoMatchDoesNotFlagExhaustion) {
   EXPECT_FALSE(m.budget_exhausted);
 }
 
+TEST(RegexBudget, StickyAcrossSearchRestarts) {
+  // search() retries every start position. Early starts (long 'a' runs)
+  // exhaust the budget; the final starts (at 'b' and end-of-string) fail
+  // cleanly within it. The flag must survive those clean failures — the
+  // caller is looking at "unknown", not a proven no-match.
+  Regex re = Regex::compile_or_die("(a+)+$");
+  re.set_step_budget(10000);
+  std::string adversarial(64, 'a');
+  adversarial.push_back('b');
+  RegexMatch m;
+  EXPECT_FALSE(re.search(adversarial, m));
+  EXPECT_TRUE(m.budget_exhausted);
+  EXPECT_GT(re.budget_exhausted_count(), 0u);
+  // A following clean search on the same struct resets the flag.
+  EXPECT_FALSE(re.search("zzz", m));
+  EXPECT_FALSE(m.budget_exhausted);
+}
+
+TEST(RegexReplace, StartAnchorDoesNotRematchAfterReplacement) {
+  // '^a' matches only at offset 0 of the original text. The old scan
+  // matched against text.substr(pos), so '^' re-anchored at every
+  // post-replacement remainder and rewrote all three 'a's.
+  Regex re = Regex::compile_or_die("^a");
+  EXPECT_EQ(re.replace_all("aaa", "X"), "Xaa");
+  Regex word = Regex::compile_or_die("^[a-z]+");
+  EXPECT_EQ(word.replace_all("abc abc", "_"), "_ abc");
+}
+
+TEST(RegexReplace, EndAnchorMatchesTrueEndOnly) {
+  Regex re = Regex::compile_or_die("a$");
+  EXPECT_EQ(re.replace_all("aaa", "X"), "aaX");
+  Regex both = Regex::compile_or_die("^a$");
+  EXPECT_EQ(both.replace_all("aaa", "X"), "aaa");
+  EXPECT_EQ(both.replace_all("a", "X"), "X");
+}
+
+TEST(RegexReplace, BudgetExhaustionIsPropagatedNotSilent) {
+  Regex re = Regex::compile_or_die("(a+)+b$");
+  re.set_step_budget(10000);
+  std::string adversarial(64, 'a');
+  adversarial.push_back('c');
+  bool exhausted = false;
+  // The scan gives up on budget: nothing is replaced, and the caller is
+  // told the result is truncation, not a proven no-match.
+  EXPECT_EQ(re.replace_all(adversarial, "X", &exhausted), adversarial);
+  EXPECT_TRUE(exhausted);
+  EXPECT_GT(re.budget_exhausted_count(), 0u);
+  // A clean replace reports no exhaustion through the same out-param.
+  Regex simple = Regex::compile_or_die("b");
+  EXPECT_EQ(simple.replace_all("abc", "X", &exhausted), "aXc");
+  EXPECT_FALSE(exhausted);
+}
+
 TEST(RegexCompileOrDie, AbortsWithDiagnosticOnBadPattern) {
   EXPECT_DEATH(Regex::compile_or_die("(unclosed"), "compile_or_die");
 }

@@ -19,6 +19,12 @@ Checks (see docs/STATIC_ANALYSIS.md):
      directly — it reads loglens::trace_clock (common/clock.h), the mockable
      time source every span timestamp and timer goes through. Only the shim
      itself touches the real clock.
+  5. Regex discipline: no file may include <regex> or name std::regex.
+     All regular-expression work goes through regexlite (src/regexlite/) —
+     the budgeted backtracking engine whose step cap and sticky
+     budget_exhausted flag keep pathological patterns from stalling the hot
+     path — or the set-level matcher (src/grok/set_matcher.h). std::regex
+     has no step budget and an order of magnitude more overhead.
 
 Usage:
   tools/lint.py              lint the repo (exit 1 on any violation)
@@ -68,6 +74,10 @@ BANNED_IN_CORE = (
 # wraps it behind a swappable source.
 CLOCK_SHIM = "src/common/clock.h"
 STEADY_CLOCK = re.compile(r"\bsteady_clock\b")
+
+# Banned everywhere: the project's regex engine is regexlite, which has a
+# step budget; std::regex does not (and is far slower).
+STD_REGEX = re.compile(r'\bstd::w?regex\b|#\s*include\s*<regex>')
 
 ANNOTATION = re.compile(
     r"\bLOGLENS_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|RELEASE|"
@@ -137,6 +147,14 @@ def lint_text(text, rel):
             problems.append(
                 f"{rel}:{lineno}: parent-relative include; include project "
                 "headers by their src/-relative path"
+            )
+
+    for lineno, code in lines:
+        if STD_REGEX.search(code):
+            problems.append(
+                f"{rel}:{lineno}: std::regex/<regex>; use regexlite "
+                "(src/regexlite/regex.h) — it has a step budget — or the "
+                "set-level matcher (src/grok/set_matcher.h)"
             )
 
     if rel.startswith("src/") and rel != CLOCK_SHIM:
@@ -253,6 +271,23 @@ SELF_TEST_CASES = [
     (
         "bench/fixture_clock.cpp",
         "auto t0 = std::chrono::steady_clock::now();\n",
+        None,
+    ),
+    # std::regex is banned everywhere, including tests and benches...
+    (
+        "src/regexlite/fixture_std.cpp",
+        "#include <regex>\nstd::regex re(\"a+\");\n",
+        "std::regex",
+    ),
+    (
+        "tests/fixture_std_regex.cpp",
+        "bool f() { return std::regex_match(s, std::regex(\"x\")); }\n",
+        "std::regex",
+    ),
+    # ...but mentions in comments are fine.
+    (
+        "src/grok/fixture_regex_comment.h",
+        "#pragma once\n// unlike std::regex, regexlite has a step budget\n",
         None,
     ),
     # Commented-out code must not trip the core bans.
