@@ -2,9 +2,9 @@
 
 #include <chrono>
 #include <limits>
-#include <thread>
 
 #include "common/clock.h"
+#include "common/sched.h"
 #include "trace/trace.h"
 
 namespace loglens {
@@ -21,7 +21,9 @@ constexpr uint64_t kIgnorePartition = std::numeric_limits<uint64_t>::max();
 
 void produce_backoff(int attempt) {
   int64_t ms = std::min<int64_t>(kProduceBackoffCapMs, 1LL << (attempt - 1));
-  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  // Virtual under a ScheduleController / ScopedVirtualDelays: backoff is a
+  // schedule point, not a wall-clock stall (common/sched.h).
+  sched::sleep_for_ms(static_cast<uint64_t>(ms));
 }
 }  // namespace
 
@@ -121,12 +123,13 @@ void Broker::notify_waiters() const {
   // are both seq_cst, so either this produce observes the waiter here or
   // the waiter observes the new end offset on its post-registration
   // recheck. The uncontended produce pays exactly this one load.
+  LOGLENS_SCHED_POINT("broker.notify_waiters");
   if (waiters_.load(std::memory_order_seq_cst) == 0) return;
   // Empty critical section: a waiter that saw no data but has not yet
   // parked still holds wait_mu_; acquiring it here means every registered
   // waiter is inside wait() (or past its recheck) when we notify.
   { RankedMutexLock lock(wait_mu_); }
-  wait_cv_.notify_all();
+  sched::cv_notify_all(wait_cv_);
 }
 
 Status Broker::produce(const std::string& topic, Message message,
@@ -154,6 +157,7 @@ Status Broker::produce(const std::string& topic, Message message,
     }
     part.log.push_back(std::move(message));
     part.end.store(part.log.size(), std::memory_order_seq_cst);
+    LOGLENS_SCHED_POINT("broker.end_publish");
   }
   data->produced->inc();
   notify_waiters();
@@ -316,6 +320,7 @@ bool Broker::wait_for_data(const std::string& topic,
     }
     return false;
   };
+  LOGLENS_SCHED_POINT("broker.wait_check");
   if (has_data()) return true;
   if (timeout_ms <= 0) return false;
   const uint64_t deadline_us =
@@ -324,6 +329,7 @@ bool Broker::wait_for_data(const std::string& topic,
   // reading waiters_ == 0 is caught by the recheck below (both sides
   // seq_cst); one that read waiters_ > 0 takes wait_mu_ and notifies.
   waiters_.fetch_add(1, std::memory_order_seq_cst);
+  LOGLENS_SCHED_POINT("broker.wait_registered");
   bool ready = false;
   {
     RankedMutexLock lock(wait_mu_);
@@ -338,8 +344,8 @@ bool Broker::wait_for_data(const std::string& topic,
       }
       const uint64_t now_us = trace_clock::now_us();
       if (now_us >= deadline_us) break;
-      wait_cv_.wait_for(lock,
-                        std::chrono::microseconds(deadline_us - now_us));
+      sched::cv_wait_for(wait_cv_, lock,
+                         std::chrono::microseconds(deadline_us - now_us));
     }
   }
   waiters_.fetch_sub(1, std::memory_order_seq_cst);
@@ -352,6 +358,7 @@ size_t Broker::partition_count(const std::string& topic) const {
 }
 
 uint64_t Broker::end_offset(const std::string& topic, size_t partition) const {
+  LOGLENS_SCHED_POINT("broker.end_offset");
   const TopicData* data = find_topic(topic);
   if (data == nullptr || partition >= data->partitions.size()) return 0;
   return data->partitions[partition]->end.load(std::memory_order_acquire);
@@ -468,6 +475,7 @@ std::vector<Message> Consumer::poll_blocking(size_t max, int64_t timeout_ms,
   // The wait runs unlocked, so lag()/offsets() monitoring never stalls
   // behind it.
   while (out.size() < min_messages) {
+    LOGLENS_SCHED_POINT("consumer.poll_park");
     const uint64_t now_us = trace_clock::now_us();
     if (now_us >= deadline_us) break;
     std::vector<uint64_t> offsets;

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/sched.h"
 #include "common/thread_annotations.h"
 
 // LOGLENS_LOCK_RANK_CHECKS: 1 compiles the rank bookkeeping in, 0 makes
@@ -208,6 +209,15 @@ class LOGLENS_CAPABILITY("mutex") RankedMutex {
 #if LOGLENS_LOCK_RANK_CHECKS
     lock_rank::internal::note_acquire(rank_);
 #endif
+#if LOGLENS_SCHED_POINTS
+    // Under an attached ScheduleController the acquisition becomes a
+    // deterministic scheduling decision: yield, then try_lock/block until
+    // the controller runs us with the mutex free (common/sched.h).
+    if (sched::ScheduleController* c = sched::active()) {
+      sched::internal::mutex_lock(c, mu_, this, rank_);
+      return;
+    }
+#endif
 #if LOGLENS_MUTEX_PROFILE
     // Contention probe: an uncontended acquisition is one try_lock; a
     // contended one additionally times the blocking wait.
@@ -224,12 +234,29 @@ class LOGLENS_CAPABILITY("mutex") RankedMutex {
 
   void unlock() LOGLENS_RELEASE() {
     mu_.unlock();
+#if LOGLENS_SCHED_POINTS
+    // Readies any thread the controller parked on this mutex.
+    if (sched::ScheduleController* c = sched::active()) {
+      sched::internal::mutex_unlocked(c, this);
+    }
+#endif
 #if LOGLENS_LOCK_RANK_CHECKS
     lock_rank::internal::note_release(rank_);
 #endif
   }
 
   bool try_lock() LOGLENS_TRY_ACQUIRE(true) {
+#if LOGLENS_SCHED_POINTS
+    if (sched::ScheduleController* c = sched::active()) {
+      if (!sched::internal::mutex_try_lock(c, mu_, this, rank_)) {
+        return false;
+      }
+#if LOGLENS_LOCK_RANK_CHECKS
+      lock_rank::internal::note_acquire(rank_);
+#endif
+      return true;
+    }
+#endif
     if (!mu_.try_lock()) return false;
 #if LOGLENS_LOCK_RANK_CHECKS
     lock_rank::internal::note_acquire(rank_);

@@ -1,9 +1,7 @@
 #include "faults/fault_injector.h"
 
-#include <chrono>
-#include <thread>
-
 #include "common/hash.h"
+#include "common/sched.h"
 
 namespace loglens {
 
@@ -52,6 +50,7 @@ void FaultInjector::disarm_all() {
 }
 
 FaultAction FaultInjector::check(const std::string& site) {
+  LOGLENS_SCHED_POINT("faults.check");
   FaultAction fired = FaultAction::kNone;
   int64_t delay_ms = 0;
   {
@@ -71,7 +70,11 @@ FaultAction FaultInjector::check(const std::string& site) {
                 "Faults fired by the injector")
       .inc();
   if (fired == FaultAction::kDelay && delay_ms > 0) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    // Routed through the sched/clock shim: virtual under a
+    // ScheduleController or ScopedVirtualDelays (fault-delay chaos tests
+    // advance the trace clock instead of burning real seconds), a real
+    // sleep otherwise.
+    sched::sleep_for_ms(static_cast<uint64_t>(delay_ms));
   }
   return fired;
 }

@@ -6,6 +6,7 @@
 
 #include "common/clock.h"
 #include "common/hash.h"
+#include "common/sched.h"
 #include "trace/trace.h"
 
 namespace loglens {
@@ -114,7 +115,7 @@ void LogLensService::start() {
   detector_runner_->start();
   if (options_.supervise && !options_.checkpoint_path.empty() &&
       !supervising_.exchange(true)) {
-    supervisor_ = std::thread([this] { supervisor_loop(); });
+    supervisor_ = sched::spawn_named("supervisor", [this] { supervisor_loop(); });
   }
 }
 
@@ -122,6 +123,7 @@ void LogLensService::stop() {
   // Supervisor first: it restarts runners on failure, so it must be gone
   // before the runners are told to stay down.
   if (supervising_.exchange(false) && supervisor_.joinable()) {
+    sched::BlockingRegion joining;
     supervisor_.join();
   }
   if (!running_.exchange(false)) return;
@@ -132,8 +134,8 @@ void LogLensService::stop() {
 
 void LogLensService::supervisor_loop() {
   while (supervising_.load()) {
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(options_.supervise_interval_ms));
+    sched::sleep_for_ms(static_cast<uint64_t>(options_.supervise_interval_ms));
+    LOGLENS_SCHED_POINT("service.supervise_tick");
     if (!supervising_.load()) return;
     if (parser_runner_->failed() || detector_runner_->failed()) {
       // Failed recovery (e.g. the checkpoint file is being faulted too) is
@@ -361,6 +363,7 @@ Status LogLensService::restore_internal(const std::string& path,
 }
 
 Status LogLensService::recover() {
+  LOGLENS_SCHED_POINT("service.recover");
   RankedMutexLock lock(recover_mu_);
   if (options_.checkpoint_path.empty()) {
     return Status::Error("no checkpoint_path configured");

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/lock_rank.h"
+#include "common/sched.h"
 #include "common/thread_annotations.h"
 
 namespace loglens {
@@ -54,6 +55,7 @@ class Broadcast : public BroadcastBase {
   std::shared_ptr<const T> value(size_t partition)
       LOGLENS_EXCLUDES(driver_mu_) {
     Cache& c = caches_[partition];
+    LOGLENS_SCHED_POINT("broadcast.version_probe");
     const uint64_t current = version_.load(std::memory_order_acquire);
     {
       RankedMutexLock lock(c.mu);
@@ -70,6 +72,7 @@ class Broadcast : public BroadcastBase {
       fresh_version = version_.load(std::memory_order_acquire);
     }
     pulls_.fetch_add(1, std::memory_order_relaxed);
+    LOGLENS_SCHED_POINT("broadcast.pull");
     RankedMutexLock lock(c.mu);
     c.cached = fresh;
     c.version = fresh_version;
@@ -82,6 +85,7 @@ class Broadcast : public BroadcastBase {
   void update(T value) LOGLENS_EXCLUDES(driver_mu_) {
     RankedMutexLock lock(driver_mu_);
     driver_value_ = std::make_shared<const T>(std::move(value));
+    LOGLENS_SCHED_POINT("broadcast.update");
     version_.fetch_add(1, std::memory_order_release);
   }
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
 #include "common/clock.h"
 #include "common/hash.h"
+#include "common/sched.h"
 #include "metrics/timer.h"
 #include "trace/trace.h"
 
@@ -115,7 +115,7 @@ void StreamEngine::run_partition(size_t p, std::vector<Message>& input,
         int64_t ms = std::min(options_.retry_cap_ms,
                               options_.retry_base_ms
                                   << std::min<size_t>(attempt - 1, 20));
-        if (ms > 0) std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+        if (ms > 0) sched::sleep_for_ms(static_cast<uint64_t>(ms));
       }
     }
   };
@@ -161,6 +161,7 @@ void StreamEngine::run_partition(size_t p, std::vector<Message>& input,
 }
 
 BatchResult StreamEngine::run_batch(std::vector<Message> input) {
+  LOGLENS_SCHED_POINT("engine.run_batch");
   RankedMutexLock run_lock(run_mu_);
   BatchResult result;
   result.batch_number =
@@ -207,6 +208,7 @@ BatchResult StreamEngine::run_batch(std::vector<Message> input) {
       RankedMutexLock lock(control_mu_);
       ops.swap(pending_controls_);
     }
+    LOGLENS_SCHED_POINT("engine.control_drain");
     for (auto& op : ops) {
       op();
       ++result.control_ops_applied;

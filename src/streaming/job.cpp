@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/clock.h"
+#include "common/sched.h"
 #include "trace/trace.h"
 
 namespace loglens {
@@ -46,12 +47,17 @@ JobRunner::~JobRunner() { stop(); }
 
 void JobRunner::start() {
   if (running_.exchange(true)) return;
-  driver_ = std::thread([this] { loop(); });
+  driver_ = sched::spawn_named("job-" + options_.name, [this] { loop(); });
 }
 
 void JobRunner::stop() {
   if (!running_.exchange(false)) return;
-  if (driver_.joinable()) driver_.join();
+  if (driver_.joinable()) {
+    // Real join; under a ScheduleController the driver still needs to be
+    // scheduled to observe running_ == false, so step outside its view.
+    sched::BlockingRegion joining;
+    driver_.join();
+  }
 }
 
 std::string JobRunner::last_error() const {
@@ -98,8 +104,7 @@ void JobRunner::produce_with_retry(const std::string& topic, Message message) {
     if (attempt == options_.produce_max_attempts) break;
     produce_retries_total_->inc();
     if (options_.produce_retry_ms > 0) {
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.produce_retry_ms));
+      sched::sleep_for_ms(static_cast<uint64_t>(options_.produce_retry_ms));
     }
   }
   // Undeliverable output: dead-letter it rather than lose it silently. If
@@ -153,6 +158,7 @@ void JobRunner::process_batch(std::vector<Message> batch) {
     registry_->record_span(std::move(span));
   };
 
+  LOGLENS_SCHED_POINT("job.process_batch");
   records_in_.fetch_add(batch.size());
   records_total_->inc(batch.size());
   queue_wait_us_->record(dequeue_us - queue_start_us);
@@ -219,11 +225,11 @@ void JobRunner::process_batch(std::vector<Message> batch) {
 
 void JobRunner::loop() {
   while (running_.load()) {
+    LOGLENS_SCHED_POINT("job.loop");
     if (failed_.load()) {
       // Parked pending recovery: the supervisor stops this runner, repairs
       // state/offsets, clears the failure, and restarts it.
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.poll_timeout_ms));
+      sched::sleep_for_ms(static_cast<uint64_t>(options_.poll_timeout_ms));
       continue;
     }
     auto batch =

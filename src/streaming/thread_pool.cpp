@@ -1,12 +1,17 @@
 #include "streaming/thread_pool.h"
 
+#include <string>
+
+#include "common/sched.h"
+
 namespace loglens {
 
 ThreadPool::ThreadPool(size_t threads) {
   if (threads == 0) threads = 1;
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back(sched::spawn_named("pool-" + std::to_string(i),
+                                             [this] { worker_loop(); }));
   }
 }
 
@@ -15,7 +20,10 @@ ThreadPool::~ThreadPool() {
     RankedMutexLock lock(mu_);
     stop_ = true;
   }
-  work_cv_.notify_all();
+  sched::cv_notify_all(work_cv_);
+  // The joins block for real; under a ScheduleController the workers still
+  // need to be scheduled to observe stop_, so step outside its view.
+  sched::BlockingRegion joining;
   for (auto& w : workers_) w.join();
 }
 
@@ -24,7 +32,7 @@ void ThreadPool::submit(std::function<void()> task) {
     RankedMutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  work_cv_.notify_one();
+  sched::cv_notify_one(work_cv_);
 }
 
 // The waits below use explicit loops rather than the predicate overload:
@@ -34,7 +42,7 @@ void ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::wait_idle() {
   RankedMutexLock lock(mu_);
   while (!(queue_.empty() && in_flight_ == 0)) {
-    idle_cv_.wait(lock);
+    sched::cv_wait(idle_cv_, lock);
   }
 }
 
@@ -44,18 +52,21 @@ void ThreadPool::worker_loop() {
     {
       RankedMutexLock lock(mu_);
       while (!stop_ && queue_.empty()) {
-        work_cv_.wait(lock);
+        sched::cv_wait(work_cv_, lock);
       }
       if (stop_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
+    LOGLENS_SCHED_POINT("pool.task_start");
     task();
     {
       RankedMutexLock lock(mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+      if (queue_.empty() && in_flight_ == 0) {
+        sched::cv_notify_all(idle_cv_);
+      }
     }
   }
 }

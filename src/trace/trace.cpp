@@ -4,12 +4,17 @@
 #include <cstring>
 #include <utility>
 
+#include "common/sched.h"
+
 namespace loglens {
 namespace trace {
 
 namespace {
 
 bool enabled_from_env() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): runs once, inside the
+  // enabled_flag() function-local static initializer, which the runtime
+  // serializes — no thread observes a torn read.
   const char* value = std::getenv("LOGLENS_TRACE");
   if (value == nullptr) return true;
   return std::strcmp(value, "0") != 0 && std::strcmp(value, "off") != 0 &&
@@ -74,6 +79,7 @@ SpanBuffer::SpanBuffer(size_t capacity)
 }
 
 bool SpanBuffer::push(Span span) {
+  LOGLENS_SCHED_POINT("trace.push");
   const size_t tail = tail_.load(std::memory_order_relaxed);
   const size_t head = head_.load(std::memory_order_acquire);
   if (tail - head >= slots_.size()) {
@@ -86,6 +92,7 @@ bool SpanBuffer::push(Span span) {
 }
 
 void SpanBuffer::drain_into(std::vector<Span>& out) {
+  LOGLENS_SCHED_POINT("trace.drain");
   const size_t tail = tail_.load(std::memory_order_acquire);
   size_t head = head_.load(std::memory_order_relaxed);
   for (; head != tail; ++head) {

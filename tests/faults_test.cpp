@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "broker/broker.h"
+#include "common/clock.h"
+#include "common/sched.h"
 #include "streaming/engine.h"
 #include "trace/trace.h"
 
@@ -127,6 +129,35 @@ TEST(FaultInjectorTest, DelayStallsTheCall) {
   EXPECT_GE(elapsed.count(), 25);
   // A delay is survivable: hit() only throws for kThrow.
   EXPECT_NO_THROW(f.hit(kFaultSiteFetch));
+}
+
+// The delay fault is routed through the sched/clock shim: under
+// ScopedVirtualDelays it advances the trace clock instead of sleeping, so
+// fault-delay chaos tests stop burning real seconds.
+TEST(FaultInjectorTest, DelayIsVirtualUnderScopedVirtualDelays) {
+  MetricsRegistry r;
+  FaultInjector f(11, &r);
+  FaultSpec spec;
+  spec.action = FaultAction::kDelay;
+  spec.delay_ms = 500;  // would be a visible wall-clock stall if real
+  spec.max_triggers = 1;
+  spec.probability = 1.0;
+  f.arm(kFaultSiteFetch, spec);
+
+  sched::ScopedVirtualDelays virtual_delays;
+  const uint64_t delayed_before = sched::ScopedVirtualDelays::delayed_us();
+  const uint64_t clock_before = trace_clock::now_us();
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(f.check(kFaultSiteFetch), FaultAction::kDelay);
+  const auto wall_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  // The full 500ms landed on the virtual clock...
+  EXPECT_GE(sched::ScopedVirtualDelays::delayed_us() - delayed_before,
+            500000u);
+  EXPECT_GE(trace_clock::now_us() - clock_before, 500000u);
+  // ...and nowhere near it on the wall clock.
+  EXPECT_LT(wall_ms.count(), 250);
 }
 
 TEST(FaultInjectorTest, FiredFaultsAreCounted) {

@@ -25,6 +25,17 @@ Checks (see docs/STATIC_ANALYSIS.md):
      budget_exhausted flag keep pathological patterns from stalling the hot
      path — or the set-level matcher (src/grok/set_matcher.h). std::regex
      has no step budget and an order of magnitude more overhead.
+  6. Lock annotation coverage: every RankedMutex member declared in a
+     concurrent-core header must be named by at least one LOGLENS_
+     thread-safety annotation (GUARDED_BY/REQUIRES/EXCLUDES/ACQUIRE/...)
+     in the same header. An unannotated mutex is invisible to the Clang
+     thread-safety analysis — nothing stops an unlocked access to the data
+     it guards — and says nothing about where it sits in the lock order.
+  7. Sleep discipline: std::this_thread::sleep_for/sleep_until/yield are
+     banned in src/ outside the sched shim (common/sched.{h,cpp}). Core
+     code sleeps via sched::sleep_for_* so every backoff/delay site is a
+     schedule point the deterministic explorer can virtualize (and tests
+     never burn wall-clock time on them).
 
 Usage:
   tools/lint.py              lint the repo (exit 1 on any violation)
@@ -84,6 +95,20 @@ ANNOTATION = re.compile(
     r"TRY_ACQUIRE|CAPABILITY|SCOPED_CAPABILITY|ASSERT_CAPABILITY|"
     r"RETURN_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS)\b"
 )
+
+# Rule 6: a RankedMutex member declaration in a header ("RankedMutex name"
+# followed by an initializer or semicolon; references like "RankedMutex&"
+# don't match), and the argument lists of the annotations that may name it.
+MUTEX_MEMBER = re.compile(r"\b(?:mutable\s+)?RankedMutex\s+(\w+)\s*[{;=]")
+ANNOTATION_ARGS = re.compile(
+    r"\bLOGLENS_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|EXCLUDES|ACQUIRE|"
+    r"RELEASE|TRY_ACQUIRE|ASSERT_CAPABILITY)\s*\(([^)]*)\)"
+)
+
+# Rule 7: raw sleeps/yields bypass the schedule explorer. Only the sched
+# shim may touch std::this_thread (it implements the sanctioned sleep).
+THIS_THREAD = re.compile(r"\bstd::this_thread::(sleep_for|sleep_until|yield)\b")
+SCHED_SHIM = ("src/common/sched.h", "src/common/sched.cpp")
 
 LINE_COMMENT = re.compile(r"//.*$")
 
@@ -164,6 +189,32 @@ def lint_text(text, rel):
                     f"{rel}:{lineno}: steady_clock outside the clock shim; "
                     "use trace_clock::now_us() (common/clock.h) so tests can "
                     "mock time and spans share one timebase"
+                )
+
+    if in_concurrent_core(rel) and rel.endswith(".h"):
+        code_only = "\n".join(code for _, code in lines)
+        named = set()
+        for args in ANNOTATION_ARGS.findall(code_only):
+            named.update(re.findall(r"\w+", args))
+        for lineno, code in lines:
+            for m in MUTEX_MEMBER.finditer(code):
+                if m.group(1) not in named:
+                    problems.append(
+                        f"{rel}:{lineno}: RankedMutex member '{m.group(1)}' "
+                        "is not named by any LOGLENS_ annotation in this "
+                        "header; annotate what it guards (GUARDED_BY) or "
+                        "its contract (REQUIRES/EXCLUDES/ACQUIRE) so the "
+                        "Clang analysis can check it"
+                    )
+
+    if rel.startswith("src/") and rel not in SCHED_SHIM:
+        for lineno, code in lines:
+            if THIS_THREAD.search(code):
+                problems.append(
+                    f"{rel}:{lineno}: raw std::this_thread sleep/yield; use "
+                    "sched::sleep_for_ms/us (common/sched.h) so the delay "
+                    "is a schedule point and virtualizes under the "
+                    "deterministic explorer"
                 )
 
     if ANNOTATION.search(text) and rel != "src/common/thread_annotations.h":
@@ -294,6 +345,70 @@ SELF_TEST_CASES = [
     (
         "src/broker/fixture_comment.cpp",
         "// std::mutex in prose\n/* std::lock_guard lock(mu_); */\n",
+        None,
+    ),
+    # An unannotated RankedMutex member in a concurrent-core header is
+    # invisible to the thread-safety analysis...
+    (
+        "src/streaming/fixture_naked_mutex.h",
+        "#pragma once\n"
+        '#include "common/lock_rank.h"\n'
+        "namespace loglens {\n"
+        "struct S {\n"
+        "  RankedMutex mu_{1};\n"
+        "  int n_ = 0;\n"
+        "};\n"
+        "}  // namespace loglens\n",
+        "not named by any LOGLENS_ annotation",
+    ),
+    # ...a mutable one too...
+    (
+        "src/broker/fixture_mutable_mutex.h",
+        "#pragma once\n"
+        '#include "common/lock_rank.h"\n'
+        "struct S { mutable RankedMutex mu_{1}; };\n",
+        "not named by any LOGLENS_ annotation",
+    ),
+    # ...but naming it in any annotation (here an EXCLUDES contract)
+    # satisfies the rule, and references/locals don't count as members.
+    (
+        "src/service/fixture_excludes_ok.h",
+        "#pragma once\n"
+        '#include "common/lock_rank.h"\n'
+        '#include "common/thread_annotations.h"\n'
+        "struct S {\n"
+        "  void poke() LOGLENS_EXCLUDES(mu_);\n"
+        "  RankedMutex mu_{1};\n"
+        "};\n"
+        "void helper(RankedMutex& other);\n",
+        None,
+    ),
+    # Raw sleeps in src/ bypass the schedule explorer...
+    (
+        "src/streaming/fixture_sleep.cpp",
+        "#include <thread>\n"
+        "void f() {\n"
+        "  std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+        "}\n",
+        "std::this_thread",
+    ),
+    (
+        "src/broker/fixture_yield.cpp",
+        "void f() { std::this_thread::yield(); }\n",
+        "std::this_thread",
+    ),
+    # ...but the shim itself implements the sanctioned sleep, and tests may
+    # sleep for real.
+    (
+        "src/common/sched.cpp",
+        "void g() {\n"
+        "  std::this_thread::sleep_for(std::chrono::microseconds(1));\n"
+        "}\n",
+        None,
+    ),
+    (
+        "tests/fixture_sleep.cpp",
+        "void f() { std::this_thread::sleep_for(1ms); }\n",
         None,
     ),
     # Negative control: idiomatic code must pass clean.
