@@ -33,6 +33,7 @@ Slot g_slots[] = {
     {kBrokerWait, "kBrokerWait"},
     {kBroker, "kBroker"},
     {kBrokerPartition, "kBrokerPartition"},
+    {kStorageFlush, "kStorageFlush"},
     {kFaults, "kFaults"},
     {kStorage, "kStorage"},
     {kJobState, "kJobState"},

@@ -23,8 +23,8 @@
 //
 //   kServiceRecover < kEngineRun < kEngineControl < kBroadcastDriver,
 //   kBroadcastCache < kThreadPool < kConsumerGroup, kConsumer < kBrokerWait
-//   < kBroker < kBrokerPartition < kFaults < kStorage < kJobState
-//   < kMetrics < kTrace
+//   < kBroker < kBrokerPartition < kStorageFlush < kFaults < kStorage
+//   < kJobState < kMetrics < kTrace
 //
 // Trace is the innermost rank because the metrics registry drains the span
 // collector (kTrace) while holding its own mutex (kMetrics), and every
@@ -91,6 +91,9 @@ inline constexpr int kConsumer = 650;         // Consumer::mu_
 inline constexpr int kBrokerWait = 690;       // Broker::wait_mu_
 inline constexpr int kBroker = 700;           // Broker::mu_ (topic map)
 inline constexpr int kBrokerPartition = 710;  // Broker Partition::mu
+// Below kFaults: the segment writer consults the FaultInjector (and then
+// takes kStorage to publish) while holding the flush lock.
+inline constexpr int kStorageFlush = 740;     // DocumentStore::flush_mu_
 inline constexpr int kFaults = 750;           // FaultInjector::mu_
 inline constexpr int kStorage = 800;          // DocumentStore / ModelStore
 inline constexpr int kJobState = 850;         // JobRunner::error_mu_

@@ -41,6 +41,8 @@ inline constexpr const char* kFaultSiteTaskStart = "task.start";
 inline constexpr const char* kFaultSiteTaskProcess = "task.process";
 inline constexpr const char* kFaultSiteTaskFinish = "task.finish";
 inline constexpr const char* kFaultSiteCheckpointWrite = "checkpoint.write";
+inline constexpr const char* kFaultSiteSegmentFlush = "storage.segment_flush";
+inline constexpr const char* kFaultSiteStorageCompact = "storage.compact";
 
 enum class FaultAction {
   kNone = 0,

@@ -106,6 +106,44 @@ std::string Dashboard::render_timeline(int64_t from_ms, int64_t to_ms,
   return out.str();
 }
 
+std::string Dashboard::render_source_spikes(AnomalyType type, int64_t from_ms,
+                                            int64_t to_ms) const {
+  std::ostringstream out;
+  Query q;
+  q.clauses.push_back(
+      QueryClause::Term("type", std::string(anomaly_type_name(type))));
+  q.clauses.push_back(QueryClause::Range("timestamp_ms", from_ms, to_ms));
+  QueryStats stats;
+  std::map<std::string, size_t> by_source;
+  for (const auto& doc : anomalies_.query_docs(q, &stats)) {
+    std::string source(doc.get_string("source"));
+    ++by_source[source.empty() ? "<unknown>" : source];
+  }
+  out << "source spikes: " << anomaly_type_name(type) << " in ["
+      << format_canonical(from_ms) << " .. " << format_canonical(to_ms)
+      << "]\n";
+  if (by_source.empty()) {
+    out << "  none\n";
+  } else {
+    // Leaderboard: heaviest sources first, ties in name order.
+    std::vector<std::pair<std::string, size_t>> rows(by_source.begin(),
+                                                     by_source.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    size_t peak = rows.front().second;
+    for (const auto& [source, n] : rows) {
+      out << "  " << source << " | " << std::string(n * 40 / peak, '#') << " "
+          << n << "\n";
+    }
+  }
+  out << "  (segments: " << stats.segments_considered << " considered, "
+      << stats.segments_pruned << " pruned; docs scanned: "
+      << stats.docs_scanned << ")\n";
+  return out.str();
+}
+
 std::string Dashboard::render_recent(size_t limit) const {
   std::ostringstream out;
   auto all = anomalies_.all();

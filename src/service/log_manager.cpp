@@ -5,7 +5,8 @@ namespace loglens {
 LogManager::LogManager(Broker& broker, LogManagerOptions options)
     : broker_(broker),
       options_(std::move(options)),
-      consumer_(broker, options_.input_topic) {}
+      consumer_(broker, options_.input_topic),
+      store_(options_.store) {}
 
 size_t LogManager::pump() {
   auto batch = consumer_.poll(options_.max_forward_per_pump);

@@ -19,6 +19,9 @@ struct LogManagerOptions {
   // excess stays buffered in the broker until the next pump.
   size_t max_forward_per_pump = 65536;
   bool archive = true;  // store raw logs in the log store
+  // Tiered-engine configuration for the archive (segment dir, flush and
+  // compaction policy). Default: in-memory.
+  DocumentStoreOptions store;
 };
 
 class LogManager {

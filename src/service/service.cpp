@@ -11,12 +11,36 @@
 
 namespace loglens {
 
+namespace {
+
+// Per-role tiered-store options: each store flushes under its own
+// subdirectory of storage.dir, labels its metrics by role, and inherits the
+// service-level registry/injector unless explicitly overridden.
+DocumentStoreOptions role_store_options(const ServiceOptions& o,
+                                        const char* role) {
+  DocumentStoreOptions s = o.storage;
+  if (!s.dir.empty()) s.dir += std::string("/") + role;
+  s.name = role;
+  if (s.metrics == nullptr) s.metrics = o.metrics;
+  if (s.faults == nullptr) s.faults = o.faults;
+  return s;
+}
+
+LogManagerOptions log_manager_options(const ServiceOptions& o) {
+  LogManagerOptions lm{"ingest", "logs"};
+  lm.store = role_store_options(o, "logs");
+  return lm;
+}
+
+}  // namespace
+
 LogLensService::LogLensService(ServiceOptions options)
     : options_(std::move(options)),
       broker_(options_.metrics, options_.faults),
-      log_manager_(broker_, LogManagerOptions{"ingest", "logs"}),
+      log_manager_(broker_, log_manager_options(options_)),
       heartbeat_(broker_, HeartbeatOptions{"parsed", "parsed"},
                  options_.metrics),
+      anomaly_store_(role_store_options(options_, "anomalies")),
       anomaly_sink_(broker_, "anomalies") {
   broker_.create_topic("ingest", 1);
   broker_.create_topic("logs", 1);

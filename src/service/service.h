@@ -54,6 +54,12 @@ struct ServiceOptions {
   // recover() whenever a runner reports a fatal batch.
   FaultInjector* faults = nullptr;
   size_t task_max_attempts = 4;
+  // Tiered storage (docs/DESIGN.md §6). `storage.dir` is the base segment
+  // directory: the log archive flushes under <dir>/logs and the anomaly
+  // store under <dir>/anomalies (empty keeps both in-memory, the seed
+  // behaviour). Unset `storage.metrics`/`storage.faults` inherit the
+  // service-level ones above.
+  DocumentStoreOptions storage;
   std::string dead_letter_topic = "dead_letters";
   std::string checkpoint_path;
   bool supervise = false;

@@ -1,34 +1,195 @@
 #include "storage/document_store.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
+
+#include "common/sched.h"
+#include "faults/fault_injector.h"
+#include "metrics/metrics.h"
 
 namespace loglens {
 
-uint64_t DocumentStore::insert(Json doc) {
-  RankedMutexLock lock(mu_);
-  uint64_t id = docs_.size();
-  if (doc.is_object()) {
-    for (const auto& [k, v] : doc.as_object()) {
-      if (v.is_string()) {
-        term_index_[k][v.as_string()].push_back(id);
+DocumentStore::DocumentStore() : DocumentStore(DocumentStoreOptions{}) {}
+
+DocumentStore::DocumentStore(DocumentStoreOptions options)
+    : options_(std::move(options)) {
+  MetricsRegistry& m = registry_or_global(options_.metrics);
+  const MetricLabels labels{{"store", options_.name}};
+  flushes_total_ = &m.counter("loglens_storage_flushes_total", labels,
+                              "Hot-segment flushes completed");
+  compactions_total_ = &m.counter("loglens_storage_compactions_total", labels,
+                                  "Segment compactions completed");
+  pruned_total_ =
+      &m.counter("loglens_storage_segments_pruned_total", labels,
+                 "Sealed segments skipped by zone map or dictionary miss");
+  rejected_total_ =
+      &m.counter("loglens_storage_segments_rejected_total", labels,
+                 "Segment files rejected at open (torn or corrupt)");
+  segments_gauge_ = &m.gauge("loglens_storage_segments", labels,
+                             "Sealed segments currently open");
+  hot_docs_gauge_ = &m.gauge("loglens_storage_hot_docs", labels,
+                             "Documents in the mutable hot segment");
+  open_dir();
+  if (options_.background_compaction && !options_.dir.empty()) {
+    compactor_ =
+        sched::spawn_named("storage-compactor:" + options_.name, [this] {
+          while (!stop_.load(std::memory_order_relaxed)) {
+            int64_t remaining = options_.compact_interval_ms;
+            while (remaining > 0 && !stop_.load(std::memory_order_relaxed)) {
+              const int64_t slice = remaining < 10 ? remaining : 10;
+              sched::sleep_for_ms(static_cast<uint64_t>(slice));
+              remaining -= slice;
+            }
+            if (stop_.load(std::memory_order_relaxed)) break;
+            if (segment_count() >= options_.compact_min_segments) {
+              // Failures (injected or real) leave the inputs untouched and
+              // surface through fault counters; the next tick retries.
+              (void)compact();
+            }
+          }
+        });
+  }
+}
+
+DocumentStore::~DocumentStore() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (compactor_.joinable()) {
+    sched::BlockingRegion blocking;
+    compactor_.join();
+  }
+}
+
+std::string DocumentStore::segment_path(uint64_t base_id) const {
+  // Decimal zero-padding keeps lexicographic directory order == id order.
+  char name[40];
+  std::snprintf(name, sizeof(name), "seg-%016llu.llseg",
+                static_cast<unsigned long long>(base_id));
+  return options_.dir + "/" + name;
+}
+
+void DocumentStore::open_dir() {
+  if (options_.dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(options_.dir, ec);
+  std::vector<std::shared_ptr<const Segment>> found;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.dir, ec)) {
+    const std::string p = entry.path().string();
+    if (p.size() < 6 || p.compare(p.size() - 6, 6, ".llseg") != 0) continue;
+    auto seg = Segment::open(p);
+    if (!seg.ok()) {
+      // Torn or corrupt: skip it (the file stays for forensics; a re-flush
+      // of the same base renames a fresh segment over it).
+      ++rejected_;
+      rejected_total_->inc();
+      continue;
+    }
+    found.push_back(std::move(seg.value()));
+  }
+  std::sort(found.begin(), found.end(),
+            [](const auto& a, const auto& b) {
+              return a->base_id() < b->base_id();
+            });
+  uint64_t covered = 0;
+  bool any = false;
+  for (auto& seg : found) {
+    if (any && seg->end_id() <= covered) {
+      // Stale compaction input: a crash hit between publishing the merged
+      // segment (which subsumes this range) and unlinking its inputs.
+      std::remove(seg->path().c_str());
+      continue;
+    }
+    if (any && seg->base_id() < covered) {
+      // Partial overlap is never produced by this engine; refuse it.
+      ++rejected_;
+      rejected_total_->inc();
+      continue;
+    }
+    covered = seg->end_id();
+    any = true;
+    segments_.push_back(std::move(seg));
+  }
+  hot_base_ = covered;
+  update_gauges(segments_.size(), 0);
+}
+
+void DocumentStore::index_hot_locked(const Json& doc, uint32_t local_id) {
+  if (!doc.is_object()) return;
+  const JsonObject& obj = doc.as_object();
+  for (size_t i = 0; i < obj.size(); ++i) {
+    if (!obj[i].second.is_string()) continue;
+    // Index the first occurrence only — the value Json::find (and the
+    // sealed columns) see.
+    bool duplicate = false;
+    for (size_t j = 0; j < i; ++j) {
+      if (obj[j].first == obj[i].first) {
+        duplicate = true;
+        break;
       }
     }
+    if (duplicate) continue;
+    hot_index_[obj[i].first][obj[i].second.as_string()].push_back(local_id);
   }
-  docs_.push_back(std::move(doc));
+}
+
+void DocumentStore::rebuild_hot_index_locked() {
+  hot_index_.clear();
+  for (uint32_t i = 0; i < hot_docs_.size(); ++i) {
+    index_hot_locked(hot_docs_[i], i);
+  }
+}
+
+void DocumentStore::update_gauges(size_t segments, size_t hot_docs) {
+  segments_gauge_->set(static_cast<int64_t>(segments));
+  hot_docs_gauge_->set(static_cast<int64_t>(hot_docs));
+}
+
+uint64_t DocumentStore::insert(Json doc) {
+  uint64_t id;
+  bool should_flush = false;
+  {
+    RankedMutexLock lock(mu_);
+    id = hot_base_ + hot_docs_.size();
+    index_hot_locked(doc, static_cast<uint32_t>(hot_docs_.size()));
+    hot_docs_.push_back(std::move(doc));
+    hot_docs_gauge_->set(static_cast<int64_t>(hot_docs_.size()));
+    should_flush = !options_.dir.empty() && options_.hot_max_docs > 0 &&
+                   hot_docs_.size() >= options_.hot_max_docs;
+  }
+  if (should_flush) {
+    // A failed flush (injected fault, full disk) keeps the documents hot;
+    // the threshold re-triggers on the next insert.
+    (void)flush_internal(false);
+  }
   return id;
 }
 
 std::optional<Json> DocumentStore::get(uint64_t id) const {
   RankedMutexLock lock(mu_);
-  if (id >= docs_.size()) return std::nullopt;
-  return docs_[id];
+  if (id >= hot_base_) {
+    const uint64_t local = id - hot_base_;
+    if (local >= hot_docs_.size()) return std::nullopt;
+    return hot_docs_[local];
+  }
+  // Last segment with base_id <= id.
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), id,
+                             [](uint64_t v, const auto& seg) {
+                               return v < seg->base_id();
+                             });
+  if (it == segments_.begin()) return std::nullopt;
+  const Segment& seg = **std::prev(it);
+  if (id >= seg.end_id()) return std::nullopt;  // gap (rejected segment)
+  auto parsed = Json::parse(seg.doc_bytes(static_cast<uint32_t>(id - seg.base_id())));
+  if (!parsed.ok()) return std::nullopt;
+  return std::move(parsed.value());
 }
 
 namespace {
 
-// Pure predicate over one document — touches no store state, so it needs no
-// lock (the caller passes a reference it obtained under the store's mutex).
+// Pure predicate over one document — the semantics every plan below must
+// reproduce exactly (the differential harness holds them to it).
 bool matches(const Json& doc, const Query& q) {
   for (const auto& c : q.clauses) {
     const Json* v = doc.find(c.field);
@@ -44,68 +205,248 @@ bool matches(const Json& doc, const Query& q) {
   return true;
 }
 
+struct SegmentOutcome {
+  size_t scanned = 0;
+  bool pruned = false;  // skipped without scanning a single document
+};
+
+// Runs the query over one sealed segment. Appends parsed matches to `out`
+// (or only counts when out == nullptr — the columnar count() path never
+// touches document bytes). `hits` spans segments so `limit` is global.
+SegmentOutcome run_segment(const Segment& seg, const Query& q,
+                           bool zone_pruning, bool sequential, size_t limit,
+                           size_t* hits, std::vector<Json>* out) {
+  SegmentOutcome r;
+  if (sequential) {
+    for (uint32_t i = 0; i < seg.doc_count() && *hits < limit; ++i) {
+      ++r.scanned;
+      auto parsed = Json::parse(seg.doc_bytes(i));
+      if (!parsed.ok() || !matches(parsed.value(), q)) continue;
+      ++*hits;
+      if (out != nullptr) out->push_back(std::move(parsed.value()));
+    }
+    return r;
+  }
+
+  // Resolve every clause against the columns. A term absent from the
+  // dictionary, a field with no column, or (when enabled) a zone map
+  // disjoint from the requested range proves no document here can match —
+  // the whole segment is pruned without reading a row.
+  struct TermPlan {
+    const Segment::StringField* f;
+    uint32_t term_id;
+  };
+  struct RangePlan {
+    const Segment::IntField* f;
+    int64_t min, max;
+  };
+  std::vector<TermPlan> terms;
+  std::vector<RangePlan> ranges;
+  int driver = -1;  // term plan with the smallest posting list
+  for (const auto& c : q.clauses) {
+    if (c.kind == QueryClause::Kind::kTerm) {
+      const Segment::StringField* f = seg.string_field(c.field);
+      if (f == nullptr) {
+        r.pruned = true;
+        return r;
+      }
+      auto it = f->term_ids.find(c.term);
+      if (it == f->term_ids.end()) {
+        r.pruned = true;
+        return r;
+      }
+      terms.push_back(TermPlan{f, it->second});
+      if (driver < 0 ||
+          f->postings[it->second].second <
+              terms[static_cast<size_t>(driver)]
+                  .f->postings[terms[static_cast<size_t>(driver)].term_id]
+                  .second) {
+        driver = static_cast<int>(terms.size()) - 1;
+      }
+    } else {
+      const Segment::IntField* f = seg.int_field(c.field);
+      if (f == nullptr) {
+        r.pruned = true;
+        return r;
+      }
+      if (zone_pruning && (f->zone_max < c.min || f->zone_min > c.max)) {
+        r.pruned = true;
+        return r;
+      }
+      ranges.push_back(RangePlan{f, c.min, c.max});
+    }
+  }
+
+  auto eval = [&](uint32_t i) {
+    for (const TermPlan& t : terms) {
+      if (Segment::code_at(*t.f, i) != t.term_id + 1) return false;
+    }
+    for (const RangePlan& rp : ranges) {
+      if (!Segment::int_present(*rp.f, i)) return false;
+      const int64_t v = Segment::int_value(*rp.f, i);
+      if (v < rp.min || v > rp.max) return false;
+    }
+    return true;
+  };
+  auto emit = [&](uint32_t i) {
+    ++*hits;
+    if (out != nullptr) {
+      auto parsed = Json::parse(seg.doc_bytes(i));
+      if (parsed.ok()) out->push_back(std::move(parsed.value()));
+    }
+  };
+
+  if (driver >= 0) {
+    const TermPlan& d = terms[static_cast<size_t>(driver)];
+    const uint32_t len = d.f->postings[d.term_id].second;
+    for (uint32_t k = 0; k < len && *hits < limit; ++k) {
+      const uint32_t i = Segment::posting_at(*d.f, d.term_id, k);
+      ++r.scanned;
+      if (eval(i)) emit(i);
+    }
+  } else {
+    for (uint32_t i = 0; i < seg.doc_count() && *hits < limit; ++i) {
+      ++r.scanned;
+      if (eval(i)) emit(i);
+    }
+  }
+  return r;
+}
+
 }  // namespace
 
-std::vector<Json> DocumentStore::query(const Query& q) const {
+size_t DocumentStore::execute(const Query& q, QueryStats* stats,
+                              std::vector<Json>* out) const {
+  QueryStats local;
+  size_t hits = 0;
   RankedMutexLock lock(mu_);
-  std::vector<Json> out;
+  for (const auto& seg : segments_) {
+    if (hits >= q.limit) break;
+    ++local.segments_considered;
+    SegmentOutcome oc =
+        run_segment(*seg, q, options_.zone_map_pruning,
+                    options_.sequential_scan, q.limit, &hits, out);
+    local.docs_scanned += oc.scanned;
+    if (oc.pruned) ++local.segments_pruned;
+  }
 
-  // If a term clause exists, drive the scan from the smallest posting list.
-  const std::vector<uint64_t>* postings = nullptr;
+  // Hot segment, driven from the smallest in-memory posting list when a
+  // term clause has one.
+  const std::vector<uint32_t>* postings = nullptr;
+  bool hot_possible = hits < q.limit;
   for (const auto& c : q.clauses) {
-    if (c.kind != QueryClause::Kind::kTerm) continue;
-    auto fit = term_index_.find(c.field);
-    if (fit == term_index_.end()) return out;
+    if (!hot_possible || c.kind != QueryClause::Kind::kTerm) continue;
+    auto fit = hot_index_.find(c.field);
+    if (fit == hot_index_.end()) {
+      hot_possible = false;
+      break;
+    }
     auto vit = fit->second.find(c.term);
-    if (vit == fit->second.end()) return out;
+    if (vit == fit->second.end()) {
+      hot_possible = false;
+      break;
+    }
     if (postings == nullptr || vit->second.size() < postings->size()) {
       postings = &vit->second;
     }
   }
-
-  // The guarded docs_ reads stay in this function body (where the analysis
-  // sees the lock); the lambda only sees the already-fetched document.
-  auto consider = [&out, &q](const Json& doc) {
-    if (out.size() >= q.limit) return false;
-    if (matches(doc, q)) out.push_back(doc);
-    return out.size() < q.limit;
-  };
-
-  if (postings != nullptr) {
-    for (uint64_t id : *postings) {
-      if (!consider(docs_[id])) break;
+  if (hot_possible && postings != nullptr) {
+    for (uint32_t i : *postings) {
+      if (hits >= q.limit) break;
+      ++local.docs_scanned;
+      if (!matches(hot_docs_[i], q)) continue;
+      ++hits;
+      if (out != nullptr) out->push_back(hot_docs_[i]);
     }
-  } else {
-    for (uint64_t id = 0; id < docs_.size(); ++id) {
-      if (!consider(docs_[id])) break;
+  } else if (hot_possible) {
+    for (const Json& d : hot_docs_) {
+      if (hits >= q.limit) break;
+      ++local.docs_scanned;
+      if (!matches(d, q)) continue;
+      ++hits;
+      if (out != nullptr) out->push_back(d);
     }
   }
+
+  if (local.segments_pruned > 0) pruned_total_->inc(local.segments_pruned);
+  if (stats != nullptr) *stats = local;
+  return hits;
+}
+
+std::vector<Json> DocumentStore::query(const Query& q) const {
+  return query(q, nullptr);
+}
+
+std::vector<Json> DocumentStore::query(const Query& q,
+                                       QueryStats* stats) const {
+  std::vector<Json> out;
+  execute(q, stats, &out);
   return out;
 }
 
-size_t DocumentStore::count(const Query& q) const {
+size_t DocumentStore::count(const Query& q, QueryStats* stats) const {
   Query unlimited = q;
   unlimited.limit = SIZE_MAX;
-  return query(unlimited).size();
+  return execute(unlimited, stats, nullptr);
 }
 
 size_t DocumentStore::size() const {
   RankedMutexLock lock(mu_);
-  return docs_.size();
+  return hot_base_ + hot_docs_.size();
+}
+
+size_t DocumentStore::segment_count() const {
+  RankedMutexLock lock(mu_);
+  return segments_.size();
+}
+
+size_t DocumentStore::hot_count() const {
+  RankedMutexLock lock(mu_);
+  return hot_docs_.size();
 }
 
 void DocumentStore::clear() {
-  RankedMutexLock lock(mu_);
-  docs_.clear();
-  term_index_.clear();
+  RankedMutexLock flock(flush_mu_);
+  std::vector<std::string> paths;
+  {
+    RankedMutexLock lock(mu_);
+    for (const auto& seg : segments_) paths.push_back(seg->path());
+    segments_.clear();
+    hot_docs_.clear();
+    hot_index_.clear();
+    hot_base_ = 0;
+  }
+  for (const auto& p : paths) std::remove(p.c_str());
+  // Sweep leftovers a crash could have stranded (torn flushes at the final
+  // path, compaction tmps) so a reopen starts empty.
+  if (!options_.dir.empty()) {
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(options_.dir, ec)) {
+      const std::string p = entry.path().string();
+      const bool seg_like =
+          (p.size() >= 6 && p.compare(p.size() - 6, 6, ".llseg") == 0) ||
+          (p.size() >= 4 && p.compare(p.size() - 4, 4, ".tmp") == 0);
+      if (seg_like) std::remove(p.c_str());
+    }
+  }
+  update_gauges(0, 0);
 }
 
 Status DocumentStore::save_jsonl(const std::string& path) const {
   RankedMutexLock lock(mu_);
   std::ofstream out(path);
   if (!out) return Status::Error("cannot open for writing: " + path);
+  for (const auto& seg : segments_) {
+    for (uint32_t i = 0; i < seg->doc_count(); ++i) {
+      // Sealed rows are already the byte-exact dump() — stream verbatim.
+      const std::string_view row = seg->doc_bytes(i);
+      out.write(row.data(), static_cast<std::streamsize>(row.size()));
+      out.put('\n');
+    }
+  }
   std::string line;
-  for (const auto& d : docs_) {
+  for (const auto& d : hot_docs_) {
     line.clear();
     d.dump_to(line);
     out << line << '\n';
@@ -126,8 +467,199 @@ Status DocumentStore::load_jsonl(const std::string& path) {
       return Status::Error(path + ":" + std::to_string(line_no) + ": " +
                            doc.status().message());
     }
+    if (!doc.value().is_object()) {
+      // A scalar or array line would be a document no term or range clause
+      // can ever reach — almost certainly a corrupt or foreign file.
+      return Status::Error(path + ":" + std::to_string(line_no) +
+                           ": not a JSON object");
+    }
     insert(std::move(doc.value()));
   }
+  return Status::Ok();
+}
+
+Status DocumentStore::flush() { return flush_internal(true); }
+
+Status DocumentStore::flush_internal(bool force) {
+  if (options_.dir.empty()) return Status::Ok();
+  RankedMutexLock flock(flush_mu_);
+  Status s = flush_locked(force);
+  if (!s.ok()) return s;
+  if (options_.auto_compact) {
+    size_t n;
+    {
+      RankedMutexLock lock(mu_);
+      n = segments_.size();
+    }
+    if (n >= options_.compact_min_segments) {
+      // Compaction failure does not undo the successful flush; it is
+      // retried on the next trigger and visible via fault counters.
+      (void)compact_locked();
+    }
+  }
+  return Status::Ok();
+}
+
+Status DocumentStore::flush_locked(bool force) {
+  uint64_t base;
+  std::vector<Json> docs;
+  {
+    RankedMutexLock lock(mu_);
+    if (hot_docs_.empty()) return Status::Ok();
+    if (!force && (options_.hot_max_docs == 0 ||
+                   hot_docs_.size() < options_.hot_max_docs)) {
+      return Status::Ok();  // a racing inserter's flush already ran
+    }
+    base = hot_base_;
+    docs = hot_docs_;
+  }
+  const std::string bytes = encode_segment(base, docs);
+  const std::string path = segment_path(base);
+  if (options_.faults != nullptr) {
+    const FaultAction fault = options_.faults->check(kFaultSiteSegmentFlush);
+    if (fault == FaultAction::kThrow) {
+      return Status::Error("segment flush failed (injected)");
+    }
+    if (fault == FaultAction::kTornWrite) {
+      // Simulated power loss where the rename became durable but the data
+      // did not: a prefix of the segment at its final path. The hot
+      // segment is untouched, and open-time validation rejects the torn
+      // file (a retried flush of the same base renames over it).
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      if (out) {
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+      }
+      return Status::Error("segment flush torn (injected)");
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Error("cannot write segment: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::Error("segment write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Error("cannot publish segment: " + path);
+  }
+  auto seg = Segment::open(path);
+  if (!seg.ok()) return seg.status();
+  size_t nsegs, nhot;
+  {
+    RankedMutexLock lock(mu_);
+    segments_.push_back(std::move(seg.value()));
+    // Publish and retire the flushed prefix in one critical section, so no
+    // reader ever sees the documents twice or not at all. Inserts that
+    // landed while we encoded stay hot with their local ids shifted.
+    hot_docs_.erase(hot_docs_.begin(),
+                    hot_docs_.begin() + static_cast<ptrdiff_t>(docs.size()));
+    hot_base_ = base + docs.size();
+    rebuild_hot_index_locked();
+    nsegs = segments_.size();
+    nhot = hot_docs_.size();
+  }
+  flushes_total_->inc();
+  update_gauges(nsegs, nhot);
+  return Status::Ok();
+}
+
+Status DocumentStore::compact() {
+  if (options_.dir.empty()) return Status::Ok();
+  RankedMutexLock flock(flush_mu_);
+  return compact_locked();
+}
+
+Status DocumentStore::compact_locked() {
+  // The earliest run of >= 2 adjacent segments that fits the size cap.
+  // flush_mu_ (held) is what keeps `run`'s positions stable below: flush
+  // only appends, and no other compaction can run.
+  std::vector<std::shared_ptr<const Segment>> run;
+  size_t run_begin = 0;
+  size_t total = 0;
+  {
+    RankedMutexLock lock(mu_);
+    for (size_t i = 0; i + 1 < segments_.size() && run.empty(); ++i) {
+      if (segments_[i]->doc_count() > options_.compact_max_docs) continue;
+      total = segments_[i]->doc_count();
+      size_t j = i + 1;
+      while (j < segments_.size() &&
+             segments_[j]->base_id() == segments_[j - 1]->end_id() &&
+             total + segments_[j]->doc_count() <= options_.compact_max_docs) {
+        total += segments_[j]->doc_count();
+        ++j;
+      }
+      if (j - i >= 2) {
+        run_begin = i;
+        run.assign(segments_.begin() + static_cast<ptrdiff_t>(i),
+                   segments_.begin() + static_cast<ptrdiff_t>(j));
+      }
+    }
+  }
+  if (run.empty()) return Status::Ok();
+
+  std::vector<Json> docs;
+  docs.reserve(total);
+  for (const auto& seg : run) {
+    for (uint32_t i = 0; i < seg->doc_count(); ++i) {
+      auto parsed = Json::parse(seg->doc_bytes(i));
+      if (!parsed.ok()) {
+        return Status::Error("segment row unreadable: " + seg->path());
+      }
+      docs.push_back(std::move(parsed.value()));
+    }
+  }
+  const uint64_t base = run.front()->base_id();
+  const std::string bytes = encode_segment(base, docs);
+  const std::string path = run.front()->path();
+  const std::string tmp = path + ".merge.tmp";
+  if (options_.faults != nullptr) {
+    const FaultAction fault = options_.faults->check(kFaultSiteStorageCompact);
+    if (fault == FaultAction::kThrow) {
+      return Status::Error("segment compaction failed (injected)");
+    }
+    if (fault == FaultAction::kTornWrite) {
+      // Crash mid-merge: a torn tmp, never renamed. Every input segment is
+      // untouched; the stranded tmp is overwritten by the retry.
+      std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+      if (out) {
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+      }
+      return Status::Error("segment compaction torn (injected)");
+    }
+  }
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::Error("cannot write segment: " + tmp);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out) return Status::Error("segment write failed: " + tmp);
+  }
+  // Publish by renaming over the first input (same base id, same name). A
+  // crash after this rename leaves the remaining inputs subsumed on disk;
+  // open_dir() unlinks them as stale.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Error("cannot publish segment: " + path);
+  }
+  auto merged = Segment::open(path);
+  if (!merged.ok()) return merged.status();
+  std::vector<std::string> stale;
+  size_t nsegs, nhot;
+  {
+    RankedMutexLock lock(mu_);
+    for (size_t k = 1; k < run.size(); ++k) stale.push_back(run[k]->path());
+    segments_.erase(
+        segments_.begin() + static_cast<ptrdiff_t>(run_begin) + 1,
+        segments_.begin() + static_cast<ptrdiff_t>(run_begin + run.size()));
+    segments_[run_begin] = std::move(merged.value());
+    nsegs = segments_.size();
+    nhot = hot_docs_.size();
+  }
+  // Readers still holding the replaced segments keep valid mappings; the
+  // inodes outlive the unlink.
+  for (const auto& p : stale) std::remove(p.c_str());
+  compactions_total_->inc();
+  update_gauges(nsegs, nhot);
   return Status::Ok();
 }
 

@@ -18,6 +18,11 @@ namespace loglens {
 // builder's periodic relearning and post-facto troubleshooting queries.
 class LogStore {
  public:
+  LogStore() = default;
+  // Tiered-engine configuration (segment dir, flush/compaction policy,
+  // metrics label). Default: in-memory, the seed behaviour.
+  explicit LogStore(DocumentStoreOptions options) : store_(std::move(options)) {}
+
   void add(std::string_view source, std::string_view raw, int64_t ts_ms);
 
   // Raw lines from one source, optionally restricted to [from_ms, to_ms].
@@ -31,6 +36,10 @@ class LogStore {
     return store_.save_jsonl(path);
   }
   Status load_jsonl(const std::string& path) { return store_.load_jsonl(path); }
+
+  // Seals the hot segment (no-op for an in-memory store).
+  Status flush() { return store_.flush(); }
+  const DocumentStore& docs() const { return store_; }
 
  private:
   DocumentStore store_;
@@ -71,12 +80,27 @@ class ModelStore {
 // Anomalies awaiting human validation (Anomaly Storage).
 class AnomalyStore {
  public:
+  AnomalyStore() = default;
+  explicit AnomalyStore(DocumentStoreOptions options)
+      : store_(std::move(options)) {}
+
   void add(const Anomaly& anomaly);
 
   std::vector<Anomaly> all() const;
   std::vector<Anomaly> by_type(AnomalyType type) const;
   size_t count() const { return store_.size(); }
   size_t count_by_type(AnomalyType type) const;
+
+  // Ad-hoc query surface over the raw anomaly documents (fields per
+  // Anomaly::to_json: "type", "source", "timestamp_ms", ...). The dashboard
+  // builds its "which sources spiked X" panel on this.
+  std::vector<Json> query_docs(const Query& q,
+                               QueryStats* stats = nullptr) const {
+    return store_.query(q, stats);
+  }
+
+  Status flush() { return store_.flush(); }
+  const DocumentStore& docs() const { return store_; }
 
   // Drops everything — crash recovery rebuilds the store from the
   // checkpointed prefix of the anomalies topic (LogLensService::recover).

@@ -375,6 +375,74 @@ TEST(ChaosTest, PoisonMessagesRouteToDeadLetterTopic) {
   EXPECT_EQ(broker.end_offset("dlq", 0), 5u);
 }
 
+// The tiered anomaly store under crash-shaped storage faults: segment
+// flushes die mid-write (torn files at the final path) while the pipeline
+// streams, and recover() must still rebuild the anomaly report exactly once
+// — the faulted, disk-backed run converges to the in-memory fault-free run.
+TEST(ChaosTest, RecoverExactlyOnceWhenSegmentFlushDiesMidWrite) {
+  Dataset d = make_d1(0.05);
+  std::string path = temp_path("loglens_chaos_storage_recover.json");
+  std::string dir = temp_path("loglens_chaos_storage_dir");
+  std::filesystem::remove_all(dir);
+
+  MetricsRegistry control_registry;
+  auto expected = run_pipeline(d, &control_registry, nullptr);
+
+  MetricsRegistry registry;
+  FaultInjector faults(37, &registry);
+  ServiceOptions opts;
+  opts.build.discovery = recommended_discovery("D1");
+  opts.metrics = &registry;
+  opts.faults = &faults;
+  opts.checkpoint_path = path;
+  opts.storage.dir = dir;
+  opts.storage.hot_max_docs = 8;  // tiny hot tier: flush constantly
+  LogLensService service(opts);
+  service.train(d.training);
+  Agent agent = service.make_agent("D1");
+
+  // Every flush attempt dies mid-write until the cap is spent. Inserts
+  // must absorb the failures (the doc stays hot, the flush retries on the
+  // next threshold crossing).
+  FaultSpec torn;
+  torn.action = FaultAction::kTornWrite;
+  torn.probability = 0.5;
+  torn.max_triggers = 4;
+  faults.arm(kFaultSiteSegmentFlush, torn);
+
+  const size_t half = d.testing.size() / 2;
+  const size_t three_quarters = d.testing.size() * 3 / 4;
+  agent.replay({d.testing.begin(), d.testing.begin() + half});
+  service.drain();
+  ASSERT_TRUE(service.checkpoint(path).ok());
+  const size_t at_checkpoint = service.anomalies().count();
+
+  // Stream past the checkpoint, then crash-recover. recover() clears the
+  // segment directory and rebuilds from the checkpoint: every anomaly
+  // before the cut exactly once, none of the post-cut ones.
+  agent.replay({d.testing.begin() + half, d.testing.begin() + three_quarters});
+  service.drain();
+  ASSERT_TRUE(service.recover().ok());
+  EXPECT_EQ(service.anomalies().count(), at_checkpoint);
+
+  // Stream the rest (the rewound third quarter is redelivered upstream):
+  // at-least-once delivery, exactly-once in the report, byte-identical to
+  // the in-memory fault-free control.
+  agent.replay({d.testing.begin() + three_quarters, d.testing.end()});
+  service.drain();
+  service.heartbeat_advance(kDayMs);
+  service.drain();
+  ASSERT_TRUE(service.anomalies().flush().ok());
+  EXPECT_EQ(normalized(service.anomalies()), expected);
+  EXPECT_EQ(detected_ids(service.anomalies()), d.anomalous_event_ids);
+
+  // The run really exercised the tiered path: faults fired, segments exist.
+  EXPECT_GT(faults.triggered(kFaultSiteSegmentFlush), 0u);
+  EXPECT_GE(service.anomalies().docs().segment_count(), 1u);
+  std::remove(path.c_str());
+  std::filesystem::remove_all(dir);
+}
+
 TEST(ChaosTest, TornCheckpointWriteKeepsLastGoodFile) {
   Dataset d = make_d1(0.05);
   std::string path = temp_path("loglens_chaos_torn.json");

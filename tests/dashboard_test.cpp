@@ -86,6 +86,38 @@ TEST_F(DashboardTest, RecentListsLatestWithDetail) {
   EXPECT_NE(out.find("event=ev-x"), std::string::npos);
 }
 
+TEST_F(DashboardTest, SourceSpikesRanksSourcesInWindow) {
+  // Three sources evicting in the hour window, one outside it, one of a
+  // different type — the leaderboard counts only in-window evictions.
+  for (int i = 0; i < 5; ++i) {
+    add_anomaly(AnomalyType::kOpenStateEvicted, 10'000 + i, "gateway");
+  }
+  add_anomaly(AnomalyType::kOpenStateEvicted, 10'100, "db");
+  add_anomaly(AnomalyType::kOpenStateEvicted, 10'200, "db");
+  add_anomaly(AnomalyType::kOpenStateEvicted, 10'300, "auth");
+  add_anomaly(AnomalyType::kOpenStateEvicted, 99'000'000, "gateway");
+  add_anomaly(AnomalyType::kMissingEndState, 10'400, "gateway");
+
+  std::string out = dashboard_.render_source_spikes(
+      AnomalyType::kOpenStateEvicted, 0, 3'600'000);
+  EXPECT_NE(out.find("source spikes: OPEN_STATE_EVICTED"), std::string::npos);
+  EXPECT_NE(out.find("gateway"), std::string::npos);
+  // Heaviest source first.
+  EXPECT_LT(out.find("gateway"), out.find("db"));
+  EXPECT_LT(out.find("db"), out.find("auth"));
+  EXPECT_NE(out.find(" 5\n"), std::string::npos);
+  EXPECT_NE(out.find(" 2\n"), std::string::npos);
+  // The plan line is always present (query-stats visibility).
+  EXPECT_NE(out.find("docs scanned:"), std::string::npos);
+}
+
+TEST_F(DashboardTest, SourceSpikesEmptyWindowSaysNone) {
+  add_anomaly(AnomalyType::kOpenStateEvicted, 99'000'000, "gateway");
+  std::string out = dashboard_.render_source_spikes(
+      AnomalyType::kOpenStateEvicted, 0, 3'600'000);
+  EXPECT_NE(out.find("  none"), std::string::npos);
+}
+
 TEST_F(DashboardTest, EmptyStoresRenderCleanly) {
   std::string out = dashboard_.render();
   EXPECT_NE(out.find("anomalies: 0"), std::string::npos);

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 
 #include "storage/stores.h"
 
@@ -99,6 +100,108 @@ TEST(DocumentStore, JsonlRoundTrip) {
   EXPECT_EQ(hits[0].get_string("msg"), "second \"quoted\"");
   std::remove(path.c_str());
   EXPECT_FALSE(loaded.load_jsonl("/nonexistent/nowhere.jsonl").ok());
+}
+
+TEST(DocumentStore, LoadJsonlRejectsNonObjectLine) {
+  namespace fs = std::filesystem;
+  std::string path =
+      (fs::temp_directory_path() / "loglens_store_badline.jsonl").string();
+  {
+    std::ofstream out(path);
+    out << "{\"source\":\"a\",\"ts\":1}\n";
+    out << "[1,2,3]\n";  // an array is not a queryable document
+    out << "{\"source\":\"b\",\"ts\":2}\n";
+  }
+  DocumentStore store;
+  Status s = store.load_jsonl(path);
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(":2:"), std::string::npos)
+      << "error should name the offending line: " << s.message();
+  EXPECT_NE(s.message().find("not a JSON object"), std::string::npos)
+      << s.message();
+  std::remove(path.c_str());
+}
+
+// Satellite probe for the posting-list planner: a conjunction must be driven
+// from the *smallest* posting list. With 900 "hot" docs and 4 "rare" docs,
+// driving from the rare list scans ~4 candidates; driving from the common
+// list would scan ~900. QueryStats::docs_scanned makes the choice visible.
+TEST(DocumentStore, QueryScansSmallestPostingList) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "loglens_store_planner").string();
+  fs::remove_all(dir);
+  DocumentStoreOptions opts;
+  opts.dir = dir;
+  opts.hot_max_docs = 0;  // manual flush: one sealed segment
+  opts.auto_compact = false;
+  DocumentStore store(opts);
+  for (int i = 0; i < 900; ++i) {
+    JsonObject o;
+    o.emplace_back("source", Json("common"));
+    o.emplace_back("level", Json(i < 4 ? "rare" : "noise"));
+    store.insert(Json(std::move(o)));
+  }
+  ASSERT_TRUE(store.flush().ok());
+  ASSERT_EQ(store.segment_count(), 1u);
+
+  Query q;
+  q.clauses.push_back(QueryClause::Term("source", "common"));  // 900 docs
+  q.clauses.push_back(QueryClause::Term("level", "rare"));     // 4 docs
+  QueryStats stats;
+  EXPECT_EQ(store.count(q, &stats), 4u);
+  EXPECT_EQ(stats.docs_scanned, 4u)
+      << "planner must drive from the smallest posting list";
+
+  // Same property for the hot tier's in-memory postings.
+  DocumentStore hot;
+  for (int i = 0; i < 900; ++i) {
+    JsonObject o;
+    o.emplace_back("source", Json("common"));
+    o.emplace_back("level", Json(i < 4 ? "rare" : "noise"));
+    hot.insert(Json(std::move(o)));
+  }
+  stats = QueryStats{};
+  EXPECT_EQ(hot.count(q, &stats), 4u);
+  EXPECT_EQ(stats.docs_scanned, 4u);
+  fs::remove_all(dir);
+}
+
+// Basic tiered round trip: inserts spill to sealed segments at the hot
+// threshold, every id survives flush and reopen, and queries span both
+// tiers transparently.
+TEST(DocumentStore, TieredFlushAndReopen) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() / "loglens_store_tiered").string();
+  fs::remove_all(dir);
+  DocumentStoreOptions opts;
+  opts.dir = dir;
+  opts.hot_max_docs = 4;
+  opts.auto_compact = false;
+  {
+    DocumentStore store(opts);
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_EQ(store.insert(doc(i % 2 == 0 ? "a" : "b", i, "m")),
+                static_cast<uint64_t>(i));
+    }
+    EXPECT_EQ(store.segment_count(), 2u);  // 8 sealed, 2 hot
+    EXPECT_EQ(store.hot_count(), 2u);
+    Query q;
+    q.clauses.push_back(QueryClause::Term("source", "a"));
+    EXPECT_EQ(store.count(q), 5u);  // spans sealed + hot
+    ASSERT_TRUE(store.flush().ok());
+    EXPECT_EQ(store.hot_count(), 0u);
+  }
+  DocumentStore reopened(opts);
+  EXPECT_EQ(reopened.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    auto got = reopened.get(static_cast<uint64_t>(i));
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->find("ts")->as_int(), i);
+  }
+  EXPECT_EQ(reopened.insert(doc("c", 10, "m")), 10u);  // ids continue
+  fs::remove_all(dir);
 }
 
 TEST(LogStore, FetchBySourceAndTime) {

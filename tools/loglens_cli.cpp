@@ -253,7 +253,18 @@ int cmd_dashboard(const CliOptions& cli, const std::string& model_path,
   if (cli.json) {
     std::printf("%s\n", dashboard.metrics_snapshot().dump().c_str());
   } else {
-    std::printf("%s\n%s\n%s", dashboard.render().c_str(),
+    // "Which sources spiked X in the last hour" — the hour ending at the
+    // newest anomaly, so the panel works on replayed historical logs too.
+    int64_t newest = -1;
+    for (const auto& a : service.anomalies().all()) {
+      newest = std::max(newest, a.timestamp_ms);
+    }
+    std::string spikes;
+    if (newest >= 0) {
+      spikes = dashboard.render_source_spikes(
+          AnomalyType::kOpenStateEvicted, newest - 3600L * 1000, newest);
+    }
+    std::printf("%s\n%s%s\n%s", dashboard.render().c_str(), spikes.c_str(),
                 dashboard.render_stage_latency().c_str(),
                 dashboard.render_metrics().c_str());
   }
